@@ -1,0 +1,121 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dom/html_parser.h"
+#include "util/parallel.h"
+#include "util/logging.h"
+
+namespace ceres::bench {
+
+ParsedCorpus ParseCorpus(synth::Corpus corpus) {
+  ParsedCorpus parsed(std::move(corpus));
+  for (const synth::SyntheticSite& site : parsed.corpus.sites) {
+    ParsedSite out;
+    out.name = site.name;
+    out.focus = site.focus;
+    for (const synth::GeneratedPage& page : site.pages) {
+      Result<DomDocument> doc = ParseHtml(page.html);
+      CERES_CHECK_MSG(doc.ok(), "parse failed for " << page.url << ": "
+                                                    << doc.status().ToString());
+      doc->set_url(page.url);
+      out.pages.push_back(std::move(doc).value());
+    }
+    out.truth = eval::SiteTruth::Build(site.pages, out.pages);
+    CERES_CHECK_MSG(out.truth.unresolved == 0,
+                    out.truth.unresolved
+                        << " unresolved ground-truth XPaths on "
+                        << site.name);
+    parsed.sites.push_back(std::move(out));
+  }
+  return parsed;
+}
+
+Split HalfSplit(size_t num_pages) {
+  Split split;
+  for (size_t i = 0; i < num_pages; ++i) {
+    (i % 2 == 0 ? split.train : split.eval)
+        .push_back(static_cast<PageIndex>(i));
+  }
+  return split;
+}
+
+PipelineConfig MakeConfig(System system, const Split& split) {
+  PipelineConfig config;
+  config.annotation_pages = split.train;
+  config.extraction_pages = split.eval;
+  config.extraction.confidence_threshold = 0.5;
+  if (system == System::kCeresTopic) {
+    config.annotator.use_relation_filtering = false;
+  }
+  return config;
+}
+
+PipelineResult RunSite(const ParsedSite& site, const KnowledgeBase& seed_kb,
+                       const PipelineConfig& config) {
+  Result<PipelineResult> result = RunPipeline(site.pages, seed_kb, config);
+  CERES_CHECK_MSG(result.ok(), "pipeline failed on "
+                                   << site.name << ": "
+                                   << result.status().ToString());
+  return std::move(result).value();
+}
+
+std::vector<Annotation> ManualAnnotations(const ParsedSite& site,
+                                          const Split& split,
+                                          int num_pages) {
+  std::vector<Annotation> annotations;
+  int used = 0;
+  for (PageIndex page : split.train) {
+    const eval::PageTruth& truth = site.truth.pages[static_cast<size_t>(page)];
+    if (truth.topic == kInvalidEntity || truth.facts.empty()) continue;
+    for (const eval::PageTruth::Fact& fact : truth.facts) {
+      annotations.push_back(
+          Annotation{page, fact.node, fact.predicate, kInvalidEntity});
+    }
+    if (++used >= num_pages) break;
+  }
+  return annotations;
+}
+
+std::vector<Extraction> RunVertex(const ParsedSite& site, const Split& split,
+                                  int manual_pages) {
+  std::vector<const DomDocument*> all_pages;
+  for (const DomDocument& doc : site.pages) all_pages.push_back(&doc);
+  std::vector<Annotation> manual =
+      ManualAnnotations(site, split, manual_pages);
+  if (manual.empty()) return {};
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(all_pages, manual);
+  if (!wrapper.ok()) return {};
+  std::vector<const DomDocument*> eval_pages;
+  for (PageIndex page : split.eval) {
+    eval_pages.push_back(&site.pages[static_cast<size_t>(page)]);
+  }
+  return wrapper->Extract(eval_pages, split.eval);
+}
+
+std::vector<PredicateId> EvalPredicates(const synth::Corpus& corpus,
+                                        bool include_name) {
+  std::vector<PredicateId> predicates;
+  if (include_name) predicates.push_back(kNamePredicate);
+  for (const std::string& name : corpus.eval_predicates) {
+    Result<PredicateId> id =
+        corpus.seed_kb.ontology().PredicateByName(name);
+    CERES_CHECK_MSG(id.ok(), "unknown eval predicate " << name);
+    predicates.push_back(*id);
+  }
+  return predicates;
+}
+
+eval::Prf SumPrf(const std::map<PredicateId, eval::Prf>& by_predicate) {
+  eval::Prf total;
+  for (const auto& [predicate, prf] : by_predicate) total += prf;
+  return total;
+}
+
+void ForEachSite(const ParsedCorpus& corpus,
+                 const std::function<void(size_t)>& body) {
+  ParallelFor(corpus.sites.size(), /*threads=*/0, body);
+}
+
+}  // namespace ceres::bench

@@ -1,0 +1,82 @@
+#ifndef CERES_BENCH_BENCH_COMMON_H_
+#define CERES_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/vertex.h"
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "synth/corpora.h"
+
+namespace ceres::bench {
+
+/// One site of a corpus, parsed and paired with its resolved ground truth.
+struct ParsedSite {
+  std::string name;
+  std::string focus;
+  std::vector<DomDocument> pages;
+  eval::SiteTruth truth;
+};
+
+/// A corpus ready for experimentation: the seed KB plus parsed sites.
+struct ParsedCorpus {
+  explicit ParsedCorpus(synth::Corpus corpus_in)
+      : corpus(std::move(corpus_in)) {}
+  synth::Corpus corpus;
+  std::vector<ParsedSite> sites;
+};
+
+/// Parses every page of every site and resolves ground truth. Aborts on
+/// parse failures (generator output is trusted).
+ParsedCorpus ParseCorpus(synth::Corpus corpus);
+
+/// The paper's 50/50 annotation/evaluation split (§5.1.1): even page
+/// indices train, odd evaluate.
+struct Split {
+  std::vector<PageIndex> train;
+  std::vector<PageIndex> eval;
+};
+Split HalfSplit(size_t num_pages);
+
+/// Extraction system selector for comparative tables.
+enum class System { kCeresFull, kCeresTopic };
+
+/// Paper-default pipeline configuration for the given system, with the
+/// 50/50 split applied.
+PipelineConfig MakeConfig(System system, const Split& split);
+
+/// Runs the pipeline on one parsed site; aborts on configuration errors.
+PipelineResult RunSite(const ParsedSite& site, const KnowledgeBase& seed_kb,
+                       const PipelineConfig& config);
+
+/// Builds the "manual annotations" for Vertex++ from the ground truth of
+/// the first `num_pages` training pages that have a topic (the paper's
+/// two-page wrapper-induction protocol; we default to three for robustness
+/// to missing fields).
+std::vector<Annotation> ManualAnnotations(const ParsedSite& site,
+                                          const Split& split, int num_pages);
+
+/// Learns and applies Vertex++ on one site; returns extractions over the
+/// eval half (empty when learning fails).
+std::vector<Extraction> RunVertex(const ParsedSite& site, const Split& split,
+                                  int manual_pages = 4);
+
+/// Resolves the vertical's evaluated predicate ids (plus NAME).
+std::vector<PredicateId> EvalPredicates(const synth::Corpus& corpus,
+                                        bool include_name);
+
+/// Sums a per-predicate map into a single Prf.
+eval::Prf SumPrf(const std::map<PredicateId, eval::Prf>& by_predicate);
+
+/// Runs `body(site_index)` over all sites of the corpus in parallel
+/// (per-site pipeline runs are independent and deterministic).
+void ForEachSite(const ParsedCorpus& corpus,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace ceres::bench
+
+#endif  // CERES_BENCH_BENCH_COMMON_H_

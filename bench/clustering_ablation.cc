@@ -1,0 +1,61 @@
+// Ablation: sensitivity of extraction quality to the template-clustering
+// threshold, on the mixed-template IMDb-like site. §5.5.1 concludes that
+// "a robust clustering algorithm is critical": merging distinct templates
+// (threshold too low / clustering off) forces one extractor to serve film,
+// person, AND episode pages, while over-splitting starves small clusters
+// of annotations.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace ceres;         // NOLINT(build/namespaces)
+  using namespace ceres::bench;  // NOLINT(build/namespaces)
+  const double scale = synth::EnvScale();
+  std::printf(
+      "Clustering ablation on the mixed-template IMDb-like site "
+      "(scale=%.2f)\n\n",
+      scale);
+
+  ParsedCorpus corpus = ParseCorpus(synth::MakeImdbCorpus(scale));
+  const ParsedSite& site = corpus.sites[0];
+  Split split = HalfSplit(site.pages.size());
+
+  eval::TableReport table({"Clustering", "#Clusters", "P", "R", "F1"});
+  struct Setting {
+    const char* label;
+    bool enabled;
+    double threshold;
+  };
+  for (const Setting& setting :
+       {Setting{"off (single merged template)", false, 0.0},
+        Setting{"threshold 0.3", true, 0.3},
+        Setting{"threshold 0.6 (default)", true, 0.6},
+        Setting{"threshold 0.9 (over-split)", true, 0.9}}) {
+    PipelineConfig config = MakeConfig(System::kCeresFull, split);
+    config.cluster_pages = setting.enabled;
+    config.clustering.similarity_threshold = setting.threshold;
+    PipelineResult result = RunSite(site, corpus.corpus.seed_kb, config);
+    int clusters = 0;
+    for (int cluster : result.cluster_of_page) {
+      clusters = std::max(clusters, cluster + 1);
+    }
+    eval::ScoreOptions options;
+    options.pages = split.eval;
+    options.confidence_threshold = 0.5;
+    eval::Prf prf =
+        eval::ScoreExtractions(result.extractions, site.truth, options);
+    table.AddRow({setting.label, std::to_string(clusters),
+                  eval::FormatRatio(prf.precision()),
+                  eval::FormatRatio(prf.recall()),
+                  eval::FormatRatio(prf.f1())});
+    std::fprintf(stderr, "[clustering] %s done\n", setting.label);
+  }
+  table.Print();
+  std::printf(
+      "\nNot a paper table; quantifies §5.5.1's conclusion that robust "
+      "template clustering is critical (36%% of the paper's long-tail "
+      "errors traced to merged clusters).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 6 — Precision vs number of extractions on the long-tail corpus at
+// varying confidence thresholds. The paper's shape: precision rises
+// monotonically with the threshold while extraction volume falls; the 0.75
+// threshold yields ~90% precision (1.25M extractions at paper scale).
+
+#include <cstdio>
+
+#include "bench/longtail_common.h"
+
+int main() {
+  using namespace ceres;         // NOLINT(build/namespaces)
+  using namespace ceres::bench;  // NOLINT(build/namespaces)
+  const double scale = synth::EnvScale();
+  std::printf(
+      "Figure 6: precision vs #extractions at confidence thresholds, "
+      "long-tail corpus (scale=%.2f)\n\n",
+      scale);
+
+  ParsedCorpus corpus = ParseCorpus(synth::MakeLongTailCorpus(scale));
+  std::vector<LongTailSiteRun> runs = RunLongTail(corpus);
+
+  eval::TableReport table(
+      {"Threshold", "#Extractions", "Precision", "Series"});
+  for (double threshold :
+       {0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95}) {
+    ThresholdPoint total;
+    total.threshold = threshold;
+    for (const LongTailSiteRun& run : runs) {
+      ThresholdPoint point = CountAtThreshold(run, threshold);
+      total.extractions += point.extractions;
+      total.correct += point.correct;
+    }
+    int bars = static_cast<int>(total.precision() * 30 + 0.5);
+    table.AddRow({eval::FormatRatio(threshold),
+                  std::to_string(total.extractions),
+                  eval::FormatRatio(total.precision()),
+                  std::string(bars, '#')});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper (Figure 6): precision increases monotonically with the "
+      "threshold; 0.5 -> 1.69M extractions at 0.83 precision, 0.75 -> "
+      "1.25M at 0.90.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "bench/longtail_common.h"
+
+#include <cstdio>
+#include <set>
+
+#include "text/normalize.h"
+#include "util/parallel.h"
+
+namespace ceres::bench {
+
+std::vector<LongTailSiteRun> RunLongTail(const ParsedCorpus& corpus) {
+  std::vector<LongTailSiteRun> runs(corpus.sites.size());
+  ForEachSite(corpus, [&](size_t s) {
+    const ParsedSite& site = corpus.sites[s];
+    LongTailSiteRun run;
+    run.site = &site;
+    run.num_pages = static_cast<int64_t>(site.pages.size());
+    PipelineConfig config;
+    config.extraction.confidence_threshold = 0.0;  // Sweep later.
+    Result<PipelineResult> result =
+        RunPipeline(site.pages, corpus.corpus.seed_kb, config);
+    if (result.ok()) {
+      run.result = std::move(result).value();
+      run.annotated_pages =
+          static_cast<int64_t>(run.result.annotated_pages.size());
+      for (const Annotation& annotation : run.result.annotations) {
+        if (annotation.predicate != kNamePredicate) ++run.annotations;
+      }
+    }
+    std::fprintf(stderr, "[longtail] %s: %lld pages, %lld annotations\n",
+                 site.name.c_str(), static_cast<long long>(run.num_pages),
+                 static_cast<long long>(run.annotations));
+    runs[s] = std::move(run);
+  });
+  return runs;
+}
+
+ThresholdPoint CountAtThreshold(const LongTailSiteRun& run,
+                                double threshold) {
+  ThresholdPoint point;
+  point.threshold = threshold;
+  for (const Extraction& extraction : run.result.extractions) {
+    if (extraction.predicate == kNamePredicate) continue;
+    if (extraction.confidence < threshold) continue;
+    ++point.extractions;
+    const eval::PageTruth& truth =
+        run.site->truth.pages[static_cast<size_t>(extraction.page)];
+    if (truth.Asserts(extraction.node, extraction.predicate) &&
+        eval::SubjectMatchesTruth(extraction, truth)) {
+      ++point.correct;
+    }
+  }
+  return point;
+}
+
+}  // namespace ceres::bench

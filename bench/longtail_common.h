@@ -1,0 +1,45 @@
+#ifndef CERES_BENCH_LONGTAIL_COMMON_H_
+#define CERES_BENCH_LONGTAIL_COMMON_H_
+
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace ceres::bench {
+
+/// Results of running CERES-Full over one long-tail site with annotation
+/// and extraction over all pages (the paper's CommonCrawl protocol — there
+/// is no train/eval split in §5.5; extractions are judged by sampling).
+struct LongTailSiteRun {
+  const ParsedSite* site = nullptr;
+  PipelineResult result;
+  int64_t num_pages = 0;
+  int64_t annotated_pages = 0;
+  int64_t annotations = 0;
+};
+
+/// Runs the full corpus; extraction confidence floor 0 so callers can
+/// sweep thresholds.
+std::vector<LongTailSiteRun> RunLongTail(const ParsedCorpus& corpus);
+
+/// Extraction counts and ground-truth precision at a confidence threshold.
+struct ThresholdPoint {
+  double threshold = 0;
+  int64_t extractions = 0;
+  int64_t correct = 0;
+  double precision() const {
+    return extractions == 0
+               ? 0.0
+               : static_cast<double>(correct) /
+                     static_cast<double>(extractions);
+  }
+};
+
+/// Counts correct/total relation extractions (NAME excluded) for one site
+/// at a threshold.
+ThresholdPoint CountAtThreshold(const LongTailSiteRun& run,
+                                double threshold);
+
+}  // namespace ceres::bench
+
+#endif  // CERES_BENCH_LONGTAIL_COMMON_H_

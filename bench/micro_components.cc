@@ -1,0 +1,189 @@
+// Micro benchmarks (google-benchmark) for the pipeline's component costs:
+// HTML parsing, entity matching, topic identification, relation
+// annotation, feature extraction, training, and extraction. Not a paper
+// table; used to watch for performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/entity_matcher.h"
+#include "core/extractor.h"
+#include "core/pipeline.h"
+#include "core/relation_annotator.h"
+#include "core/topic_identification.h"
+#include "core/training.h"
+#include "dom/html_parser.h"
+#include "synth/kb_builder.h"
+#include "synth/site_generator.h"
+#include "synth/world.h"
+
+namespace ceres {
+namespace {
+
+// Shared fixture: a 40-page film site plus its seed KB.
+struct MicroFixture {
+  MicroFixture() {
+    synth::MovieWorldConfig world_config;
+    world_config.scale = 0.3;
+    world = std::make_unique<synth::World>(
+        synth::BuildMovieWorld(world_config));
+    synth::SeedKbConfig kb_config;
+    kb_config.default_coverage = 0.9;
+    kb = std::make_unique<KnowledgeBase>(
+        synth::BuildSeedKb(*world, kb_config));
+
+    synth::SiteSpec spec;
+    spec.name = "micro.example";
+    spec.seed = 77;
+    spec.tmpl.topic_type = "film";
+    spec.tmpl.num_recommendations = 3;
+    spec.tmpl.sections = {
+        {synth::pred::kFilmDirectedBy, "director",
+         synth::SectionLayout::kRow, 0.05, 3},
+        {synth::pred::kFilmHasCastMember, "cast",
+         synth::SectionLayout::kList, 0.05, 15},
+        {synth::pred::kFilmHasGenre, "genre", synth::SectionLayout::kList,
+         0.05, 5},
+        {synth::pred::kFilmReleaseDate, "release_date",
+         synth::SectionLayout::kRow, 0.05, 1},
+    };
+    TypeId film = *world->kb.ontology().TypeByName("film");
+    const auto& films = world->OfType(film);
+    spec.topics.assign(films.begin(), films.begin() + 40);
+    generated = GenerateSite(*world, spec);
+    for (const synth::GeneratedPage& page : generated) {
+      pages.push_back(std::move(ParseHtml(page.html)).value());
+    }
+    for (const DomDocument& doc : pages) page_ptrs.push_back(&doc);
+    for (const DomDocument& doc : pages) {
+      mentions.push_back(MatchPageMentions(doc, *kb));
+    }
+    TopicConfig topic_config;
+    topics = IdentifyTopics(page_ptrs, mentions, *kb, topic_config);
+    annotations = AnnotateRelations(page_ptrs, mentions, topics, *kb, {});
+    featurizer =
+        std::make_unique<FeatureExtractor>(page_ptrs, FeatureConfig{});
+    model = std::make_unique<TrainedModel>(std::move(
+        TrainExtractor(page_ptrs, annotations.annotations, *featurizer,
+                       kb->ontology(), TrainingConfig{}))
+                                               .value());
+  }
+
+  std::unique_ptr<synth::World> world;
+  std::unique_ptr<KnowledgeBase> kb;
+  std::vector<synth::GeneratedPage> generated;
+  std::vector<DomDocument> pages;
+  std::vector<const DomDocument*> page_ptrs;
+  std::vector<PageMentions> mentions;
+  TopicResult topics;
+  AnnotationResult annotations;
+  std::unique_ptr<FeatureExtractor> featurizer;
+  std::unique_ptr<TrainedModel> model;
+};
+
+MicroFixture& Fixture() {
+  static auto* fixture = new MicroFixture();
+  return *fixture;
+}
+
+void BM_ParseHtml(benchmark::State& state) {
+  const std::string& html = Fixture().generated[0].html;
+  for (auto _ : state) {
+    Result<DomDocument> doc = ParseHtml(html);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_ParseHtml);
+
+void BM_EntityMatching(benchmark::State& state) {
+  MicroFixture& fixture = Fixture();
+  for (auto _ : state) {
+    PageMentions mentions = MatchPageMentions(fixture.pages[0],
+                                              *fixture.kb);
+    benchmark::DoNotOptimize(mentions);
+  }
+}
+BENCHMARK(BM_EntityMatching);
+
+void BM_TopicIdentification(benchmark::State& state) {
+  MicroFixture& fixture = Fixture();
+  for (auto _ : state) {
+    TopicResult topics = IdentifyTopics(fixture.page_ptrs, fixture.mentions,
+                                        *fixture.kb, TopicConfig{});
+    benchmark::DoNotOptimize(topics);
+  }
+}
+BENCHMARK(BM_TopicIdentification);
+
+void BM_RelationAnnotation(benchmark::State& state) {
+  MicroFixture& fixture = Fixture();
+  for (auto _ : state) {
+    AnnotationResult annotations =
+        AnnotateRelations(fixture.page_ptrs, fixture.mentions,
+                          fixture.topics, *fixture.kb, {});
+    benchmark::DoNotOptimize(annotations);
+  }
+}
+BENCHMARK(BM_RelationAnnotation);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  MicroFixture& fixture = Fixture();
+  const DomDocument& doc = fixture.pages[0];
+  std::vector<NodeId> fields = doc.TextFields();
+  for (auto _ : state) {
+    for (NodeId node : fields) {
+      SparseVector features =
+          fixture.featurizer->Extract(doc, node, &fixture.model->features);
+      benchmark::DoNotOptimize(features);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fields.size()));
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_Training(benchmark::State& state) {
+  MicroFixture& fixture = Fixture();
+  for (auto _ : state) {
+    Result<TrainedModel> model = TrainExtractor(
+        fixture.page_ptrs, fixture.annotations.annotations,
+        *fixture.featurizer, fixture.kb->ontology(), TrainingConfig{});
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_Training)->Unit(benchmark::kMillisecond);
+
+void BM_Extraction(benchmark::State& state) {
+  MicroFixture& fixture = Fixture();
+  std::vector<PageIndex> indices;
+  for (size_t i = 0; i < fixture.pages.size(); ++i) {
+    indices.push_back(static_cast<PageIndex>(i));
+  }
+  for (auto _ : state) {
+    std::vector<Extraction> extractions =
+        ExtractFromPages(fixture.page_ptrs, indices, fixture.model.get(),
+                         *fixture.featurizer, ExtractionConfig{});
+    benchmark::DoNotOptimize(extractions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.pages.size()));
+}
+BENCHMARK(BM_Extraction)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline40Pages(benchmark::State& state) {
+  MicroFixture& fixture = Fixture();
+  for (auto _ : state) {
+    Result<PipelineResult> result =
+        RunPipeline(fixture.pages, *fixture.kb, PipelineConfig{});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullPipeline40Pages)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ceres
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Table 5 — Extraction quality on the IMDb-like corpus: per predicate,
+// CERES-TOPIC vs CERES-FULL, grouped into Person and Film/TV page domains.
+//
+// This is the paper's central ablation: on a complex multi-predicate site,
+// bypassing Algorithm 2 (CERES-Topic) floods training with mislabelled
+// mentions and collapses precision on ambiguous person-page predicates,
+// while CERES-Full keeps precision high at some recall cost.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace ceres;         // NOLINT(build/namespaces)
+using namespace ceres::bench;  // NOLINT(build/namespaces)
+
+}  // namespace
+
+int main() {
+  const double scale = synth::EnvScale();
+  std::printf(
+      "Table 5: IMDb-like extraction quality, CERES-Topic vs CERES-Full "
+      "(scale=%.2f)\n\n",
+      scale);
+
+  ParsedCorpus corpus = ParseCorpus(synth::MakeImdbCorpus(scale));
+  const ParsedSite& site = corpus.sites[0];
+  const Ontology& ontology = corpus.corpus.seed_kb.ontology();
+  const TypeId person_type = *ontology.TypeByName("person");
+  Split split = HalfSplit(site.pages.size());
+
+  // Eval pages split by domain using the world's topic types.
+  std::vector<PageIndex> person_pages;
+  std::vector<PageIndex> film_pages;
+  for (PageIndex page : split.eval) {
+    EntityId topic = site.truth.pages[static_cast<size_t>(page)].topic;
+    if (topic == kInvalidEntity) continue;
+    if (corpus.corpus.world.kb.entity(topic).type == person_type) {
+      person_pages.push_back(page);
+    } else {
+      film_pages.push_back(page);
+    }
+  }
+
+  // Run both systems once; score per domain afterwards.
+  std::vector<Extraction> extractions[2];
+  for (System system : {System::kCeresTopic, System::kCeresFull}) {
+    std::fprintf(stderr, "[table5] running %s...\n",
+                 system == System::kCeresFull ? "full" : "topic");
+    PipelineResult result =
+        RunSite(site, corpus.corpus.seed_kb, MakeConfig(system, split));
+    extractions[system == System::kCeresFull ? 1 : 0] =
+        std::move(result.extractions);
+  }
+
+  for (bool person_domain : {true, false}) {
+    const std::vector<PageIndex>& pages =
+        person_domain ? person_pages : film_pages;
+    std::map<PredicateId, eval::Prf> scored[2];
+    for (int sys = 0; sys < 2; ++sys) {
+      eval::ScoreOptions options;
+      options.pages = pages;
+      options.confidence_threshold = 0.5;
+      scored[sys] = eval::ScoreExtractionsByPredicate(extractions[sys],
+                                                      site.truth, options);
+    }
+
+    std::printf("== %s domain (%zu eval pages) ==\n",
+                person_domain ? "Person" : "Film/TV", pages.size());
+    eval::TableReport table({"Predicate", "Topic P", "Topic R", "Topic F1",
+                             "Full P", "Full R", "Full F1"});
+    eval::Prf topic_total;
+    eval::Prf full_total;
+    auto add_row = [&](PredicateId predicate, const std::string& label) {
+      const eval::Prf& t = scored[0][predicate];
+      const eval::Prf& f = scored[1][predicate];
+      if (t.tp + t.fp + t.fn + f.tp + f.fp + f.fn == 0) return;
+      table.AddRow({label, eval::FormatRatio(t.precision()),
+                    eval::FormatRatio(t.recall()),
+                    eval::FormatRatio(t.f1()),
+                    eval::FormatRatio(f.precision()),
+                    eval::FormatRatio(f.recall()),
+                    eval::FormatRatio(f.f1())});
+      topic_total += t;
+      full_total += f;
+    };
+    add_row(kNamePredicate, person_domain ? "name" : "title");
+    for (const PredicateDecl& predicate : ontology.predicates()) {
+      add_row(predicate.id, predicate.name);
+    }
+    table.AddRow({"All Extractions",
+                  eval::FormatRatio(topic_total.precision()),
+                  eval::FormatRatio(topic_total.recall()),
+                  eval::FormatRatio(topic_total.f1()),
+                  eval::FormatRatio(full_total.precision()),
+                  eval::FormatRatio(full_total.recall()),
+                  eval::FormatRatio(full_total.f1())});
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper (Table 5): Person all-extractions Topic 0.36/0.65 vs Full "
+      "0.93/0.68 (P/R); Film/TV Topic 0.88/0.59 vs Full 0.99/0.65. "
+      "CERES-Full lifts precision dramatically on ambiguous person "
+      "predicates (alias 0.06 -> 0.98, acted_in 0.41 -> 0.93).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Table 9 — Number of annotations, extractions, and precision for the ten
+// most-extracted predicates on the long-tail corpus (0.5 threshold).
+//
+// Paper shape: cast/acted-in dominate volume at >= 0.96 precision; genre
+// ~0.9; release dates and "-of" person predicates are the weak spots
+// (dates 0.41, writerOf 0.52, createdMusicFor 0.25) due to the semantic
+// ambiguity failure modes the corpus reproduces.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/longtail_common.h"
+#include "text/normalize.h"
+
+int main() {
+  using namespace ceres;         // NOLINT(build/namespaces)
+  using namespace ceres::bench;  // NOLINT(build/namespaces)
+  const double scale = synth::EnvScale();
+  std::printf(
+      "Table 9: top-10 extracted predicates on the long-tail corpus "
+      "(scale=%.2f)\n\n",
+      scale);
+
+  ParsedCorpus corpus = ParseCorpus(synth::MakeLongTailCorpus(scale));
+  std::vector<LongTailSiteRun> runs = RunLongTail(corpus);
+  const Ontology& ontology = corpus.corpus.seed_kb.ontology();
+
+  struct Row {
+    int64_t annotations = 0;
+    int64_t extractions = 0;
+    int64_t correct = 0;
+  };
+  std::map<PredicateId, Row> rows;
+  Row total;
+  for (const LongTailSiteRun& run : runs) {
+    for (const Annotation& annotation : run.result.annotations) {
+      if (annotation.predicate == kNamePredicate) continue;
+      ++rows[annotation.predicate].annotations;
+      ++total.annotations;
+    }
+    for (const Extraction& extraction : run.result.extractions) {
+      if (extraction.predicate == kNamePredicate) continue;
+      if (extraction.confidence < 0.5) continue;
+      Row& row = rows[extraction.predicate];
+      ++row.extractions;
+      ++total.extractions;
+      const eval::PageTruth& truth =
+          run.site->truth.pages[static_cast<size_t>(extraction.page)];
+      if (truth.Asserts(extraction.node, extraction.predicate) &&
+          eval::SubjectMatchesTruth(extraction, truth)) {
+        ++row.correct;
+        ++total.correct;
+      }
+    }
+  }
+
+  std::vector<std::pair<PredicateId, Row>> ranked(rows.begin(), rows.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.extractions > b.second.extractions;
+  });
+  if (ranked.size() > 10) ranked.resize(10);
+
+  eval::TableReport table(
+      {"Predicate", "#Annotations", "#Extractions", "Precision"});
+  for (const auto& [predicate, row] : ranked) {
+    double precision =
+        row.extractions == 0 ? 0.0
+                             : static_cast<double>(row.correct) /
+                                   static_cast<double>(row.extractions);
+    table.AddRow({ontology.predicate(predicate).name,
+                  std::to_string(row.annotations),
+                  std::to_string(row.extractions),
+                  eval::FormatRatio(precision)});
+  }
+  double total_precision =
+      total.extractions == 0 ? 0.0
+                             : static_cast<double>(total.correct) /
+                                   static_cast<double>(total.extractions);
+  table.AddRow({"All Predicates", std::to_string(total.annotations),
+                std::to_string(total.extractions),
+                eval::FormatRatio(total_precision)});
+  table.Print();
+  std::printf(
+      "\nPaper (Table 9): film.hasCastMember 441K @ 0.98, person.actedIn "
+      "380K @ 0.96, film.hasGenre 175K @ 0.90, film.hasReleaseDate 133K @ "
+      "0.41, person.writerOf 37K @ 0.52; all predicates 1.69M @ 0.83.\n");
+  return 0;
+}

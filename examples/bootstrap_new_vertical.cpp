@@ -1,0 +1,114 @@
+// Domain scenario: entering a brand-new vertical with NO knowledge base —
+// the bootstrapping recipe of the paper's footnote 2:
+//
+//   1. manually annotate a couple of pages on ONE prominent site and learn
+//      a Vertex++ wrapper for it;
+//   2. extract that site with the wrapper and turn the (fused) output into
+//      a seed KB;
+//   3. distantly supervise every OTHER site in the vertical with that
+//      bootstrapped KB — no further human effort.
+//
+// Here the "manual annotations" come from the generator's ground truth for
+// two pages, exactly what a human annotator would mark up.
+
+#include <cstdio>
+
+#include "baselines/vertex.h"
+#include "core/pipeline.h"
+#include "dom/html_parser.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "fusion/knowledge_fusion.h"
+#include "synth/corpora.h"
+
+int main() {
+  using namespace ceres;  // NOLINT(build/namespaces)
+
+  std::printf("Building an NBA-style vertical (10 sites)...\n");
+  synth::Corpus corpus =
+      synth::MakeSwdeCorpus(synth::SwdeVertical::kNbaPlayer, 0.5);
+
+  // Parse all sites.
+  struct Site {
+    std::vector<DomDocument> pages;
+    eval::SiteTruth truth;
+  };
+  std::vector<Site> sites;
+  for (const synth::SyntheticSite& generated : corpus.sites) {
+    Site site;
+    for (const synth::GeneratedPage& page : generated.pages) {
+      site.pages.push_back(std::move(ParseHtml(page.html)).value());
+    }
+    site.truth = eval::SiteTruth::Build(generated.pages, site.pages);
+    sites.push_back(std::move(site));
+  }
+
+  // ---- Step 1: wrapper induction on the prominent site (two pages). -----
+  const Site& prominent = sites[0];
+  std::vector<const DomDocument*> prominent_pages;
+  for (const DomDocument& doc : prominent.pages) {
+    prominent_pages.push_back(&doc);
+  }
+  std::vector<Annotation> manual;
+  for (PageIndex page = 0; page < 2; ++page) {
+    for (const eval::PageTruth::Fact& fact :
+         prominent.truth.pages[static_cast<size_t>(page)].facts) {
+      manual.push_back(Annotation{page, fact.node, fact.predicate,
+                                  kInvalidEntity});
+    }
+  }
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(prominent_pages,
+                                                       manual);
+  if (!wrapper.ok()) {
+    std::fprintf(stderr, "wrapper learning failed: %s\n",
+                 wrapper.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<PageIndex> all_indices;
+  for (size_t i = 0; i < prominent.pages.size(); ++i) {
+    all_indices.push_back(static_cast<PageIndex>(i));
+  }
+  std::vector<Extraction> wrapper_output =
+      wrapper->Extract(prominent_pages, all_indices);
+  std::printf("Step 1: wrapper extracted %zu fields from the prominent "
+              "site (2 hand-annotated pages).\n",
+              wrapper_output.size());
+
+  // ---- Step 2: fuse the wrapper output into a bootstrapped seed KB. -----
+  const Ontology& ontology = corpus.seed_kb.ontology();
+  fusion::FusionResult fused = fusion::FuseExtractions(
+      {{corpus.sites[0].name, wrapper_output}}, ontology);
+  KnowledgeBase bootstrap_kb =
+      fusion::BuildKbFromFusedTriples(fused, ontology, /*min_score=*/0.5);
+  std::printf("Step 2: bootstrapped seed KB: %lld entities, %lld triples "
+              "(no pre-existing KB used).\n",
+              static_cast<long long>(bootstrap_kb.num_entities()),
+              static_cast<long long>(bootstrap_kb.num_triples()));
+
+  // ---- Step 3: distant supervision on the remaining nine sites. ---------
+  eval::TableReport table({"Site", "Annotated pages", "Extractions", "P",
+                           "R"});
+  eval::Prf total;
+  for (size_t s = 1; s < sites.size(); ++s) {
+    PipelineConfig config;
+    Result<PipelineResult> result =
+        RunPipeline(sites[s].pages, bootstrap_kb, config);
+    if (!result.ok()) continue;
+    eval::ScoreOptions options;
+    options.confidence_threshold = 0.5;
+    eval::Prf prf = eval::ScoreExtractions(result->extractions,
+                                           sites[s].truth, options);
+    total += prf;
+    table.AddRow({corpus.sites[s].name,
+                  std::to_string(result->annotated_pages.size()),
+                  std::to_string(prf.tp + prf.fp),
+                  eval::FormatRatio(prf.precision()),
+                  eval::FormatRatio(prf.recall())});
+  }
+  table.Print();
+  std::printf(
+      "\nVertical total: P=%.2f R=%.2f from TWO manually annotated pages — "
+      "footnote 2's annotate-once, extract-everywhere loop.\n",
+      total.precision(), total.recall());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Domain scenario: a complex multi-template site (IMDb-like) with long
+// multi-valued predicates, duplicated mentions, and trap sections.
+//
+// Runs CERES-Full and the CERES-Topic ablation side by side and reports
+// annotation and extraction precision per page domain — the §5.4
+// experiment in miniature.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "dom/html_parser.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "synth/corpora.h"
+
+int main() {
+  using namespace ceres;  // NOLINT(build/namespaces)
+
+  std::printf("Building the IMDb-like corpus...\n");
+  synth::Corpus corpus = synth::MakeImdbCorpus(/*scale=*/0.5);
+  const synth::SyntheticSite& site = corpus.sites[0];
+
+  std::vector<DomDocument> pages;
+  for (const synth::GeneratedPage& page : site.pages) {
+    Result<DomDocument> parsed = ParseHtml(page.html);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    pages.push_back(std::move(parsed).value());
+  }
+  eval::SiteTruth truth = eval::SiteTruth::Build(site.pages, pages);
+  std::printf("%zu pages (films, people, and TV episodes mixed).\n\n",
+              pages.size());
+
+  // 50/50 split, as in the paper.
+  PipelineConfig base;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    (i % 2 == 0 ? base.annotation_pages : base.extraction_pages)
+        .push_back(static_cast<PageIndex>(i));
+  }
+
+  eval::TableReport table({"System", "Annotation P", "Annotation R",
+                           "Extraction P", "Extraction R",
+                           "#Extractions"});
+  for (bool full : {false, true}) {
+    PipelineConfig config = base;
+    config.annotator.use_relation_filtering = full;
+    Result<PipelineResult> result =
+        RunPipeline(pages, corpus.seed_kb, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "pipeline error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    eval::Prf annotation = eval::ScoreAnnotations(
+        result->annotations, truth, corpus.seed_kb, base.annotation_pages);
+    eval::ScoreOptions options;
+    options.pages = base.extraction_pages;
+    options.confidence_threshold = 0.5;
+    eval::Prf extraction =
+        eval::ScoreExtractions(result->extractions, truth, options);
+    table.AddRow({full ? "CERES-Full" : "CERES-Topic",
+                  eval::FormatRatio(annotation.precision()),
+                  eval::FormatRatio(annotation.recall()),
+                  eval::FormatRatio(extraction.precision()),
+                  eval::FormatRatio(extraction.recall()),
+                  std::to_string(extraction.tp + extraction.fp)});
+  }
+  table.Print();
+  std::printf(
+      "\nAlgorithm 2's local+global mention disambiguation is what turns "
+      "the noisy Topic-only labels into a usable training set.\n");
+  return 0;
+}

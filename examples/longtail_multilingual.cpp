@@ -1,0 +1,83 @@
+// Domain scenario: harvesting facts from long-tail, multi-lingual movie
+// websites with one shared seed KB — the §5.5 CommonCrawl experiment in
+// miniature. Demonstrates the headline capability: extracting facts about
+// entities the seed KB has never heard of.
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/pipeline.h"
+#include "dom/html_parser.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "synth/corpora.h"
+#include "text/normalize.h"
+
+int main() {
+  using namespace ceres;  // NOLINT(build/namespaces)
+
+  std::printf("Building the 33-site long-tail corpus...\n");
+  synth::Corpus corpus = synth::MakeLongTailCorpus(/*scale=*/0.4);
+
+  // A representative slice: a mainstream site, three non-English sites,
+  // a quirky one, and a degenerate chart-only one.
+  const std::set<std::string> chosen{
+      "themoviedb.org",  "kinobox.cz",       "danksefilm.com",
+      "filmitalia.org",  "spicyonion.com",   "boxofficemojo.com"};
+
+  eval::TableReport table({"Site", "Pages", "Annotated", "Extractions",
+                           "Precision", "New entities"});
+  int64_t total_new_entities = 0;
+  for (const synth::SyntheticSite& site : corpus.sites) {
+    if (chosen.count(site.name) == 0) continue;
+    std::vector<DomDocument> pages;
+    for (const synth::GeneratedPage& page : site.pages) {
+      pages.push_back(std::move(ParseHtml(page.html)).value());
+    }
+    eval::SiteTruth truth = eval::SiteTruth::Build(site.pages, pages);
+
+    PipelineConfig config;
+    Result<PipelineResult> result =
+        RunPipeline(pages, corpus.seed_kb, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", site.name.c_str(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+
+    // Count extracted subjects/objects absent from the seed KB — the
+    // paper's "1:3.22 annotated to extracted entities" capability.
+    std::set<std::string> new_entities;
+    int64_t relation_extractions = 0;
+    for (const Extraction& extraction : result->extractions) {
+      if (extraction.predicate == kNamePredicate) continue;
+      ++relation_extractions;
+      for (const std::string* text : {&extraction.subject,
+                                      &extraction.object}) {
+        if (corpus.seed_kb.MatchMentions(*text).empty()) {
+          new_entities.insert(NormalizeText(*text));
+        }
+      }
+    }
+    total_new_entities += static_cast<int64_t>(new_entities.size());
+
+    eval::ScoreOptions options;
+    options.confidence_threshold = 0.5;
+    eval::Prf prf = eval::ScoreExtractions(result->extractions, truth,
+                                           options);
+    table.AddRow({site.name, std::to_string(pages.size()),
+                  std::to_string(result->annotated_pages.size()),
+                  std::to_string(relation_extractions),
+                  eval::RatioOrNa(relation_extractions > 0,
+                                  prf.precision()),
+                  std::to_string(new_entities.size())});
+  }
+  table.Print();
+  std::printf(
+      "\nDiscovered %lld entity names absent from the seed KB — distant "
+      "supervision pays for itself on the long tail. The chart-only site "
+      "correctly yields nothing.\n",
+      static_cast<long long>(total_new_entities));
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "cluster/detail_page_detector.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/normalize.h"
+
+namespace ceres {
+
+namespace {
+
+// True for values that are numbers, dates, money, or similar data-series
+// content: a majority of their alphanumeric characters are digits.
+bool IsNumericLike(const std::string& text) {
+  int digits = 0;
+  int letters = 0;
+  for (char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+    if (std::isalpha(static_cast<unsigned char>(c))) ++letters;
+  }
+  if (digits == 0) return false;
+  return digits * 2 >= digits + letters;  // At least half digits.
+}
+
+// The page's first prominent heading: the first h1/h2/h3/title field, or
+// the first text field as a fallback.
+std::string HeadingText(const DomDocument& page) {
+  std::string fallback;
+  for (NodeId id = 0; id < page.size(); ++id) {
+    const DomNode& node = page.node(id);
+    if (!node.HasText()) continue;
+    if (node.tag == "h1" || node.tag == "h2" || node.tag == "h3") {
+      return NormalizeText(node.text);
+    }
+    if (fallback.empty() && node.tag != "title") {
+      fallback = NormalizeText(node.text);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+DetailPageSignals ComputeDetailPageSignals(
+    const std::vector<const DomDocument*>& pages,
+    const DetailPageConfig& config) {
+  DetailPageSignals signals;
+  if (pages.empty()) return signals;
+
+  // Page counts per normalized string.
+  std::unordered_map<std::string, size_t> page_counts;
+  int64_t total_fields = 0;
+  int64_t numeric_fields = 0;
+  for (const DomDocument* page : pages) {
+    std::unordered_set<std::string> on_page;
+    for (NodeId id : page->TextFields()) {
+      const std::string& raw = page->node(id).text;
+      ++total_fields;
+      if (IsNumericLike(raw)) ++numeric_fields;
+      std::string norm = NormalizeText(raw);
+      if (!norm.empty()) on_page.insert(std::move(norm));
+    }
+    for (const std::string& s : on_page) ++page_counts[s];
+  }
+  const double boilerplate_pages =
+      config.boilerplate_page_fraction * static_cast<double>(pages.size());
+  int64_t boilerplate_fields = 0;
+  for (const DomDocument* page : pages) {
+    for (NodeId id : page->TextFields()) {
+      std::string norm = NormalizeText(page->node(id).text);
+      auto it = page_counts.find(norm);
+      if (it != page_counts.end() &&
+          static_cast<double>(it->second) >= boilerplate_pages) {
+        ++boilerplate_fields;
+      }
+    }
+  }
+  signals.mean_fields = static_cast<double>(total_fields) /
+                        static_cast<double>(pages.size());
+  if (total_fields > 0) {
+    signals.boilerplate_fraction =
+        static_cast<double>(boilerplate_fields) /
+        static_cast<double>(total_fields);
+    signals.numeric_fraction = static_cast<double>(numeric_fields) /
+                               static_cast<double>(total_fields);
+  }
+
+  std::unordered_map<std::string, size_t> heading_counts;
+  for (const DomDocument* page : pages) {
+    ++heading_counts[HeadingText(*page)];
+  }
+  size_t distinct_pages = 0;
+  for (const DomDocument* page : pages) {
+    if (heading_counts[HeadingText(*page)] == 1) ++distinct_pages;
+  }
+  signals.distinct_heading_fraction =
+      static_cast<double>(distinct_pages) / static_cast<double>(pages.size());
+  return signals;
+}
+
+bool LooksLikeDetailPages(const std::vector<const DomDocument*>& pages,
+                          const DetailPageConfig& config) {
+  if (pages.empty()) return false;
+  DetailPageSignals signals = ComputeDetailPageSignals(pages, config);
+  return signals.numeric_fraction <= config.max_numeric_fraction &&
+         signals.distinct_heading_fraction >=
+             config.min_distinct_heading_fraction &&
+         signals.mean_fields >= config.min_mean_fields;
+}
+
+}  // namespace ceres

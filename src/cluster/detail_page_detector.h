@@ -1,0 +1,52 @@
+#ifndef CERES_CLUSTER_DETAIL_PAGE_DETECTOR_H_
+#define CERES_CLUSTER_DETAIL_PAGE_DETECTOR_H_
+
+#include <vector>
+
+#include "dom/dom_tree.h"
+
+namespace ceres {
+
+/// Signals computed over a template cluster of pages, used to decide
+/// whether the cluster consists of *detail pages* (one entity per page,
+/// §2.1) — the paper's §7 future-work item "methods to effectively
+/// identify semi-structured pages".
+struct DetailPageSignals {
+  /// Fraction of text fields whose normalized text recurs on most pages of
+  /// the cluster (template labels, navigation). Detail pages have a
+  /// moderate boilerplate share; pure chrome/index pages approach 1.
+  double boilerplate_fraction = 0.0;
+  /// Fraction of fields that are numeric or date-like. Chart/listing pages
+  /// (daily box-office tables) are dominated by them.
+  double numeric_fraction = 0.0;
+  /// Fraction of pages whose first prominent heading text is unique within
+  /// the cluster — detail pages name a distinct entity per page.
+  double distinct_heading_fraction = 0.0;
+  /// Mean number of text fields per page.
+  double mean_fields = 0.0;
+};
+
+/// Thresholds of the rule-based verdict.
+struct DetailPageConfig {
+  /// A normalized string is boilerplate when it occurs on at least this
+  /// fraction of pages.
+  double boilerplate_page_fraction = 0.5;
+  double max_numeric_fraction = 0.45;
+  double min_distinct_heading_fraction = 0.6;
+  double min_mean_fields = 4.0;
+};
+
+/// Computes the cluster signals.
+DetailPageSignals ComputeDetailPageSignals(
+    const std::vector<const DomDocument*>& pages,
+    const DetailPageConfig& config = {});
+
+/// True when the cluster looks like detail pages and is worth running the
+/// CERES pipeline on; chart-only and index clusters (boxofficemojo-style)
+/// are rejected.
+bool LooksLikeDetailPages(const std::vector<const DomDocument*>& pages,
+                          const DetailPageConfig& config = {});
+
+}  // namespace ceres
+
+#endif  // CERES_CLUSTER_DETAIL_PAGE_DETECTOR_H_

@@ -1,0 +1,21 @@
+#include "core/entity_matcher.h"
+
+namespace ceres {
+
+PageMentions MatchPageMentions(const DomDocument& page,
+                               const KnowledgeBase& kb) {
+  PageMentions out;
+  for (NodeId id : page.TextFields()) {
+    std::vector<EntityId> ids = kb.MatchMentions(page.node(id).text);
+    if (ids.empty()) continue;
+    out.fields.push_back(id);
+    for (EntityId entity : ids) {
+      out.page_set.insert(entity);
+      out.mentions_of[entity].push_back(id);
+    }
+    out.candidates.push_back(std::move(ids));
+  }
+  return out;
+}
+
+}  // namespace ceres

@@ -1,0 +1,20 @@
+#ifndef CERES_CORE_ENTITY_MATCHER_H_
+#define CERES_CORE_ENTITY_MATCHER_H_
+
+#include "core/types.h"
+#include "dom/dom_tree.h"
+#include "kb/knowledge_base.h"
+
+namespace ceres {
+
+/// Finds all KB entity mentions on a page (§3.1.1 step 1): every text field
+/// is matched against the KB's name index with fuzzy matching, yielding the
+/// pageSet and the node locations of each entity's mentions. A single field
+/// may match many entities ("Pilot") and a single entity may be mentioned in
+/// many fields (Spike Lee in the director, writer, and cast sections).
+PageMentions MatchPageMentions(const DomDocument& page,
+                               const KnowledgeBase& kb);
+
+}  // namespace ceres
+
+#endif  // CERES_CORE_ENTITY_MATCHER_H_

@@ -1,0 +1,63 @@
+#include "core/extractor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ceres {
+
+std::vector<Extraction> ExtractFromPages(
+    const std::vector<const DomDocument*>& pages,
+    const std::vector<PageIndex>& page_indices, TrainedModel* model,
+    const FeatureExtractor& featurizer, const ExtractionConfig& config) {
+  CERES_CHECK(pages.size() == page_indices.size());
+  CERES_CHECK(model->features.frozen());
+  std::vector<Extraction> out;
+
+  for (size_t p = 0; p < pages.size(); ++p) {
+    const DomDocument& doc = *pages[p];
+    const PageIndex page = page_indices[p];
+    std::vector<NodeId> fields = doc.TextFields();
+    if (fields.empty()) continue;
+
+    // Score all fields once.
+    std::vector<std::vector<double>> probabilities(fields.size());
+    for (size_t f = 0; f < fields.size(); ++f) {
+      SparseVector features =
+          featurizer.Extract(doc, fields[f], &model->features);
+      probabilities[f] = model->model.PredictProbabilities(features);
+    }
+
+    // Topic-name node: the field with the highest NAME probability.
+    size_t name_field = 0;
+    double name_prob = -1;
+    for (size_t f = 0; f < fields.size(); ++f) {
+      double prob = probabilities[f][ClassMap::kNameClass];
+      if (prob > name_prob) {
+        name_prob = prob;
+        name_field = f;
+      }
+    }
+    if (name_prob < config.name_threshold) continue;
+    const std::string& subject = doc.node(fields[name_field]).text;
+    out.push_back(Extraction{page, fields[name_field], kNamePredicate,
+                             subject, subject, name_prob});
+
+    for (size_t f = 0; f < fields.size(); ++f) {
+      if (f == name_field) continue;
+      const std::vector<double>& probs = probabilities[f];
+      auto it = std::max_element(probs.begin(), probs.end());
+      int32_t cls = static_cast<int32_t>(it - probs.begin());
+      if (cls == ClassMap::kOtherClass || cls == ClassMap::kNameClass) {
+        continue;
+      }
+      if (*it < config.confidence_threshold) continue;
+      out.push_back(Extraction{page, fields[f],
+                               model->classes.PredicateOf(cls), subject,
+                               doc.node(fields[f]).text, *it});
+    }
+  }
+  return out;
+}
+
+}  // namespace ceres

@@ -1,0 +1,157 @@
+#include "core/features.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dom/dom_utils.h"
+#include "text/normalize.h"
+#include "util/string_util.h"
+
+namespace ceres {
+
+namespace {
+
+constexpr const char* kTrackedAttributes[] = {"class", "id", "itemprop",
+                                              "itemtype", "property"};
+
+void AddFeature(std::string_view prefix, const std::string& name,
+                FeatureMap* map, SparseVector* out) {
+  int32_t index = map->GetOrAdd(prefix.empty() ? name : StrCat(prefix, name));
+  if (index >= 0) out->Add(index, 1.0);
+}
+
+// Emits the (attribute, value, level, sibling) tuples of one examined node.
+void EmitNodeTuples(const DomNode& node, int level, int sibling_offset,
+                    std::string_view prefix, FeatureMap* map,
+                    SparseVector* out) {
+  const std::string stem = StrCat("S|l=", level, "|s=", sibling_offset, "|");
+  AddFeature(prefix, StrCat(stem, "tag=", node.tag), map, out);
+  for (const char* attr : kTrackedAttributes) {
+    std::string_view value = node.Attribute(attr);
+    if (!value.empty()) {
+      AddFeature(prefix, StrCat(stem, attr, "=", value), map, out);
+    }
+  }
+}
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(
+    const std::vector<const DomDocument*>& pages, FeatureConfig config)
+    : config_(config) {
+  if (!config_.text_features || pages.empty()) return;
+  // Mine strings that repeat across pages; these are the static labels
+  // ("Director:", "Genres") that anchor text features.
+  std::unordered_map<std::string, size_t> page_counts;
+  for (const DomDocument* page : pages) {
+    std::unordered_set<std::string> on_page;
+    for (NodeId id : page->TextFields()) {
+      std::string norm = NormalizeText(page->node(id).text);
+      if (!norm.empty() && norm.size() <= 60) on_page.insert(std::move(norm));
+    }
+    for (const std::string& s : on_page) ++page_counts[s];
+  }
+  // Floor of two pages: a string seen on a single page is a value, not a
+  // template label, no matter how small the site is.
+  const double min_pages = std::max(
+      pages.size() > 1 ? 2.0 : 1.0,
+      config_.frequent_string_page_fraction * static_cast<double>(pages.size()));
+  std::vector<std::pair<std::string, size_t>> qualified;
+  for (auto& [text, count] : page_counts) {
+    if (static_cast<double>(count) >= min_pages) {
+      qualified.emplace_back(text, count);
+    }
+  }
+  std::sort(qualified.begin(), qualified.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (qualified.size() > config_.max_frequent_strings) {
+    qualified.resize(config_.max_frequent_strings);
+  }
+  for (auto& [text, count] : qualified) {
+    frequent_strings_.insert(std::move(text));
+  }
+}
+
+FeatureExtractor::FeatureExtractor(
+    std::unordered_set<std::string> frequent_strings, FeatureConfig config)
+    : config_(config), frequent_strings_(std::move(frequent_strings)) {}
+
+void FeatureExtractor::AddStructural(const DomDocument& doc, NodeId node,
+                                     std::string_view prefix,
+                                     FeatureMap* map,
+                                     SparseVector* out) const {
+  // The node itself (level 0, sibling 0), its ancestors (level k, sibling
+  // 0), and each examined node's siblings within the window.
+  int level = 0;
+  NodeId cur = node;
+  while (cur != kInvalidNode) {
+    EmitNodeTuples(doc.node(cur), level, 0, prefix, map, out);
+    for (NodeId sibling : SiblingWindow(doc, cur, config_.sibling_window)) {
+      int offset = doc.node(sibling).child_position -
+                   doc.node(cur).child_position;
+      EmitNodeTuples(doc.node(sibling), level, offset, prefix, map, out);
+    }
+    cur = doc.node(cur).parent;
+    ++level;
+  }
+}
+
+void FeatureExtractor::AddText(const DomDocument& doc, NodeId node,
+                               std::string_view prefix, FeatureMap* map,
+                               SparseVector* out) const {
+  auto consider = [&](NodeId nearby, const std::string& relation) {
+    if (nearby == kInvalidNode || nearby == node) return;
+    const DomNode& record = doc.node(nearby);
+    if (!record.HasText()) return;
+    std::string norm = NormalizeText(record.text);
+    if (frequent_strings_.count(norm) == 0) return;
+    AddFeature(prefix, StrCat("T|", relation, "|", norm), map, out);
+  };
+
+  // The node's own text, when it is itself a frequent site string, is a
+  // strong OTHER signal (boilerplate labels).
+  const DomNode& self = doc.node(node);
+  if (self.HasText()) {
+    std::string norm = NormalizeText(self.text);
+    if (frequent_strings_.count(norm) > 0) {
+      AddFeature(prefix, StrCat("T|self|", norm), map, out);
+    }
+  }
+
+  // Nearby nodes: for the node and its first few ancestors, the siblings
+  // within the window (and the ancestor itself).
+  NodeId cur = node;
+  for (int level = 0;
+       level <= config_.text_feature_levels && cur != kInvalidNode;
+       ++level) {
+    if (level > 0) consider(cur, StrCat("l", level));
+    for (NodeId sibling : SiblingWindow(doc, cur, config_.sibling_window)) {
+      int offset =
+          doc.node(sibling).child_position - doc.node(cur).child_position;
+      consider(sibling, StrCat("l", level, "s", offset));
+      // Labels often live one level down inside a sibling wrapper
+      // (e.g. <div><h4>Director:</h4>...</div>), so peek at its children.
+      for (NodeId child : doc.node(sibling).children) {
+        consider(child, StrCat("l", level, "s", offset, "c"));
+      }
+    }
+    cur = doc.node(cur).parent;
+  }
+}
+
+SparseVector FeatureExtractor::Extract(const DomDocument& doc, NodeId node,
+                                       FeatureMap* map,
+                                       std::string_view name_prefix) const {
+  SparseVector out;
+  if (config_.structural_features) {
+    AddStructural(doc, node, name_prefix, map, &out);
+  }
+  if (config_.text_features) AddText(doc, node, name_prefix, map, &out);
+  out.Finalize();
+  return out;
+}
+
+}  // namespace ceres

@@ -1,0 +1,81 @@
+#ifndef CERES_CORE_FEATURES_H_
+#define CERES_CORE_FEATURES_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dom/dom_tree.h"
+#include "ml/feature_map.h"
+#include "ml/sparse_vector.h"
+
+namespace ceres {
+
+/// Configuration of the §4.2 node featurizer.
+struct FeatureConfig {
+  /// Width of the sibling window examined on each side of the node and of
+  /// every ancestor (paper: 5).
+  int sibling_window = 5;
+  /// Enable the Vertex-style structural features.
+  bool structural_features = true;
+  /// Enable the node-text features built from frequent site strings.
+  bool text_features = true;
+  /// A normalized string is "frequent on the website" when it occurs on at
+  /// least this fraction of pages.
+  double frequent_string_page_fraction = 0.2;
+  /// At most this many frequent strings are mined per site.
+  size_t max_frequent_strings = 200;
+  /// Ancestor levels examined for text features (nearby-node search).
+  int text_feature_levels = 3;
+};
+
+/// Extracts the classifier features of one DOM node (§4.2).
+///
+/// Structural features follow the Vertex recipe [17]: for the node itself,
+/// each ancestor, and every sibling of those ancestors within the window,
+/// a 4-tuple (attribute name, attribute value, levels of ancestry, sibling
+/// offset) over the tag, class, id, itemprop, itemtype, and property
+/// attributes. Node-text features pair a frequent website string found in a
+/// nearby node with the tree path to that node.
+///
+/// The extractor carries site-level state (the frequent-string lexicon), so
+/// construct one per website from its training pages.
+class FeatureExtractor {
+ public:
+  /// Mines the frequent-string lexicon from `pages` (the training pages of
+  /// one site).
+  FeatureExtractor(const std::vector<const DomDocument*>& pages,
+                   FeatureConfig config = {});
+
+  /// Restores an extractor from a previously mined lexicon (model
+  /// persistence path; see core/model_io.h).
+  FeatureExtractor(std::unordered_set<std::string> frequent_strings,
+                   FeatureConfig config);
+
+  /// Featurizes `node` of `doc`. New feature names are interned into `map`
+  /// unless it is frozen (then unknown features are dropped). The returned
+  /// vector is finalized. `name_prefix` is prepended to every feature name;
+  /// the pair-based baseline uses it to keep subject-node and object-node
+  /// features distinct.
+  SparseVector Extract(const DomDocument& doc, NodeId node, FeatureMap* map,
+                       std::string_view name_prefix = {}) const;
+
+  const std::unordered_set<std::string>& frequent_strings() const {
+    return frequent_strings_;
+  }
+  const FeatureConfig& config() const { return config_; }
+
+ private:
+  void AddStructural(const DomDocument& doc, NodeId node,
+                     std::string_view prefix, FeatureMap* map,
+                     SparseVector* out) const;
+  void AddText(const DomDocument& doc, NodeId node, std::string_view prefix,
+               FeatureMap* map, SparseVector* out) const;
+
+  FeatureConfig config_;
+  std::unordered_set<std::string> frequent_strings_;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_CORE_FEATURES_H_

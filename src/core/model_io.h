@@ -1,0 +1,48 @@
+#ifndef CERES_CORE_MODEL_IO_H_
+#define CERES_CORE_MODEL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/training.h"
+#include "kb/ontology.h"
+#include "util/status.h"
+
+namespace ceres {
+
+/// Text persistence of a trained per-site extractor model, so that a model
+/// learned once (annotation + training are the expensive phases) can be
+/// re-applied to newly crawled pages of the same site without a seed KB.
+///
+/// Format (TSV sections, like kb_io):
+///
+///   #model
+///   <num classes> \t <num features>
+///   #classes
+///   <class index> \t <OTHER|NAME|predicate name>
+///   #features
+///   <feature index> \t <feature name>
+///   #weights
+///   <class index> \t <feature index | "bias"> \t <value>   (non-zeros only)
+///
+/// Loading requires the same Ontology the model was trained with (class
+/// indices are validated against its predicate list).
+
+/// Writes `model` to `out`.
+Status SaveModel(const TrainedModel& model, const Ontology& ontology,
+                 std::ostream* out);
+
+/// Convenience: SaveModel to a file path.
+Status SaveModelToFile(const TrainedModel& model, const Ontology& ontology,
+                       const std::string& path);
+
+/// Parses a serialized model, validating it against `ontology`.
+Result<TrainedModel> LoadModel(std::istream* in, const Ontology& ontology);
+
+/// Convenience: LoadModel from a file path.
+Result<TrainedModel> LoadModelFromFile(const std::string& path,
+                                       const Ontology& ontology);
+
+}  // namespace ceres
+
+#endif  // CERES_CORE_MODEL_IO_H_

@@ -1,0 +1,166 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/entity_matcher.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ceres {
+
+namespace {
+
+// Resolves the "empty means all" page-set convention.
+std::vector<PageIndex> ResolvePageSet(const std::vector<PageIndex>& requested,
+                                      size_t num_pages) {
+  if (!requested.empty()) return requested;
+  std::vector<PageIndex> all(num_pages);
+  for (size_t i = 0; i < num_pages; ++i) all[i] = static_cast<PageIndex>(i);
+  return all;
+}
+
+}  // namespace
+
+Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
+                                   const KnowledgeBase& kb,
+                                   const PipelineConfig& config) {
+  if (!kb.frozen()) {
+    return Status::FailedPrecondition("knowledge base must be frozen");
+  }
+  if (pages.empty()) {
+    return Status::InvalidArgument("no pages given");
+  }
+  for (PageIndex page : config.annotation_pages) {
+    if (page < 0 || static_cast<size_t>(page) >= pages.size()) {
+      return Status::InvalidArgument(
+          StrCat("annotation page out of range: ", page));
+    }
+  }
+  for (PageIndex page : config.extraction_pages) {
+    if (page < 0 || static_cast<size_t>(page) >= pages.size()) {
+      return Status::InvalidArgument(
+          StrCat("extraction page out of range: ", page));
+    }
+  }
+
+  PipelineResult result;
+  result.topic_of_page.assign(pages.size(), kInvalidEntity);
+  result.topic_node_of_page.assign(pages.size(), kInvalidNode);
+
+  // 1. Template clustering.
+  if (config.cluster_pages) {
+    result.cluster_of_page = ClusterPages(pages, config.clustering);
+  } else {
+    result.cluster_of_page.assign(pages.size(), 0);
+  }
+  int num_clusters = 0;
+  for (int cluster : result.cluster_of_page) {
+    num_clusters = std::max(num_clusters, cluster + 1);
+  }
+
+  const std::vector<PageIndex> annotation_pages =
+      ResolvePageSet(config.annotation_pages, pages.size());
+  const std::vector<PageIndex> extraction_pages =
+      ResolvePageSet(config.extraction_pages, pages.size());
+
+  for (int cluster = 0; cluster < num_clusters; ++cluster) {
+    // Global page indices of this cluster, split into the annotation and
+    // extraction roles.
+    std::vector<PageIndex> cluster_annotation;
+    std::vector<PageIndex> cluster_extraction;
+    for (PageIndex page : annotation_pages) {
+      if (result.cluster_of_page[static_cast<size_t>(page)] == cluster) {
+        cluster_annotation.push_back(page);
+      }
+    }
+    for (PageIndex page : extraction_pages) {
+      if (result.cluster_of_page[static_cast<size_t>(page)] == cluster) {
+        cluster_extraction.push_back(page);
+      }
+    }
+    if (cluster_annotation.size() < config.min_cluster_size) continue;
+    LogInfo(StrCat("cluster ", cluster, ": ", cluster_annotation.size(),
+                   " annotation pages, ", cluster_extraction.size(),
+                   " extraction pages"));
+
+    std::vector<const DomDocument*> annotation_docs;
+    annotation_docs.reserve(cluster_annotation.size());
+    for (PageIndex page : cluster_annotation) {
+      annotation_docs.push_back(&pages[static_cast<size_t>(page)]);
+    }
+
+    // Optional pre-filter: skip clusters that do not look like detail
+    // pages at all (chart/index clusters).
+    if (config.filter_non_detail_clusters &&
+        !LooksLikeDetailPages(annotation_docs, config.detail_detector)) {
+      LogInfo(StrCat("cluster ", cluster,
+                     ": does not look like detail pages; skipping"));
+      continue;
+    }
+
+    // 2. Entity matching + topic identification on annotation pages.
+    std::vector<PageMentions> mentions;
+    mentions.reserve(annotation_docs.size());
+    for (const DomDocument* doc : annotation_docs) {
+      mentions.push_back(MatchPageMentions(*doc, kb));
+    }
+    TopicResult topics =
+        IdentifyTopics(annotation_docs, mentions, kb, config.topic);
+    for (size_t i = 0; i < cluster_annotation.size(); ++i) {
+      const size_t page = static_cast<size_t>(cluster_annotation[i]);
+      result.topic_of_page[page] = topics.topic[i];
+      result.topic_node_of_page[page] = topics.topic_node[i];
+    }
+
+    // 3. Relation annotation (Algorithm 2). Local indices map 1:1 onto
+    // annotation_docs; translate to global page indices afterwards.
+    AnnotationResult annotation =
+        AnnotateRelations(annotation_docs, mentions, topics, kb,
+                          config.annotator);
+    if (annotation.annotations.empty()) {
+      LogInfo(StrCat("cluster ", cluster, ": no annotations; skipping"));
+      continue;
+    }
+    std::vector<Annotation> local_annotations = annotation.annotations;
+    for (Annotation& a : annotation.annotations) {
+      a.page = cluster_annotation[static_cast<size_t>(a.page)];
+      result.annotations.push_back(a);
+    }
+    for (PageIndex local : annotation.annotated_pages) {
+      result.annotated_pages.push_back(
+          cluster_annotation[static_cast<size_t>(local)]);
+    }
+
+    // 4. Training on the cluster's annotated pages.
+    FeatureExtractor featurizer(annotation_docs, config.features);
+    Result<TrainedModel> trained =
+        TrainExtractor(annotation_docs, local_annotations, featurizer,
+                       kb.ontology(), config.training);
+    if (!trained.ok()) {
+      LogInfo(StrCat("cluster ", cluster,
+                     ": training failed: ", trained.status().ToString()));
+      continue;
+    }
+
+    // 5. Extraction over the cluster's extraction pages.
+    std::vector<const DomDocument*> extraction_docs;
+    extraction_docs.reserve(cluster_extraction.size());
+    for (PageIndex page : cluster_extraction) {
+      extraction_docs.push_back(&pages[static_cast<size_t>(page)]);
+    }
+    std::vector<Extraction> extracted =
+        ExtractFromPages(extraction_docs, cluster_extraction,
+                         &trained.value(), featurizer, config.extraction);
+    result.extractions.insert(result.extractions.end(), extracted.begin(),
+                              extracted.end());
+    result.models.push_back(
+        ClusterModel{cluster, std::move(trained).value()});
+  }
+
+  std::sort(result.annotated_pages.begin(), result.annotated_pages.end());
+  return result;
+}
+
+}  // namespace ceres

@@ -1,0 +1,87 @@
+#ifndef CERES_CORE_PIPELINE_H_
+#define CERES_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "cluster/detail_page_detector.h"
+#include "cluster/page_clustering.h"
+#include "core/extractor.h"
+#include "core/relation_annotator.h"
+#include "core/topic_identification.h"
+#include "core/training.h"
+#include "core/types.h"
+#include "kb/knowledge_base.h"
+#include "util/status.h"
+
+namespace ceres {
+
+/// End-to-end configuration of the CERES pipeline (Figure 3):
+/// page clustering -> topic identification -> relation annotation ->
+/// training -> extraction.
+struct PipelineConfig {
+  /// Group pages into template clusters before annotating (§2.1). Disable
+  /// when the caller guarantees single-template input.
+  bool cluster_pages = true;
+  /// Clusters smaller than this are skipped entirely.
+  size_t min_cluster_size = 5;
+  /// Pre-filter template clusters that do not look like detail pages
+  /// (chart/index clusters) before spending annotation effort — the §7
+  /// future-work extension. Off by default for paper fidelity.
+  bool filter_non_detail_clusters = false;
+  DetailPageConfig detail_detector;
+
+  PageClusteringConfig clustering;
+  TopicConfig topic;
+  AnnotatorConfig annotator;
+  FeatureConfig features;
+  TrainingConfig training;
+  ExtractionConfig extraction;
+
+  /// Pages (global indices) eligible for annotation/training; empty = all.
+  /// The paper's SWDE/IMDb protocol annotates one half and evaluates
+  /// extraction on the other half.
+  std::vector<PageIndex> annotation_pages;
+  /// Pages to extract from; empty = all.
+  std::vector<PageIndex> extraction_pages;
+};
+
+/// A model trained for one template cluster, reusable on later crawls of
+/// the same site (persist with core/model_io.h).
+struct ClusterModel {
+  int cluster = 0;
+  TrainedModel model;
+};
+
+/// Everything the evaluation benches need from one pipeline run.
+struct PipelineResult {
+  /// Template cluster of each page (all pages; -1 only if clustering was
+  /// skipped for size).
+  std::vector<int> cluster_of_page;
+  /// Identified topic entity per page (kInvalidEntity when none); covers
+  /// annotation pages only.
+  std::vector<EntityId> topic_of_page;
+  /// Node carrying the topic name per page.
+  std::vector<NodeId> topic_node_of_page;
+  /// All (noisy) training annotations produced, incl. NAME labels.
+  std::vector<Annotation> annotations;
+  /// Pages that contributed training data.
+  std::vector<PageIndex> annotated_pages;
+  /// Final extractions across all requested pages.
+  std::vector<Extraction> extractions;
+  /// The trained per-cluster extractor models, largest cluster first.
+  std::vector<ClusterModel> models;
+};
+
+/// Runs the full CERES pipeline over the pages of one website.
+///
+/// Never fails outright for data reasons: clusters that produce no
+/// annotations simply contribute no extractions (the correct outcome for
+/// sites without usable detail pages, §5.5). Returns an error only for
+/// malformed configuration.
+Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
+                                   const KnowledgeBase& kb,
+                                   const PipelineConfig& config = {});
+
+}  // namespace ceres
+
+#endif  // CERES_CORE_PIPELINE_H_

@@ -1,0 +1,277 @@
+#include "core/relation_annotator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "dom/dom_utils.h"
+#include "dom/xpath.h"
+#include "ml/agglomerative.h"
+#include "util/logging.h"
+
+namespace ceres {
+
+namespace {
+
+// One (page, predicate, object) annotation decision.
+struct Task {
+  PageIndex page = 0;
+  PredicateId predicate = kInvalidPredicate;
+  EntityId object = kInvalidEntity;
+  std::vector<NodeId> mentions;
+};
+
+// BestLocalMention of Algorithm 2: the mention(s) whose highest exclusive
+// ancestor subtree contains the most mentions of any object of the
+// predicate.
+std::vector<NodeId> BestLocalMentions(
+    const DomDocument& doc, const std::vector<NodeId>& object_mentions,
+    const std::vector<NodeId>& all_predicate_mentions) {
+  int best_count = -1;
+  std::vector<NodeId> best;
+  for (NodeId mention : object_mentions) {
+    NodeId ancestor = HighestExclusiveAncestor(doc, mention, object_mentions);
+    int neighbor_count =
+        CountInSubtree(doc, ancestor, all_predicate_mentions);
+    if (neighbor_count > best_count) {
+      best_count = neighbor_count;
+      best = {mention};
+    } else if (neighbor_count == best_count) {
+      best.push_back(mention);
+    }
+  }
+  return best;
+}
+
+// Membership of each distinct mention XPath of one predicate in a cluster,
+// computed across all pages (§3.2.2). largest_cluster is the id whose
+// member paths account for the most mention occurrences.
+struct PredicateClusters {
+  std::unordered_map<std::string, int> cluster_of_path;
+  int largest_cluster = -1;
+};
+
+PredicateClusters ClusterPredicatePaths(
+    const std::vector<std::pair<XPath, int64_t>>& path_occurrences,
+    size_t num_clusters, size_t max_paths) {
+  PredicateClusters out;
+  if (path_occurrences.empty()) return out;
+
+  // Keep the most frequent paths when over budget.
+  std::vector<size_t> kept(path_occurrences.size());
+  for (size_t i = 0; i < kept.size(); ++i) kept[i] = i;
+  if (kept.size() > max_paths) {
+    std::sort(kept.begin(), kept.end(), [&](size_t a, size_t b) {
+      return path_occurrences[a].second > path_occurrences[b].second;
+    });
+    kept.resize(max_paths);
+  }
+
+  num_clusters = std::max<size_t>(1, std::min(num_clusters, kept.size()));
+  std::vector<int> labels = AgglomerativeCluster(
+      kept.size(),
+      [&](size_t a, size_t b) {
+        return XPathEditDistance(path_occurrences[kept[a]].first,
+                                 path_occurrences[kept[b]].first);
+      },
+      num_clusters, Linkage::kSingle);
+
+  std::unordered_map<int, int64_t> weight;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    const auto& [path, count] = path_occurrences[kept[i]];
+    out.cluster_of_path[path.ToString()] = labels[i];
+    weight[labels[i]] += count;
+  }
+  // Precision-first: the "largest cluster" rule only applies when there IS
+  // a unique largest cluster. With tied weights the global evidence is as
+  // ambiguous as the local evidence was, and no annotation is made.
+  int64_t best_weight = -1;
+  int64_t second_weight = -1;
+  for (const auto& [label, w] : weight) {
+    if (w > best_weight) {
+      second_weight = best_weight;
+      best_weight = w;
+      out.largest_cluster = label;
+    } else if (w > second_weight) {
+      second_weight = w;
+    }
+  }
+  if (best_weight == second_weight) out.largest_cluster = -1;
+  return out;
+}
+
+}  // namespace
+
+AnnotationResult AnnotateRelations(
+    const std::vector<const DomDocument*>& pages,
+    const std::vector<PageMentions>& mentions, const TopicResult& topics,
+    const KnowledgeBase& kb, const AnnotatorConfig& config) {
+  CERES_CHECK(pages.size() == mentions.size());
+  CERES_CHECK(pages.size() == topics.topic.size());
+  AnnotationResult result;
+
+  // Gather all annotation tasks, grouped by predicate.
+  std::vector<Task> tasks;
+  std::unordered_map<PredicateId, std::vector<size_t>> tasks_of_predicate;
+  // Per predicate: mention nodes of any of its objects, per page.
+  std::map<std::pair<PageIndex, PredicateId>, std::vector<NodeId>>
+      predicate_mentions_on_page;
+  int64_t annotated_page_count = 0;
+
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EntityId topic = topics.topic[i];
+    if (topic == kInvalidEntity) continue;
+    ++annotated_page_count;
+    for (const Triple& triple : kb.TriplesWithSubject(topic)) {
+      auto mention_it = mentions[i].mentions_of.find(triple.object);
+      if (mention_it == mentions[i].mentions_of.end()) continue;
+      Task task;
+      task.page = static_cast<PageIndex>(i);
+      task.predicate = triple.predicate;
+      task.object = triple.object;
+      task.mentions = mention_it->second;
+      tasks_of_predicate[triple.predicate].push_back(tasks.size());
+      auto& pm = predicate_mentions_on_page[{task.page, task.predicate}];
+      for (NodeId node : task.mentions) {
+        if (std::find(pm.begin(), pm.end(), node) == pm.end()) {
+          pm.push_back(node);
+        }
+      }
+      tasks.push_back(std::move(task));
+    }
+  }
+
+  std::set<PageIndex> pages_with_annotations;
+  auto emit = [&](PageIndex page, NodeId node, PredicateId predicate,
+                  EntityId object) {
+    result.annotations.push_back(Annotation{page, node, predicate, object});
+    pages_with_annotations.insert(page);
+  };
+
+  if (!config.use_relation_filtering) {
+    // CERES-Topic baseline: label every mention of the object with every
+    // predicate it holds with the topic.
+    for (const Task& task : tasks) {
+      for (NodeId node : task.mentions) {
+        emit(task.page, node, task.predicate, task.object);
+      }
+    }
+  } else {
+    // Predicate-level aggregates for the clustering triggers.
+    for (auto& [predicate, task_indices] : tasks_of_predicate) {
+      // Is the predicate frequently duplicated? (fraction of tasks whose
+      // object has multiple mentions)
+      int64_t duplicated = 0;
+      size_t max_mentions_per_object = 1;
+      std::unordered_map<EntityId, std::set<PageIndex>> pages_of_object;
+      for (size_t index : task_indices) {
+        const Task& task = tasks[index];
+        if (task.mentions.size() > 1) ++duplicated;
+        max_mentions_per_object =
+            std::max(max_mentions_per_object, task.mentions.size());
+        pages_of_object[task.object].insert(task.page);
+      }
+      const bool frequently_duplicated =
+          static_cast<double>(duplicated) >
+          config.duplicated_predicate_fraction *
+              static_cast<double>(task_indices.size());
+
+      // Does some object value recur across most annotated pages?
+      bool suspicious_value = false;
+      std::unordered_set<EntityId> suspicious_objects;
+      for (const auto& [object, page_set] : pages_of_object) {
+        if (annotated_page_count > 1 &&
+            static_cast<double>(page_set.size()) >
+                config.duplicate_page_fraction *
+                    static_cast<double>(annotated_page_count)) {
+          suspicious_value = true;
+          suspicious_objects.insert(object);
+        }
+      }
+
+      // Global clustering, computed only when some decision needs it.
+      PredicateClusters clusters;
+      bool clusters_ready = false;
+      auto ensure_clusters = [&]() {
+        if (clusters_ready) return;
+        std::map<std::string, std::pair<XPath, int64_t>> occurrence;
+        for (size_t index : task_indices) {
+          const Task& task = tasks[index];
+          for (NodeId node : task.mentions) {
+            XPath path = XPath::FromNode(*pages[task.page], node);
+            std::string key = path.ToString();
+            auto it = occurrence.find(key);
+            if (it == occurrence.end()) {
+              occurrence.emplace(key, std::make_pair(std::move(path), 1));
+            } else {
+              ++it->second.second;
+            }
+          }
+        }
+        std::vector<std::pair<XPath, int64_t>> paths;
+        paths.reserve(occurrence.size());
+        for (auto& [key, value] : occurrence) {
+          paths.push_back(std::move(value));
+        }
+        clusters = ClusterPredicatePaths(paths, max_mentions_per_object,
+                                         config.max_cluster_paths);
+        clusters_ready = true;
+      };
+
+      for (size_t index : task_indices) {
+        const Task& task = tasks[index];
+        const DomDocument& doc = *pages[task.page];
+        const std::vector<NodeId>& all_pred_mentions =
+            predicate_mentions_on_page.at({task.page, task.predicate});
+        std::vector<NodeId> best =
+            BestLocalMentions(doc, task.mentions, all_pred_mentions);
+        NodeId chosen = kInvalidNode;
+        if (best.size() == 1) {
+          chosen = best.front();
+        } else if (frequently_duplicated) {
+          ensure_clusters();
+          for (NodeId candidate : best) {
+            std::string key = XPath::FromNode(doc, candidate).ToString();
+            auto it = clusters.cluster_of_path.find(key);
+            if (it != clusters.cluster_of_path.end() &&
+                it->second == clusters.largest_cluster) {
+              chosen = candidate;
+              break;
+            }
+          }
+        }
+        // Informativeness guard: values recurring on most pages must sit in
+        // the dominant cluster to be trusted.
+        if (chosen != kInvalidNode && suspicious_value &&
+            suspicious_objects.count(task.object) > 0) {
+          ensure_clusters();
+          std::string key = XPath::FromNode(doc, chosen).ToString();
+          auto it = clusters.cluster_of_path.find(key);
+          if (it == clusters.cluster_of_path.end() ||
+              it->second != clusters.largest_cluster) {
+            chosen = kInvalidNode;
+          }
+        }
+        if (chosen != kInvalidNode) {
+          emit(task.page, chosen, task.predicate, task.object);
+        }
+      }
+    }
+  }
+
+  // NAME annotations for pages that kept at least one relation label.
+  for (size_t i = 0; i < pages.size(); ++i) {
+    PageIndex page = static_cast<PageIndex>(i);
+    if (topics.topic[i] == kInvalidEntity) continue;
+    if (pages_with_annotations.count(page) == 0) continue;
+    CERES_CHECK(topics.topic_node[i] != kInvalidNode);
+    result.annotations.push_back(Annotation{
+        page, topics.topic_node[i], kNamePredicate, topics.topic[i]});
+    result.annotated_pages.push_back(page);
+  }
+  std::sort(result.annotated_pages.begin(), result.annotated_pages.end());
+  return result;
+}
+
+}  // namespace ceres

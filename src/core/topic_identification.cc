@@ -1,0 +1,201 @@
+#include "core/topic_identification.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "text/jaccard.h"
+#include "text/normalize.h"
+#include "util/logging.h"
+
+namespace ceres {
+
+namespace {
+
+// Score map for one page: topic candidate -> Jaccard score (Equation 1).
+using CandidateScores = std::unordered_map<EntityId, double>;
+
+// True if `entity` may be considered a topic candidate at all.
+bool IsTopicCandidate(const KnowledgeBase& kb, EntityId entity,
+                      const std::unordered_set<std::string>& common_strings) {
+  const Entity& record = kb.entity(entity);
+  if (kb.ontology().entity_type(record.type).is_literal) return false;
+  if (IsLowInformation(record.name)) return false;
+  if (common_strings.count(NormalizeText(record.name)) > 0) return false;
+  // An entity that is the subject of nothing in the KB can never score.
+  return !kb.ObjectsOfSubject(entity).empty();
+}
+
+// ScoreEntitiesForPage of Algorithm 1: Jaccard between the page's entity
+// set and each candidate's KB object set.
+CandidateScores ScoreEntitiesForPage(
+    const PageMentions& mentions, const KnowledgeBase& kb,
+    const std::unordered_set<std::string>& common_strings) {
+  CandidateScores scores;
+  for (EntityId entity : mentions.page_set) {
+    if (!IsTopicCandidate(kb, entity, common_strings)) continue;
+    const std::unordered_set<EntityId>& entity_set =
+        kb.ObjectsOfSubject(entity);
+    double score = JaccardSimilarity(mentions.page_set, entity_set);
+    if (score > 0) scores[entity] = score;
+  }
+  return scores;
+}
+
+// Deterministic argmax: highest score, ties broken toward the smaller id.
+EntityId BestCandidate(const CandidateScores& scores) {
+  EntityId best = kInvalidEntity;
+  double best_score = -1;
+  for (const auto& [entity, score] : scores) {
+    if (score > best_score || (score == best_score && entity < best)) {
+      best = entity;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+// Number of KB triples of `topic` whose object is mentioned on the page —
+// the potential annotation count driving the informativeness filter.
+int PotentialAnnotationCount(const KnowledgeBase& kb, EntityId topic,
+                             const PageMentions& mentions) {
+  int count = 0;
+  for (const Triple& triple : kb.TriplesWithSubject(topic)) {
+    if (mentions.mentions_of.count(triple.object) > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+TopicResult IdentifyTopics(const std::vector<const DomDocument*>& pages,
+                           const std::vector<PageMentions>& mentions,
+                           const KnowledgeBase& kb,
+                           const TopicConfig& config) {
+  CERES_CHECK(pages.size() == mentions.size());
+  const size_t n = pages.size();
+  TopicResult result;
+  result.topic.assign(n, kInvalidEntity);
+  result.topic_node.assign(n, kInvalidNode);
+  result.score.assign(n, 0.0);
+
+  const std::unordered_set<std::string> common_strings =
+      kb.CommonObjectStrings(config.common_string_fraction,
+                             config.common_string_min_count);
+
+  // Local candidate identification (§3.1.1).
+  std::vector<CandidateScores> page_scores(n);
+  std::vector<EntityId> local_candidate(n, kInvalidEntity);
+  std::unordered_map<EntityId, int> candidate_page_count;
+  for (size_t i = 0; i < n; ++i) {
+    page_scores[i] = ScoreEntitiesForPage(mentions[i], kb, common_strings);
+    local_candidate[i] = BestCandidate(page_scores[i]);
+    if (local_candidate[i] != kInvalidEntity) {
+      ++candidate_page_count[local_candidate[i]];
+    }
+  }
+
+  // Uniqueness filter (§3.1.2 step 1): an entity that is the best candidate
+  // of many pages is boilerplate, not a topic.
+  if (config.apply_uniqueness_filter) {
+    for (size_t i = 0; i < n; ++i) {
+      for (auto it = page_scores[i].begin(); it != page_scores[i].end();) {
+        auto count_it = candidate_page_count.find(it->first);
+        if (count_it != candidate_page_count.end() &&
+            count_it->second >= config.max_pages_per_topic) {
+          it = page_scores[i].erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (local_candidate[i] != kInvalidEntity &&
+          page_scores[i].count(local_candidate[i]) == 0) {
+        local_candidate[i] = BestCandidate(page_scores[i]);
+      }
+    }
+  }
+
+  if (!config.apply_dominant_xpath) {
+    // Ablation mode: accept the local candidate at its first mention.
+    for (size_t i = 0; i < n; ++i) {
+      EntityId topic = local_candidate[i];
+      if (topic == kInvalidEntity) continue;
+      const auto& nodes = mentions[i].mentions_of.at(topic);
+      result.topic[i] = topic;
+      result.topic_node[i] = nodes.front();
+      result.score[i] = page_scores[i][topic];
+    }
+  } else {
+    // Dominant-XPath step (§3.1.2 step 2): count, across the site, the
+    // XPaths at which each page's best candidate is mentioned.
+    std::map<std::string, int64_t> path_counts;
+    std::unordered_map<std::string, XPath> path_by_string;
+    for (size_t i = 0; i < n; ++i) {
+      if (local_candidate[i] == kInvalidEntity) continue;
+      const auto& nodes = mentions[i].mentions_of.at(local_candidate[i]);
+      for (NodeId node : nodes) {
+        XPath path = XPath::FromNode(*pages[i], node);
+        std::string key = path.ToString();
+        ++path_counts[key];
+        path_by_string.emplace(key, std::move(path));
+      }
+    }
+    std::vector<std::pair<std::string, int64_t>> ranked(path_counts.begin(),
+                                                        path_counts.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    for (const auto& [key, count] : ranked) {
+      result.ranked_paths.push_back(path_by_string.at(key));
+    }
+
+    // Re-examine each page at the highest-ranked path extant on it.
+    for (size_t i = 0; i < n; ++i) {
+      if (page_scores[i].empty()) continue;
+      for (const XPath& path : result.ranked_paths) {
+        NodeId node = path.Resolve(*pages[i]);
+        if (node == kInvalidNode || !pages[i]->node(node).HasText()) continue;
+        // Pick the best-scoring candidate entity mentioned at this field.
+        EntityId best = kInvalidEntity;
+        double best_score = -1;
+        for (const auto& [entity, score] : page_scores[i]) {
+          auto mention_it = mentions[i].mentions_of.find(entity);
+          if (mention_it == mentions[i].mentions_of.end()) continue;
+          const std::vector<NodeId>& entity_nodes = mention_it->second;
+          if (std::find(entity_nodes.begin(), entity_nodes.end(), node) ==
+              entity_nodes.end()) {
+            continue;
+          }
+          if (score > best_score || (score == best_score && entity < best)) {
+            best = entity;
+            best_score = score;
+          }
+        }
+        if (best != kInvalidEntity) {
+          result.topic[i] = best;
+          result.topic_node[i] = node;
+          result.score[i] = best_score;
+        }
+        break;  // Only the highest-ranked extant path is consulted.
+      }
+    }
+  }
+
+  // Informativeness filter (§3.1.2 step 3).
+  if (config.apply_informativeness_filter) {
+    for (size_t i = 0; i < n; ++i) {
+      if (result.topic[i] == kInvalidEntity) continue;
+      if (PotentialAnnotationCount(kb, result.topic[i], mentions[i]) <
+          config.min_annotations_per_page) {
+        result.topic[i] = kInvalidEntity;
+        result.topic_node[i] = kInvalidNode;
+        result.score[i] = 0.0;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ceres

@@ -1,0 +1,63 @@
+#ifndef CERES_CORE_TOPIC_IDENTIFICATION_H_
+#define CERES_CORE_TOPIC_IDENTIFICATION_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "dom/dom_tree.h"
+#include "dom/xpath.h"
+#include "kb/knowledge_base.h"
+
+namespace ceres {
+
+/// Parameters of Algorithm 1 (Page Topic Identification). Defaults are the
+/// paper's example values; per §3.1.2 they are deliberately small — the goal
+/// is to filter obvious noise and let the learner absorb the rest.
+struct TopicConfig {
+  /// Strings appearing in at least this fraction of KB triples are never
+  /// topic candidates (§3.1.1, "e.g., 0.01%").
+  double common_string_fraction = 0.0001;
+  /// Absolute floor for the common-string threshold; the paper's fraction
+  /// presumes an 85M-triple KB, so small KBs need a floor to avoid
+  /// filtering everything.
+  int64_t common_string_min_count = 200;
+  /// Uniqueness filter: discard candidates chosen as topic of at least this
+  /// many pages (§3.1.2 step 1, "e.g., >= 5 pages").
+  int max_pages_per_topic = 5;
+  /// Informativeness filter: pages with fewer potential relation
+  /// annotations than this get no topic (§3.1.2 step 3, "e.g., >= 3").
+  int min_annotations_per_page = 3;
+  /// Disable individual steps for ablation studies.
+  bool apply_uniqueness_filter = true;
+  bool apply_dominant_xpath = true;
+  bool apply_informativeness_filter = true;
+};
+
+/// Output of Algorithm 1 for one site.
+struct TopicResult {
+  /// Per page: chosen topic entity, or kInvalidEntity when the page was
+  /// discarded.
+  std::vector<EntityId> topic;
+  /// Per page: node holding the topic name (the dominant-XPath field), or
+  /// kInvalidNode.
+  std::vector<NodeId> topic_node;
+  /// Per page: the local Jaccard score of the chosen topic.
+  std::vector<double> score;
+  /// Dominant topic XPaths across the site, most frequent first (for
+  /// diagnostics and tests).
+  std::vector<XPath> ranked_paths;
+};
+
+/// Runs Algorithm 1 over the pages of one template cluster.
+///
+/// `mentions[i]` must be MatchPageMentions(pages[i], kb). Literal-typed
+/// entities, common strings (per TopicConfig), and low-information strings
+/// are never topic candidates.
+TopicResult IdentifyTopics(const std::vector<const DomDocument*>& pages,
+                           const std::vector<PageMentions>& mentions,
+                           const KnowledgeBase& kb,
+                           const TopicConfig& config = {});
+
+}  // namespace ceres
+
+#endif  // CERES_CORE_TOPIC_IDENTIFICATION_H_

@@ -1,0 +1,154 @@
+#include "core/training.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "dom/xpath.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace ceres {
+
+namespace {
+
+// True when `candidate` differs from some positive-example path of its page
+// only at index positions where that predicate's positives already vary —
+// i.e. it is probably an unlabelled member of the same value list (§4.1).
+bool IsLikelyListMember(
+    const XPath& candidate,
+    const std::map<PredicateId, std::vector<XPath>>& positives_by_predicate) {
+  for (const auto& [predicate, paths] : positives_by_predicate) {
+    if (paths.size() < 2) continue;
+    // Varying index positions among this predicate's positives.
+    std::set<size_t> varying;
+    bool same_shape_all = true;
+    for (size_t i = 1; i < paths.size(); ++i) {
+      bool same_shape = false;
+      std::vector<size_t> diffs =
+          IndexOnlyDifferences(paths[0], paths[i], &same_shape);
+      if (!same_shape) {
+        same_shape_all = false;
+        break;
+      }
+      varying.insert(diffs.begin(), diffs.end());
+    }
+    if (!same_shape_all || varying.empty()) continue;
+    for (const XPath& positive : paths) {
+      bool same_shape = false;
+      std::vector<size_t> diffs =
+          IndexOnlyDifferences(candidate, positive, &same_shape);
+      if (!same_shape) continue;
+      bool all_in_varying = true;
+      for (size_t pos : diffs) {
+        if (varying.count(pos) == 0) {
+          all_in_varying = false;
+          break;
+        }
+      }
+      if (all_in_varying) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<TrainedModel> TrainExtractor(
+    const std::vector<const DomDocument*>& pages,
+    const std::vector<Annotation>& annotations,
+    const FeatureExtractor& featurizer, const Ontology& ontology,
+    const TrainingConfig& config) {
+  if (annotations.empty()) {
+    return Status::FailedPrecondition("no annotations to train from");
+  }
+
+  // Group annotations per page.
+  std::map<PageIndex, std::vector<const Annotation*>> by_page;
+  for (const Annotation& annotation : annotations) {
+    by_page[annotation.page].push_back(&annotation);
+  }
+
+  Rng rng(config.seed);
+  // Optional cap on the number of annotated pages used (Figure 5).
+  std::vector<PageIndex> annotated_pages;
+  annotated_pages.reserve(by_page.size());
+  for (const auto& [page, list] : by_page) annotated_pages.push_back(page);
+  if (config.max_annotated_pages > 0 &&
+      annotated_pages.size() > config.max_annotated_pages) {
+    rng.Shuffle(&annotated_pages);
+    annotated_pages.resize(config.max_annotated_pages);
+    std::sort(annotated_pages.begin(), annotated_pages.end());
+  }
+  if (annotated_pages.size() < config.min_annotated_pages) {
+    return Status::FailedPrecondition(
+        StrCat("only ", annotated_pages.size(),
+               " annotated pages; need at least ",
+               config.min_annotated_pages));
+  }
+
+  TrainedModel trained;
+  trained.classes = ClassMap(ontology);
+  std::vector<LabeledExample> examples;
+
+  for (PageIndex page : annotated_pages) {
+    const DomDocument& doc = *pages[static_cast<size_t>(page)];
+    const std::vector<const Annotation*>& page_annotations = by_page[page];
+
+    std::set<NodeId> positive_nodes;
+    std::map<PredicateId, std::vector<XPath>> positives_by_predicate;
+    for (const Annotation* annotation : page_annotations) {
+      positive_nodes.insert(annotation->node);
+      positives_by_predicate[annotation->predicate].push_back(
+          XPath::FromNode(doc, annotation->node));
+    }
+
+    // Positive examples.
+    for (const Annotation* annotation : page_annotations) {
+      LabeledExample example;
+      example.features =
+          featurizer.Extract(doc, annotation->node, &trained.features);
+      example.label = trained.classes.ClassOf(annotation->predicate);
+      examples.push_back(std::move(example));
+    }
+
+    // Negative candidates: unlabelled text fields, minus likely list
+    // members.
+    std::vector<NodeId> candidates;
+    for (NodeId node : doc.TextFields()) {
+      if (positive_nodes.count(node) > 0) continue;
+      if (config.exclude_list_negatives &&
+          IsLikelyListMember(XPath::FromNode(doc, node),
+                             positives_by_predicate)) {
+        continue;
+      }
+      candidates.push_back(node);
+    }
+    rng.Shuffle(&candidates);
+    size_t wanted = static_cast<size_t>(config.negatives_per_positive) *
+                    page_annotations.size();
+    if (candidates.size() > wanted) candidates.resize(wanted);
+    for (NodeId node : candidates) {
+      LabeledExample example;
+      example.features = featurizer.Extract(doc, node, &trained.features);
+      example.label = ClassMap::kOtherClass;
+      examples.push_back(std::move(example));
+    }
+  }
+
+  trained.feature_config = featurizer.config();
+  trained.frequent_strings = featurizer.frequent_strings();
+  trained.features.Freeze();
+  Result<LbfgsResult> fit =
+      trained.model.Train(examples, trained.features.size(),
+                          trained.classes.num_classes(), config.logreg);
+  if (!fit.ok()) return fit.status();
+  return trained;
+}
+
+FeatureExtractor MakeFeaturizer(const TrainedModel& model) {
+  return FeatureExtractor(model.frequent_strings, model.feature_config);
+}
+
+}  // namespace ceres

@@ -1,0 +1,98 @@
+#ifndef CERES_CORE_TYPES_H_
+#define CERES_CORE_TYPES_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dom/dom_tree.h"
+#include "kb/knowledge_base.h"
+
+namespace ceres {
+
+/// Index of a page within the site (the vector of documents handed to the
+/// pipeline).
+using PageIndex = int;
+
+/// All KB entity mentions found on one page by the entity matcher
+/// (§3.1.1 step 1).
+struct PageMentions {
+  /// Every entity with at least one matching text field — the pageSet of
+  /// Equation (1).
+  std::unordered_set<EntityId> page_set;
+  /// Nodes mentioning each entity, in document order.
+  std::unordered_map<EntityId, std::vector<NodeId>> mentions_of;
+  /// Candidate entities per text field, parallel to `fields`.
+  std::vector<NodeId> fields;
+  std::vector<std::vector<EntityId>> candidates;
+};
+
+/// A positive training annotation: this node of this page expresses
+/// `predicate` between the page topic and `object`. The topic node itself
+/// is annotated with the reserved NAME label (predicate == kNamePredicate).
+struct Annotation {
+  PageIndex page = 0;
+  NodeId node = kInvalidNode;
+  PredicateId predicate = kInvalidPredicate;
+  EntityId object = kInvalidEntity;
+};
+
+/// Sentinel predicate id for the page-topic "name" relation (§4).
+inline constexpr PredicateId kNamePredicate = -2;
+
+/// One extracted fact: subject and object are strings found on the page
+/// (§2.1 Definition 2.1) plus the model confidence.
+struct Extraction {
+  PageIndex page = 0;
+  NodeId node = kInvalidNode;
+  PredicateId predicate = kInvalidPredicate;
+  std::string subject;
+  std::string object;
+  double confidence = 0.0;
+};
+
+/// Maps ontology predicates onto dense classifier classes. Class 0 is
+/// OTHER, class 1 is NAME, predicates follow.
+class ClassMap {
+ public:
+  static constexpr int32_t kOtherClass = 0;
+  static constexpr int32_t kNameClass = 1;
+
+  ClassMap() = default;
+
+  /// Builds the map for the full ontology of `kb`.
+  explicit ClassMap(const Ontology& ontology) {
+    for (const PredicateDecl& pred : ontology.predicates()) {
+      class_of_[pred.id] = static_cast<int32_t>(2 + predicates_.size());
+      predicates_.push_back(pred.id);
+    }
+  }
+
+  int32_t num_classes() const {
+    return static_cast<int32_t>(2 + predicates_.size());
+  }
+
+  /// Class of a predicate (kNamePredicate maps to the NAME class).
+  int32_t ClassOf(PredicateId predicate) const {
+    if (predicate == kNamePredicate) return kNameClass;
+    auto it = class_of_.find(predicate);
+    return it == class_of_.end() ? kOtherClass : it->second;
+  }
+
+  /// Predicate of a class; kInvalidPredicate for OTHER, kNamePredicate for
+  /// NAME.
+  PredicateId PredicateOf(int32_t cls) const {
+    if (cls == kOtherClass) return kInvalidPredicate;
+    if (cls == kNameClass) return kNamePredicate;
+    return predicates_[static_cast<size_t>(cls - 2)];
+  }
+
+ private:
+  std::unordered_map<PredicateId, int32_t> class_of_;
+  std::vector<PredicateId> predicates_;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_CORE_TYPES_H_

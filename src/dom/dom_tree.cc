@@ -1,0 +1,56 @@
+#include "dom/dom_tree.h"
+
+namespace ceres {
+
+DomDocument::DomDocument() {
+  DomNode root;
+  root.tag = "html";
+  root.parent = kInvalidNode;
+  nodes_.push_back(std::move(root));
+}
+
+NodeId DomDocument::AddChild(NodeId parent, std::string tag) {
+  CERES_CHECK(parent >= 0 && parent < size());
+  NodeId id = size();
+  DomNode node;
+  node.tag = std::move(tag);
+  node.parent = parent;
+  node.child_position = static_cast<int>(nodes_[parent].children.size());
+  int same_tag = 0;
+  for (NodeId sibling : nodes_[parent].children) {
+    if (nodes_[sibling].tag == node.tag) ++same_tag;
+  }
+  node.sibling_index = same_tag + 1;
+  nodes_[parent].children.push_back(id);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+std::vector<NodeId> DomDocument::TextFields() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < size(); ++id) {
+    if (nodes_[id].HasText()) out.push_back(id);
+  }
+  return out;
+}
+
+bool DomDocument::IsAncestorOrSelf(NodeId ancestor, NodeId descendant) const {
+  NodeId cur = descendant;
+  while (cur != kInvalidNode) {
+    if (cur == ancestor) return true;
+    cur = nodes_[cur].parent;
+  }
+  return false;
+}
+
+int DomDocument::Depth(NodeId id) const {
+  int depth = 0;
+  NodeId cur = node(id).parent;
+  while (cur != kInvalidNode) {
+    ++depth;
+    cur = nodes_[cur].parent;
+  }
+  return depth;
+}
+
+}  // namespace ceres

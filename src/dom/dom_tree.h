@@ -1,0 +1,104 @@
+#ifndef CERES_DOM_DOM_TREE_H_
+#define CERES_DOM_DOM_TREE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ceres {
+
+/// Index of a node within its owning DomDocument arena. Root is always 0.
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// One HTML attribute. Attribute names are stored lower-cased.
+struct DomAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// An element node of a parsed page.
+///
+/// Text is modelled as the concatenated direct character data of the
+/// element (`text`), following the paper's observation that entity names
+/// correspond to the full text of a DOM node: a "text field" is an element
+/// whose `text` is non-empty.
+struct DomNode {
+  /// Lower-cased tag name, e.g. "div".
+  std::string tag;
+  /// Attributes in document order.
+  std::vector<DomAttribute> attributes;
+  /// Direct character data of this element (children's text not included),
+  /// whitespace-trimmed.
+  std::string text;
+
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+  /// 1-based position among same-tag siblings; the XPath step index.
+  int sibling_index = 1;
+  /// 0-based position among all siblings.
+  int child_position = 0;
+
+  /// Value of the attribute with the given lower-case name, or "" if absent.
+  std::string_view Attribute(std::string_view name) const {
+    for (const DomAttribute& attr : attributes) {
+      if (attr.name == name) return attr.value;
+    }
+    return {};
+  }
+
+  bool HasText() const { return !text.empty(); }
+};
+
+/// A parsed page: an arena of DomNodes rooted at node 0.
+///
+/// Nodes are stored in document (preorder) order, so iterating ids 0..size-1
+/// visits the tree top-down. Documents are movable but not copyable.
+class DomDocument {
+ public:
+  DomDocument();
+  DomDocument(DomDocument&&) = default;
+  DomDocument& operator=(DomDocument&&) = default;
+  DomDocument(const DomDocument&) = delete;
+  DomDocument& operator=(const DomDocument&) = delete;
+
+  /// Identifier of the page (URL or synthetic id); informational only.
+  const std::string& url() const { return url_; }
+  void set_url(std::string url) { url_ = std::move(url); }
+
+  NodeId root() const { return 0; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  const DomNode& node(NodeId id) const {
+    CERES_CHECK(id >= 0 && id < size());
+    return nodes_[id];
+  }
+  DomNode& mutable_node(NodeId id) {
+    CERES_CHECK(id >= 0 && id < size());
+    return nodes_[id];
+  }
+
+  /// Appends a child element under `parent` (kInvalidNode only for the
+  /// root, which exists already) and returns its id. Maintains sibling
+  /// indices.
+  NodeId AddChild(NodeId parent, std::string tag);
+
+  /// Ids of all elements with non-empty direct text, in document order.
+  std::vector<NodeId> TextFields() const;
+
+  /// True if `ancestor` is `descendant` or one of its ancestors.
+  bool IsAncestorOrSelf(NodeId ancestor, NodeId descendant) const;
+
+  /// Depth of the node (root has depth 0).
+  int Depth(NodeId id) const;
+
+ private:
+  std::string url_;
+  std::vector<DomNode> nodes_;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_DOM_DOM_TREE_H_

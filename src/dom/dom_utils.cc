@@ -1,0 +1,88 @@
+#include "dom/dom_utils.h"
+
+#include <algorithm>
+
+namespace ceres {
+
+NodeId LowestCommonAncestor(const DomDocument& doc, NodeId a, NodeId b) {
+  int depth_a = doc.Depth(a);
+  int depth_b = doc.Depth(b);
+  while (depth_a > depth_b) {
+    a = doc.node(a).parent;
+    --depth_a;
+  }
+  while (depth_b > depth_a) {
+    b = doc.node(b).parent;
+    --depth_b;
+  }
+  while (a != b) {
+    a = doc.node(a).parent;
+    b = doc.node(b).parent;
+  }
+  return a;
+}
+
+std::vector<NodeId> AncestorChain(const DomDocument& doc, NodeId id) {
+  std::vector<NodeId> chain;
+  NodeId cur = doc.node(id).parent;
+  while (cur != kInvalidNode) {
+    chain.push_back(cur);
+    cur = doc.node(cur).parent;
+  }
+  return chain;
+}
+
+std::vector<NodeId> SiblingWindow(const DomDocument& doc, NodeId id,
+                                  int width) {
+  const DomNode& node = doc.node(id);
+  if (node.parent == kInvalidNode) return {};
+  const std::vector<NodeId>& siblings = doc.node(node.parent).children;
+  const int pos = node.child_position;
+  const int lo = std::max(0, pos - width);
+  const int hi = std::min(static_cast<int>(siblings.size()) - 1, pos + width);
+  std::vector<NodeId> out;
+  for (int i = lo; i <= hi; ++i) {
+    if (i != pos) out.push_back(siblings[i]);
+  }
+  return out;
+}
+
+NodeId HighestExclusiveAncestor(const DomDocument& doc, NodeId mention,
+                                const std::vector<NodeId>& others) {
+  NodeId best = mention;
+  NodeId cur = doc.node(mention).parent;
+  while (cur != kInvalidNode) {
+    for (NodeId other : others) {
+      if (other != mention && doc.IsAncestorOrSelf(cur, other)) return best;
+    }
+    best = cur;
+    cur = doc.node(cur).parent;
+  }
+  return best;
+}
+
+std::vector<NodeId> Subtree(const DomDocument& doc, NodeId id) {
+  std::vector<NodeId> out;
+  std::vector<NodeId> pending{id};
+  while (!pending.empty()) {
+    NodeId cur = pending.back();
+    pending.pop_back();
+    out.push_back(cur);
+    const std::vector<NodeId>& children = doc.node(cur).children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      pending.push_back(*it);
+    }
+  }
+  return out;
+}
+
+int CountInSubtree(const DomDocument& doc, NodeId root,
+                   const std::vector<NodeId>& candidates) {
+  int count = 0;
+  for (NodeId candidate : candidates) {
+    if (doc.IsAncestorOrSelf(root, candidate)) ++count;
+  }
+  return count;
+}
+
+}  // namespace ceres

@@ -1,0 +1,39 @@
+#ifndef CERES_DOM_DOM_UTILS_H_
+#define CERES_DOM_DOM_UTILS_H_
+
+#include <vector>
+
+#include "dom/dom_tree.h"
+
+namespace ceres {
+
+/// Lowest common ancestor of two nodes; both must belong to `doc`.
+NodeId LowestCommonAncestor(const DomDocument& doc, NodeId a, NodeId b);
+
+/// The chain of ancestors of `id` from its parent up to the root,
+/// nearest first.
+std::vector<NodeId> AncestorChain(const DomDocument& doc, NodeId id);
+
+/// Siblings of `id` within `width` positions on either side (excluding `id`
+/// itself), ordered left-to-right. Used by the §4.2 structural feature
+/// window.
+std::vector<NodeId> SiblingWindow(const DomDocument& doc, NodeId id,
+                                  int width);
+
+/// The highest ancestor of `mention` whose subtree contains `mention` but
+/// none of `others` (Algorithm 2 line 5). Returns `mention` itself when even
+/// its parent's subtree contains another mention.
+NodeId HighestExclusiveAncestor(const DomDocument& doc, NodeId mention,
+                                const std::vector<NodeId>& others);
+
+/// All nodes of the subtree rooted at `id` (inclusive), preorder.
+std::vector<NodeId> Subtree(const DomDocument& doc, NodeId id);
+
+/// Count of nodes from `candidates` that lie in the subtree rooted at
+/// `root` (inclusive).
+int CountInSubtree(const DomDocument& doc, NodeId root,
+                   const std::vector<NodeId>& candidates);
+
+}  // namespace ceres
+
+#endif  // CERES_DOM_DOM_UTILS_H_

@@ -1,0 +1,304 @@
+#include "dom/html_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace ceres {
+
+namespace {
+
+const std::unordered_set<std::string>& VoidElements() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "area", "base",  "br",    "col",  "embed", "hr",  "img", "input",
+      "link", "meta",  "param", "source", "track", "wbr"};
+  return *kSet;
+}
+
+// Tags that implicitly close an open element of the same (or listed) kind.
+// Maps a start tag to the set of open tags it closes when found on top of
+// the stack.
+const std::unordered_map<std::string, std::unordered_set<std::string>>&
+AutoCloseRules() {
+  static const auto* kRules =
+      new std::unordered_map<std::string, std::unordered_set<std::string>>{
+          {"li", {"li"}},
+          {"p", {"p"}},
+          {"dt", {"dt", "dd"}},
+          {"dd", {"dt", "dd"}},
+          {"td", {"td", "th"}},
+          {"th", {"td", "th"}},
+          {"tr", {"td", "th", "tr"}},
+          {"option", {"option"}},
+      };
+  return *kRules;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+// Appends a code point to `out` as UTF-8.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+// Parses an attribute list between a tag name and '>' / '/>'.
+void ParseAttributes(std::string_view body, std::vector<DomAttribute>* out) {
+  size_t i = 0;
+  while (i < body.size()) {
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    if (i >= body.size() || body[i] == '/') break;
+    size_t name_start = i;
+    while (i < body.size() && body[i] != '=' && body[i] != '/' &&
+           !std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    std::string name = ToLower(body.substr(name_start, i - name_start));
+    if (name.empty()) {
+      ++i;
+      continue;
+    }
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    std::string value;
+    if (i < body.size() && body[i] == '=') {
+      ++i;
+      while (i < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      if (i < body.size() && (body[i] == '"' || body[i] == '\'')) {
+        char quote = body[i++];
+        size_t value_start = i;
+        while (i < body.size() && body[i] != quote) ++i;
+        value = DecodeEntities(body.substr(value_start, i - value_start));
+        if (i < body.size()) ++i;  // Closing quote.
+      } else {
+        size_t value_start = i;
+        while (i < body.size() && body[i] != '/' &&
+               !std::isspace(static_cast<unsigned char>(body[i]))) {
+          ++i;
+        }
+        value = DecodeEntities(body.substr(value_start, i - value_start));
+      }
+    }
+    out->push_back(DomAttribute{std::move(name), std::move(value)});
+  }
+}
+
+// Appends decoded, whitespace-collapsed character data to a node's text.
+void AppendText(DomNode* node, std::string_view raw) {
+  std::string decoded = DecodeEntities(raw);
+  std::string_view trimmed = StripWhitespace(decoded);
+  if (trimmed.empty()) return;
+  std::string collapsed;
+  collapsed.reserve(trimmed.size());
+  bool last_space = false;
+  for (char c : trimmed) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!last_space) collapsed.push_back(' ');
+      last_space = true;
+    } else {
+      collapsed.push_back(c);
+      last_space = false;
+    }
+  }
+  if (!node->text.empty()) node->text.push_back(' ');
+  node->text += collapsed;
+}
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view text) {
+  static const auto* kNamed = new std::unordered_map<std::string, std::string>{
+      {"amp", "&"},   {"lt", "<"},     {"gt", ">"},   {"quot", "\""},
+      {"apos", "'"},  {"nbsp", " "},   {"copy", "©"}, {"reg", "®"},
+      {"hellip", "…"}, {"mdash", "—"}, {"ndash", "–"}, {"rsquo", "’"},
+      {"lsquo", "‘"}, {"rdquo", "”"},  {"ldquo", "“"}, {"times", "×"},
+  };
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i++]);
+      continue;
+    }
+    size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back(text[i++]);
+      continue;
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (!entity.empty() && entity[0] == '#') {
+      uint32_t cp = 0;
+      bool ok = false;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        auto [p, ec] = std::from_chars(entity.data() + 2,
+                                       entity.data() + entity.size(), cp, 16);
+        ok = ec == std::errc() && p == entity.data() + entity.size();
+      } else {
+        auto [p, ec] = std::from_chars(entity.data() + 1,
+                                       entity.data() + entity.size(), cp, 10);
+        ok = ec == std::errc() && p == entity.data() + entity.size();
+      }
+      if (ok && cp > 0 && cp <= 0x10FFFF) {
+        AppendUtf8(cp, &out);
+        i = semi + 1;
+        continue;
+      }
+    } else {
+      auto it = kNamed->find(std::string(entity));
+      if (it != kNamed->end()) {
+        out += it->second;
+        i = semi + 1;
+        continue;
+      }
+    }
+    out.push_back(text[i++]);
+  }
+  return out;
+}
+
+Result<DomDocument> ParseHtml(std::string_view html,
+                              const HtmlParseOptions& options) {
+  DomDocument doc;
+  std::vector<NodeId> stack{doc.root()};
+  bool saw_explicit_html = false;
+
+  size_t i = 0;
+  const size_t n = html.size();
+  while (i < n) {
+    if (html[i] != '<') {
+      size_t next = html.find('<', i);
+      if (next == std::string_view::npos) next = n;
+      AppendText(&doc.mutable_node(stack.back()), html.substr(i, next - i));
+      i = next;
+      continue;
+    }
+    // Comment.
+    if (html.compare(i, 4, "<!--") == 0) {
+      size_t end = html.find("-->", i + 4);
+      i = end == std::string_view::npos ? n : end + 3;
+      continue;
+    }
+    // Doctype or other declaration.
+    if (i + 1 < n && (html[i + 1] == '!' || html[i + 1] == '?')) {
+      size_t end = html.find('>', i);
+      i = end == std::string_view::npos ? n : end + 1;
+      continue;
+    }
+    size_t close = html.find('>', i);
+    if (close == std::string_view::npos) {
+      // Trailing junk; treat as text.
+      AppendText(&doc.mutable_node(stack.back()), html.substr(i));
+      break;
+    }
+    std::string_view tag_body = html.substr(i + 1, close - i - 1);
+    i = close + 1;
+    if (tag_body.empty()) continue;
+
+    if (tag_body[0] == '/') {
+      // End tag: pop to the matching open element, ignoring if absent.
+      std::string tag = ToLower(StripWhitespace(tag_body.substr(1)));
+      for (size_t depth = stack.size(); depth-- > 0;) {
+        if (doc.node(stack[depth]).tag == tag) {
+          if (depth == 0) break;  // Never pop the root.
+          stack.resize(depth);
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Start tag.
+    size_t name_end = 0;
+    while (name_end < tag_body.size() && tag_body[name_end] != '/' &&
+           !std::isspace(static_cast<unsigned char>(tag_body[name_end]))) {
+      ++name_end;
+    }
+    std::string tag = ToLower(tag_body.substr(0, name_end));
+    if (tag.empty()) continue;
+    bool self_closing = !tag_body.empty() && tag_body.back() == '/';
+    std::vector<DomAttribute> attributes;
+    ParseAttributes(tag_body.substr(name_end), &attributes);
+
+    if (tag == "html" && !saw_explicit_html) {
+      // Merge into the implicit root rather than nesting a second <html>.
+      saw_explicit_html = true;
+      doc.mutable_node(doc.root()).attributes = std::move(attributes);
+      continue;
+    }
+
+    // Implicit closes (e.g. <li> after an unclosed <li>).
+    auto rule = AutoCloseRules().find(tag);
+    if (rule != AutoCloseRules().end()) {
+      while (stack.size() > 1 &&
+             rule->second.count(doc.node(stack.back()).tag) > 0) {
+        stack.pop_back();
+      }
+    }
+
+    if (doc.size() >= options.max_nodes) {
+      return Status::ResourceExhausted(
+          StrCat("page exceeds max_nodes=", options.max_nodes));
+    }
+    NodeId id = doc.AddChild(stack.back(), tag);
+    doc.mutable_node(id).attributes = std::move(attributes);
+
+    bool is_void = VoidElements().count(tag) > 0;
+    if ((tag == "script" || tag == "style") && !self_closing) {
+      // Raw-text element: consume to the matching close tag.
+      std::string close_tag = StrCat("</", tag);
+      size_t end = i;
+      while (true) {
+        end = html.find('<', end);
+        if (end == std::string_view::npos) {
+          end = n;
+          break;
+        }
+        if (end + close_tag.size() <= n) {
+          std::string candidate = ToLower(html.substr(end, close_tag.size()));
+          if (candidate == close_tag) break;
+        }
+        ++end;
+      }
+      if (!options.skip_script_content) {
+        AppendText(&doc.mutable_node(id), html.substr(i, end - i));
+      }
+      size_t tag_end = html.find('>', end);
+      i = tag_end == std::string_view::npos ? n : tag_end + 1;
+      continue;
+    }
+    if (!is_void && !self_closing) stack.push_back(id);
+  }
+  return doc;
+}
+
+}  // namespace ceres

@@ -1,0 +1,70 @@
+#include "dom/html_serializer.h"
+
+#include <unordered_set>
+
+namespace ceres {
+
+namespace {
+
+bool IsVoidTag(const std::string& tag) {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "area", "base",  "br",    "col",  "embed", "hr",  "img", "input",
+      "link", "meta",  "param", "source", "track", "wbr"};
+  return kSet->count(tag) > 0;
+}
+
+void SerializeNode(const DomDocument& doc, NodeId id, std::string* out) {
+  const DomNode& node = doc.node(id);
+  out->push_back('<');
+  out->append(node.tag);
+  for (const DomAttribute& attr : node.attributes) {
+    out->push_back(' ');
+    out->append(attr.name);
+    out->append("=\"");
+    out->append(EscapeHtml(attr.value));
+    out->push_back('"');
+  }
+  out->push_back('>');
+  if (IsVoidTag(node.tag) && node.children.empty() && node.text.empty()) {
+    return;
+  }
+  if (!node.text.empty()) out->append(EscapeHtml(node.text));
+  for (NodeId child : node.children) SerializeNode(doc, child, out);
+  out->append("</");
+  out->append(node.tag);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string EscapeHtml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string SerializeHtml(const DomDocument& doc) {
+  std::string out = "<!DOCTYPE html>";
+  SerializeNode(doc, doc.root(), &out);
+  return out;
+}
+
+}  // namespace ceres

@@ -1,0 +1,22 @@
+#ifndef CERES_DOM_HTML_SERIALIZER_H_
+#define CERES_DOM_HTML_SERIALIZER_H_
+
+#include <string>
+
+#include "dom/dom_tree.h"
+
+namespace ceres {
+
+/// Renders a DomDocument back to HTML with all attribute values and text
+/// escaped. Serialization round-trips through ParseHtml to a structurally
+/// identical document (same tags, indices, attributes, text), which the
+/// synthetic site generator relies on: it records ground truth as XPaths in
+/// the built tree and resolves them in the parsed copy.
+std::string SerializeHtml(const DomDocument& doc);
+
+/// Escapes &, <, >, and double quotes for embedding in HTML.
+std::string EscapeHtml(std::string_view text);
+
+}  // namespace ceres
+
+#endif  // CERES_DOM_HTML_SERIALIZER_H_

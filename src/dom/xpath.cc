@@ -1,0 +1,168 @@
+#include "dom/xpath.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "util/string_util.h"
+
+namespace ceres {
+
+XPath XPath::FromNode(const DomDocument& doc, NodeId id) {
+  std::vector<XPathStep> reversed;
+  NodeId cur = id;
+  while (cur != kInvalidNode) {
+    const DomNode& node = doc.node(cur);
+    reversed.push_back(XPathStep{node.tag, node.sibling_index});
+    cur = node.parent;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return XPath(std::move(reversed));
+}
+
+Result<XPath> XPath::Parse(std::string_view text) {
+  if (text.empty() || text[0] != '/') {
+    return Status::InvalidArgument(
+        StrCat("absolute XPath must start with '/': ", text));
+  }
+  std::vector<XPathStep> steps;
+  size_t pos = 1;
+  while (pos < text.size()) {
+    size_t end = text.find('/', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view part = text.substr(pos, end - pos);
+    if (part.empty()) {
+      return Status::InvalidArgument(StrCat("empty XPath step in: ", text));
+    }
+    XPathStep step;
+    size_t bracket = part.find('[');
+    if (bracket == std::string_view::npos) {
+      step.tag = std::string(part);
+      step.index = 1;
+    } else {
+      if (part.back() != ']' || bracket + 2 > part.size()) {
+        return Status::InvalidArgument(StrCat("malformed step: ", part));
+      }
+      step.tag = std::string(part.substr(0, bracket));
+      std::string_view digits = part.substr(bracket + 1,
+                                            part.size() - bracket - 2);
+      int value = 0;
+      auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), value);
+      if (ec != std::errc() || ptr != digits.data() + digits.size() ||
+          value < 1) {
+        return Status::InvalidArgument(StrCat("bad step index: ", part));
+      }
+      step.index = value;
+    }
+    if (step.tag.empty()) {
+      return Status::InvalidArgument(StrCat("empty tag in step: ", part));
+    }
+    steps.push_back(std::move(step));
+    pos = end + 1;
+  }
+  if (steps.empty()) {
+    return Status::InvalidArgument("XPath has no steps");
+  }
+  return XPath(std::move(steps));
+}
+
+std::string XPath::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    out += '/';
+    out += steps_[i].tag;
+    if (!(i == 0 && steps_[i].index == 1)) {
+      out += '[';
+      out += std::to_string(steps_[i].index);
+      out += ']';
+    }
+  }
+  return out;
+}
+
+NodeId XPath::Resolve(const DomDocument& doc) const {
+  if (steps_.empty()) return kInvalidNode;
+  const DomNode& root = doc.node(doc.root());
+  if (steps_[0].tag != root.tag || steps_[0].index != 1) return kInvalidNode;
+  NodeId cur = doc.root();
+  for (size_t depth = 1; depth < steps_.size(); ++depth) {
+    const XPathStep& step = steps_[depth];
+    NodeId next = kInvalidNode;
+    for (NodeId child : doc.node(cur).children) {
+      const DomNode& child_node = doc.node(child);
+      if (child_node.tag == step.tag &&
+          child_node.sibling_index == step.index) {
+        next = child;
+        break;
+      }
+    }
+    if (next == kInvalidNode) return kInvalidNode;
+    cur = next;
+  }
+  return cur;
+}
+
+double XPathEditDistance(const XPath& a, const XPath& b) {
+  const auto& sa = a.steps();
+  const auto& sb = b.steps();
+  const size_t n = sa.size();
+  const size_t m = sb.size();
+  // Depth-weighted index substitution: differing sibling indices near the
+  // leaf (two entries of one value list) are nearly free, while differing
+  // indices high in the tree (sibling page sections, e.g. the main genre
+  // list vs a recommendation card) cost almost a full edit. This is what
+  // lets the §3.2.2 clustering put list members together yet keep
+  // recommendation-block copies apart.
+  const double denom =
+      std::max<double>(1.0, static_cast<double>((n - 1) + (m - 1)));
+  std::vector<double> prev(m + 1);
+  std::vector<double> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<double>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      double sub_cost;
+      if (sa[i - 1] == sb[j - 1]) {
+        sub_cost = 0.0;
+      } else if (sa[i - 1].tag == sb[j - 1].tag) {
+        const double progress =
+            static_cast<double>((i - 1) + (j - 1)) / denom;
+        sub_cost = 1.0 - 0.75 * progress;
+      } else {
+        sub_cost = 1.0;
+      }
+      cur[j] = std::min({prev[j] + 1.0, cur[j - 1] + 1.0,
+                         prev[j - 1] + sub_cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::vector<size_t> IndexOnlyDifferences(const XPath& a, const XPath& b,
+                                         bool* same_shape) {
+  *same_shape = false;
+  if (a.size() != b.size()) return {};
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.steps()[i].tag != b.steps()[i].tag) return {};
+    if (a.steps()[i].index != b.steps()[i].index) positions.push_back(i);
+  }
+  *same_shape = true;
+  return positions;
+}
+
+size_t XPathHash::operator()(const XPath& path) const {
+  size_t h = 1469598103934665603ull;  // FNV offset basis.
+  for (const XPathStep& step : path.steps()) {
+    for (char c : step.tag) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= static_cast<size_t>(step.index);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace ceres

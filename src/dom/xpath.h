@@ -1,0 +1,78 @@
+#ifndef CERES_DOM_XPATH_H_
+#define CERES_DOM_XPATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dom/dom_tree.h"
+#include "util/status.h"
+
+namespace ceres {
+
+/// One step of an absolute XPath: a tag plus a 1-based index among same-tag
+/// siblings, e.g. "div[3]".
+struct XPathStep {
+  std::string tag;
+  int index = 1;
+
+  friend bool operator==(const XPathStep& a, const XPathStep& b) {
+    return a.index == b.index && a.tag == b.tag;
+  }
+};
+
+/// An absolute XPath: the unique root-to-node address of a DOM node
+/// (§2.1), e.g. "/html/body[1]/div[2]/span[1]".
+class XPath {
+ public:
+  XPath() = default;
+  explicit XPath(std::vector<XPathStep> steps) : steps_(std::move(steps)) {}
+
+  /// Builds the absolute XPath of `id` within `doc`.
+  static XPath FromNode(const DomDocument& doc, NodeId id);
+
+  /// Parses "/html/body[1]/div[2]" form. The root step may omit the index.
+  static Result<XPath> Parse(std::string_view text);
+
+  const std::vector<XPathStep>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+
+  /// Serializes to "/tag[i]/tag[i]..." form. Index 1 on the leading "html"
+  /// step is omitted for readability, matching common absolute-XPath style.
+  std::string ToString() const;
+
+  /// Finds the node addressed by this path in `doc`, or kInvalidNode when
+  /// no such node exists (the path is not "extant on" the page, §3.1.2).
+  NodeId Resolve(const DomDocument& doc) const;
+
+  friend bool operator==(const XPath& a, const XPath& b) {
+    return a.steps_ == b.steps_;
+  }
+
+ private:
+  std::vector<XPathStep> steps_;
+};
+
+/// Step-level edit distance between two XPaths: insertions and deletions
+/// cost 1; substituting a step costs 1 when the tags differ and 0.5 when
+/// only the sibling index differs. This is the clustering distance of
+/// §3.2.2 — paths into the same list ("td[4]" vs "td[9]") are near, paths
+/// through different sections are far.
+double XPathEditDistance(const XPath& a, const XPath& b);
+
+/// If `a` and `b` have identical tags at every step and differ only in
+/// sibling indices, returns the (0-based) step positions where the indices
+/// differ; otherwise returns an empty vector and sets `*same_shape` false.
+/// Used by negative sampling (§4.1) to recognize members of the same list.
+std::vector<size_t> IndexOnlyDifferences(const XPath& a, const XPath& b,
+                                         bool* same_shape);
+
+/// Hash functor so XPath strings can key unordered containers cheaply.
+struct XPathHash {
+  size_t operator()(const XPath& path) const;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_DOM_XPATH_H_

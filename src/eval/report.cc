@@ -1,0 +1,56 @@
+#include "eval/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ceres::eval {
+
+TableReport::TableReport(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableReport::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableReport::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TableReport::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatRatio(double value, int decimals) {
+  if (std::isnan(value)) return "NA";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string RatioOrNa(bool available, double value, int decimals) {
+  return available ? FormatRatio(value, decimals) : "NA";
+}
+
+}  // namespace ceres::eval

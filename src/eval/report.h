@@ -1,0 +1,38 @@
+#ifndef CERES_EVAL_REPORT_H_
+#define CERES_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace ceres::eval {
+
+/// Fixed-width console table printer used by every bench binary to emit
+/// paper-style tables.
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> headers);
+
+  /// Adds one row; cells beyond the header count are dropped, missing
+  /// cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column separators and a header underline.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a ratio with the given number of decimals ("0.93"); NaN-safe.
+std::string FormatRatio(double value, int decimals = 2);
+
+/// Formats "NA" when the condition is false, else the ratio.
+std::string RatioOrNa(bool available, double value, int decimals = 2);
+
+}  // namespace ceres::eval
+
+#endif  // CERES_EVAL_REPORT_H_

@@ -1,0 +1,170 @@
+#include "fusion/knowledge_fusion.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "text/fuzzy_matcher.h"
+#include "text/normalize.h"
+
+namespace ceres::fusion {
+
+namespace {
+
+// Canonical key of a triple across sites: normalized subject (with a
+// trailing year stripped, so "Film (1989)" and "Film" merge), predicate,
+// normalized object.
+using TripleKey = std::tuple<std::string, PredicateId, std::string>;
+
+struct Support {
+  // Best extraction confidence per supporting site.
+  std::map<std::string, double> site_confidence;
+};
+
+std::string CanonicalSubject(const std::string& raw) {
+  return StripTrailingYear(NormalizeText(raw));
+}
+
+// Reliability-weighted noisy-or: each supporting site contributes
+// p = reliability * extraction confidence; belief = 1 - prod(1 - p).
+double Belief(const Support& support,
+              const std::unordered_map<std::string, double>& reliability) {
+  double miss = 1.0;
+  for (const auto& [site, confidence] : support.site_confidence) {
+    auto it = reliability.find(site);
+    double r = it == reliability.end() ? 0.5 : it->second;
+    miss *= 1.0 - r * confidence;
+  }
+  return 1.0 - miss;
+}
+
+}  // namespace
+
+FusionResult FuseExtractions(const std::vector<SiteExtractions>& sites,
+                             const Ontology& ontology,
+                             const FusionConfig& config) {
+  // 1. Normalize and collect support.
+  std::map<TripleKey, Support> support;
+  std::unordered_map<std::string, double> reliability;
+  for (const SiteExtractions& site : sites) {
+    reliability.emplace(site.site, config.initial_site_reliability);
+    for (const Extraction& extraction : site.extractions) {
+      if (extraction.predicate == kNamePredicate) continue;
+      if (extraction.confidence < config.min_extraction_confidence) continue;
+      TripleKey key{CanonicalSubject(extraction.subject),
+                    extraction.predicate,
+                    NormalizeText(extraction.object)};
+      if (std::get<0>(key).empty() || std::get<2>(key).empty()) continue;
+      double& best = support[key].site_confidence[site.site];
+      best = std::max(best, extraction.confidence);
+    }
+  }
+
+  // 2. Alternate triple-belief and site-reliability updates.
+  for (int iteration = 0; iteration < config.reliability_iterations;
+       ++iteration) {
+    std::unordered_map<std::string, double> belief_sum;
+    std::unordered_map<std::string, int64_t> belief_count;
+    for (const auto& [key, sup] : support) {
+      double belief = Belief(sup, reliability);
+      for (const auto& [site, confidence] : sup.site_confidence) {
+        belief_sum[site] += belief;
+        ++belief_count[site];
+      }
+    }
+    for (auto& [site, r] : reliability) {
+      auto count_it = belief_count.find(site);
+      if (count_it == belief_count.end() || count_it->second == 0) continue;
+      double mean = belief_sum[site] / static_cast<double>(count_it->second);
+      r = std::clamp(mean, config.reliability_floor,
+                     config.reliability_ceiling);
+    }
+  }
+
+  // 3. Score triples.
+  FusionResult result;
+  result.triples.reserve(support.size());
+  for (const auto& [key, sup] : support) {
+    FusedTriple triple;
+    triple.subject = std::get<0>(key);
+    triple.predicate = std::get<1>(key);
+    triple.object = std::get<2>(key);
+    triple.score = Belief(sup, reliability);
+    for (const auto& [site, confidence] : sup.site_confidence) {
+      triple.sites.push_back(site);
+    }
+    result.triples.push_back(std::move(triple));
+  }
+
+  // 4. Functional-predicate conflict resolution: keep the best object per
+  // (subject, predicate); flag or drop the rest.
+  std::map<std::pair<std::string, PredicateId>, const FusedTriple*> winner;
+  for (const FusedTriple& triple : result.triples) {
+    if (ontology.predicate(triple.predicate).multi_valued) continue;
+    auto key = std::make_pair(triple.subject, triple.predicate);
+    auto it = winner.find(key);
+    if (it == winner.end() || triple.score > it->second->score) {
+      winner[key] = &triple;
+    }
+  }
+  std::vector<FusedTriple> resolved;
+  resolved.reserve(result.triples.size());
+  for (FusedTriple& triple : result.triples) {
+    if (!ontology.predicate(triple.predicate).multi_valued) {
+      auto key = std::make_pair(triple.subject, triple.predicate);
+      if (winner.at(key) != &triple) {
+        if (!config.keep_conflicts) continue;
+        triple.conflicting = true;
+      }
+    }
+    resolved.push_back(std::move(triple));
+  }
+  result.triples = std::move(resolved);
+
+  std::sort(result.triples.begin(), result.triples.end(),
+            [](const FusedTriple& a, const FusedTriple& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.subject != b.subject) return a.subject < b.subject;
+              if (a.predicate != b.predicate) return a.predicate < b.predicate;
+              return a.object < b.object;
+            });
+
+  result.sites.reserve(reliability.size());
+  std::unordered_map<std::string, int64_t> triple_counts;
+  for (const FusedTriple& triple : result.triples) {
+    for (const std::string& site : triple.sites) ++triple_counts[site];
+  }
+  for (const SiteExtractions& site : sites) {
+    result.sites.push_back(SiteReliability{
+        site.site, reliability[site.site], triple_counts[site.site]});
+  }
+  return result;
+}
+
+KnowledgeBase BuildKbFromFusedTriples(const FusionResult& fused,
+                                      const Ontology& ontology,
+                                      double min_score) {
+  KnowledgeBase kb(ontology);
+  std::map<std::pair<TypeId, std::string>, EntityId> entities;
+  auto intern = [&](TypeId type, const std::string& name) {
+    auto key = std::make_pair(type, name);
+    auto it = entities.find(key);
+    if (it != entities.end()) return it->second;
+    EntityId id = kb.AddEntity(type, name);
+    entities.emplace(key, id);
+    return id;
+  };
+  for (const FusedTriple& triple : fused.triples) {
+    if (triple.score < min_score || triple.conflicting) continue;
+    const PredicateDecl& predicate = ontology.predicate(triple.predicate);
+    EntityId subject = intern(predicate.subject_type, triple.subject);
+    EntityId object = intern(predicate.object_type, triple.object);
+    kb.AddTriple(subject, triple.predicate, object);
+  }
+  kb.Freeze();
+  return kb;
+}
+
+}  // namespace ceres::fusion

@@ -1,0 +1,222 @@
+#include "kb/kb_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <memory>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace ceres {
+
+namespace {
+
+bool HasTab(const std::string& text) {
+  return text.find('\t') != std::string::npos;
+}
+
+Status MalformedLine(int line_number, const std::string& line,
+                     const std::string& why) {
+  return Status::InvalidArgument(
+      StrCat("line ", line_number, ": ", why, " — \"", line, "\""));
+}
+
+}  // namespace
+
+Status SaveKb(const KnowledgeBase& kb, std::ostream* out) {
+  if (!kb.frozen()) {
+    return Status::FailedPrecondition("KB must be frozen before saving");
+  }
+  const Ontology& ontology = kb.ontology();
+  *out << "#types\n";
+  for (const EntityTypeDecl& type : ontology.entity_types()) {
+    if (HasTab(type.name)) {
+      return Status::InvalidArgument(
+          StrCat("type name contains a tab: ", type.name));
+    }
+    *out << type.name << '\t' << (type.is_literal ? "literal" : "entity")
+         << '\n';
+  }
+  *out << "#predicates\n";
+  for (const PredicateDecl& predicate : ontology.predicates()) {
+    if (HasTab(predicate.name)) {
+      return Status::InvalidArgument(
+          StrCat("predicate name contains a tab: ", predicate.name));
+    }
+    *out << predicate.name << '\t'
+         << ontology.entity_type(predicate.subject_type).name << '\t'
+         << ontology.entity_type(predicate.object_type).name << '\t'
+         << (predicate.multi_valued ? "multi" : "single") << '\n';
+  }
+  *out << "#entities\n";
+  for (EntityId id = 0; id < kb.num_entities(); ++id) {
+    const Entity& entity = kb.entity(id);
+    if (HasTab(entity.name)) {
+      return Status::InvalidArgument(
+          StrCat("entity name contains a tab: ", entity.name));
+    }
+    *out << id << '\t' << ontology.entity_type(entity.type).name << '\t'
+         << entity.name;
+    for (const std::string& alias : entity.aliases) {
+      if (HasTab(alias)) {
+        return Status::InvalidArgument(
+            StrCat("alias contains a tab: ", alias));
+      }
+      *out << '\t' << alias;
+    }
+    *out << '\n';
+  }
+  *out << "#triples\n";
+  for (const Triple& triple : kb.triples()) {
+    *out << triple.subject << '\t'
+         << ontology.predicate(triple.predicate).name << '\t'
+         << triple.object << '\n';
+  }
+  if (!out->good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Status SaveKbToFile(const KnowledgeBase& kb, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound(StrCat("cannot open for writing: ", path));
+  }
+  return SaveKb(kb, &out);
+}
+
+Result<KnowledgeBase> LoadKb(std::istream* in) {
+  enum class Section { kNone, kTypes, kPredicates, kEntities, kTriples };
+  Section section = Section::kNone;
+  Ontology ontology;
+  // Ontology fills first; the KB is created lazily when #entities begins.
+  std::unique_ptr<KnowledgeBase> kb;
+  std::unordered_map<int64_t, EntityId> id_map;
+
+  auto parse_id = [](const std::string& field, int64_t* value) {
+    auto [ptr, ec] = std::from_chars(field.data(),
+                                     field.data() + field.size(), *value);
+    return ec == std::errc() && ptr == field.data() + field.size();
+  };
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line == "#types") {
+        section = Section::kTypes;
+      } else if (line == "#predicates") {
+        section = Section::kPredicates;
+      } else if (line == "#entities") {
+        section = Section::kEntities;
+        kb = std::make_unique<KnowledgeBase>(ontology);
+      } else if (line == "#triples") {
+        if (kb == nullptr) kb = std::make_unique<KnowledgeBase>(ontology);
+        section = Section::kTriples;
+      }
+      continue;  // Unknown '#' lines are comments.
+    }
+    std::vector<std::string> fields = Split(line, '\t');
+    switch (section) {
+      case Section::kNone:
+        return MalformedLine(line_number, line, "data before any section");
+      case Section::kTypes: {
+        if (fields.size() != 2) {
+          return MalformedLine(line_number, line, "expected 2 fields");
+        }
+        if (fields[1] != "literal" && fields[1] != "entity") {
+          return MalformedLine(line_number, line,
+                               "kind must be literal|entity");
+        }
+        if (ontology.TypeByName(fields[0]).ok()) {
+          return MalformedLine(line_number, line, "duplicate type");
+        }
+        ontology.AddEntityType(fields[0], fields[1] == "literal");
+        break;
+      }
+      case Section::kPredicates: {
+        if (fields.size() != 4) {
+          return MalformedLine(line_number, line, "expected 4 fields");
+        }
+        Result<TypeId> subject = ontology.TypeByName(fields[1]);
+        Result<TypeId> object = ontology.TypeByName(fields[2]);
+        if (!subject.ok() || !object.ok()) {
+          return MalformedLine(line_number, line, "unknown type");
+        }
+        if (fields[3] != "multi" && fields[3] != "single") {
+          return MalformedLine(line_number, line,
+                               "cardinality must be multi|single");
+        }
+        if (ontology.PredicateByName(fields[0]).ok()) {
+          return MalformedLine(line_number, line, "duplicate predicate");
+        }
+        ontology.AddPredicate(fields[0], *subject, *object,
+                              fields[3] == "multi");
+        break;
+      }
+      case Section::kEntities: {
+        if (fields.size() < 3) {
+          return MalformedLine(line_number, line, "expected >= 3 fields");
+        }
+        int64_t external_id = 0;
+        if (!parse_id(fields[0], &external_id)) {
+          return MalformedLine(line_number, line, "bad entity id");
+        }
+        if (id_map.count(external_id) > 0) {
+          return MalformedLine(line_number, line, "duplicate entity id");
+        }
+        Result<TypeId> type = kb->ontology().TypeByName(fields[1]);
+        if (!type.ok()) {
+          return MalformedLine(line_number, line, "unknown type");
+        }
+        EntityId internal = kb->AddEntity(*type, fields[2]);
+        for (size_t i = 3; i < fields.size(); ++i) {
+          kb->AddAlias(internal, fields[i]);
+        }
+        id_map[external_id] = internal;
+        break;
+      }
+      case Section::kTriples: {
+        if (fields.size() != 3) {
+          return MalformedLine(line_number, line, "expected 3 fields");
+        }
+        int64_t subject_id = 0;
+        int64_t object_id = 0;
+        if (!parse_id(fields[0], &subject_id) ||
+            !parse_id(fields[2], &object_id)) {
+          return MalformedLine(line_number, line, "bad entity id");
+        }
+        auto subject_it = id_map.find(subject_id);
+        auto object_it = id_map.find(object_id);
+        if (subject_it == id_map.end() || object_it == id_map.end()) {
+          return MalformedLine(line_number, line, "undeclared entity id");
+        }
+        Result<PredicateId> predicate =
+            kb->ontology().PredicateByName(fields[1]);
+        if (!predicate.ok()) {
+          return MalformedLine(line_number, line, "unknown predicate");
+        }
+        kb->AddTriple(subject_it->second, *predicate, object_it->second);
+        break;
+      }
+    }
+  }
+  if (kb == nullptr) kb = std::make_unique<KnowledgeBase>(ontology);
+  kb->Freeze();
+  return std::move(*kb);
+}
+
+Result<KnowledgeBase> LoadKbFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open: ", path));
+  }
+  return LoadKb(&in);
+}
+
+}  // namespace ceres

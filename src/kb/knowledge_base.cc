@@ -1,0 +1,150 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+
+#include "text/normalize.h"
+#include "util/logging.h"
+
+namespace ceres {
+
+EntityId KnowledgeBase::AddEntity(TypeId type, std::string_view name) {
+  CERES_CHECK(!frozen_);
+  CERES_CHECK(type >= 0 && type < ontology_.num_types());
+  EntityId id = static_cast<EntityId>(entities_.size());
+  entities_.push_back(Entity{id, type, std::string(name), {}});
+  return id;
+}
+
+void KnowledgeBase::AddAlias(EntityId id, std::string_view alias) {
+  CERES_CHECK(!frozen_);
+  CERES_CHECK(id >= 0 && id < num_entities());
+  entities_[static_cast<size_t>(id)].aliases.emplace_back(alias);
+}
+
+void KnowledgeBase::AddTriple(EntityId subject, PredicateId predicate,
+                              EntityId object) {
+  CERES_CHECK(!frozen_);
+  CERES_CHECK(subject >= 0 && subject < num_entities());
+  CERES_CHECK(object >= 0 && object < num_entities());
+  CERES_CHECK(predicate >= 0 && predicate < ontology_.num_predicates());
+  triples_.push_back(Triple{subject, predicate, object});
+}
+
+void KnowledgeBase::Freeze() {
+  CERES_CHECK(!frozen_);
+  // Deduplicate triples.
+  std::sort(triples_.begin(), triples_.end(),
+            [](const Triple& a, const Triple& b) {
+              if (a.subject != b.subject) return a.subject < b.subject;
+              if (a.predicate != b.predicate) return a.predicate < b.predicate;
+              return a.object < b.object;
+            });
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+
+  for (const Entity& entity : entities_) {
+    name_index_.Add(entity.name, entity.id);
+    for (const std::string& alias : entity.aliases) {
+      name_index_.Add(alias, entity.id);
+    }
+  }
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    const Triple& triple = triples_[i];
+    triples_by_subject_[triple.subject].push_back(static_cast<int>(i));
+    objects_by_subject_[triple.subject].insert(triple.object);
+    std::string key =
+        NormalizeText(entities_[static_cast<size_t>(triple.object)].name);
+    if (!key.empty()) ++object_string_triple_count_[key];
+  }
+  frozen_ = true;
+}
+
+const Entity& KnowledgeBase::entity(EntityId id) const {
+  CERES_CHECK(id >= 0 && id < num_entities());
+  return entities_[static_cast<size_t>(id)];
+}
+
+int64_t KnowledgeBase::CountEntitiesOfType(TypeId type) const {
+  int64_t count = 0;
+  for (const Entity& entity : entities_) {
+    if (entity.type == type) ++count;
+  }
+  return count;
+}
+
+int64_t KnowledgeBase::CountPredicatesForSubjectType(TypeId type) const {
+  std::unordered_set<PredicateId> seen;
+  for (const Triple& triple : triples_) {
+    if (entities_[static_cast<size_t>(triple.subject)].type == type) {
+      seen.insert(triple.predicate);
+    }
+  }
+  return static_cast<int64_t>(seen.size());
+}
+
+std::vector<EntityId> KnowledgeBase::MatchMentions(
+    std::string_view text) const {
+  CERES_CHECK(frozen_);
+  return name_index_.Match(text);
+}
+
+std::vector<Triple> KnowledgeBase::TriplesWithSubject(
+    EntityId subject) const {
+  CERES_CHECK(frozen_);
+  std::vector<Triple> out;
+  auto it = triples_by_subject_.find(subject);
+  if (it == triples_by_subject_.end()) return out;
+  out.reserve(it->second.size());
+  for (int index : it->second) {
+    out.push_back(triples_[static_cast<size_t>(index)]);
+  }
+  return out;
+}
+
+const std::unordered_set<EntityId>& KnowledgeBase::ObjectsOfSubject(
+    EntityId subject) const {
+  CERES_CHECK(frozen_);
+  auto it = objects_by_subject_.find(subject);
+  return it == objects_by_subject_.end() ? empty_set_ : it->second;
+}
+
+std::vector<PredicateId> KnowledgeBase::PredicatesBetween(
+    EntityId subject, EntityId object) const {
+  CERES_CHECK(frozen_);
+  std::vector<PredicateId> out;
+  auto it = triples_by_subject_.find(subject);
+  if (it == triples_by_subject_.end()) return out;
+  for (int index : it->second) {
+    const Triple& triple = triples_[static_cast<size_t>(index)];
+    if (triple.object == object) out.push_back(triple.predicate);
+  }
+  return out;
+}
+
+bool KnowledgeBase::HasTriple(EntityId subject, PredicateId predicate,
+                              EntityId object) const {
+  CERES_CHECK(frozen_);
+  auto it = triples_by_subject_.find(subject);
+  if (it == triples_by_subject_.end()) return false;
+  for (int index : it->second) {
+    const Triple& triple = triples_[static_cast<size_t>(index)];
+    if (triple.predicate == predicate && triple.object == object) return true;
+  }
+  return false;
+}
+
+std::unordered_set<std::string> KnowledgeBase::CommonObjectStrings(
+    double fraction, int64_t min_count) const {
+  CERES_CHECK(frozen_);
+  std::unordered_set<std::string> out;
+  if (triples_.empty()) return out;
+  const double threshold =
+      std::max(fraction * static_cast<double>(triples_.size()),
+               static_cast<double>(min_count));
+  for (const auto& [key, count] : object_string_triple_count_) {
+    if (static_cast<double>(count) >= threshold) out.insert(key);
+  }
+  return out;
+}
+
+}  // namespace ceres

@@ -1,0 +1,130 @@
+#ifndef CERES_KB_KNOWLEDGE_BASE_H_
+#define CERES_KB_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kb/ontology.h"
+#include "text/fuzzy_matcher.h"
+#include "util/status.h"
+
+namespace ceres {
+
+/// Identifier of an entity within a KnowledgeBase.
+using EntityId = int64_t;
+inline constexpr EntityId kInvalidEntity = -1;
+
+/// One entity of the seed KB: a typed node with a canonical name and
+/// optional aliases. Literal values (dates, numbers) are entities of
+/// literal types so that all triple objects have matchable surface strings.
+struct Entity {
+  EntityId id = kInvalidEntity;
+  TypeId type = kInvalidType;
+  std::string name;
+  std::vector<std::string> aliases;
+};
+
+/// One (subject, predicate, object) fact (§2.1).
+struct Triple {
+  EntityId subject = kInvalidEntity;
+  PredicateId predicate = kInvalidPredicate;
+  EntityId object = kInvalidEntity;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+};
+
+/// The seed knowledge base: an entity catalog plus an indexed triple store.
+///
+/// Build phase: AddEntity / AddAlias / AddTriple in any order, then call
+/// Freeze() once. All query methods require a frozen KB; the name index,
+/// subject index, and object-string statistics are built at freeze time.
+class KnowledgeBase {
+ public:
+  explicit KnowledgeBase(Ontology ontology)
+      : ontology_(std::move(ontology)) {}
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  const Ontology& ontology() const { return ontology_; }
+
+  /// Registers an entity and returns its id.
+  EntityId AddEntity(TypeId type, std::string_view name);
+
+  /// Adds an alternative surface name for an existing entity.
+  void AddAlias(EntityId id, std::string_view alias);
+
+  /// Adds a fact; subject/object must be registered entities. Duplicate
+  /// triples are collapsed at Freeze() time.
+  void AddTriple(EntityId subject, PredicateId predicate, EntityId object);
+
+  /// Builds all indexes. Must be called exactly once, after loading.
+  void Freeze();
+  bool frozen() const { return frozen_; }
+
+  // --- Catalog queries -----------------------------------------------------
+
+  int64_t num_entities() const { return static_cast<int64_t>(entities_.size()); }
+  int64_t num_triples() const { return static_cast<int64_t>(triples_.size()); }
+  const Entity& entity(EntityId id) const;
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Entities per type; used by the Table 2 report.
+  int64_t CountEntitiesOfType(TypeId type) const;
+  /// Distinct predicates whose subject type is `type`.
+  int64_t CountPredicatesForSubjectType(TypeId type) const;
+
+  // --- Matching (requires frozen) ------------------------------------------
+
+  /// All entity ids whose name or alias fuzzily matches `text` (§3.1.1
+  /// step 1). May return many ids for ambiguous strings.
+  std::vector<EntityId> MatchMentions(std::string_view text) const;
+
+  // --- Triple queries (require frozen) --------------------------------------
+
+  /// Triples with the given subject.
+  std::vector<Triple> TriplesWithSubject(EntityId subject) const;
+
+  /// Set of objects of any triple with the given subject — the
+  /// entitySet of Equation (1).
+  const std::unordered_set<EntityId>& ObjectsOfSubject(EntityId subject) const;
+
+  /// All predicates r such that (subject, r, object) is in the KB.
+  std::vector<PredicateId> PredicatesBetween(EntityId subject,
+                                             EntityId object) const;
+
+  bool HasTriple(EntityId subject, PredicateId predicate,
+                 EntityId object) const;
+
+  /// Normalized object strings that appear in at least `fraction` of all
+  /// triples — the common-string topic filter of §3.1.1 (paper example:
+  /// 0.01%). `min_count` floors the threshold so that small KBs (where
+  /// 0.01% is under one triple) don't filter every string.
+  std::unordered_set<std::string> CommonObjectStrings(
+      double fraction, int64_t min_count = 1) const;
+
+ private:
+  Ontology ontology_;
+  std::vector<Entity> entities_;
+  std::vector<Triple> triples_;
+  bool frozen_ = false;
+
+  FuzzyMatcher name_index_;
+  std::unordered_map<EntityId, std::vector<int>> triples_by_subject_;
+  std::unordered_map<EntityId, std::unordered_set<EntityId>>
+      objects_by_subject_;
+  std::unordered_map<std::string, int64_t> object_string_triple_count_;
+  std::unordered_set<EntityId> empty_set_;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_KB_KNOWLEDGE_BASE_H_

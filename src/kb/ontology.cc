@@ -1,0 +1,58 @@
+#include "kb/ontology.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ceres {
+
+TypeId Ontology::AddEntityType(std::string_view name, bool is_literal) {
+  std::string key(name);
+  CERES_CHECK_MSG(type_by_name_.count(key) == 0,
+                  "duplicate entity type " << key);
+  TypeId id = static_cast<TypeId>(types_.size());
+  types_.push_back(EntityTypeDecl{id, key, is_literal});
+  type_by_name_[key] = id;
+  return id;
+}
+
+PredicateId Ontology::AddPredicate(std::string_view name, TypeId subject_type,
+                                   TypeId object_type, bool multi_valued) {
+  std::string key(name);
+  CERES_CHECK_MSG(predicate_by_name_.count(key) == 0,
+                  "duplicate predicate " << key);
+  CERES_CHECK(subject_type >= 0 && subject_type < num_types());
+  CERES_CHECK(object_type >= 0 && object_type < num_types());
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(
+      PredicateDecl{id, key, subject_type, object_type, multi_valued});
+  predicate_by_name_[key] = id;
+  return id;
+}
+
+Result<TypeId> Ontology::TypeByName(std::string_view name) const {
+  auto it = type_by_name_.find(std::string(name));
+  if (it == type_by_name_.end()) {
+    return Status::NotFound(StrCat("entity type not declared: ", name));
+  }
+  return it->second;
+}
+
+Result<PredicateId> Ontology::PredicateByName(std::string_view name) const {
+  auto it = predicate_by_name_.find(std::string(name));
+  if (it == predicate_by_name_.end()) {
+    return Status::NotFound(StrCat("predicate not declared: ", name));
+  }
+  return it->second;
+}
+
+const EntityTypeDecl& Ontology::entity_type(TypeId id) const {
+  CERES_CHECK(id >= 0 && id < num_types());
+  return types_[id];
+}
+
+const PredicateDecl& Ontology::predicate(PredicateId id) const {
+  CERES_CHECK(id >= 0 && id < num_predicates());
+  return predicates_[id];
+}
+
+}  // namespace ceres

@@ -1,0 +1,78 @@
+#ifndef CERES_KB_ONTOLOGY_H_
+#define CERES_KB_ONTOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ceres {
+
+/// Identifier of an entity type within an Ontology.
+using TypeId = int32_t;
+/// Identifier of a relation predicate within an Ontology.
+using PredicateId = int32_t;
+inline constexpr PredicateId kInvalidPredicate = -1;
+inline constexpr TypeId kInvalidType = -1;
+
+/// Declaration of one entity type (Person, Film, ...). Literal types
+/// (dates, phone numbers, ...) are modelled as entity types too, so that
+/// every triple object has a surface name to match against page text.
+struct EntityTypeDecl {
+  TypeId id = kInvalidType;
+  std::string name;
+  /// True for value-like types (date, number, phone, ...) that are never
+  /// page topics.
+  bool is_literal = false;
+};
+
+/// Declaration of one relation predicate of the ontology (§2.1).
+struct PredicateDecl {
+  PredicateId id = kInvalidPredicate;
+  std::string name;
+  TypeId subject_type = kInvalidType;
+  TypeId object_type = kInvalidType;
+  /// True when a subject may hold many triples of this predicate
+  /// (e.g. acted_in); false for functional predicates (birth date).
+  bool multi_valued = false;
+};
+
+/// The schema shared by the seed KB and the extractor: entity types and
+/// relation predicates. Classifier classes are the ontology's predicates
+/// plus the reserved NAME and OTHER labels (§4).
+class Ontology {
+ public:
+  Ontology() = default;
+
+  /// Registers a type; name must be unique. Returns its id.
+  TypeId AddEntityType(std::string_view name, bool is_literal = false);
+
+  /// Registers a predicate; name must be unique. Returns its id.
+  PredicateId AddPredicate(std::string_view name, TypeId subject_type,
+                           TypeId object_type, bool multi_valued);
+
+  Result<TypeId> TypeByName(std::string_view name) const;
+  Result<PredicateId> PredicateByName(std::string_view name) const;
+
+  const EntityTypeDecl& entity_type(TypeId id) const;
+  const PredicateDecl& predicate(PredicateId id) const;
+
+  int num_types() const { return static_cast<int>(types_.size()); }
+  int num_predicates() const { return static_cast<int>(predicates_.size()); }
+
+  const std::vector<PredicateDecl>& predicates() const { return predicates_; }
+  const std::vector<EntityTypeDecl>& entity_types() const { return types_; }
+
+ private:
+  std::vector<EntityTypeDecl> types_;
+  std::vector<PredicateDecl> predicates_;
+  std::unordered_map<std::string, TypeId> type_by_name_;
+  std::unordered_map<std::string, PredicateId> predicate_by_name_;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_KB_ONTOLOGY_H_

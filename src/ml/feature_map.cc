@@ -1,0 +1,27 @@
+#include "ml/feature_map.h"
+
+#include "util/logging.h"
+
+namespace ceres {
+
+int32_t FeatureMap::GetOrAdd(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  if (frozen_) return -1;
+  int32_t id = size();
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+int32_t FeatureMap::Get(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& FeatureMap::Name(int32_t index) const {
+  CERES_CHECK(index >= 0 && index < size());
+  return names_[static_cast<size_t>(index)];
+}
+
+}  // namespace ceres

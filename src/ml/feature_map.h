@@ -1,0 +1,43 @@
+#ifndef CERES_ML_FEATURE_MAP_H_
+#define CERES_ML_FEATURE_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ceres {
+
+/// Bidirectional dictionary between string feature names and dense indices.
+///
+/// During training, GetOrAdd() grows the vocabulary; before applying a model
+/// to unseen pages the map is frozen so unknown features map to -1 and are
+/// dropped (the standard train/apply asymmetry of a linear extractor).
+class FeatureMap {
+ public:
+  FeatureMap() = default;
+
+  /// Returns the index of `name`, inserting it when unseen and not frozen.
+  /// Returns -1 for unseen features once frozen.
+  int32_t GetOrAdd(std::string_view name);
+
+  /// Index of `name`, or -1 if absent. Never inserts.
+  int32_t Get(std::string_view name) const;
+
+  /// Name of feature `index`.
+  const std::string& Name(int32_t index) const;
+
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> names_;
+  bool frozen_ = false;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_ML_FEATURE_MAP_H_

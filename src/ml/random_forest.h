@@ -1,0 +1,74 @@
+#ifndef CERES_ML_RANDOM_FOREST_H_
+#define CERES_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/logistic_regression.h"  // LabeledExample.
+#include "ml/sparse_vector.h"
+#include "util/status.h"
+
+namespace ceres {
+
+/// Configuration of the random-forest classifier — one of the alternative
+/// node classifiers the paper reports experimenting with before settling
+/// on multinomial logistic regression (§4.2).
+struct RandomForestConfig {
+  int num_trees = 20;
+  int max_depth = 12;
+  /// Nodes with fewer examples become leaves.
+  int min_samples_leaf = 2;
+  /// Candidate features per split: ceil(sqrt(num_features)) when 0.
+  int features_per_split = 0;
+  /// Bootstrap-sample fraction per tree.
+  double bagging_fraction = 1.0;
+  uint64_t seed = 13;
+};
+
+/// A bagged ensemble of binary-split decision trees over sparse feature
+/// vectors. Splits test feature *presence* (value != 0), which matches the
+/// one-hot structural/text features of the DOM extractor. Prediction
+/// averages the per-tree leaf class distributions.
+class RandomForest {
+ public:
+  RandomForest() = default;
+
+  /// Fits the forest. Deterministic for a given config.seed.
+  Status Train(const std::vector<LabeledExample>& examples,
+               int32_t num_features, int32_t num_classes,
+               const RandomForestConfig& config = {});
+
+  /// Averaged leaf distributions; requires a trained forest.
+  std::vector<double> PredictProbabilities(const SparseVector& features) const;
+
+  /// Argmax class with its probability.
+  std::pair<int32_t, double> Predict(const SparseVector& features) const;
+
+  bool trained() const { return trained_; }
+  int32_t num_classes() const { return num_classes_; }
+
+  /// Number of nodes across all trees (for introspection tests).
+  int64_t TotalNodes() const;
+
+ private:
+  struct Node {
+    /// Split feature; -1 marks a leaf.
+    int32_t feature = -1;
+    /// Children when internal (feature absent -> left, present -> right).
+    int32_t left = -1;
+    int32_t right = -1;
+    /// Class distribution when leaf.
+    std::vector<double> distribution;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int32_t num_classes_ = 0;
+  std::vector<Tree> trees_;
+  bool trained_ = false;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_ML_RANDOM_FOREST_H_

@@ -1,0 +1,97 @@
+#include "synth/kb_builder.h"
+
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace ceres::synth {
+
+namespace {
+
+// Copies world entities into `seed` on demand, preserving names, types, and
+// (optionally) aliases.
+class EntityCopier {
+ public:
+  EntityCopier(const World& world, KnowledgeBase* seed, bool include_aliases)
+      : world_(world), seed_(seed), include_aliases_(include_aliases) {}
+
+  EntityId Copy(EntityId world_id) {
+    auto it = mapping_.find(world_id);
+    if (it != mapping_.end()) return it->second;
+    const Entity& entity = world_.kb.entity(world_id);
+    EntityId seed_id = seed_->AddEntity(entity.type, entity.name);
+    if (include_aliases_) {
+      for (const std::string& alias : entity.aliases) {
+        seed_->AddAlias(seed_id, alias);
+      }
+    }
+    mapping_.emplace(world_id, seed_id);
+    return seed_id;
+  }
+
+ private:
+  const World& world_;
+  KnowledgeBase* seed_;
+  bool include_aliases_;
+  std::unordered_map<EntityId, EntityId> mapping_;
+};
+
+// Popularity rank of each entity within its type roster, in [0, 1).
+std::unordered_map<EntityId, double> PopularityRanks(const World& world) {
+  std::unordered_map<EntityId, double> ranks;
+  for (const auto& [type, ids] : world.by_type) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ranks[ids[i]] = static_cast<double>(i) /
+                      static_cast<double>(ids.size());
+    }
+  }
+  return ranks;
+}
+
+}  // namespace
+
+KnowledgeBase BuildSeedKb(const World& world, const SeedKbConfig& config) {
+  KnowledgeBase seed(world.kb.ontology());
+  EntityCopier copier(world, &seed, config.include_aliases);
+  Rng rng(config.seed);
+  std::unordered_map<EntityId, double> ranks;
+  if (config.popularity_bias) ranks = PopularityRanks(world);
+
+  for (const Triple& triple : world.kb.triples()) {
+    const std::string& predicate_name =
+        world.kb.ontology().predicate(triple.predicate).name;
+    auto it = config.coverage.find(predicate_name);
+    double keep =
+        it != config.coverage.end() ? it->second : config.default_coverage;
+    if (config.popularity_bias) {
+      auto rank_it = ranks.find(triple.subject);
+      double rank = rank_it != ranks.end() ? rank_it->second : 0.5;
+      keep *= 2.0 * (1.0 - rank);
+      if (keep > 1.0) keep = 1.0;
+    }
+    if (keep <= 0.0) continue;
+    if (keep < 1.0 && !rng.Bernoulli(keep)) continue;
+    seed.AddTriple(copier.Copy(triple.subject), triple.predicate,
+                   copier.Copy(triple.object));
+  }
+  seed.Freeze();
+  return seed;
+}
+
+KnowledgeBase BuildSeedKbFromPages(const World& world,
+                                   const std::vector<GeneratedPage>& pages) {
+  KnowledgeBase seed(world.kb.ontology());
+  EntityCopier copier(world, &seed, /*include_aliases=*/true);
+  for (const GeneratedPage& page : pages) {
+    if (page.topic == kInvalidEntity) continue;
+    EntityId subject = copier.Copy(page.topic);
+    for (const GroundTruthFact& fact : page.facts) {
+      if (fact.predicate == kNamePredicate) continue;
+      seed.AddTriple(subject, fact.predicate, copier.Copy(fact.object));
+    }
+  }
+  seed.Freeze();
+  return seed;
+}
+
+}  // namespace ceres::synth

@@ -1,0 +1,46 @@
+#ifndef CERES_SYNTH_KB_BUILDER_H_
+#define CERES_SYNTH_KB_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "synth/site_generator.h"
+#include "synth/world.h"
+
+namespace ceres::synth {
+
+/// Controls the projection of a World into a seed KB — the knob that
+/// recreates the paper's KB-incompleteness regimes (footnote 10: the IMDb
+/// seed KB held only ~14% of the cast facts asserted on pages, biased
+/// toward popular entities).
+struct SeedKbConfig {
+  uint64_t seed = 11;
+  /// Fraction of world facts kept per predicate (by name); predicates not
+  /// listed use default_coverage.
+  std::unordered_map<std::string, double> coverage;
+  double default_coverage = 1.0;
+  /// When true, kept facts skew toward popular subjects (early roster
+  /// positions): effective keep probability is scaled by 2*(1 - rank)
+  /// where rank in [0,1) is the subject's popularity rank.
+  bool popularity_bias = false;
+  /// Copy alias surface forms of copied entities.
+  bool include_aliases = true;
+};
+
+/// Projects `world` into a fresh seed KnowledgeBase (same ontology, new
+/// entity ids). Only entities participating in kept triples are copied.
+/// The result is frozen.
+KnowledgeBase BuildSeedKb(const World& world, const SeedKbConfig& config);
+
+/// Builds a seed KB from the node-level ground truth of already-generated
+/// pages — the paper's protocol for the Book / NBA / University verticals,
+/// where the seed KB is the ground truth of the alphabetically first site
+/// (§5.1.1). The result is frozen.
+KnowledgeBase BuildSeedKbFromPages(const World& world,
+                                   const std::vector<GeneratedPage>& pages);
+
+}  // namespace ceres::synth
+
+#endif  // CERES_SYNTH_KB_BUILDER_H_

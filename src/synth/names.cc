@@ -1,0 +1,330 @@
+#include "synth/names.h"
+
+#include <array>
+#include <cctype>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace ceres::synth {
+
+namespace {
+
+struct SyllableBank {
+  std::vector<std::string> first;
+  std::vector<std::string> mid;
+  std::vector<std::string> last;
+};
+
+const SyllableBank& BankFor(Locale locale) {
+  static const auto* kBanks = new std::map<Locale, SyllableBank>{
+      {Locale::kEnglish,
+       {{"mar", "el", "jo", "ka", "dan", "ro", "li", "ste", "ber", "tho",
+         "an", "wil", "har", "ed", "fre"},
+        {"cu", "ri", "na", "vi", "lo", "den", "mi", "ga", "ren", "ther"},
+        {"son", "ton", "ley", "field", "man", "berg", "wick", "ford", "well",
+         "er", "by", "ham"}}},
+      {Locale::kItalian,
+       {{"gio", "mar", "lu", "fran", "ales", "pa", "vit", "ro", "si", "ce"},
+        {"van", "ce", "to", "ri", "ssan", "ol", "en", "ber", "la", "mi"},
+        {"ni", "ti", "sco", "ro", "lli", "ra", "dro", "ne", "si", "tta"}}},
+      {Locale::kCzech,
+       {{"ja", "pe", "mi", "vo", "zde", "kar", "lud", "bo", "sta", "vla"},
+        {"ro", "tr", "ne", "je", "ku", "mil", "di", "va", "se", "ho"},
+        {"slav", "mir", "tek", "cek", "ka", "nek", "vec", "sky", "cil",
+         "han"}}},
+      {Locale::kDanish,
+       {{"sø", "las", "mik", "an", "kas", "fre", "jo", "ni", "mag", "es"},
+        {"ren", "se", "kel", "der", "per", "de", "han", "ko", "nu", "ben"},
+        {"sen", "gaard", "holm", "berg", "dal", "lund", "strup", "skov",
+         "bæk", "toft"}}},
+      {Locale::kIcelandic,
+       {{"sig", "gud", "bjar", "ein", "hall", "thor", "ragn", "ás", "ól",
+         "kri"},
+        {"ur", "run", "ni", "dis", "ar", "mund", "ge", "stein", "vald",
+         "björ"},
+        {"sson", "dóttir", "nsson", "rsson", "ðsson", "gsson", "ksson",
+         "ason", "msson", "tsson"}}},
+      {Locale::kIndonesian,
+       {{"bu", "sri", "adi", "dwi", "ra", "su", "tri", "yan", "nur", "in"},
+        {"di", "ka", "war", "san", "har", "ta", "man", "gu", "se", "no"},
+        {"to", "wan", "sih", "dja", "ti", "no", "yah", "tra", "man", "di"}}},
+      {Locale::kSlovak,
+       {{"ju", "mar", "pa", "mi", "lu", "ra", "to", "vla", "an", "du"},
+        {"ra", "ti", "vo", "ku", "le", "bo", "mi", "se", "za", "ho"},
+        {"vič", "ák", "ček", "ský", "an", "ko", "ar", "ik", "áš", "ec"}}},
+  };
+  auto it = kBanks->find(locale);
+  return it == kBanks->end() ? kBanks->at(Locale::kEnglish) : it->second;
+}
+
+std::string Capitalize(std::string word) {
+  if (!word.empty()) {
+    word[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(word[0])));
+  }
+  return word;
+}
+
+std::string ComposeWord(Rng* rng, const SyllableBank& bank, int min_syl,
+                        int max_syl) {
+  int syllables = static_cast<int>(rng->Uniform(min_syl, max_syl));
+  std::string word = rng->Pick(bank.first);
+  for (int i = 1; i + 1 < syllables; ++i) word += rng->Pick(bank.mid);
+  if (syllables > 1) word += rng->Pick(bank.last);
+  return Capitalize(word);
+}
+
+const std::vector<std::string>& TitleAdjectives() {
+  static const auto* kWords = new std::vector<std::string>{
+      "Silent",  "Crimson", "Broken",  "Golden", "Hidden",  "Burning",
+      "Frozen",  "Wild",    "Lonely",  "Final",  "Distant", "Hollow",
+      "Gentle",  "Savage",  "Electric", "Paper", "Iron",    "Velvet",
+      "Falling", "Rising"};
+  return *kWords;
+}
+
+const std::vector<std::string>& TitleNouns() {
+  static const auto* kWords = new std::vector<std::string>{
+      "Harbor",  "Road",    "River",   "Mountain", "Garden", "Mirror",
+      "Shadow",  "Summer",  "Winter",  "Letter",   "Window", "Island",
+      "Signal",  "Horizon", "Lantern", "Orchard",  "Bridge", "Voyage",
+      "Whisper", "Carnival"};
+  return *kWords;
+}
+
+}  // namespace
+
+std::string PersonName(Rng* rng, Locale locale) {
+  const SyllableBank& bank = BankFor(locale);
+  return ComposeWord(rng, bank, 2, 3) + " " + ComposeWord(rng, bank, 2, 4);
+}
+
+std::string FilmTitle(Rng* rng, Locale locale) {
+  switch (rng->Uniform(0, 3)) {
+    case 0:
+      return StrCat("The ", rng->Pick(TitleAdjectives()), " ",
+                    rng->Pick(TitleNouns()));
+    case 1:
+      return StrCat(rng->Pick(TitleAdjectives()), " ",
+                    rng->Pick(TitleNouns()));
+    case 2:
+      return StrCat(rng->Pick(TitleNouns()), " of ",
+                    ComposeWord(rng, BankFor(locale), 2, 3));
+    default:
+      return StrCat(rng->Pick(TitleNouns()), " ", rng->Pick(TitleNouns()));
+  }
+}
+
+std::string BookTitle(Rng* rng) {
+  switch (rng->Uniform(0, 2)) {
+    case 0:
+      return StrCat("A ", rng->Pick(TitleAdjectives()), " ",
+                    rng->Pick(TitleNouns()));
+    case 1:
+      return StrCat("The ", rng->Pick(TitleNouns()), " and the ",
+                    rng->Pick(TitleNouns()));
+    default:
+      return StrCat(rng->Pick(TitleAdjectives()), " ",
+                    rng->Pick(TitleNouns()), "s");
+  }
+}
+
+std::string PublisherName(Rng* rng) {
+  static const std::vector<std::string> kSuffixes{"Press", "Books", "House",
+                                                  "Publishing", "& Sons"};
+  return StrCat(ComposeWord(rng, BankFor(Locale::kEnglish), 2, 3), " ",
+                rng->Pick(kSuffixes));
+}
+
+std::string UniversityName(Rng* rng) {
+  std::string base = ComposeWord(rng, BankFor(Locale::kEnglish), 2, 4);
+  switch (rng->Uniform(0, 2)) {
+    case 0:
+      return StrCat("University of ", base);
+    case 1:
+      return StrCat(base, " State University");
+    default:
+      return StrCat(base, " College");
+  }
+}
+
+std::string TeamName(Rng* rng) {
+  static const std::vector<std::string> kMascots{
+      "Hawks", "Bears",  "Comets", "Pioneers", "Wolves",
+      "Kings", "Rivers", "Suns",   "Raptors",  "Chiefs"};
+  return StrCat(ComposeWord(rng, BankFor(Locale::kEnglish), 2, 3), " ",
+                rng->Pick(kMascots));
+}
+
+std::string PlaceName(Rng* rng, Locale locale) {
+  static const std::vector<std::string> kSuffixes{"ville", " City", "burg",
+                                                  "ton", " Falls"};
+  return StrCat(ComposeWord(rng, BankFor(locale), 2, 3),
+                rng->Pick(kSuffixes));
+}
+
+std::string DateString(Rng* rng, int year_lo, int year_hi) {
+  static const std::vector<std::string> kMonths{
+      "January",   "February", "March",    "April",
+      "May",       "June",     "July",     "August",
+      "September", "October",  "November", "December"};
+  return StrCat(rng->Uniform(1, 28), " ", rng->Pick(kMonths), " ",
+                rng->Uniform(year_lo, year_hi));
+}
+
+std::string HeightString(Rng* rng) {
+  return StrCat(rng->Uniform(5, 7), "'", rng->Uniform(0, 11), "\"");
+}
+
+std::string WeightString(Rng* rng) {
+  return StrCat(rng->Uniform(160, 290), " lbs");
+}
+
+std::string PhoneString(Rng* rng) {
+  return StrCat("(", rng->Uniform(201, 989), ") 555-0",
+                rng->Uniform(100, 199));
+}
+
+std::string WebsiteString(Rng* rng, const std::string& base) {
+  (void)rng;
+  return StrCat("www.", Slugify(base), ".edu");
+}
+
+std::string IsbnString(Rng* rng) {
+  std::string out = "978-";
+  out += std::to_string(rng->Uniform(0, 1));
+  out += '-';
+  for (int i = 0; i < 2; ++i) {
+    out += std::to_string(rng->Uniform(100, 999));
+    out += '-';
+  }
+  out += std::to_string(rng->Uniform(0, 9));
+  return out;
+}
+
+const std::vector<std::string>& GenreNames() {
+  static const auto* kGenres = new std::vector<std::string>{
+      "Comedy",      "Thriller", "Romance",  "Action",  "Horror",
+      "Documentary", "Western",  "Musical",  "Mystery", "Animation",
+      "Crime",       "Fantasy",  "War",      "Sport",   "Biography",
+      "Adventure",   "Family",   "Sci-Fi"};
+  return *kGenres;
+}
+
+const std::vector<std::string>& AmbiguousEpisodeTitles() {
+  static const auto* kTitles = new std::vector<std::string>{
+      "Pilot", "Biography", "Help", "Home", "The Letter", "Family",
+      "The Road", "Winter", "Crime", "The Bridge"};
+  return *kTitles;
+}
+
+std::string UiLabel(const std::string& key, Locale locale) {
+  using Table = std::map<std::string, std::string>;
+  static const auto* kEnglish = new Table{
+      {"director", "Director:"},       {"writer", "Writer:"},
+      {"cast", "Cast"},                {"genre", "Genres"},
+      {"release_date", "Release Date:"}, {"year", "Year:"},
+      {"producer", "Producer:"},       {"music", "Music by:"},
+      {"born", "Born:"},               {"birthplace", "Birthplace:"},
+      {"alias", "Also Known As:"},     {"title", "Title:"},
+      {"author", "Author:"},           {"publisher", "Publisher:"},
+      {"publication_date", "Publication Date:"}, {"isbn", "ISBN-13:"},
+      {"team", "Team:"},               {"height", "Height:"},
+      {"weight", "Weight:"},           {"phone", "Phone:"},
+      {"website", "Website:"},         {"type", "Type:"},
+      {"known_for", "Known For"},
+      {"recommendations", "People who liked this also liked"},
+      {"filmography", "Filmography"},  {"home", "Home"},
+      {"search", "Search"},            {"help", "Help"},
+      {"login", "Login"},              {"episodes", "Episodes"},
+      {"series", "Series:"},           {"season", "Season:"},
+      {"episode", "Episode:"},         {"on_video", "Available on Video"},
+      {"projects", "Projects in Development"},
+      {"details", "Details:"},
+      {"charts", "Daily Box Office"}};
+  static const auto* kLocalized = new std::map<Locale, Table>{
+      {Locale::kItalian,
+       {{"director", "Regia:"},
+        {"writer", "Sceneggiatura:"},
+        {"cast", "Interpreti"},
+        {"genre", "Genere"},
+        {"release_date", "Data di uscita:"},
+        {"year", "Anno:"},
+        {"producer", "Produttore:"},
+        {"music", "Musiche di:"},
+        {"home", "Pagina iniziale"},
+        {"search", "Cerca"},
+        {"help", "Aiuto"}}},
+      {Locale::kCzech,
+       {{"director", "Režie:"},
+        {"writer", "Scénář:"},
+        {"cast", "Hrají"},
+        {"genre", "Žánr"},
+        {"release_date", "Premiéra:"},
+        {"year", "Rok:"},
+        {"home", "Domů"},
+        {"search", "Hledat"},
+        {"help", "Nápověda"}}},
+      {Locale::kDanish,
+       {{"director", "Instruktør:"},
+        {"writer", "Manuskript:"},
+        {"cast", "Medvirkende"},
+        {"genre", "Genre"},
+        {"release_date", "Premiere:"},
+        {"year", "År:"},
+        {"home", "Hjem"},
+        {"search", "Søg"},
+        {"help", "Hjælp"}}},
+      {Locale::kIcelandic,
+       {{"director", "Leikstjóri:"},
+        {"writer", "Handrit:"},
+        {"cast", "Leikarar"},
+        {"genre", "Tegund"},
+        {"year", "Ár:"},
+        {"home", "Heim"},
+        {"search", "Leita"}}},
+      {Locale::kIndonesian,
+       {{"director", "Sutradara:"},
+        {"writer", "Penulis:"},
+        {"cast", "Pemeran"},
+        {"genre", "Genre"},
+        {"release_date", "Tanggal rilis:"},
+        {"year", "Tahun:"},
+        {"home", "Beranda"},
+        {"search", "Cari"}}},
+      {Locale::kSlovak,
+       {{"director", "Réžia:"},
+        {"writer", "Scenár:"},
+        {"cast", "Hrajú"},
+        {"genre", "Žáner"},
+        {"year", "Rok:"},
+        {"home", "Domov"},
+        {"search", "Hľadať"}}},
+  };
+  if (locale != Locale::kEnglish) {
+    auto table_it = kLocalized->find(locale);
+    if (table_it != kLocalized->end()) {
+      auto it = table_it->second.find(key);
+      if (it != table_it->second.end()) return it->second;
+    }
+  }
+  auto it = kEnglish->find(key);
+  return it == kEnglish->end() ? key : it->second;
+}
+
+std::string Slugify(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+}  // namespace ceres::synth

@@ -1,0 +1,76 @@
+#ifndef CERES_SYNTH_NAMES_H_
+#define CERES_SYNTH_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ceres::synth {
+
+/// Locale flavor for generated names and labels. Long-tail corpus sites use
+/// non-English locales, mirroring the paper's multi-lingual CommonCrawl set.
+enum class Locale {
+  kEnglish,
+  kItalian,
+  kCzech,
+  kDanish,
+  kIcelandic,
+  kIndonesian,
+  kSlovak,
+};
+
+/// Deterministic person name ("Marcus Ellery"); locale flavors the syllable
+/// bank.
+std::string PersonName(Rng* rng, Locale locale = Locale::kEnglish);
+
+/// Deterministic film title ("The Silent Harbor", "Crimson Road").
+std::string FilmTitle(Rng* rng, Locale locale = Locale::kEnglish);
+
+/// Book title.
+std::string BookTitle(Rng* rng);
+
+/// Publisher name ("Northgate Press").
+std::string PublisherName(Rng* rng);
+
+/// University name ("University of Ashford").
+std::string UniversityName(Rng* rng);
+
+/// NBA-style team name ("Riverton Hawks").
+std::string TeamName(Rng* rng);
+
+/// City / place name.
+std::string PlaceName(Rng* rng, Locale locale = Locale::kEnglish);
+
+/// Date string like "12 June 1989" (English month names).
+std::string DateString(Rng* rng, int year_lo = 1950, int year_hi = 2017);
+
+/// Height like 6'8" and weight like "240 lbs".
+std::string HeightString(Rng* rng);
+std::string WeightString(Rng* rng);
+
+/// Phone "(415) 555-0137", website "www.ashford.edu", ISBN-13.
+std::string PhoneString(Rng* rng);
+std::string WebsiteString(Rng* rng, const std::string& base);
+std::string IsbnString(Rng* rng);
+
+/// The fixed genre vocabulary shared by all movie worlds.
+const std::vector<std::string>& GenreNames();
+
+/// Common TV-episode titles that collide with ordinary page strings
+/// ("Pilot", "Biography", "Help") — the ambiguity source of §2.2.
+const std::vector<std::string>& AmbiguousEpisodeTitles();
+
+/// Localized UI label for a template slot ("Director:", "Regista:", ...).
+/// `key` is one of: director, writer, cast, genre, release_date, year,
+/// producer, music, born, birthplace, alias, title, author, publisher,
+/// publication_date, isbn, team, height, weight, phone, website, type,
+/// known_for, recommendations, filmography, home, search, help, login.
+std::string UiLabel(const std::string& key, Locale locale);
+
+/// Lower-case slug of a string for URLs and CSS classes.
+std::string Slugify(const std::string& text);
+
+}  // namespace ceres::synth
+
+#endif  // CERES_SYNTH_NAMES_H_

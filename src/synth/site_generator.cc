@@ -1,0 +1,476 @@
+#include "synth/site_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dom/html_serializer.h"
+#include "dom/xpath.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ceres::synth {
+
+namespace {
+
+// Thin builder over DomDocument with ground-truth bookkeeping.
+class PageBuilder {
+ public:
+  PageBuilder() = default;
+
+  NodeId root() { return doc_.root(); }
+
+  NodeId El(NodeId parent, const std::string& tag,
+            const std::string& cls = "") {
+    NodeId id = doc_.AddChild(parent, tag);
+    if (!cls.empty()) {
+      doc_.mutable_node(id).attributes.push_back(DomAttribute{"class", cls});
+    }
+    return id;
+  }
+
+  NodeId TextEl(NodeId parent, const std::string& tag, const std::string& cls,
+                const std::string& text) {
+    NodeId id = El(parent, tag, cls);
+    doc_.mutable_node(id).text = text;
+    return id;
+  }
+
+  std::string PathOf(NodeId id) const {
+    return XPath::FromNode(doc_, id).ToString();
+  }
+
+  std::string Serialize() const { return SerializeHtml(doc_); }
+
+ private:
+  DomDocument doc_;
+};
+
+// Resolves a predicate name, aborting on template/ontology mismatch (a
+// programming error in corpus configuration).
+PredicateId MustPredicate(const Ontology& ontology, const std::string& name) {
+  Result<PredicateId> id = ontology.PredicateByName(name);
+  CERES_CHECK_MSG(id.ok(), "unknown predicate in template: " << name);
+  return *id;
+}
+
+// All (predicate, object) facts of `topic` for the given predicate.
+std::vector<Triple> FactsOf(const World& world, EntityId topic,
+                            PredicateId predicate) {
+  std::vector<Triple> out;
+  for (const Triple& triple : world.kb.TriplesWithSubject(topic)) {
+    if (triple.predicate == predicate) out.push_back(triple);
+  }
+  return out;
+}
+
+std::vector<EntityId> ObjectsOf(const World& world, EntityId topic,
+                                PredicateId predicate) {
+  std::vector<EntityId> out;
+  for (const Triple& triple : FactsOf(world, topic, predicate)) {
+    out.push_back(triple.object);
+  }
+  return out;
+}
+
+// Renders one value section and records ground truth.
+void RenderSection(const World& world, const PredicateSection& section,
+                   PredicateId predicate, const TemplateSpec& tmpl,
+                   const std::vector<EntityId>& objects, PageBuilder* page,
+                   NodeId main, GeneratedPage* out) {
+  const std::string& prefix = tmpl.css_prefix;
+  const std::string label =
+      UiLabel(tmpl.weak_labels ? "details" : section.label_key, tmpl.locale);
+  auto record = [&](NodeId node, EntityId object) {
+    out->facts.push_back(GroundTruthFact{page->PathOf(node), predicate,
+                                         world.kb.entity(object).name,
+                                         object});
+  };
+  switch (section.layout) {
+    case SectionLayout::kRow: {
+      NodeId row = page->El(main, "div", prefix + "-row");
+      page->TextEl(row, "span", prefix + "-lbl", label);
+      for (EntityId object : objects) {
+        NodeId value = page->TextEl(row, "span", prefix + "-val",
+                                    world.kb.entity(object).name);
+        record(value, object);
+      }
+      break;
+    }
+    case SectionLayout::kList: {
+      NodeId sec = page->El(
+          main, "div",
+          tmpl.weak_labels ? prefix + "-sec"
+                           : prefix + "-sec " + prefix + "-" +
+                                 Slugify(section.label_key));
+      page->TextEl(sec, "h3", prefix + "-h", label);
+      NodeId list = page->El(sec, "ul", prefix + "-ul");
+      for (EntityId object : objects) {
+        NodeId item =
+            page->TextEl(list, "li", "", world.kb.entity(object).name);
+        record(item, object);
+      }
+      break;
+    }
+    case SectionLayout::kTable: {
+      NodeId table = page->El(main, "table", prefix + "-tbl");
+      bool first = true;
+      for (EntityId object : objects) {
+        NodeId row = page->El(table, "tr", "");
+        page->TextEl(row, "td", prefix + "-lblcell", first ? label : "");
+        NodeId value =
+            page->TextEl(row, "td", prefix + "-valcell",
+                         world.kb.entity(object).name);
+        record(value, object);
+        first = false;
+      }
+      break;
+    }
+  }
+}
+
+// A film-title list section that asserts nothing (trap).
+void RenderTrapFilmList(const World& world, const std::string& heading,
+                        const std::string& cls,
+                        const std::vector<EntityId>& films, PageBuilder* page,
+                        NodeId parent, const TemplateSpec& tmpl) {
+  if (films.empty()) return;
+  NodeId sec = page->El(parent, "div", tmpl.css_prefix + "-" + cls);
+  page->TextEl(sec, "h3", tmpl.css_prefix + "-h", heading);
+  NodeId list = page->El(sec, "ul", "");
+  for (EntityId film : films) {
+    page->TextEl(list, "li", "", world.kb.entity(film).name);
+  }
+}
+
+}  // namespace
+
+std::vector<GeneratedPage> GenerateSite(const World& world,
+                                        const SiteSpec& spec) {
+  const Ontology& ontology = world.kb.ontology();
+  const TemplateSpec& tmpl = spec.tmpl;
+  const std::string& prefix = tmpl.css_prefix;
+  Rng site_rng(spec.seed);
+
+  // Pre-resolve the predicates referenced by the template.
+  std::vector<PredicateId> section_predicates;
+  section_predicates.reserve(tmpl.sections.size());
+  for (const PredicateSection& section : tmpl.sections) {
+    section_predicates.push_back(MustPredicate(ontology, section.predicate));
+  }
+  // Movie-domain predicates used by trap sections; resolved lazily since
+  // non-movie ontologies don't declare them.
+  auto maybe_predicate = [&](const char* name) -> PredicateId {
+    Result<PredicateId> id = ontology.PredicateByName(name);
+    return id.ok() ? *id : kInvalidPredicate;
+  };
+  const PredicateId acted_in = maybe_predicate(pred::kPersonActedIn);
+  const PredicateId director_of = maybe_predicate(pred::kPersonDirectorOf);
+  const PredicateId writer_of = maybe_predicate(pred::kPersonWriterOf);
+  const PredicateId producer_of = maybe_predicate(pred::kPersonProducerOf);
+  const PredicateId film_genre = maybe_predicate(pred::kFilmHasGenre);
+  const PredicateId film_cast = maybe_predicate(pred::kFilmHasCastMember);
+  const PredicateId film_year = maybe_predicate(pred::kFilmReleaseYear);
+
+  Result<TypeId> genre_type = ontology.TypeByName("genre");
+  Result<TypeId> film_type = ontology.TypeByName("film");
+
+  std::vector<GeneratedPage> pages;
+  pages.reserve(spec.topics.size() +
+                static_cast<size_t>(spec.num_non_detail_pages));
+
+  auto render_chrome_top = [&](PageBuilder* page, NodeId body) {
+    NodeId container = page->El(body, "div", prefix + "-page");
+    if (tmpl.nav) {
+      NodeId nav = page->El(container, "div", prefix + "-nav");
+      page->TextEl(nav, "span", prefix + "-brand", spec.name);
+      for (const char* key : {"home", "search", "login", "help"}) {
+        page->TextEl(nav, "a", prefix + "-navlink", UiLabel(key, tmpl.locale));
+      }
+    }
+    if (tmpl.all_genres_nav && genre_type.ok()) {
+      NodeId gnav = page->El(container, "div", prefix + "-gnav");
+      page->TextEl(gnav, "h3", prefix + "-h", UiLabel("genre", tmpl.locale));
+      NodeId list = page->El(gnav, "ul", "");
+      for (EntityId g : world.OfType(*genre_type)) {
+        page->TextEl(list, "li", "", world.kb.entity(g).name);
+      }
+    }
+    return container;
+  };
+
+  auto render_footer = [&](PageBuilder* page, NodeId container, Rng* rng) {
+    if (!tmpl.footer) return;
+    NodeId footer = page->El(container, "div", prefix + "-footer");
+    page->TextEl(footer, "span", "", StrCat("© 2017 ", spec.name));
+    page->TextEl(footer, "a", "", "Contact");
+    page->TextEl(footer, "a", "", "About");
+    if (rng->Bernoulli(0.5)) {
+      page->TextEl(footer, "span", "", "All rights reserved");
+    }
+  };
+
+  const PredicateId film_date = maybe_predicate(pred::kFilmReleaseDate);
+
+  // Renders a box-office chart. On detail pages (mimic_sections) the chart
+  // shares the value tables' class AND leads with the film's release date
+  // as its first row — the-numbers.com's layout, where "long lists of the
+  // date and box office receipts" surround the one true release date
+  // (§5.5.1). The remaining rows differ from the labelled one only at the
+  // <tr> index, so the §4.1 list-exclusion heuristic shields them from
+  // negative sampling and the extractor learns the whole column.
+  auto render_charts = [&](PageBuilder* page, NodeId parent, Rng* rng,
+                           bool mimic_sections, EntityId topic,
+                           GeneratedPage* out) {
+    NodeId table = page->El(parent, "table",
+                            mimic_sections ? prefix + "-tbl"
+                                           : prefix + "-charttbl");
+    // On detail pages the film's release date appears at its chronological
+    // position among the box-office rows, with nothing but the date value
+    // to mark it — the paper's description of the site.
+    EntityId release_date = kInvalidEntity;
+    int release_row = -1;
+    int rows = static_cast<int>(
+        mimic_sections ? rng->Uniform(4, 10) : rng->Uniform(12, 28));
+    if (mimic_sections && topic != kInvalidEntity &&
+        film_date != kInvalidPredicate) {
+      std::vector<EntityId> dates = ObjectsOf(world, topic, film_date);
+      if (!dates.empty()) {
+        release_date = dates[0];
+        release_row = static_cast<int>(rng->Uniform(0, rows));
+        ++rows;
+      }
+    }
+    for (int r = 0; r < rows; ++r) {
+      NodeId row = page->El(table, "tr", "");
+      page->TextEl(row, "td", prefix + "-lblcell",
+                   r == 0 ? UiLabel("charts", tmpl.locale) : "");
+      if (r == release_row) {
+        NodeId value =
+            page->TextEl(row, "td", prefix + "-valcell",
+                         world.kb.entity(release_date).name);
+        out->facts.push_back(
+            GroundTruthFact{page->PathOf(value), film_date,
+                            world.kb.entity(release_date).name,
+                            release_date});
+      } else {
+        page->TextEl(row, "td", prefix + "-valcell",
+                     DateString(rng, 2015, 2017));
+      }
+      page->TextEl(row, "td", "",
+                   StrCat("$", rng->Uniform(10'000, 9'999'999)));
+    }
+  };
+
+  // ---- Detail pages --------------------------------------------------------
+  for (size_t t = 0; t < spec.topics.size(); ++t) {
+    Rng rng = site_rng.Fork();
+    const EntityId topic = spec.topics[t];
+    const Entity& topic_entity = world.kb.entity(topic);
+
+    GeneratedPage out;
+    out.topic = topic;
+    out.topic_name = topic_entity.name;
+    out.url = StrCat("https://", spec.name, "/",
+                     Slugify(topic_entity.name), "-", t);
+
+    PageBuilder page;
+    NodeId head = page.El(page.root(), "head");
+    page.TextEl(head, "title", "",
+                StrCat(topic_entity.name, " - ", spec.name));
+    NodeId body = page.El(page.root(), "body");
+    NodeId container = render_chrome_top(&page, body);
+
+    // Title field.
+    std::string display_title = topic_entity.name;
+    if (tmpl.title_year_suffix && film_year != kInvalidPredicate) {
+      std::vector<EntityId> years = ObjectsOf(world, topic, film_year);
+      if (!years.empty()) {
+        display_title =
+            StrCat(topic_entity.name, " (",
+                   world.kb.entity(years.front()).name, ")");
+      }
+    }
+    NodeId title = page.TextEl(container, "h1", prefix + "-title",
+                               display_title);
+    out.topic_xpath = page.PathOf(title);
+    out.facts.push_back(GroundTruthFact{out.topic_xpath, kNamePredicate,
+                                        topic_entity.name, topic});
+
+    if (tmpl.search_box_values) {
+      NodeId search = page.El(container, "div", prefix + "-srch");
+      page.TextEl(search, "span", "", UiLabel("search", tmpl.locale));
+      NodeId select = page.El(search, "select", prefix + "-opts");
+      page.TextEl(select, "option", "", "Public");
+      page.TextEl(select, "option", "", "Private");
+    }
+
+    NodeId main = page.El(container, "div", prefix + "-main");
+
+    // Section order (with optional per-page shuffle) and the ad insert.
+    std::vector<size_t> order(tmpl.sections.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (tmpl.section_shuffle_prob > 0 &&
+        rng.Bernoulli(tmpl.section_shuffle_prob)) {
+      rng.Shuffle(&order);
+    }
+    const bool insert_ad = rng.Bernoulli(tmpl.page_noise_prob);
+    const size_t ad_position =
+        order.empty() ? 0 : rng.Index(order.size() + 1);
+
+    // Merged filmography absorbs the role lists when enabled.
+    const std::unordered_set<PredicateId> merged_roles =
+        tmpl.merged_filmography
+            ? std::unordered_set<PredicateId>{acted_in, director_of,
+                                              writer_of}
+            : std::unordered_set<PredicateId>{};
+
+    for (size_t pos = 0; pos <= order.size(); ++pos) {
+      if (insert_ad && pos == ad_position) {
+        NodeId ad = page.El(main, "div", prefix + "-promo");
+        page.TextEl(ad, "span", "", "Sponsored");
+        if (film_type.ok() && !world.OfType(*film_type).empty()) {
+          page.TextEl(ad, "a", "",
+                      world.kb.entity(rng.Pick(world.OfType(*film_type))).name);
+        }
+      }
+      if (pos == order.size()) break;
+      const PredicateSection& section = tmpl.sections[order[pos]];
+      const PredicateId predicate = section_predicates[order[pos]];
+      if (merged_roles.count(predicate) > 0) continue;
+      std::vector<EntityId> objects = ObjectsOf(world, topic, predicate);
+      if (objects.empty()) continue;
+      if (rng.Bernoulli(section.missing_prob)) continue;
+      if (static_cast<int>(objects.size()) > section.max_values) {
+        objects.resize(static_cast<size_t>(section.max_values));
+      }
+      RenderSection(world, section, predicate, tmpl, objects, &page, main,
+                    &out);
+    }
+
+    if (tmpl.merged_filmography && acted_in != kInvalidPredicate) {
+      // One flat list; ground truth labels each entry with every role that
+      // actually holds.
+      std::vector<EntityId> films;
+      std::unordered_set<EntityId> seen;
+      for (PredicateId role : {acted_in, director_of, writer_of}) {
+        if (role == kInvalidPredicate) continue;
+        for (EntityId f : ObjectsOf(world, topic, role)) {
+          if (seen.insert(f).second) films.push_back(f);
+        }
+      }
+      if (!films.empty()) {
+        NodeId sec = page.El(main, "div", prefix + "-filmo");
+        page.TextEl(sec, "h3", prefix + "-h",
+                    UiLabel("filmography", tmpl.locale));
+        NodeId list = page.El(sec, "ul", "");
+        for (EntityId f : films) {
+          NodeId item = page.TextEl(list, "li", "", world.kb.entity(f).name);
+          for (PredicateId role : {acted_in, director_of, writer_of}) {
+            if (role == kInvalidPredicate) continue;
+            std::vector<EntityId> objs = ObjectsOf(world, topic, role);
+            if (std::find(objs.begin(), objs.end(), f) != objs.end()) {
+              out.facts.push_back(GroundTruthFact{page.PathOf(item), role,
+                                                  world.kb.entity(f).name,
+                                                  f});
+            }
+          }
+        }
+      }
+    }
+
+    // Trap sections. These list the person's most *popular* films (low
+    // roster ids), which is exactly what real "Known For" strips do — and
+    // what makes them poisonous for the naive DS assumption: popular films
+    // are the ones the seed KB covers, so every trap entry is annotatable.
+    if (tmpl.known_for && acted_in != kInvalidPredicate) {
+      std::vector<EntityId> pool;
+      for (PredicateId role : {acted_in, director_of, producer_of}) {
+        if (role == kInvalidPredicate) continue;
+        for (EntityId f : ObjectsOf(world, topic, role)) pool.push_back(f);
+      }
+      std::sort(pool.begin(), pool.end());
+      pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+      if (pool.size() > 4) pool.resize(4);
+      RenderTrapFilmList(world, UiLabel("known_for", tmpl.locale), "known",
+                         pool, &page, container, tmpl);
+    }
+    if (tmpl.on_video_list && acted_in != kInvalidPredicate) {
+      std::vector<EntityId> pool = ObjectsOf(world, topic, acted_in);
+      std::sort(pool.begin(), pool.end());
+      if (pool.size() > 6) pool.resize(6);
+      RenderTrapFilmList(world, UiLabel("on_video", tmpl.locale), "video",
+                         pool, &page, container, tmpl);
+    }
+    if (tmpl.projects_in_development && film_type.ok()) {
+      std::vector<EntityId> pool;
+      for (PredicateId role : {producer_of, writer_of}) {
+        if (role == kInvalidPredicate) continue;
+        for (EntityId f : ObjectsOf(world, topic, role)) pool.push_back(f);
+      }
+      rng.Shuffle(&pool);
+      if (pool.size() > 2) pool.resize(2);
+      int extras = static_cast<int>(rng.Uniform(1, 3));
+      for (int i = 0; i < extras; ++i) {
+        pool.push_back(rng.Pick(world.OfType(*film_type)));
+      }
+      RenderTrapFilmList(world, UiLabel("projects", tmpl.locale), "projects",
+                         pool, &page, container, tmpl);
+    }
+    if (tmpl.num_recommendations > 0 && film_type.ok()) {
+      NodeId recs = page.El(container, "div", prefix + "-recs");
+      page.TextEl(recs, "h3", prefix + "-h",
+                  UiLabel("recommendations", tmpl.locale));
+      int cards = static_cast<int>(
+          rng.Uniform(1, tmpl.num_recommendations));
+      for (int c = 0; c < cards; ++c) {
+        EntityId related = rng.Pick(world.OfType(*film_type));
+        NodeId card = page.El(recs, "div", prefix + "-card");
+        page.TextEl(card, "a", prefix + "-cardtitle",
+                    world.kb.entity(related).name);
+        if (film_genre != kInvalidPredicate) {
+          NodeId glist = page.El(card, "ul", prefix + "-cardgenres");
+          for (EntityId g : ObjectsOf(world, related, film_genre)) {
+            page.TextEl(glist, "li", "", world.kb.entity(g).name);
+          }
+        }
+        // Real recommendation strips show the related title and genre
+        // tags only; showing its cast too would let the card out-score
+        // the page topic in Equation (1).
+        (void)film_cast;
+      }
+    }
+    if (tmpl.daily_charts) {
+      render_charts(&page, main, &rng, /*mimic_sections=*/true, topic, &out);
+    }
+    render_footer(&page, container, &rng);
+
+    out.html = page.Serialize();
+    pages.push_back(std::move(out));
+  }
+
+  // ---- Non-detail pages ----------------------------------------------------
+  for (int i = 0; i < spec.num_non_detail_pages; ++i) {
+    Rng rng = site_rng.Fork();
+    GeneratedPage out;
+    out.url = StrCat("https://", spec.name, "/charts/", i);
+    PageBuilder page;
+    NodeId head = page.El(page.root(), "head");
+    page.TextEl(head, "title", "", StrCat(spec.name, " charts"));
+    NodeId body = page.El(page.root(), "body");
+    NodeId container = render_chrome_top(&page, body);
+    page.TextEl(container, "h1", prefix + "-title",
+                StrCat(UiLabel("charts", tmpl.locale), " #", i + 1));
+    render_charts(&page, container, &rng, /*mimic_sections=*/false,
+                  kInvalidEntity, &out);
+    if (rng.Bernoulli(0.5)) {
+      render_charts(&page, container, &rng, /*mimic_sections=*/false,
+                    kInvalidEntity, &out);
+    }
+    render_footer(&page, container, &rng);
+    out.html = page.Serialize();
+    pages.push_back(std::move(out));
+  }
+  return pages;
+}
+
+}  // namespace ceres::synth

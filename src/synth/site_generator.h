@@ -1,0 +1,134 @@
+#ifndef CERES_SYNTH_SITE_GENERATOR_H_
+#define CERES_SYNTH_SITE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "synth/world.h"
+
+namespace ceres::synth {
+
+/// How a predicate's values are laid out in a template section.
+enum class SectionLayout {
+  /// label span + one value span per object, inline in a row div.
+  kRow,
+  /// h3 label + <ul> with one <li> per object.
+  kList,
+  /// <table> with one row per object; label cell on the first row.
+  kTable,
+};
+
+/// One value-bearing section of a detail-page template.
+struct PredicateSection {
+  /// Ontology predicate name (see synth::pred constants).
+  std::string predicate;
+  /// UiLabel key rendered as the section label.
+  std::string label_key;
+  SectionLayout layout = SectionLayout::kRow;
+  /// Per-page probability that this section is omitted (missing-field
+  /// variation, §2.1).
+  double missing_prob = 0.03;
+  int max_values = 30;
+};
+
+/// A detail-page template: the value sections plus the structural quirks
+/// and trap sections the paper's evaluation sites exhibit.
+struct TemplateSpec {
+  Locale locale = Locale::kEnglish;
+  /// CSS class prefix; distinct per site so structural features differ
+  /// across sites.
+  std::string css_prefix = "st";
+  /// Entity-type name of page topics ("film", "person", ...).
+  std::string topic_type;
+  std::vector<PredicateSection> sections;
+
+  bool nav = true;
+  bool footer = true;
+  /// Render titles as "Name (1987)" using the film's release year.
+  bool title_year_suffix = false;
+  /// Per-page probability of shuffling section order (the template-variety
+  /// failure mode of §5.5.1, bollywoodmdb).
+  double section_shuffle_prob = 0.0;
+  /// Probability of an ad/promo block inserted mid-page, shifting the
+  /// XPaths of everything below it (Figure 2).
+  double page_noise_prob = 0.1;
+
+  // Trap sections (all render real-looking values that assert NO ontology
+  // relation; a correct extractor must not fire on them).
+  /// Related-entity cards with their own titles/genres/cast (Figure 1's
+  /// recommendation strip).
+  int num_recommendations = 0;
+  /// "Known For": four films of mixed roles on person pages.
+  bool known_for = false;
+  /// "Available on Video": a second copy of a subset of acted-in films.
+  bool on_video_list = false;
+  /// "Projects in Development": produced/written films mixed with unrelated
+  /// ones (the producer_of trap of §5.4).
+  bool projects_in_development = false;
+  /// A search box whose <option> values are "Public"/"Private" on every
+  /// page (the University failure of §5.3).
+  bool search_box_values = false;
+  /// Every genre listed on every page (christianfilmdatabase/laborfilms,
+  /// §5.5.1).
+  bool all_genres_nav = false;
+  /// Replace per-role filmographies by one undifferentiated list
+  /// (spicyonion/filmindonesia, §5.5.1). Ground truth labels each entry
+  /// with the role predicates that actually hold.
+  bool merged_filmography = false;
+  /// Box-office style tables full of dates and figures (the-numbers,
+  /// boxofficemojo). On detail pages the chart table mimics the value
+  /// tables (same class, same parent), reproducing the release-date
+  /// confusion of §5.5.1.
+  bool daily_charts = false;
+  /// Render every section with the same generic label instead of
+  /// predicate-specific ones — the weak-text-features regime in which the
+  /// paper's template-variety failures (§5.5.1) occur.
+  bool weak_labels = false;
+};
+
+/// One node-level ground-truth label of a generated page.
+struct GroundTruthFact {
+  /// Absolute XPath of the value node in the rendered page.
+  std::string xpath;
+  /// Predicate asserted (kNamePredicate for the topic-name node).
+  PredicateId predicate = kInvalidPredicate;
+  std::string object_text;
+  /// World entity id of the object.
+  EntityId object = kInvalidEntity;
+};
+
+/// A rendered page plus its ground truth. `facts` contains only relations
+/// the page *asserts*; values appearing in trap sections carry no fact.
+struct GeneratedPage {
+  std::string url;
+  std::string html;
+  /// World id of the topic entity; kInvalidEntity for non-detail pages.
+  EntityId topic = kInvalidEntity;
+  std::string topic_name;
+  /// XPath of the field holding the topic name; empty for non-detail pages.
+  std::string topic_xpath;
+  std::vector<GroundTruthFact> facts;
+};
+
+/// One website to generate.
+struct SiteSpec {
+  std::string name;
+  uint64_t seed = 0;
+  TemplateSpec tmpl;
+  /// World entities that get detail pages.
+  std::vector<EntityId> topics;
+  /// Additional non-detail pages (charts, index pages) with no topic.
+  int num_non_detail_pages = 0;
+};
+
+/// Renders all pages of one site. Pages are deterministic functions of
+/// (world, spec): the ground-truth XPaths are recorded while building the
+/// DOM and remain valid in the parse of the emitted HTML (round-trip
+/// guarantee of SerializeHtml).
+std::vector<GeneratedPage> GenerateSite(const World& world,
+                                        const SiteSpec& spec);
+
+}  // namespace ceres::synth
+
+#endif  // CERES_SYNTH_SITE_GENERATOR_H_

@@ -1,0 +1,344 @@
+#include "synth/world.h"
+
+#include <functional>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace ceres::synth {
+
+namespace {
+
+int Scaled(int count, double scale) {
+  return std::max(1, static_cast<int>(std::lround(count * scale)));
+}
+
+// Generates up to `count` entities with mostly unique names; a handful of
+// natural collisions are allowed (real KBs have them too).
+std::vector<EntityId> MakeEntities(World* world, TypeId type, int count,
+                                   Rng* rng,
+                                   const std::function<std::string(Rng*)>& gen) {
+  std::vector<EntityId> ids;
+  std::unordered_set<std::string> used;
+  ids.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::string name = gen(rng);
+    for (int attempt = 0; attempt < 12 && used.count(name) > 0; ++attempt) {
+      name = gen(rng);
+    }
+    used.insert(name);
+    ids.push_back(world->Add(type, name));
+  }
+  return ids;
+}
+
+// Popularity-skewed pick: low indices (popular entities) are favoured.
+EntityId SkewedPick(const std::vector<EntityId>& ids, Rng* rng) {
+  double u = rng->UniformDouble();
+  size_t index = static_cast<size_t>(u * u * static_cast<double>(ids.size()));
+  if (index >= ids.size()) index = ids.size() - 1;
+  return ids[index];
+}
+
+// Picks `n` distinct skewed entities.
+std::vector<EntityId> SkewedPickDistinct(const std::vector<EntityId>& ids,
+                                         int n, Rng* rng) {
+  std::set<EntityId> chosen;
+  int guard = 0;
+  while (static_cast<int>(chosen.size()) < n && guard++ < 20 * n + 50) {
+    chosen.insert(SkewedPick(ids, rng));
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+std::string AliasOf(const std::string& name, Rng* rng) {
+  // "Marcus Ellery" -> "M. Ellery" or "Marcus J. Ellery".
+  size_t space = name.find(' ');
+  if (space == std::string::npos || space == 0) return name + " Jr.";
+  if (rng->Bernoulli(0.5)) {
+    return StrCat(name.substr(0, 1), ". ", name.substr(space + 1));
+  }
+  return StrCat(name.substr(0, space), " ",
+                static_cast<char>('A' + rng->Uniform(0, 25)), ". ",
+                name.substr(space + 1));
+}
+
+}  // namespace
+
+World BuildMovieWorld(const MovieWorldConfig& config) {
+  Ontology ontology;
+  TypeId person = ontology.AddEntityType("person");
+  TypeId film = ontology.AddEntityType("film");
+  TypeId series = ontology.AddEntityType("tv_series");
+  TypeId episode = ontology.AddEntityType("tv_episode");
+  TypeId genre = ontology.AddEntityType("genre");
+  TypeId place = ontology.AddEntityType("place");
+  TypeId date = ontology.AddEntityType("date", /*is_literal=*/true);
+  TypeId year = ontology.AddEntityType("year", /*is_literal=*/true);
+  TypeId number = ontology.AddEntityType("number", /*is_literal=*/true);
+  TypeId alias = ontology.AddEntityType("alias_name", /*is_literal=*/true);
+  TypeId rating = ontology.AddEntityType("rating", /*is_literal=*/true);
+
+  auto p = [&](const char* name, TypeId s, TypeId o, bool multi) {
+    return ontology.AddPredicate(name, s, o, multi);
+  };
+  PredicateId film_cast = p(pred::kFilmHasCastMember, film, person, true);
+  PredicateId film_director = p(pred::kFilmDirectedBy, film, person, true);
+  PredicateId film_writer = p(pred::kFilmWrittenBy, film, person, true);
+  PredicateId film_producer = p(pred::kFilmProducedBy, film, person, true);
+  PredicateId film_music = p(pred::kFilmMusicBy, film, person, false);
+  PredicateId film_genre = p(pred::kFilmHasGenre, film, genre, true);
+  PredicateId film_date = p(pred::kFilmReleaseDate, film, date, false);
+  PredicateId film_year = p(pred::kFilmReleaseYear, film, year, false);
+  PredicateId film_rating = p(pred::kFilmMpaaRating, film, rating, false);
+  PredicateId acted_in = p(pred::kPersonActedIn, person, film, true);
+  PredicateId director_of = p(pred::kPersonDirectorOf, person, film, true);
+  PredicateId writer_of = p(pred::kPersonWriterOf, person, film, true);
+  PredicateId producer_of = p(pred::kPersonProducerOf, person, film, true);
+  PredicateId music_for = p(pred::kPersonMusicFor, person, film, true);
+  PredicateId has_alias = p(pred::kPersonAlias, person, alias, false);
+  PredicateId birth_place = p(pred::kPersonBirthPlace, person, place, false);
+  PredicateId birth_date = p(pred::kPersonBirthDate, person, date, false);
+  PredicateId ep_number = p(pred::kEpisodeNumber, episode, number, false);
+  PredicateId ep_season = p(pred::kEpisodeSeason, episode, number, false);
+  PredicateId ep_series = p(pred::kEpisodeSeries, episode, series, false);
+
+  World world(std::move(ontology));
+  Rng rng(config.seed);
+
+  // Rosters.
+  std::vector<EntityId> persons =
+      MakeEntities(&world, person, Scaled(config.num_persons, config.scale),
+                   &rng, [](Rng* r) { return PersonName(r); });
+  std::vector<EntityId> films =
+      MakeEntities(&world, film, Scaled(config.num_films, config.scale), &rng,
+                   [](Rng* r) { return FilmTitle(r); });
+  std::vector<EntityId> series_ids =
+      MakeEntities(&world, series, Scaled(config.num_series, config.scale),
+                   &rng, [](Rng* r) { return StrCat(FilmTitle(r), " (TV)"); });
+  std::vector<EntityId> places =
+      MakeEntities(&world, place, Scaled(config.num_places, config.scale),
+                   &rng, [](Rng* r) { return PlaceName(r); });
+  std::vector<EntityId> genres;
+  for (const std::string& g : GenreNames()) {
+    genres.push_back(world.Add(genre, g));
+  }
+  std::vector<EntityId> years;
+  for (int y = 1950; y <= 2017; ++y) {
+    years.push_back(world.Add(year, std::to_string(y)));
+  }
+  std::vector<EntityId> numbers;
+  for (int n = 1; n <= 30; ++n) {
+    numbers.push_back(world.Add(number, std::to_string(n)));
+  }
+  std::vector<EntityId> ratings;
+  for (const char* r : {"G", "PG", "PG-13", "R"}) {
+    ratings.push_back(world.Add(rating, r));
+  }
+
+  // Films and their crews.
+  for (EntityId f : films) {
+    int year_index = static_cast<int>(rng.Uniform(0, 67));
+    world.kb.AddTriple(f, film_year, years[static_cast<size_t>(year_index)]);
+    EntityId d = world.Add(
+        date, DateString(&rng, 1950 + year_index, 1950 + year_index));
+    world.kb.AddTriple(f, film_date, d);
+
+    std::vector<EntityId> directors = SkewedPickDistinct(
+        persons, rng.Bernoulli(0.12) ? 2 : 1, &rng);
+    for (EntityId x : directors) {
+      world.kb.AddTriple(f, film_director, x);
+      world.kb.AddTriple(x, director_of, f);
+    }
+    std::vector<EntityId> writers =
+        SkewedPickDistinct(persons, static_cast<int>(rng.Uniform(1, 3)), &rng);
+    // Directors frequently write their own films (Figure 1's Spike Lee).
+    if (rng.Bernoulli(0.3)) writers.push_back(directors.front());
+    for (EntityId x : writers) {
+      world.kb.AddTriple(f, film_writer, x);
+      world.kb.AddTriple(x, writer_of, f);
+    }
+    int cast_size = static_cast<int>(rng.Uniform(3, 18));
+    std::vector<EntityId> cast = SkewedPickDistinct(persons, cast_size, &rng);
+    if (rng.Bernoulli(0.15)) cast.push_back(directors.front());
+    for (EntityId x : cast) {
+      world.kb.AddTriple(f, film_cast, x);
+      world.kb.AddTriple(x, acted_in, f);
+    }
+    std::vector<EntityId> producers =
+        SkewedPickDistinct(persons, static_cast<int>(rng.Uniform(1, 2)), &rng);
+    for (EntityId x : producers) {
+      world.kb.AddTriple(f, film_producer, x);
+      world.kb.AddTriple(x, producer_of, f);
+    }
+    if (rng.Bernoulli(0.6)) {
+      EntityId composer = SkewedPick(persons, &rng);
+      world.kb.AddTriple(f, film_music, composer);
+      world.kb.AddTriple(composer, music_for, f);
+    }
+    int genre_count = static_cast<int>(rng.Uniform(2, 3));
+    for (EntityId g : SkewedPickDistinct(genres, genre_count, &rng)) {
+      world.kb.AddTriple(f, film_genre, g);
+    }
+    world.kb.AddTriple(f, film_rating, rng.Pick(ratings));
+  }
+
+  // People's personal data.
+  for (EntityId x : persons) {
+    if (rng.Bernoulli(0.3)) {
+      EntityId a =
+          world.Add(alias, AliasOf(world.kb.entity(x).name, &rng));
+      world.kb.AddTriple(x, has_alias, a);
+    }
+    if (rng.Bernoulli(0.7)) {
+      world.kb.AddTriple(x, birth_place, rng.Pick(places));
+    }
+    if (rng.Bernoulli(0.7)) {
+      EntityId d = world.Add(date, DateString(&rng, 1920, 1999));
+      world.kb.AddTriple(x, birth_date, d);
+    }
+  }
+
+  // TV episodes: many share ambiguous titles ("Pilot", "Help").
+  int episode_count = Scaled(config.num_episodes, config.scale);
+  for (int i = 0; i < episode_count; ++i) {
+    std::string title = rng.Bernoulli(0.4)
+                            ? rng.Pick(AmbiguousEpisodeTitles())
+                            : FilmTitle(&rng);
+    EntityId e = world.Add(episode, title);
+    world.kb.AddTriple(e, ep_series, rng.Pick(series_ids));
+    world.kb.AddTriple(e, ep_season,
+                       numbers[static_cast<size_t>(rng.Uniform(0, 7))]);
+    world.kb.AddTriple(e, ep_number,
+                       numbers[static_cast<size_t>(rng.Uniform(0, 23))]);
+  }
+
+  world.kb.Freeze();
+  return world;
+}
+
+World BuildBookWorld(const BookWorldConfig& config) {
+  Ontology ontology;
+  TypeId author = ontology.AddEntityType("author");
+  TypeId book = ontology.AddEntityType("book");
+  TypeId publisher = ontology.AddEntityType("publisher");
+  TypeId date = ontology.AddEntityType("date", /*is_literal=*/true);
+  TypeId isbn = ontology.AddEntityType("isbn", /*is_literal=*/true);
+
+  PredicateId by = ontology.AddPredicate(pred::kBookAuthor, book, author, true);
+  PredicateId pub =
+      ontology.AddPredicate(pred::kBookPublisher, book, publisher, false);
+  PredicateId pub_date =
+      ontology.AddPredicate(pred::kBookPubDate, book, date, false);
+  PredicateId book_isbn =
+      ontology.AddPredicate(pred::kBookIsbn, book, isbn, false);
+
+  World world(std::move(ontology));
+  Rng rng(config.seed);
+  std::vector<EntityId> authors =
+      MakeEntities(&world, author, Scaled(config.num_authors, config.scale),
+                   &rng, [](Rng* r) { return PersonName(r); });
+  std::vector<EntityId> publishers = MakeEntities(
+      &world, publisher, Scaled(config.num_publishers, config.scale), &rng,
+      [](Rng* r) { return PublisherName(r); });
+  std::vector<EntityId> books =
+      MakeEntities(&world, book, Scaled(config.num_books, config.scale), &rng,
+                   [](Rng* r) { return BookTitle(r); });
+
+  for (EntityId b : books) {
+    int author_count = rng.Bernoulli(0.15) ? 2 : 1;
+    for (EntityId a : SkewedPickDistinct(authors, author_count, &rng)) {
+      world.kb.AddTriple(b, by, a);
+    }
+    world.kb.AddTriple(b, pub, SkewedPick(publishers, &rng));
+    EntityId d = world.Add(date, DateString(&rng, 1960, 2017));
+    world.kb.AddTriple(b, pub_date, d);
+    EntityId i = world.Add(isbn, IsbnString(&rng));
+    world.kb.AddTriple(b, book_isbn, i);
+  }
+  world.kb.Freeze();
+  return world;
+}
+
+World BuildNbaWorld(const NbaWorldConfig& config) {
+  Ontology ontology;
+  TypeId player = ontology.AddEntityType("player");
+  TypeId team = ontology.AddEntityType("team");
+  TypeId length = ontology.AddEntityType("length", /*is_literal=*/true);
+  TypeId mass = ontology.AddEntityType("mass", /*is_literal=*/true);
+
+  PredicateId member =
+      ontology.AddPredicate(pred::kPlayerTeam, player, team, false);
+  PredicateId height =
+      ontology.AddPredicate(pred::kPlayerHeight, player, length, false);
+  PredicateId weight =
+      ontology.AddPredicate(pred::kPlayerWeight, player, mass, false);
+
+  World world(std::move(ontology));
+  Rng rng(config.seed);
+  std::vector<EntityId> teams =
+      MakeEntities(&world, team, Scaled(config.num_teams, config.scale), &rng,
+                   [](Rng* r) { return TeamName(r); });
+  std::vector<EntityId> players =
+      MakeEntities(&world, player, Scaled(config.num_players, config.scale),
+                   &rng, [](Rng* r) { return PersonName(r); });
+
+  // Shared height/weight literals: values repeat across players, which is
+  // exactly the ambiguity NBA pages carry.
+  std::unordered_map<std::string, EntityId> heights;
+  std::unordered_map<std::string, EntityId> weights;
+  for (EntityId x : players) {
+    world.kb.AddTriple(x, member, rng.Pick(teams));
+    std::string h = HeightString(&rng);
+    auto hit = heights.find(h);
+    EntityId h_id =
+        hit != heights.end() ? hit->second : (heights[h] = world.Add(length, h));
+    world.kb.AddTriple(x, height, h_id);
+    std::string w = WeightString(&rng);
+    auto wit = weights.find(w);
+    EntityId w_id =
+        wit != weights.end() ? wit->second : (weights[w] = world.Add(mass, w));
+    world.kb.AddTriple(x, weight, w_id);
+  }
+  world.kb.Freeze();
+  return world;
+}
+
+World BuildUniversityWorld(const UniversityWorldConfig& config) {
+  Ontology ontology;
+  TypeId university = ontology.AddEntityType("university");
+  TypeId category = ontology.AddEntityType("category", /*is_literal=*/true);
+  TypeId phone = ontology.AddEntityType("phone", /*is_literal=*/true);
+  TypeId url = ontology.AddEntityType("url", /*is_literal=*/true);
+
+  PredicateId type_pred = ontology.AddPredicate(pred::kUniversityType,
+                                                university, category, false);
+  PredicateId phone_pred = ontology.AddPredicate(pred::kUniversityPhone,
+                                                 university, phone, false);
+  PredicateId site_pred = ontology.AddPredicate(pred::kUniversityWebsite,
+                                                university, url, false);
+
+  World world(std::move(ontology));
+  Rng rng(config.seed);
+  EntityId public_type = world.Add(category, "Public");
+  EntityId private_type = world.Add(category, "Private");
+  std::vector<EntityId> universities = MakeEntities(
+      &world, university, Scaled(config.num_universities, config.scale), &rng,
+      [](Rng* r) { return UniversityName(r); });
+  for (EntityId u : universities) {
+    world.kb.AddTriple(u, type_pred,
+                       rng.Bernoulli(0.6) ? public_type : private_type);
+    EntityId ph = world.Add(phone, PhoneString(&rng));
+    world.kb.AddTriple(u, phone_pred, ph);
+    EntityId web =
+        world.Add(url, WebsiteString(&rng, world.kb.entity(u).name));
+    world.kb.AddTriple(u, site_pred, web);
+  }
+  world.kb.Freeze();
+  return world;
+}
+
+}  // namespace ceres::synth

@@ -1,0 +1,124 @@
+#ifndef CERES_SYNTH_WORLD_H_
+#define CERES_SYNTH_WORLD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "synth/names.h"
+
+namespace ceres::synth {
+
+/// The ground-truth universe of one vertical: a complete, noise-free
+/// knowledge base (every fact that websites may assert) plus typed entity
+/// rosters. Seed KBs handed to CERES are *projections* of a World (see
+/// KbBuilder); web pages are *renderings* of World facts (see
+/// SiteGenerator); evaluation compares extractions back to World truth.
+struct World {
+  explicit World(Ontology ontology) : kb(std::move(ontology)) {}
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+
+  KnowledgeBase kb;
+  std::unordered_map<TypeId, std::vector<EntityId>> by_type;
+
+  /// Registers an entity and tracks it in the roster.
+  EntityId Add(TypeId type, const std::string& name) {
+    EntityId id = kb.AddEntity(type, name);
+    by_type[type].push_back(id);
+    return id;
+  }
+
+  const std::vector<EntityId>& OfType(TypeId type) const {
+    static const std::vector<EntityId> kEmpty;
+    auto it = by_type.find(type);
+    return it == by_type.end() ? kEmpty : it->second;
+  }
+};
+
+/// Size knobs of the movie world (people / films / TV, the IMDb-like
+/// domain of §5.1.1–5.1.2). Counts scale linearly with `scale`.
+struct MovieWorldConfig {
+  uint64_t seed = 1;
+  double scale = 1.0;
+  int num_persons = 2200;
+  int num_films = 650;
+  int num_series = 25;
+  int num_episodes = 450;
+  int num_places = 60;
+};
+
+/// Builds the movie world: films with directors/writers/cast/genres/dates,
+/// people with filmographies (inverse predicates), aliases, birth data, and
+/// TV episodes with deliberately ambiguous titles ("Pilot"). Role overlap
+/// (directors who write and act) mirrors the disambiguation challenges of
+/// Figure 1.
+World BuildMovieWorld(const MovieWorldConfig& config = {});
+
+struct BookWorldConfig {
+  uint64_t seed = 2;
+  double scale = 1.0;
+  int num_authors = 260;
+  int num_books = 620;
+  int num_publishers = 40;
+};
+World BuildBookWorld(const BookWorldConfig& config = {});
+
+struct NbaWorldConfig {
+  uint64_t seed = 3;
+  double scale = 1.0;
+  int num_players = 420;
+  int num_teams = 30;
+};
+World BuildNbaWorld(const NbaWorldConfig& config = {});
+
+struct UniversityWorldConfig {
+  uint64_t seed = 4;
+  double scale = 1.0;
+  int num_universities = 420;
+};
+World BuildUniversityWorld(const UniversityWorldConfig& config = {});
+
+/// Canonical predicate-name constants shared between world builders, site
+/// templates, and benches. (Names follow the paper's Table 9 style.)
+namespace pred {
+// Movie vertical.
+inline constexpr char kFilmHasCastMember[] = "film.hasCastMember.person";
+inline constexpr char kFilmDirectedBy[] = "film.wasDirectedBy.person";
+inline constexpr char kFilmWrittenBy[] = "film.wasWrittenBy.person";
+inline constexpr char kFilmProducedBy[] = "film.wasProducedBy.person";
+inline constexpr char kFilmMusicBy[] = "film.musicBy.person";
+inline constexpr char kFilmHasGenre[] = "film.hasGenre.genre";
+inline constexpr char kFilmReleaseDate[] = "film.hasReleaseDate.date";
+inline constexpr char kFilmReleaseYear[] = "film.hasReleaseYear.year";
+inline constexpr char kFilmMpaaRating[] = "film.mpaaRating.rating";
+inline constexpr char kPersonActedIn[] = "person.actedIn.film";
+inline constexpr char kPersonDirectorOf[] = "person.directorOf.film";
+inline constexpr char kPersonWriterOf[] = "person.writerOf.film";
+inline constexpr char kPersonProducerOf[] = "person.producerOf.film";
+inline constexpr char kPersonMusicFor[] = "person.createdMusicFor.film";
+inline constexpr char kPersonAlias[] = "person.hasAlias.name";
+inline constexpr char kPersonBirthPlace[] = "person.placeOfBirth.place";
+inline constexpr char kPersonBirthDate[] = "person.dateOfBirth.date";
+inline constexpr char kEpisodeNumber[] = "episode.episodeNumber.number";
+inline constexpr char kEpisodeSeason[] = "episode.seasonNumber.number";
+inline constexpr char kEpisodeSeries[] = "episode.partOfSeries.series";
+// Book vertical.
+inline constexpr char kBookAuthor[] = "book.writtenBy.author";
+inline constexpr char kBookPublisher[] = "book.publishedBy.publisher";
+inline constexpr char kBookPubDate[] = "book.publicationDate.date";
+inline constexpr char kBookIsbn[] = "book.isbn13.isbn";
+// NBA vertical.
+inline constexpr char kPlayerTeam[] = "player.memberOf.team";
+inline constexpr char kPlayerHeight[] = "player.height.length";
+inline constexpr char kPlayerWeight[] = "player.weight.mass";
+// University vertical.
+inline constexpr char kUniversityType[] = "university.type.category";
+inline constexpr char kUniversityPhone[] = "university.phone.phone";
+inline constexpr char kUniversityWebsite[] = "university.website.url";
+}  // namespace pred
+
+}  // namespace ceres::synth
+
+#endif  // CERES_SYNTH_WORLD_H_

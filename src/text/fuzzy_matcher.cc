@@ -1,0 +1,55 @@
+#include "text/fuzzy_matcher.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/normalize.h"
+
+namespace ceres {
+
+std::string StripTrailingYear(std::string_view normalized) {
+  size_t space = normalized.rfind(' ');
+  if (space == std::string_view::npos) return std::string(normalized);
+  std::string_view last = normalized.substr(space + 1);
+  if (last.size() != 4) return std::string(normalized);
+  for (char c : last) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return std::string(normalized);
+    }
+  }
+  return std::string(normalized.substr(0, space));
+}
+
+void FuzzyMatcher::Add(std::string_view name, int64_t id) {
+  std::string key = NormalizeText(name);
+  if (key.empty()) return;
+  std::vector<int64_t>& ids = index_[key];
+  if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+    ids.push_back(id);
+  }
+}
+
+const std::vector<int64_t>* FuzzyMatcher::Lookup(
+    const std::string& normalized) const {
+  auto it = index_.find(normalized);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+std::vector<int64_t> FuzzyMatcher::Match(std::string_view text) const {
+  std::string key = NormalizeText(text);
+  if (key.empty()) return {};
+  const std::vector<int64_t>* hit = Lookup(key);
+  if (hit == nullptr) {
+    // Retry with a trailing disambiguation year removed, a common pattern on
+    // film sites ("Do the Right Thing (1989)").
+    std::string stripped = StripTrailingYear(key);
+    if (stripped != key && !stripped.empty()) hit = Lookup(stripped);
+  }
+  return hit != nullptr ? *hit : std::vector<int64_t>{};
+}
+
+bool FuzzyMatcher::Matches(std::string_view text) const {
+  return !Match(text).empty();
+}
+
+}  // namespace ceres

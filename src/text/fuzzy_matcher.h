@@ -1,0 +1,52 @@
+#ifndef CERES_TEXT_FUZZY_MATCHER_H_
+#define CERES_TEXT_FUZZY_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ceres {
+
+/// Dictionary from surface strings to the ids registered under them, with
+/// fuzzy lookup: two strings match when their normalizations (NormalizeText)
+/// agree, and a text field with a trailing year token ("Selma (2014)") also
+/// matches the year-free name. This is the string-matching process the paper
+/// adopts from Gulhane et al. [18] for both topic identification and relation
+/// annotation.
+///
+/// The same id may be registered under several names (aliases); the same
+/// name may map to many ids (ambiguity, e.g. "Pilot" as a TV episode title).
+class FuzzyMatcher {
+ public:
+  FuzzyMatcher() = default;
+
+  /// Registers `id` under surface string `name`. Duplicate (name, id) pairs
+  /// are collapsed.
+  void Add(std::string_view name, int64_t id);
+
+  /// All ids whose registered names fuzzily match `text`. Order is the
+  /// registration order; no duplicates.
+  std::vector<int64_t> Match(std::string_view text) const;
+
+  /// True if any id is registered under a name matching `text`.
+  bool Matches(std::string_view text) const;
+
+  /// Number of distinct normalized keys in the dictionary.
+  size_t KeyCount() const { return index_.size(); }
+
+ private:
+  const std::vector<int64_t>* Lookup(const std::string& normalized) const;
+
+  std::unordered_map<std::string, std::vector<int64_t>> index_;
+};
+
+/// Strips one trailing 4-digit-year token from a normalized string:
+/// "selma 2014" -> "selma". Returns the input unchanged when there is no
+/// trailing year or nothing would remain.
+std::string StripTrailingYear(std::string_view normalized);
+
+}  // namespace ceres
+
+#endif  // CERES_TEXT_FUZZY_MATCHER_H_

@@ -1,0 +1,27 @@
+#ifndef CERES_TEXT_JACCARD_H_
+#define CERES_TEXT_JACCARD_H_
+
+#include <cstddef>
+#include <unordered_set>
+
+namespace ceres {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| between two sets. Returns 0 when
+/// both sets are empty. This is the topic-candidate score of Equation (1).
+template <typename T>
+double JaccardSimilarity(const std::unordered_set<T>& a,
+                         const std::unordered_set<T>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t intersection = 0;
+  for (const T& item : small) {
+    if (large.count(item) > 0) ++intersection;
+  }
+  const size_t uni = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+}  // namespace ceres
+
+#endif  // CERES_TEXT_JACCARD_H_

@@ -1,0 +1,40 @@
+#include "text/levenshtein.h"
+
+#include <cstdlib>
+
+namespace ceres {
+
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (m - n > bound) return bound + 1;
+  // Banded dynamic program: only cells with |i - j| <= bound can hold a
+  // value <= bound, so each row examines a window of width 2*bound + 1.
+  const size_t kInf = bound + 1;
+  std::vector<size_t> prev(m + 1, kInf);
+  std::vector<size_t> cur(m + 1, kInf);
+  for (size_t j = 0; j <= std::min(m, bound); ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t lo = i > bound ? i - bound : 0;
+    const size_t hi = std::min(m, i + bound);
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 0) cur[0] = i;
+    bool any_within = lo == 0 && cur[0] <= bound;
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      size_t best = kInf;
+      if (prev[j] < best) best = prev[j] + 1 <= kInf ? prev[j] + 1 : kInf;
+      if (cur[j - 1] < best) best = cur[j - 1] + 1;
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      if (sub < best) best = sub;
+      cur[j] = std::min(best, kInf);
+      if (cur[j] <= bound) any_within = true;
+    }
+    if (!any_within) return bound + 1;
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace ceres

@@ -1,0 +1,43 @@
+#ifndef CERES_TEXT_LEVENSHTEIN_H_
+#define CERES_TEXT_LEVENSHTEIN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace ceres {
+
+/// Levenshtein edit distance between two sequences (insertions, deletions,
+/// substitutions each cost 1). Works on any random-access sequences whose
+/// elements compare with ==; used both for character strings and for XPath
+/// step sequences (§3.2.2 clustering distance).
+template <typename Seq>
+size_t LevenshteinDistance(const Seq& a, const Seq& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+/// Levenshtein distance with early exit: returns `bound + 1` as soon as the
+/// true distance provably exceeds `bound`. Use when only "is the distance
+/// <= k" matters (banded DP, O(k * min(n, m)) time).
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t bound);
+
+}  // namespace ceres
+
+#endif  // CERES_TEXT_LEVENSHTEIN_H_

@@ -1,0 +1,31 @@
+#ifndef CERES_TEXT_NORMALIZE_H_
+#define CERES_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace ceres {
+
+/// Canonicalizes a text field for entity matching: lower-cases ASCII, folds
+/// common Latin accented characters (UTF-8, Latin-1 supplement + Latin
+/// Extended-A) to their ASCII base letter, replaces punctuation with spaces,
+/// and collapses runs of whitespace to a single space.
+///
+/// This is the normalized-string matching used wherever the paper calls for
+/// the fuzzy string matching of Gulhane et al. [18]: two strings match when
+/// their normalizations are equal.
+std::string NormalizeText(std::string_view input);
+
+/// True if the normalized form is empty (i.e. the field carries no
+/// matchable content).
+bool IsBlankAfterNormalize(std::string_view input);
+
+/// True if `text` normalizes to a low-information-content string that must
+/// never be considered a topic candidate (§3.1.1): short digit strings,
+/// 4-digit years, single characters, or one of a small list of country
+/// names / boilerplate words.
+bool IsLowInformation(std::string_view text);
+
+}  // namespace ceres
+
+#endif  // CERES_TEXT_NORMALIZE_H_

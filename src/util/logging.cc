@@ -1,0 +1,25 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace ceres {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kQuiet)};
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogInfo(const std::string& message) {
+  if (GetLogLevel() >= LogLevel::kInfo) {
+    std::fprintf(stderr, "[ceres] %s\n", message.c_str());
+  }
+}
+
+}  // namespace ceres

@@ -1,0 +1,52 @@
+#ifndef CERES_UTIL_LOGGING_H_
+#define CERES_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ceres {
+namespace internal {
+
+/// Terminates the process after printing `message` with source location.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Log verbosity for PipelineObserver-style progress reporting.
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+/// Process-wide log level; benches raise it for progress output.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Writes an INFO line to stderr when the global level allows it.
+void LogInfo(const std::string& message);
+
+}  // namespace ceres
+
+/// Aborts when `cond` is false. Used for programmer errors / invariant
+/// violations (never for data-dependent failures, which return Status).
+#define CERES_CHECK(cond)                                           \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::ceres::internal::CheckFailed(__FILE__, __LINE__, #cond);    \
+    }                                                               \
+  } while (false)
+
+#define CERES_CHECK_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream _oss;                                          \
+      _oss << #cond << " — " << msg;                                    \
+      ::ceres::internal::CheckFailed(__FILE__, __LINE__, _oss.str());   \
+    }                                                                   \
+  } while (false)
+
+#endif  // CERES_UTIL_LOGGING_H_

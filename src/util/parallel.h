@@ -1,0 +1,45 @@
+#ifndef CERES_UTIL_PARALLEL_H_
+#define CERES_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ceres {
+
+/// Runs `body(i)` for every i in [0, n) across up to `threads` worker
+/// threads (0 = hardware concurrency). Work is claimed dynamically via an
+/// atomic counter, so uneven per-item costs (per-site pipeline runs)
+/// balance naturally. The caller must ensure `body` is safe to run
+/// concurrently for distinct indices; results should be written to
+/// pre-sized per-index slots so no synchronization is needed.
+inline void ParallelFor(size_t n, int threads,
+                        const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  size_t worker_count = threads > 0
+                            ? static_cast<size_t>(threads)
+                            : std::max(1u, std::thread::hardware_concurrency());
+  if (worker_count > n) worker_count = n;
+  if (worker_count <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (size_t w = 0; w < worker_count; ++w) {
+    workers.emplace_back([&]() {
+      while (true) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        body(i);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace ceres
+
+#endif  // CERES_UTIL_PARALLEL_H_

@@ -1,0 +1,81 @@
+#ifndef CERES_UTIL_RANDOM_H_
+#define CERES_UTIL_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ceres {
+
+/// Deterministic pseudo-random source used throughout the synthetic data
+/// generators and training-example samplers.
+///
+/// All randomness in the library flows through explicitly seeded Rng
+/// instances so that every corpus, model, and benchmark result is exactly
+/// reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    CERES_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    CERES_CHECK(n > 0);
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Poisson-distributed count with the given mean.
+  int Poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Returns a uniformly chosen element of `items`. Requires non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    CERES_CHECK(!items.empty());
+    return items[Index(items.size())];
+  }
+
+  /// Shuffles `items` in place (Fisher–Yates via std::shuffle).
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    std::shuffle(items->begin(), items->end(), engine_);
+  }
+
+  /// Derives an independent child generator; used to give each site /
+  /// page / module its own stream so edits in one place don't perturb
+  /// unrelated data.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_UTIL_RANDOM_H_

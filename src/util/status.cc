@@ -1,0 +1,44 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ceres {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result accessed with non-OK status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace ceres

@@ -1,0 +1,40 @@
+#ifndef CERES_UTIL_STRING_UTIL_H_
+#define CERES_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ceres {
+
+/// Splits `input` on the single character `sep`. Empty fields are kept, so
+/// Split("a//b", '/') yields {"a", "", "b"}; Split("", '/') yields {""}.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns `input` with leading and trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True if `text` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Concatenates streamable arguments into a string; the library's
+/// no-format-library substitute for absl::StrCat.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  if constexpr (sizeof...(args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+  }
+}
+
+}  // namespace ceres
+
+#endif  // CERES_UTIL_STRING_UTIL_H_

@@ -1,0 +1,196 @@
+#include "baselines/vertex.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace ceres {
+namespace {
+
+using testing::FilmPageHtml;
+using testing::ParseOrDie;
+using testing::TinyMovieKb;
+
+NodeId FindText(const DomDocument& doc, const std::string& text) {
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    if (doc.node(id).text == text) return id;
+  }
+  return kInvalidNode;
+}
+
+class VertexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two manually annotated pages with varying cast-list lengths.
+    docs_.push_back(ParseOrDie(FilmPageHtml(
+        "Film One", "Director A", "Writer A", {"Actor 1", "Actor 2"},
+        {"Comedy"})));
+    docs_.push_back(ParseOrDie(FilmPageHtml(
+        "Film Two", "Director B", "Writer B",
+        {"Actor 3", "Actor 4", "Actor 5"}, {"Dramedy", "Comedy"})));
+    for (const DomDocument& doc : docs_) ptrs_.push_back(&doc);
+
+    auto annotate = [&](PageIndex page, const std::string& text,
+                        PredicateId predicate) {
+      NodeId node = FindText(docs_[static_cast<size_t>(page)], text);
+      ASSERT_NE(node, kInvalidNode) << text;
+      manual_.push_back(Annotation{page, node, predicate, kInvalidEntity});
+    };
+    annotate(0, "Film One", kNamePredicate);
+    annotate(1, "Film Two", kNamePredicate);
+    annotate(0, "Director A", kb_.directed);
+    annotate(1, "Director B", kb_.directed);
+    annotate(0, "Actor 1", kb_.cast);
+    annotate(0, "Actor 2", kb_.cast);
+    annotate(1, "Actor 3", kb_.cast);
+    annotate(1, "Actor 5", kb_.cast);
+    annotate(0, "Comedy", kb_.genre);
+    annotate(1, "Dramedy", kb_.genre);
+    annotate(1, "Comedy", kb_.genre);
+  }
+
+  TinyMovieKb kb_;
+  std::vector<DomDocument> docs_;
+  std::vector<const DomDocument*> ptrs_;
+  std::vector<Annotation> manual_;
+};
+
+TEST_F(VertexTest, LearnsRulesAndExtractsFromUnseenPage) {
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(ptrs_, manual_);
+  ASSERT_TRUE(wrapper.ok());
+
+  DomDocument unseen = ParseOrDie(FilmPageHtml(
+      "Film Three", "Director C", "Writer C",
+      {"Actor 6", "Actor 7", "Actor 8", "Actor 9"}, {"Comedy"}));
+  std::vector<Extraction> extractions =
+      wrapper->Extract({&unseen}, {7});
+  ASSERT_FALSE(extractions.empty());
+
+  int cast = 0;
+  bool director = false;
+  for (const Extraction& extraction : extractions) {
+    EXPECT_EQ(extraction.page, 7);
+    EXPECT_EQ(extraction.subject, "Film Three");
+    if (extraction.predicate == kb_.cast) ++cast;
+    if (extraction.predicate == kb_.directed &&
+        extraction.object == "Director C") {
+      director = true;
+    }
+  }
+  // The wildcarded list index generalizes to all four cast entries.
+  EXPECT_EQ(cast, 4);
+  EXPECT_TRUE(director);
+}
+
+TEST_F(VertexTest, WildcardOnlyWhereExamplesVary) {
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(ptrs_, manual_);
+  ASSERT_TRUE(wrapper.ok());
+  for (const VertexRule& rule : wrapper->rules()) {
+    if (rule.predicate == kb_.directed) {
+      // Both director examples sit at the identical path: no wildcards.
+      for (const XPathStep& step : rule.steps) {
+        EXPECT_NE(step.index, -1);
+      }
+    }
+    if (rule.predicate == kb_.cast) {
+      int wildcards = 0;
+      for (const XPathStep& step : rule.steps) {
+        if (step.index == -1) ++wildcards;
+      }
+      EXPECT_EQ(wildcards, 1);  // Only the <li> position varies.
+    }
+  }
+}
+
+TEST_F(VertexTest, AnchorsBlockLookalikePaths) {
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(ptrs_, manual_);
+  ASSERT_TRUE(wrapper.ok());
+  bool cast_rule_has_anchor = false;
+  for (const VertexRule& rule : wrapper->rules()) {
+    if (rule.predicate == kb_.cast) {
+      for (const VertexRule::Anchor& anchor : rule.anchors) {
+        if (anchor.attribute == "class" && anchor.value == "cast") {
+          cast_rule_has_anchor = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(cast_rule_has_anchor);
+}
+
+TEST_F(VertexTest, RequiresNameAnnotation) {
+  std::vector<Annotation> no_name;
+  for (const Annotation& annotation : manual_) {
+    if (annotation.predicate != kNamePredicate) no_name.push_back(annotation);
+  }
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(ptrs_, no_name);
+  EXPECT_EQ(wrapper.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VertexTest, RejectsEmptyAndOutOfRange) {
+  EXPECT_EQ(VertexWrapper::Learn(ptrs_, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<Annotation> bad{Annotation{99, 0, kNamePredicate, 0}};
+  EXPECT_EQ(VertexWrapper::Learn(ptrs_, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(VertexTest, NoSubjectRuleMatchNoExtractions) {
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(ptrs_, manual_);
+  ASSERT_TRUE(wrapper.ok());
+  // A structurally different page: the NAME rule can't fire.
+  DomDocument different =
+      ParseOrDie("<body><table><tr><td>Film X</td></tr></table></body>");
+  EXPECT_TRUE(wrapper->Extract({&different}, {0}).empty());
+}
+
+TEST_F(VertexTest, MissedFieldsOnShiftedPagesAreTheKnownWeakness) {
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(ptrs_, manual_);
+  ASSERT_TRUE(wrapper.ok());
+  // A page with an extra block before the director row shifts the row's
+  // XPath; the fixed-index rule misses it (classic wrapper brittleness,
+  // §6). The title h1 still matches, so we do get a subject.
+  DomDocument shifted = ParseOrDie(
+      "<body><div class=page><h1 class=title>Film Four</h1>"
+      "<div class=promo><span>AD</span></div>"
+      "<div class=row><span class=lbl>Director:</span>"
+      "<span class=val>Director D</span></div></div></body>");
+  std::vector<Extraction> extractions = wrapper->Extract({&shifted}, {0});
+  bool director_extracted = false;
+  for (const Extraction& extraction : extractions) {
+    if (extraction.predicate == kb_.directed) director_extracted = true;
+  }
+  EXPECT_FALSE(director_extracted);
+}
+
+TEST_F(VertexTest, TextAnchorsLearnedFromLabels) {
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(ptrs_, manual_);
+  ASSERT_TRUE(wrapper.ok());
+  bool director_has_label_anchor = false;
+  for (const VertexRule& rule : wrapper->rules()) {
+    if (rule.predicate != kb_.directed) continue;
+    for (const auto& [slot, text] : rule.text_anchors) {
+      if (slot == 0 && text == "director") director_has_label_anchor = true;
+    }
+  }
+  EXPECT_TRUE(director_has_label_anchor);
+}
+
+TEST_F(VertexTest, TextAnchorsBlockWrongRowMatches) {
+  Result<VertexWrapper> wrapper = VertexWrapper::Learn(ptrs_, manual_);
+  ASSERT_TRUE(wrapper.ok());
+  // A page where an ad pushes the WRITER row to the director row's
+  // training position: the path may match but the label anchor must not.
+  DomDocument shifted = ParseOrDie(
+      "<body><div class=page><h1 class=title>Film Five</h1>"
+      "<div class=row><span class=lbl>Writer:</span>"
+      "<span class=val>Impostor Writer</span></div></div></body>");
+  std::vector<Extraction> extractions = wrapper->Extract({&shifted}, {0});
+  for (const Extraction& extraction : extractions) {
+    EXPECT_NE(extraction.object, "Impostor Writer")
+        << "director rule fired on the writer row";
+  }
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,124 @@
+#include "cluster/detail_page_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "dom/html_parser.h"
+#include "synth/corpora.h"
+#include "testing/fixtures.h"
+#include "util/string_util.h"
+
+namespace ceres {
+namespace {
+
+using testing::FilmPageHtml;
+using testing::ParseOrDie;
+
+struct PageSet {
+  std::vector<DomDocument> docs;
+  std::vector<const DomDocument*> ptrs;
+
+  void Add(const std::string& html) {
+    docs.push_back(ParseOrDie(html));
+    ptrs.clear();
+    for (const DomDocument& doc : docs) ptrs.push_back(&doc);
+  }
+};
+
+PageSet DetailPages(int n) {
+  PageSet pages;
+  for (int i = 0; i < n; ++i) {
+    pages.Add(FilmPageHtml(StrCat("Film ", i), StrCat("Director ", i),
+                           StrCat("Writer ", i),
+                           {StrCat("Actor A", i), StrCat("Actor B", i)},
+                           {"Comedy"}));
+  }
+  return pages;
+}
+
+PageSet ChartPages(int n) {
+  PageSet pages;
+  for (int i = 0; i < n; ++i) {
+    std::string html = StrCat("<body><h1>Daily Chart #", i,
+                              "</h1><table>");
+    for (int r = 0; r < 15; ++r) {
+      html += StrCat("<tr><td>1", r, " June 2016</td><td>$", 10000 + r * i,
+                     "</td></tr>");
+    }
+    html += "</table></body>";
+    pages.Add(html);
+  }
+  return pages;
+}
+
+TEST(DetailPageDetectorTest, AcceptsDetailPages) {
+  PageSet pages = DetailPages(10);
+  EXPECT_TRUE(LooksLikeDetailPages(pages.ptrs));
+  DetailPageSignals signals = ComputeDetailPageSignals(pages.ptrs);
+  EXPECT_GT(signals.distinct_heading_fraction, 0.9);
+  EXPECT_LT(signals.numeric_fraction, 0.2);
+}
+
+TEST(DetailPageDetectorTest, RejectsChartPages) {
+  PageSet pages = ChartPages(10);
+  EXPECT_FALSE(LooksLikeDetailPages(pages.ptrs));
+  DetailPageSignals signals = ComputeDetailPageSignals(pages.ptrs);
+  EXPECT_GT(signals.numeric_fraction, 0.5);
+}
+
+TEST(DetailPageDetectorTest, RejectsBoilerplateOnlyPages) {
+  PageSet pages;
+  for (int i = 0; i < 8; ++i) {
+    pages.Add(
+        "<body><h1>Welcome</h1><div>Home</div><div>Search</div>"
+        "<div>About</div><div>Contact</div></body>");
+  }
+  // Identical headings on every page: nothing entity-specific here.
+  EXPECT_FALSE(LooksLikeDetailPages(pages.ptrs));
+}
+
+TEST(DetailPageDetectorTest, RejectsEmptyAndTinyPages) {
+  EXPECT_FALSE(LooksLikeDetailPages({}));
+  PageSet pages;
+  for (int i = 0; i < 5; ++i) {
+    pages.Add(StrCat("<body><h1>Entity ", i, "</h1></body>"));
+  }
+  EXPECT_FALSE(LooksLikeDetailPages(pages.ptrs));  // Too few fields.
+}
+
+TEST(DetailPageDetectorTest, SignalsOnSyntheticCorpusSites) {
+  synth::Corpus corpus = synth::MakeLongTailCorpus(0.2);
+  for (const synth::SyntheticSite& site : corpus.sites) {
+    if (site.name != "themoviedb.org" && site.name != "boxofficemojo.com") {
+      continue;
+    }
+    std::vector<DomDocument> docs;
+    std::vector<const DomDocument*> ptrs;
+    for (const synth::GeneratedPage& page : site.pages) {
+      docs.push_back(std::move(ParseHtml(page.html)).value());
+    }
+    for (const DomDocument& doc : docs) ptrs.push_back(&doc);
+    if (site.name == "themoviedb.org") {
+      EXPECT_TRUE(LooksLikeDetailPages(ptrs)) << site.name;
+    } else {
+      EXPECT_FALSE(LooksLikeDetailPages(ptrs)) << site.name;
+    }
+  }
+}
+
+TEST(DetailPageDetectorTest, BoilerplateFractionOrdering) {
+  // Detail pages with chrome have more boilerplate than without.
+  PageSet detail = DetailPages(6);
+  PageSet with_chrome;
+  for (int i = 0; i < 6; ++i) {
+    with_chrome.Add(StrCat(
+        "<body><div class=nav><a>Home</a><a>Help</a><a>Login</a>"
+        "<a>Search</a><a>About</a></div><h1>Film ", i,
+        "</h1><div>Director ", i, "</div></body>"));
+  }
+  DetailPageSignals plain = ComputeDetailPageSignals(detail.ptrs);
+  DetailPageSignals chrome = ComputeDetailPageSignals(with_chrome.ptrs);
+  EXPECT_GT(chrome.boilerplate_fraction, plain.boilerplate_fraction);
+}
+
+}  // namespace
+}  // namespace ceres

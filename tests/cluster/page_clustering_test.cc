@@ -1,0 +1,111 @@
+#include "cluster/page_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dom/html_parser.h"
+#include "util/string_util.h"
+
+namespace ceres {
+namespace {
+
+DomDocument Parse(const std::string& html) {
+  Result<DomDocument> doc = ParseHtml(html);
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+std::string FilmPage(int lists) {
+  std::string html = "<body><div class=a><h1>Title</h1>";
+  for (int i = 0; i < lists; ++i) {
+    html += "<div class=sec><h3>L</h3><ul><li>x</li><li>y</li></ul></div>";
+  }
+  html += "</div></body>";
+  return html;
+}
+
+std::string PersonPage() {
+  return "<body><table><tr><td>Born</td><td>1950</td></tr>"
+         "<tr><td>Place</td><td>Rome</td></tr></table>"
+         "<section><p>bio text</p></section></body>";
+}
+
+TEST(PageSignatureTest, IndexFreeAndStable) {
+  DomDocument a = Parse(FilmPage(2));
+  DomDocument b = Parse(FilmPage(5));  // More lists, same tag paths.
+  auto sig_a = PageSignature(a, 1000);
+  auto sig_b = PageSignature(b, 1000);
+  EXPECT_DOUBLE_EQ(SignatureSimilarity(sig_a, sig_b), 1.0);
+}
+
+TEST(PageSignatureTest, DifferentTemplatesDiffer) {
+  DomDocument a = Parse(FilmPage(2));
+  DomDocument b = Parse(PersonPage());
+  EXPECT_LT(SignatureSimilarity(PageSignature(a, 1000),
+                                PageSignature(b, 1000)),
+            0.5);
+}
+
+TEST(PageSignatureTest, CapRespected) {
+  DomDocument a = Parse(FilmPage(30));
+  EXPECT_LE(PageSignature(a, 10).size(), 10u);
+}
+
+TEST(ClusterPagesTest, SeparatesTwoTemplates) {
+  std::vector<DomDocument> pages;
+  for (int i = 0; i < 6; ++i) pages.push_back(Parse(FilmPage(2 + i % 3)));
+  for (int i = 0; i < 3; ++i) pages.push_back(Parse(PersonPage()));
+  std::vector<int> labels = ClusterPages(pages);
+  ASSERT_EQ(labels.size(), 9u);
+  // Film pages together, person pages together, and distinct.
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (int i = 7; i < 9; ++i) EXPECT_EQ(labels[i], labels[6]);
+  EXPECT_NE(labels[0], labels[6]);
+  // Largest cluster gets id 0.
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[6], 1);
+}
+
+TEST(ClusterPagesTest, EmptyInput) {
+  EXPECT_TRUE(ClusterPages({}).empty());
+}
+
+TEST(ClusterPagesTest, ThresholdOneSplitsEverythingDifferent) {
+  std::vector<DomDocument> pages;
+  pages.push_back(Parse(FilmPage(1)));
+  pages.push_back(Parse(PersonPage()));
+  PageClusteringConfig config;
+  config.similarity_threshold = 0.999;
+  std::vector<int> labels = ClusterPages(pages, config);
+  EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(ClusterPagesTest, ThresholdZeroMergesEverything) {
+  std::vector<DomDocument> pages;
+  pages.push_back(Parse(FilmPage(1)));
+  pages.push_back(Parse(PersonPage()));
+  PageClusteringConfig config;
+  config.similarity_threshold = 0.0;
+  std::vector<int> labels = ClusterPages(pages, config);
+  EXPECT_EQ(labels[0], labels[1]);
+}
+
+TEST(ClusterPagesTest, SharedSkeletonCanMergeDistinctTemplates) {
+  // The documented Vertex failure (§5.5.1): boilerplate-heavy pages whose
+  // chrome dominates the signature land in one cluster.
+  std::string chrome =
+      "<header><a>h</a><span>s</span><b>b</b></header>"
+      "<nav><a>n</a><i>i</i><em>e</em></nav>"
+      "<aside><p>p</p><u>u</u><small>m</small></aside>"
+      "<footer><a>f</a><span>c</span><strong>g</strong></footer>";
+  std::vector<DomDocument> pages;
+  pages.push_back(Parse("<body>" + chrome + "<ul><li>x</li></ul></body>"));
+  pages.push_back(Parse("<body>" + chrome + "<table><tr><td>y</td></tr>"
+                        "</table></body>"));
+  std::vector<int> labels = ClusterPages(pages);
+  EXPECT_EQ(labels[0], labels[1]);
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,74 @@
+#include "core/entity_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace ceres {
+namespace {
+
+using testing::FilmPageHtml;
+using testing::ParseOrDie;
+using testing::TinyMovieKb;
+
+TEST(EntityMatcherTest, FindsAllEntities) {
+  TinyMovieKb fixture;
+  DomDocument page = ParseOrDie(FilmPageHtml(
+      "Do the Right Thing", "Spike Lee", "Spike Lee",
+      {"Spike Lee", "Danny Aiello", "John Turturro"},
+      {"Comedy", "Dramedy"}));
+  PageMentions mentions = MatchPageMentions(page, fixture.kb);
+  EXPECT_TRUE(mentions.page_set.count(fixture.right_thing) > 0);
+  EXPECT_TRUE(mentions.page_set.count(fixture.lee) > 0);
+  EXPECT_TRUE(mentions.page_set.count(fixture.aiello) > 0);
+  EXPECT_TRUE(mentions.page_set.count(fixture.comedy) > 0);
+  EXPECT_FALSE(mentions.page_set.count(fixture.harris) > 0);
+}
+
+TEST(EntityMatcherTest, MultipleMentionsTracked) {
+  TinyMovieKb fixture;
+  DomDocument page = ParseOrDie(FilmPageHtml(
+      "Do the Right Thing", "Spike Lee", "Spike Lee",
+      {"Spike Lee", "Danny Aiello"}, {"Comedy"}));
+  PageMentions mentions = MatchPageMentions(page, fixture.kb);
+  // Lee appears as director, writer, and in the cast.
+  ASSERT_TRUE(mentions.mentions_of.count(fixture.lee) > 0);
+  EXPECT_EQ(mentions.mentions_of.at(fixture.lee).size(), 3u);
+  EXPECT_EQ(mentions.mentions_of.at(fixture.aiello).size(), 1u);
+}
+
+TEST(EntityMatcherTest, FieldsAndCandidatesParallel) {
+  TinyMovieKb fixture;
+  DomDocument page = ParseOrDie(FilmPageHtml(
+      "Selma", "Nobody Known", "Unknown Writer", {"Danny Aiello"},
+      {"Dramedy"}));
+  PageMentions mentions = MatchPageMentions(page, fixture.kb);
+  ASSERT_EQ(mentions.fields.size(), mentions.candidates.size());
+  for (size_t i = 0; i < mentions.fields.size(); ++i) {
+    EXPECT_FALSE(mentions.candidates[i].empty());
+    for (EntityId id : mentions.candidates[i]) {
+      EXPECT_TRUE(mentions.page_set.count(id) > 0);
+    }
+  }
+}
+
+TEST(EntityMatcherTest, UnmatchedFieldsSkipped) {
+  TinyMovieKb fixture;
+  DomDocument page = ParseOrDie(
+      "<body><div>Completely unrelated text</div>"
+      "<div>Spike Lee</div></body>");
+  PageMentions mentions = MatchPageMentions(page, fixture.kb);
+  EXPECT_EQ(mentions.fields.size(), 1u);
+  EXPECT_EQ(mentions.page_set.size(), 1u);
+}
+
+TEST(EntityMatcherTest, EmptyPage) {
+  TinyMovieKb fixture;
+  DomDocument page = ParseOrDie("<body></body>");
+  PageMentions mentions = MatchPageMentions(page, fixture.kb);
+  EXPECT_TRUE(mentions.page_set.empty());
+  EXPECT_TRUE(mentions.fields.empty());
+}
+
+}  // namespace
+}  // namespace ceres

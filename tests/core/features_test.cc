@@ -1,0 +1,164 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace ceres {
+namespace {
+
+using testing::FilmPageHtml;
+using testing::ParseOrDie;
+
+// Names of all features in a vector.
+std::vector<std::string> FeatureNames(const SparseVector& v,
+                                      const FeatureMap& map) {
+  std::vector<std::string> names;
+  for (const auto& [index, value] : v.entries()) {
+    names.push_back(map.Name(index));
+  }
+  return names;
+}
+
+bool AnyContains(const std::vector<std::string>& names,
+                 const std::string& needle) {
+  for (const std::string& name : names) {
+    if (name.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) {
+      docs_.push_back(ParseOrDie(FilmPageHtml(
+          "Film " + std::to_string(i), "Director " + std::to_string(i),
+          "Writer " + std::to_string(i),
+          {"Actor A" + std::to_string(i), "Actor B" + std::to_string(i)},
+          {"Comedy"})));
+    }
+    for (const DomDocument& doc : docs_) ptrs_.push_back(&doc);
+  }
+
+  NodeId FindText(const DomDocument& doc, const std::string& text) {
+    for (NodeId id = 0; id < doc.size(); ++id) {
+      if (doc.node(id).text == text) return id;
+    }
+    return kInvalidNode;
+  }
+
+  std::vector<DomDocument> docs_;
+  std::vector<const DomDocument*> ptrs_;
+};
+
+TEST_F(FeaturesTest, StructuralFeaturesIncludeSelfAndAncestors) {
+  FeatureExtractor extractor(ptrs_, FeatureConfig{});
+  FeatureMap map;
+  NodeId director = FindText(docs_[0], "Director 0");
+  SparseVector v = extractor.Extract(docs_[0], director, &map);
+  std::vector<std::string> names = FeatureNames(v, map);
+  EXPECT_TRUE(AnyContains(names, "S|l=0|s=0|tag=span"));
+  EXPECT_TRUE(AnyContains(names, "S|l=0|s=0|class=val"));
+  EXPECT_TRUE(AnyContains(names, "S|l=1|s=0|class=row"));   // Parent div.
+  EXPECT_TRUE(AnyContains(names, "S|l=0|s=-1|class=lbl"));  // Label sibling.
+}
+
+TEST_F(FeaturesTest, FrequentStringsMined) {
+  FeatureExtractor extractor(ptrs_, FeatureConfig{});
+  // Labels appear on all pages; values never repeat.
+  EXPECT_TRUE(extractor.frequent_strings().count("director") > 0);
+  EXPECT_TRUE(extractor.frequent_strings().count("cast") > 0);
+  EXPECT_FALSE(extractor.frequent_strings().count("director 0") > 0);
+}
+
+TEST_F(FeaturesTest, TextFeatureFiresOnNearbyLabel) {
+  FeatureExtractor extractor(ptrs_, FeatureConfig{});
+  FeatureMap map;
+  NodeId director = FindText(docs_[0], "Director 0");
+  SparseVector v = extractor.Extract(docs_[0], director, &map);
+  EXPECT_TRUE(AnyContains(FeatureNames(v, map), "T|l0s-1|director"));
+}
+
+TEST_F(FeaturesTest, DirectorAndWriterValuesGetDifferentFeatures) {
+  FeatureExtractor extractor(ptrs_, FeatureConfig{});
+  FeatureMap map;
+  NodeId director = FindText(docs_[0], "Director 0");
+  NodeId writer = FindText(docs_[0], "Writer 0");
+  std::vector<std::string> d =
+      FeatureNames(extractor.Extract(docs_[0], director, &map), map);
+  std::vector<std::string> w =
+      FeatureNames(extractor.Extract(docs_[0], writer, &map), map);
+  EXPECT_NE(d, w);  // The label text features distinguish them.
+  EXPECT_TRUE(AnyContains(w, "T|l0s-1|writer"));
+  EXPECT_FALSE(AnyContains(w, "T|l0s-1|director"));
+}
+
+TEST_F(FeaturesTest, StructuralOnlyAblation) {
+  FeatureConfig config;
+  config.text_features = false;
+  FeatureExtractor extractor(ptrs_, config);
+  FeatureMap map;
+  NodeId director = FindText(docs_[0], "Director 0");
+  std::vector<std::string> names =
+      FeatureNames(extractor.Extract(docs_[0], director, &map), map);
+  for (const std::string& name : names) {
+    EXPECT_EQ(name.substr(0, 2), "S|");
+  }
+  EXPECT_TRUE(extractor.frequent_strings().empty());
+}
+
+TEST_F(FeaturesTest, TextOnlyAblation) {
+  FeatureConfig config;
+  config.structural_features = false;
+  FeatureExtractor extractor(ptrs_, config);
+  FeatureMap map;
+  NodeId director = FindText(docs_[0], "Director 0");
+  std::vector<std::string> names =
+      FeatureNames(extractor.Extract(docs_[0], director, &map), map);
+  for (const std::string& name : names) {
+    EXPECT_EQ(name.substr(0, 2), "T|");
+  }
+}
+
+TEST_F(FeaturesTest, FrozenMapDropsUnseenFeatures) {
+  FeatureExtractor extractor(ptrs_, FeatureConfig{});
+  FeatureMap map;
+  NodeId director = FindText(docs_[0], "Director 0");
+  extractor.Extract(docs_[0], director, &map);
+  int32_t size_before = map.size();
+  map.Freeze();
+  // A node from a different page region yields only known features.
+  NodeId h1 = FindText(docs_[1], "Film 1");
+  SparseVector v = extractor.Extract(docs_[1], h1, &map);
+  EXPECT_EQ(map.size(), size_before);
+  for (const auto& [index, value] : v.entries()) {
+    EXPECT_LT(index, size_before);
+  }
+}
+
+TEST_F(FeaturesTest, NamePrefixKeepsVectorsDisjoint) {
+  FeatureExtractor extractor(ptrs_, FeatureConfig{});
+  FeatureMap map;
+  NodeId director = FindText(docs_[0], "Director 0");
+  SparseVector a = extractor.Extract(docs_[0], director, &map, "A|");
+  SparseVector b = extractor.Extract(docs_[0], director, &map, "B|");
+  for (const auto& [index_a, va] : a.entries()) {
+    for (const auto& [index_b, vb] : b.entries()) {
+      EXPECT_NE(index_a, index_b);
+    }
+  }
+}
+
+TEST_F(FeaturesTest, SameTemplatePositionSameFeaturesAcrossPages) {
+  FeatureExtractor extractor(ptrs_, FeatureConfig{});
+  FeatureMap map;
+  NodeId d0 = FindText(docs_[0], "Director 0");
+  NodeId d1 = FindText(docs_[1], "Director 1");
+  SparseVector v0 = extractor.Extract(docs_[0], d0, &map);
+  SparseVector v1 = extractor.Extract(docs_[1], d1, &map);
+  EXPECT_EQ(FeatureNames(v0, map), FeatureNames(v1, map));
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,140 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/entity_matcher.h"
+#include "core/extractor.h"
+#include "core/relation_annotator.h"
+#include "core/topic_identification.h"
+#include "testing/fixtures.h"
+
+namespace ceres {
+namespace {
+
+using testing::FilmPageHtml;
+using testing::ParseOrDie;
+using testing::TinyMovieKb;
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    docs_.push_back(ParseOrDie(FilmPageHtml(
+        "Do the Right Thing", "Spike Lee", "Spike Lee",
+        {"Spike Lee", "Danny Aiello", "John Turturro"},
+        {"Comedy", "Dramedy"})));
+    docs_.push_back(ParseOrDie(FilmPageHtml(
+        "Crooklyn", "Spike Lee", "Nobody", {"Zelda Harris"}, {"Comedy"})));
+    for (const DomDocument& doc : docs_) ptrs_.push_back(&doc);
+    std::vector<PageMentions> mentions;
+    for (const DomDocument* doc : ptrs_) {
+      mentions.push_back(MatchPageMentions(*doc, kb_.kb));
+    }
+    TopicConfig topic_config;
+    topic_config.min_annotations_per_page = 2;
+    topic_config.common_string_min_count = 100;
+    TopicResult topics =
+        IdentifyTopics(ptrs_, mentions, kb_.kb, topic_config);
+    AnnotationResult annotations =
+        AnnotateRelations(ptrs_, mentions, topics, kb_.kb, {});
+    featurizer_ =
+        std::make_unique<FeatureExtractor>(ptrs_, FeatureConfig{});
+    model_ = std::make_unique<TrainedModel>(
+        std::move(TrainExtractor(ptrs_, annotations.annotations,
+                                 *featurizer_, kb_.kb.ontology(), {}))
+            .value());
+  }
+
+  TinyMovieKb kb_;
+  std::vector<DomDocument> docs_;
+  std::vector<const DomDocument*> ptrs_;
+  std::unique_ptr<FeatureExtractor> featurizer_;
+  std::unique_ptr<TrainedModel> model_;
+};
+
+TEST_F(ModelIoTest, RoundTripPredictionsIdentical) {
+  std::ostringstream out;
+  ASSERT_TRUE(SaveModel(*model_, kb_.kb.ontology(), &out).ok());
+  std::istringstream in(out.str());
+  Result<TrainedModel> loaded = LoadModel(&in, kb_.kb.ontology());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->features.size(), model_->features.size());
+  EXPECT_TRUE(loaded->features.frozen());
+  EXPECT_EQ(loaded->frequent_strings, model_->frequent_strings);
+  // Identical extraction behaviour on a fresh page, with the featurizer
+  // REBUILT from the persisted state (the production reuse path).
+  FeatureExtractor restored = MakeFeaturizer(*loaded);
+  DomDocument unseen = ParseOrDie(FilmPageHtml(
+      "Brand New", "New Director", "New Writer", {"Actor X"}, {"Dramedy"}));
+  std::vector<Extraction> a = ExtractFromPages(
+      {&unseen}, {0}, model_.get(), *featurizer_, ExtractionConfig{});
+  std::vector<Extraction> b = ExtractFromPages(
+      {&unseen}, {0}, &loaded.value(), restored, ExtractionConfig{});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].predicate, b[i].predicate);
+    EXPECT_NEAR(a[i].confidence, b[i].confidence, 1e-12);
+  }
+}
+
+TEST_F(ModelIoTest, FeaturizerStateSurvivesRoundTrip) {
+  std::ostringstream out;
+  ASSERT_TRUE(SaveModel(*model_, kb_.kb.ontology(), &out).ok());
+  std::istringstream in(out.str());
+  Result<TrainedModel> loaded = LoadModel(&in, kb_.kb.ontology());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->feature_config.sibling_window,
+            model_->feature_config.sibling_window);
+  EXPECT_EQ(loaded->feature_config.text_features,
+            model_->feature_config.text_features);
+  EXPECT_FALSE(loaded->frequent_strings.empty());
+  EXPECT_TRUE(loaded->frequent_strings.count("director") > 0);
+}
+
+TEST_F(ModelIoTest, LoadRejectsOntologyMismatch) {
+  std::ostringstream out;
+  ASSERT_TRUE(SaveModel(*model_, kb_.kb.ontology(), &out).ok());
+  // An ontology with different predicates cannot host this model.
+  Ontology other;
+  TypeId film = other.AddEntityType("film");
+  other.AddPredicate("somethingElse", film, film, false);
+  std::istringstream in(out.str());
+  EXPECT_EQ(LoadModel(&in, other).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, LoadRejectsCorruptedInput) {
+  auto load = [&](const std::string& text) {
+    std::istringstream in(text);
+    return LoadModel(&in, kb_.kb.ontology()).status().code();
+  };
+  EXPECT_EQ(load(""), StatusCode::kInvalidArgument);
+  EXPECT_EQ(load("#model\nnot\tnumbers\n"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(load("#weights\n0\t0\t1.5\n"), StatusCode::kInvalidArgument);
+
+  // Flip one declared feature count.
+  std::ostringstream out;
+  ASSERT_TRUE(SaveModel(*model_, kb_.kb.ontology(), &out).ok());
+  const std::string original = out.str();
+  size_t pos =
+      original.find('\t', original.find('\n', original.find("#model")));
+  ASSERT_NE(pos, std::string::npos);
+  // Corrupt the feature count by splicing in an extra digit.
+  std::string corrupted = original.substr(0, pos + 1) + "9" +
+                          original.substr(pos + 1);
+  EXPECT_EQ(load(corrupted), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, SaveRequiresTrainedModel) {
+  TrainedModel empty;
+  std::ostringstream out;
+  EXPECT_EQ(SaveModel(empty, kb_.kb.ontology(), &out).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ceres

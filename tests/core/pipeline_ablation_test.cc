@@ -1,0 +1,150 @@
+// Ablation tests for the pipeline's configuration switches (the design
+// choices DESIGN.md calls out): each filter must move metrics in its
+// documented direction on a corpus engineered to exercise it.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "dom/html_parser.h"
+#include "eval/metrics.h"
+#include "synth/corpora.h"
+#include "synth/kb_builder.h"
+
+namespace ceres {
+namespace {
+
+struct ParsedSiteFixture {
+  std::vector<DomDocument> pages;
+  eval::SiteTruth truth;
+};
+
+ParsedSiteFixture ParseSite(const std::vector<synth::GeneratedPage>& pages) {
+  ParsedSiteFixture out;
+  for (const synth::GeneratedPage& page : pages) {
+    Result<DomDocument> parsed = ParseHtml(page.html);
+    EXPECT_TRUE(parsed.ok());
+    out.pages.push_back(std::move(parsed).value());
+  }
+  out.truth = eval::SiteTruth::Build(pages, out.pages);
+  return out;
+}
+
+class PipelineAblationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new synth::Corpus(synth::MakeImdbCorpus(0.12));
+    fixture_ = new ParsedSiteFixture(ParseSite(corpus_->sites[0].pages));
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    delete corpus_;
+    fixture_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  PipelineResult Run(const PipelineConfig& config) {
+    Result<PipelineResult> result =
+        RunPipeline(fixture_->pages, corpus_->seed_kb, config);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  static synth::Corpus* corpus_;
+  static ParsedSiteFixture* fixture_;
+};
+
+synth::Corpus* PipelineAblationTest::corpus_ = nullptr;
+ParsedSiteFixture* PipelineAblationTest::fixture_ = nullptr;
+
+TEST_F(PipelineAblationTest, InformativenessFilterTradesPagesForPrecision) {
+  PipelineConfig with;
+  PipelineConfig without;
+  without.topic.apply_informativeness_filter = false;
+  PipelineResult result_with = Run(with);
+  PipelineResult result_without = Run(without);
+  // Dropping the filter can only keep equal or more annotated pages.
+  EXPECT_GE(result_without.annotated_pages.size(),
+            result_with.annotated_pages.size());
+}
+
+TEST_F(PipelineAblationTest, RelationFilteringRaisesAnnotationPrecision) {
+  PipelineConfig full;
+  PipelineConfig topic_only;
+  topic_only.annotator.use_relation_filtering = false;
+  eval::Prf full_prf = eval::ScoreAnnotations(
+      Run(full).annotations, fixture_->truth, corpus_->seed_kb);
+  eval::Prf topic_prf = eval::ScoreAnnotations(
+      Run(topic_only).annotations, fixture_->truth, corpus_->seed_kb);
+  EXPECT_GT(full_prf.precision(), topic_prf.precision());
+  // And pays with (at most equal) recall — the §3.2 trade.
+  EXPECT_LE(full_prf.recall(), topic_prf.recall() + 1e-9);
+}
+
+TEST_F(PipelineAblationTest, TopicOnlyProducesMoreAnnotations) {
+  PipelineConfig full;
+  PipelineConfig topic_only;
+  topic_only.annotator.use_relation_filtering = false;
+  EXPECT_LT(Run(full).annotations.size(),
+            Run(topic_only).annotations.size());
+}
+
+TEST_F(PipelineAblationTest, ClusteringOffStillRuns) {
+  PipelineConfig config;
+  config.cluster_pages = false;
+  PipelineResult result = Run(config);
+  // One merged template cluster: everything trains together. Extraction
+  // still happens (quality may differ; that's Table 5's business).
+  EXPECT_GT(result.extractions.size(), 0u);
+  for (int cluster : result.cluster_of_page) EXPECT_EQ(cluster, 0);
+}
+
+TEST_F(PipelineAblationTest, DominantXPathAblationChangesTopicChoice) {
+  PipelineConfig with;
+  PipelineConfig without;
+  without.topic.apply_dominant_xpath = false;
+  PipelineResult result_with = Run(with);
+  PipelineResult result_without = Run(without);
+  eval::Prf prf_with = eval::ScoreTopics(result_with.topic_of_page,
+                                         fixture_->truth, corpus_->seed_kb);
+  eval::Prf prf_without = eval::ScoreTopics(
+      result_without.topic_of_page, fixture_->truth, corpus_->seed_kb);
+  // The global step never hurts topic precision on template sites.
+  EXPECT_GE(prf_with.precision() + 1e-9, prf_without.precision());
+}
+
+TEST_F(PipelineAblationTest, DetailFilterKeepsDetailClusters) {
+  PipelineConfig config;
+  config.filter_non_detail_clusters = true;
+  PipelineResult filtered = Run(config);
+  // The IMDb-like site is all detail pages: the filter must not reject it.
+  EXPECT_GT(filtered.extractions.size(), 0u);
+}
+
+TEST(PipelineDetailFilterTest, ChartOnlySiteSkippedEntirely) {
+  synth::Corpus corpus = synth::MakeLongTailCorpus(0.15);
+  for (const synth::SyntheticSite& site : corpus.sites) {
+    if (site.name != "boxofficemojo.com") continue;
+    std::vector<DomDocument> pages;
+    for (const synth::GeneratedPage& page : site.pages) {
+      pages.push_back(std::move(ParseHtml(page.html)).value());
+    }
+    PipelineConfig config;
+    config.filter_non_detail_clusters = true;
+    Result<PipelineResult> result =
+        RunPipeline(pages, corpus.seed_kb, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->extractions.empty());
+    EXPECT_TRUE(result->annotations.empty());
+  }
+}
+
+TEST_F(PipelineAblationTest, HigherExtractionThresholdNeverAddsVolume) {
+  PipelineConfig low;
+  low.extraction.confidence_threshold = 0.3;
+  PipelineConfig high;
+  high.extraction.confidence_threshold = 0.9;
+  EXPECT_GE(Run(low).extractions.size(), Run(high).extractions.size());
+}
+
+}  // namespace
+}  // namespace ceres

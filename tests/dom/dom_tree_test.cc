@@ -1,0 +1,81 @@
+#include "dom/dom_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres {
+namespace {
+
+TEST(DomTreeTest, FreshDocumentHasHtmlRoot) {
+  DomDocument doc;
+  EXPECT_EQ(doc.size(), 1);
+  EXPECT_EQ(doc.node(doc.root()).tag, "html");
+  EXPECT_EQ(doc.node(doc.root()).parent, kInvalidNode);
+}
+
+TEST(DomTreeTest, AddChildMaintainsIndices) {
+  DomDocument doc;
+  NodeId body = doc.AddChild(doc.root(), "body");
+  NodeId div1 = doc.AddChild(body, "div");
+  NodeId span = doc.AddChild(body, "span");
+  NodeId div2 = doc.AddChild(body, "div");
+
+  EXPECT_EQ(doc.node(div1).sibling_index, 1);
+  EXPECT_EQ(doc.node(span).sibling_index, 1);
+  EXPECT_EQ(doc.node(div2).sibling_index, 2);
+  EXPECT_EQ(doc.node(div1).child_position, 0);
+  EXPECT_EQ(doc.node(span).child_position, 1);
+  EXPECT_EQ(doc.node(div2).child_position, 2);
+  ASSERT_EQ(doc.node(body).children.size(), 3u);
+  EXPECT_EQ(doc.node(body).children[2], div2);
+}
+
+TEST(DomTreeTest, TextFieldsReturnsOnlyNodesWithText) {
+  DomDocument doc;
+  NodeId body = doc.AddChild(doc.root(), "body");
+  NodeId with_text = doc.AddChild(body, "p");
+  doc.mutable_node(with_text).text = "hello";
+  doc.AddChild(body, "p");  // Empty.
+  std::vector<NodeId> fields = doc.TextFields();
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], with_text);
+}
+
+TEST(DomTreeTest, AttributeLookup) {
+  DomDocument doc;
+  NodeId div = doc.AddChild(doc.root(), "div");
+  doc.mutable_node(div).attributes.push_back(DomAttribute{"class", "x"});
+  doc.mutable_node(div).attributes.push_back(DomAttribute{"id", "y"});
+  EXPECT_EQ(doc.node(div).Attribute("class"), "x");
+  EXPECT_EQ(doc.node(div).Attribute("id"), "y");
+  EXPECT_EQ(doc.node(div).Attribute("missing"), "");
+}
+
+TEST(DomTreeTest, DepthAndAncestry) {
+  DomDocument doc;
+  NodeId body = doc.AddChild(doc.root(), "body");
+  NodeId div = doc.AddChild(body, "div");
+  NodeId span = doc.AddChild(div, "span");
+  EXPECT_EQ(doc.Depth(doc.root()), 0);
+  EXPECT_EQ(doc.Depth(span), 3);
+  EXPECT_TRUE(doc.IsAncestorOrSelf(body, span));
+  EXPECT_TRUE(doc.IsAncestorOrSelf(span, span));
+  EXPECT_FALSE(doc.IsAncestorOrSelf(span, body));
+}
+
+TEST(DomTreeTest, MoveLeavesSourceReusable) {
+  DomDocument doc;
+  doc.AddChild(doc.root(), "body");
+  doc.set_url("http://x");
+  DomDocument moved = std::move(doc);
+  EXPECT_EQ(moved.size(), 2);
+  EXPECT_EQ(moved.url(), "http://x");
+}
+
+TEST(DomTreeDeathTest, OutOfRangeAccessDies) {
+  DomDocument doc;
+  EXPECT_DEATH(doc.node(5), "");
+  EXPECT_DEATH(doc.AddChild(99, "div"), "");
+}
+
+}  // namespace
+}  // namespace ceres

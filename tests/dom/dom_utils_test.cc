@@ -1,0 +1,111 @@
+#include "dom/dom_utils.h"
+
+#include <gtest/gtest.h>
+
+#include "dom/html_parser.h"
+
+namespace ceres {
+namespace {
+
+class DomUtilsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<DomDocument> parsed = ParseHtml(
+        "<body>"
+        "  <div id=\"a\"><span id=\"a1\">1</span><span id=\"a2\">2</span>"
+        "</div>"
+        "  <div id=\"b\"><ul><li id=\"l1\">x</li><li id=\"l2\">y</li>"
+        "<li id=\"l3\">z</li></ul></div>"
+        "</body>");
+    ASSERT_TRUE(parsed.ok());
+    doc_ = std::move(parsed).value();
+  }
+
+  NodeId ById(const std::string& id) const {
+    for (NodeId n = 0; n < doc_.size(); ++n) {
+      if (doc_.node(n).Attribute("id") == id) return n;
+    }
+    return kInvalidNode;
+  }
+
+  DomDocument doc_;
+};
+
+TEST_F(DomUtilsTest, LowestCommonAncestor) {
+  NodeId a1 = ById("a1");
+  NodeId a2 = ById("a2");
+  NodeId l1 = ById("l1");
+  EXPECT_EQ(LowestCommonAncestor(doc_, a1, a2), ById("a"));
+  // Spans and list items meet at body.
+  NodeId body = doc_.node(ById("a")).parent;
+  EXPECT_EQ(LowestCommonAncestor(doc_, a1, l1), body);
+  EXPECT_EQ(LowestCommonAncestor(doc_, a1, a1), a1);
+  EXPECT_EQ(LowestCommonAncestor(doc_, a1, ById("a")), ById("a"));
+}
+
+TEST_F(DomUtilsTest, AncestorChainNearestFirst) {
+  NodeId l1 = ById("l1");
+  std::vector<NodeId> chain = AncestorChain(doc_, l1);
+  ASSERT_EQ(chain.size(), 4u);  // ul, div#b, body, html.
+  EXPECT_EQ(doc_.node(chain[0]).tag, "ul");
+  EXPECT_EQ(chain[1], ById("b"));
+  EXPECT_EQ(doc_.node(chain[3]).tag, "html");
+  EXPECT_TRUE(AncestorChain(doc_, doc_.root()).empty());
+}
+
+TEST_F(DomUtilsTest, SiblingWindowRespectsWidth) {
+  NodeId l2 = ById("l2");
+  std::vector<NodeId> window = SiblingWindow(doc_, l2, 5);
+  EXPECT_EQ(window.size(), 2u);
+  window = SiblingWindow(doc_, l2, 1);
+  EXPECT_EQ(window.size(), 2u);
+  NodeId l1 = ById("l1");
+  window = SiblingWindow(doc_, l1, 1);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0], l2);
+  EXPECT_TRUE(SiblingWindow(doc_, doc_.root(), 3).empty());
+}
+
+TEST_F(DomUtilsTest, HighestExclusiveAncestor) {
+  NodeId l1 = ById("l1");
+  NodeId l2 = ById("l2");
+  // With l2 as a competing mention, the highest node containing l1 but not
+  // l2 is l1 itself (they share the ul).
+  EXPECT_EQ(HighestExclusiveAncestor(doc_, l1, {l1, l2}), l1);
+  // With a competing mention in the other div, l1 can climb to div#b.
+  NodeId a1 = ById("a1");
+  EXPECT_EQ(HighestExclusiveAncestor(doc_, l1, {l1, a1}), ById("b"));
+  // With no competitors it climbs to the root.
+  EXPECT_EQ(HighestExclusiveAncestor(doc_, l1, {l1}), doc_.root());
+}
+
+TEST_F(DomUtilsTest, SubtreePreorder) {
+  NodeId b = ById("b");
+  std::vector<NodeId> subtree = Subtree(doc_, b);
+  ASSERT_EQ(subtree.size(), 5u);  // div, ul, 3×li.
+  EXPECT_EQ(subtree[0], b);
+  EXPECT_EQ(doc_.node(subtree[1]).tag, "ul");
+  EXPECT_EQ(subtree[2], ById("l1"));
+}
+
+TEST_F(DomUtilsTest, CountInSubtree) {
+  NodeId b = ById("b");
+  std::vector<NodeId> candidates{ById("l1"), ById("l3"), ById("a1")};
+  EXPECT_EQ(CountInSubtree(doc_, b, candidates), 2);
+  EXPECT_EQ(CountInSubtree(doc_, doc_.root(), candidates), 3);
+  EXPECT_EQ(CountInSubtree(doc_, ById("a1"), candidates), 1);
+}
+
+TEST_F(DomUtilsTest, IsAncestorOrSelf) {
+  EXPECT_TRUE(doc_.IsAncestorOrSelf(doc_.root(), ById("l1")));
+  EXPECT_TRUE(doc_.IsAncestorOrSelf(ById("l1"), ById("l1")));
+  EXPECT_FALSE(doc_.IsAncestorOrSelf(ById("l1"), ById("b")));
+}
+
+TEST_F(DomUtilsTest, DepthFromRoot) {
+  EXPECT_EQ(doc_.Depth(doc_.root()), 0);
+  EXPECT_EQ(doc_.Depth(ById("l1")), 4);  // html/body/div/ul/li.
+}
+
+}  // namespace
+}  // namespace ceres

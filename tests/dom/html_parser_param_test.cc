@@ -1,0 +1,117 @@
+// Parameterized robustness sweep for the tag-soup parser: every input —
+// however malformed — must parse into a structurally consistent tree
+// (correct parent/child back-links, correct same-tag sibling indices) and
+// never crash. Includes a deterministic random-bytes fuzz case.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dom/html_parser.h"
+#include "dom/xpath.h"
+#include "util/random.h"
+
+namespace ceres {
+namespace {
+
+// Structural consistency invariants every parsed document must satisfy.
+void ExpectWellFormed(const DomDocument& doc) {
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    const DomNode& node = doc.node(id);
+    if (id == doc.root()) {
+      EXPECT_EQ(node.parent, kInvalidNode);
+    } else {
+      ASSERT_GE(node.parent, 0);
+      ASSERT_LT(node.parent, doc.size());
+      const DomNode& parent = doc.node(node.parent);
+      ASSERT_LT(static_cast<size_t>(node.child_position),
+                parent.children.size());
+      EXPECT_EQ(parent.children[static_cast<size_t>(node.child_position)],
+                id);
+    }
+    // sibling_index counts same-tag predecessors, 1-based.
+    if (node.parent != kInvalidNode) {
+      int same_tag = 0;
+      for (NodeId sibling : doc.node(node.parent).children) {
+        if (sibling == id) break;
+        if (doc.node(sibling).tag == node.tag) ++same_tag;
+      }
+      EXPECT_EQ(node.sibling_index, same_tag + 1);
+    }
+    // Every node resolves through its own XPath.
+    EXPECT_EQ(XPath::FromNode(doc, id).Resolve(doc), id);
+  }
+}
+
+class MalformedHtmlTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedHtmlTest, ParsesWithoutCrashAndStaysConsistent) {
+  Result<DomDocument> doc = ParseHtml(GetParam());
+  ASSERT_TRUE(doc.ok());
+  ExpectWellFormed(*doc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Soup, MalformedHtmlTest,
+    ::testing::Values(
+        "",
+        "plain text with no tags at all",
+        "<",
+        "<>",
+        "< >",
+        "<div",
+        "</div>",
+        "</",
+        "<div><span></div></span>",           // Crossed close tags.
+        "<b><i>nested</b> wrong</i>",
+        "<div class=>empty attr</div>",
+        "<div class>valueless</div>",
+        "<div class='unterminated>text</div>",
+        "<p><p><p><p>",
+        "<ul><li><ul><li>deep<li>soup",
+        "<table><td>no tr</td></table>",
+        "<script>if (a < b) { alert('</'); }</script><p>after</p>",
+        "<style>div { color: red; }</style>",
+        "<!-- unterminated comment <div>hidden</div>",
+        "<!doctype html><?xml version=\"1.0\"?><div>x</div>",
+        "<DIV CLASS=\"UPPER\">case</DIV>",
+        "<div>&unknown; &amp &#x; &#xZZ; &#99999999999;</div>",
+        "<img><br><hr><input type=text>",
+        "<a href=\"x\"<b>mangled</b>",
+        "<div>\xc3\x28 bad utf8</div>",
+        "<html><html><body><body>double</body></body></html></html>"));
+
+TEST(HtmlParserFuzzTest, RandomBytesNeverBreakInvariants) {
+  Rng rng(2024);
+  const std::string vocab = "<>/=\"' abcdiv spn&;#x-!";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    int length = static_cast<int>(rng.Uniform(0, 200));
+    for (int i = 0; i < length; ++i) {
+      input.push_back(vocab[rng.Index(vocab.size())]);
+    }
+    Result<DomDocument> doc = ParseHtml(input);
+    ASSERT_TRUE(doc.ok()) << input;
+    ExpectWellFormed(*doc);
+  }
+}
+
+TEST(HtmlParserFuzzTest, RandomTagSoupNeverBreaksInvariants) {
+  Rng rng(55);
+  const std::vector<std::string> pieces{
+      "<div>",  "</div>", "<span class=a>", "</span>", "<ul>",  "</ul>",
+      "<li>",   "</li>",  "<p>",            "</p>",    "text ", "&amp;",
+      "<br>",   "<table>", "<tr>",          "<td>",    "</td>", "</tr>",
+      "</table>", "<!-- c -->"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    int length = static_cast<int>(rng.Uniform(0, 60));
+    for (int i = 0; i < length; ++i) input += rng.Pick(pieces);
+    Result<DomDocument> doc = ParseHtml(input);
+    ASSERT_TRUE(doc.ok()) << input;
+    ExpectWellFormed(*doc);
+  }
+}
+
+}  // namespace
+}  // namespace ceres

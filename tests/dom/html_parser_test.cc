@@ -1,0 +1,167 @@
+#include "dom/html_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres {
+namespace {
+
+// Finds the first node with the given tag, depth-first.
+NodeId FindTag(const DomDocument& doc, const std::string& tag) {
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    if (doc.node(id).tag == tag) return id;
+  }
+  return kInvalidNode;
+}
+
+TEST(HtmlParserTest, SimpleDocument) {
+  Result<DomDocument> doc =
+      ParseHtml("<html><body><div>Hello</div></body></html>");
+  ASSERT_TRUE(doc.ok());
+  NodeId div = FindTag(*doc, "div");
+  ASSERT_NE(div, kInvalidNode);
+  EXPECT_EQ(doc->node(div).text, "Hello");
+  EXPECT_EQ(doc->node(doc->root()).tag, "html");
+}
+
+TEST(HtmlParserTest, AttributesParsed) {
+  Result<DomDocument> doc = ParseHtml(
+      "<body><div class=\"main big\" id=x data-k='v'>t</div></body>");
+  ASSERT_TRUE(doc.ok());
+  const DomNode& div = doc->node(FindTag(*doc, "div"));
+  EXPECT_EQ(div.Attribute("class"), "main big");
+  EXPECT_EQ(div.Attribute("id"), "x");
+  EXPECT_EQ(div.Attribute("data-k"), "v");
+  EXPECT_EQ(div.Attribute("missing"), "");
+}
+
+TEST(HtmlParserTest, SiblingIndicesCountSameTagOnly) {
+  Result<DomDocument> doc =
+      ParseHtml("<body><p>a</p><div>b</div><p>c</p></body>");
+  ASSERT_TRUE(doc.ok());
+  NodeId body = FindTag(*doc, "body");
+  const auto& children = doc->node(body).children;
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(doc->node(children[0]).sibling_index, 1);  // p[1]
+  EXPECT_EQ(doc->node(children[1]).sibling_index, 1);  // div[1]
+  EXPECT_EQ(doc->node(children[2]).sibling_index, 2);  // p[2]
+}
+
+TEST(HtmlParserTest, UnclosedListItemsAutoClose) {
+  Result<DomDocument> doc =
+      ParseHtml("<body><ul><li>one<li>two<li>three</ul></body>");
+  ASSERT_TRUE(doc.ok());
+  NodeId ul = FindTag(*doc, "ul");
+  EXPECT_EQ(doc->node(ul).children.size(), 3u);
+}
+
+TEST(HtmlParserTest, TableCellsAutoClose) {
+  Result<DomDocument> doc = ParseHtml(
+      "<body><table><tr><td>a<td>b<tr><td>c</table></body>");
+  ASSERT_TRUE(doc.ok());
+  NodeId table = FindTag(*doc, "table");
+  ASSERT_EQ(doc->node(table).children.size(), 2u);  // Two rows.
+  EXPECT_EQ(doc->node(doc->node(table).children[0]).children.size(), 2u);
+}
+
+TEST(HtmlParserTest, VoidElementsTakeNoChildren) {
+  Result<DomDocument> doc =
+      ParseHtml("<body><br><img src=\"x.png\"><span>after</span></body>");
+  ASSERT_TRUE(doc.ok());
+  NodeId br = FindTag(*doc, "br");
+  EXPECT_TRUE(doc->node(br).children.empty());
+  NodeId body = FindTag(*doc, "body");
+  EXPECT_EQ(doc->node(body).children.size(), 3u);
+}
+
+TEST(HtmlParserTest, StrayCloseTagIgnored) {
+  Result<DomDocument> doc =
+      ParseHtml("<body><div>x</div></span><p>y</p></body>");
+  ASSERT_TRUE(doc.ok());
+  NodeId p = FindTag(*doc, "p");
+  ASSERT_NE(p, kInvalidNode);
+  EXPECT_EQ(doc->node(doc->node(p).parent).tag, "body");
+}
+
+TEST(HtmlParserTest, CommentsAndDoctypeSkipped) {
+  Result<DomDocument> doc = ParseHtml(
+      "<!DOCTYPE html><!-- a comment --><body><!-- x -->text</body>");
+  ASSERT_TRUE(doc.ok());
+  NodeId body = FindTag(*doc, "body");
+  EXPECT_EQ(doc->node(body).text, "text");
+}
+
+TEST(HtmlParserTest, ScriptContentDiscarded) {
+  Result<DomDocument> doc = ParseHtml(
+      "<body><script>var x = '<div>not a div</div>';</script><p>t</p>"
+      "</body>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(FindTag(*doc, "div"), kInvalidNode);
+  NodeId script = FindTag(*doc, "script");
+  EXPECT_TRUE(doc->node(script).text.empty());
+  EXPECT_NE(FindTag(*doc, "p"), kInvalidNode);
+}
+
+TEST(HtmlParserTest, EntitiesDecoded) {
+  Result<DomDocument> doc =
+      ParseHtml("<body><div>Tom &amp; Jerry &lt;3 &#65;&#x42;</div></body>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(FindTag(*doc, "div")).text, "Tom & Jerry <3 AB");
+}
+
+TEST(HtmlParserTest, WhitespaceCollapsedInText) {
+  Result<DomDocument> doc =
+      ParseHtml("<body><div>  a \n\t b  </div></body>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(FindTag(*doc, "div")).text, "a b");
+}
+
+TEST(HtmlParserTest, SelfClosingTag) {
+  Result<DomDocument> doc = ParseHtml("<body><div/><span>s</span></body>");
+  ASSERT_TRUE(doc.ok());
+  NodeId span = FindTag(*doc, "span");
+  EXPECT_EQ(doc->node(doc->node(span).parent).tag, "body");
+}
+
+TEST(HtmlParserTest, UnclosedElementsClosedAtEof) {
+  Result<DomDocument> doc = ParseHtml("<body><div><span>deep");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(FindTag(*doc, "span")).text, "deep");
+}
+
+TEST(HtmlParserTest, ExplicitHtmlTagMergesIntoRoot) {
+  Result<DomDocument> doc =
+      ParseHtml("<html lang=\"en\"><body>x</body></html>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(doc->root()).Attribute("lang"), "en");
+  // Only one html element.
+  int html_count = 0;
+  for (NodeId id = 0; id < doc->size(); ++id) {
+    if (doc->node(id).tag == "html") ++html_count;
+  }
+  EXPECT_EQ(html_count, 1);
+}
+
+TEST(HtmlParserTest, MaxNodesEnforced) {
+  std::string huge;
+  for (int i = 0; i < 100; ++i) huge += "<div>";
+  HtmlParseOptions options;
+  options.max_nodes = 50;
+  Result<DomDocument> doc = ParseHtml(huge, options);
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(HtmlParserTest, EmptyInputGivesBareRoot) {
+  Result<DomDocument> doc = ParseHtml("");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 1);
+}
+
+TEST(DecodeEntitiesTest, UnknownEntityLeftAlone) {
+  EXPECT_EQ(DecodeEntities("a &bogus; b"), "a &bogus; b");
+  EXPECT_EQ(DecodeEntities("a & b"), "a & b");
+  EXPECT_EQ(DecodeEntities("&nbsp;x"), " x");
+}
+
+}  // namespace
+}  // namespace ceres

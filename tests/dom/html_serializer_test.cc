@@ -1,0 +1,61 @@
+#include "dom/html_serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "dom/html_parser.h"
+
+namespace ceres {
+namespace {
+
+TEST(EscapeHtmlTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeHtml("a < b & c > d \"e\""),
+            "a &lt; b &amp; c &gt; d &quot;e&quot;");
+  EXPECT_EQ(EscapeHtml("plain"), "plain");
+  EXPECT_EQ(EscapeHtml(""), "");
+  EXPECT_EQ(EscapeHtml("&&"), "&amp;&amp;");
+}
+
+TEST(SerializeHtmlTest, EmitsDoctypeAndNesting) {
+  DomDocument doc;
+  NodeId body = doc.AddChild(doc.root(), "body");
+  NodeId div = doc.AddChild(body, "div");
+  doc.mutable_node(div).attributes.push_back(DomAttribute{"class", "x"});
+  doc.mutable_node(div).text = "Hello";
+  std::string html = SerializeHtml(doc);
+  EXPECT_EQ(html.find("<!DOCTYPE html>"), 0u);
+  EXPECT_NE(html.find("<div class=\"x\">Hello</div>"), std::string::npos);
+  EXPECT_NE(html.find("</body>"), std::string::npos);
+}
+
+TEST(SerializeHtmlTest, VoidElementsHaveNoCloseTag) {
+  DomDocument doc;
+  NodeId body = doc.AddChild(doc.root(), "body");
+  doc.AddChild(body, "br");
+  NodeId img = doc.AddChild(body, "img");
+  doc.mutable_node(img).attributes.push_back(
+      DomAttribute{"src", "a&b.png"});
+  std::string html = SerializeHtml(doc);
+  EXPECT_NE(html.find("<br>"), std::string::npos);
+  EXPECT_EQ(html.find("</br>"), std::string::npos);
+  EXPECT_NE(html.find("<img src=\"a&amp;b.png\">"), std::string::npos);
+  EXPECT_EQ(html.find("</img>"), std::string::npos);
+}
+
+TEST(SerializeHtmlTest, AttributeValueWithQuotesRoundTrips) {
+  DomDocument doc;
+  NodeId div = doc.AddChild(doc.root(), "div");
+  doc.mutable_node(div).attributes.push_back(
+      DomAttribute{"title", "say \"hi\" <now>"});
+  Result<DomDocument> reparsed = ParseHtml(SerializeHtml(doc));
+  ASSERT_TRUE(reparsed.ok());
+  bool found = false;
+  for (NodeId id = 0; id < reparsed->size(); ++id) {
+    if (reparsed->node(id).Attribute("title") == "say \"hi\" <now>") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,158 @@
+#include "dom/xpath.h"
+
+#include <gtest/gtest.h>
+
+#include "dom/html_parser.h"
+
+namespace ceres {
+namespace {
+
+DomDocument Parse(const std::string& html) {
+  Result<DomDocument> doc = ParseHtml(html);
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+TEST(XPathTest, FromNodeAndToString) {
+  DomDocument doc =
+      Parse("<body><div>a</div><div><span>b</span></div></body>");
+  // Find the span.
+  NodeId span = kInvalidNode;
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    if (doc.node(id).tag == "span") span = id;
+  }
+  ASSERT_NE(span, kInvalidNode);
+  XPath path = XPath::FromNode(doc, span);
+  EXPECT_EQ(path.ToString(), "/html/body[1]/div[2]/span[1]");
+}
+
+TEST(XPathTest, ParseRoundTrip) {
+  const std::string text = "/html/body[1]/div[2]/span[1]";
+  Result<XPath> path = XPath::Parse(text);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->ToString(), text);
+  EXPECT_EQ(path->size(), 4u);
+  EXPECT_EQ(path->steps()[2].tag, "div");
+  EXPECT_EQ(path->steps()[2].index, 2);
+}
+
+TEST(XPathTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(XPath::Parse("").ok());
+  EXPECT_FALSE(XPath::Parse("html/body").ok());
+  EXPECT_FALSE(XPath::Parse("/html//body").ok());
+  EXPECT_FALSE(XPath::Parse("/html/div[0]").ok());
+  EXPECT_FALSE(XPath::Parse("/html/div[x]").ok());
+  EXPECT_FALSE(XPath::Parse("/html/div[2").ok());
+  EXPECT_FALSE(XPath::Parse("/").ok());
+}
+
+TEST(XPathTest, ResolveFindsNode) {
+  DomDocument doc =
+      Parse("<body><div>a</div><div><span>b</span></div></body>");
+  Result<XPath> path = XPath::Parse("/html/body[1]/div[2]/span[1]");
+  ASSERT_TRUE(path.ok());
+  NodeId node = path->Resolve(doc);
+  ASSERT_NE(node, kInvalidNode);
+  EXPECT_EQ(doc.node(node).text, "b");
+}
+
+TEST(XPathTest, ResolveMissingReturnsInvalid) {
+  DomDocument doc = Parse("<body><div>a</div></body>");
+  EXPECT_EQ(XPath::Parse("/html/body[1]/div[2]")->Resolve(doc),
+            kInvalidNode);
+  EXPECT_EQ(XPath::Parse("/html/section[1]")->Resolve(doc), kInvalidNode);
+}
+
+TEST(XPathTest, RoundTripEveryNode) {
+  DomDocument doc = Parse(
+      "<body><ul><li>1</li><li>2</li><li>3</li></ul><table><tr><td>x</td>"
+      "</tr></table></body>");
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    XPath path = XPath::FromNode(doc, id);
+    EXPECT_EQ(path.Resolve(doc), id) << path.ToString();
+    Result<XPath> reparsed = XPath::Parse(path.ToString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(*reparsed == path, true);
+  }
+}
+
+TEST(XPathEditDistanceTest, IdenticalIsZero) {
+  XPath a = *XPath::Parse("/html/body[1]/div[2]");
+  EXPECT_DOUBLE_EQ(XPathEditDistance(a, a), 0.0);
+}
+
+TEST(XPathEditDistanceTest, LeafIndexDifferenceIsCheap) {
+  // Last-step index mismatch (two entries of one list): 1 - 0.75*1 = 0.25.
+  XPath a = *XPath::Parse("/html/body[1]/ul[1]/li[3]");
+  XPath b = *XPath::Parse("/html/body[1]/ul[1]/li[9]");
+  EXPECT_DOUBLE_EQ(XPathEditDistance(a, b), 0.25);
+}
+
+TEST(XPathEditDistanceTest, SectionIndexDifferenceCostsMoreThanLeaf) {
+  // Sibling-section mismatch vs in-list mismatch: the section split must
+  // be strictly more expensive so clustering separates rec blocks.
+  XPath main1 = *XPath::Parse("/html/body[1]/div[4]/ul[1]/li[1]");
+  XPath main2 = *XPath::Parse("/html/body[1]/div[4]/ul[1]/li[2]");
+  XPath rec1 = *XPath::Parse("/html/body[1]/div[5]/ul[1]/li[1]");
+  EXPECT_LT(XPathEditDistance(main1, main2),
+            XPathEditDistance(main1, rec1));
+}
+
+TEST(XPathEditDistanceTest, TagDifferenceCostsMore) {
+  XPath a = *XPath::Parse("/html/body[1]/div[1]/span[1]");
+  XPath b = *XPath::Parse("/html/body[1]/table[1]/span[1]");
+  EXPECT_DOUBLE_EQ(XPathEditDistance(a, b), 1.0);
+}
+
+TEST(XPathEditDistanceTest, LengthDifference) {
+  XPath a = *XPath::Parse("/html/body[1]");
+  XPath b = *XPath::Parse("/html/body[1]/div[1]/span[1]");
+  EXPECT_DOUBLE_EQ(XPathEditDistance(a, b), 2.0);
+}
+
+TEST(XPathEditDistanceTest, ListPathsCloserThanSectionPaths) {
+  // The §3.2.2 requirement: two entries of the same list must be closer
+  // than entries of different page sections.
+  XPath list1 = *XPath::Parse("/html/body[1]/div[1]/ul[1]/li[2]");
+  XPath list2 = *XPath::Parse("/html/body[1]/div[1]/ul[1]/li[17]");
+  XPath other = *XPath::Parse("/html/body[1]/div[3]/ul[1]/li[2]");
+  EXPECT_LT(XPathEditDistance(list1, list2),
+            XPathEditDistance(list1, other));
+}
+
+TEST(IndexOnlyDifferencesTest, SameShape) {
+  XPath a = *XPath::Parse("/html/body[1]/ul[1]/li[3]");
+  XPath b = *XPath::Parse("/html/body[1]/ul[1]/li[7]");
+  bool same_shape = false;
+  std::vector<size_t> diffs = IndexOnlyDifferences(a, b, &same_shape);
+  EXPECT_TRUE(same_shape);
+  EXPECT_EQ(diffs, (std::vector<size_t>{3}));
+}
+
+TEST(IndexOnlyDifferencesTest, DifferentShape) {
+  XPath a = *XPath::Parse("/html/body[1]/ul[1]/li[3]");
+  XPath b = *XPath::Parse("/html/body[1]/ol[1]/li[3]");
+  bool same_shape = true;
+  EXPECT_TRUE(IndexOnlyDifferences(a, b, &same_shape).empty());
+  EXPECT_FALSE(same_shape);
+}
+
+TEST(IndexOnlyDifferencesTest, DifferentLength) {
+  XPath a = *XPath::Parse("/html/body[1]/ul[1]");
+  XPath b = *XPath::Parse("/html/body[1]/ul[1]/li[3]");
+  bool same_shape = true;
+  EXPECT_TRUE(IndexOnlyDifferences(a, b, &same_shape).empty());
+  EXPECT_FALSE(same_shape);
+}
+
+TEST(XPathHashTest, EqualPathsHashEqual) {
+  XPath a = *XPath::Parse("/html/body[1]/div[2]");
+  XPath b = *XPath::Parse("/html/body[1]/div[2]");
+  XPath c = *XPath::Parse("/html/body[1]/div[3]");
+  XPathHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));  // Overwhelmingly likely.
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,45 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ceres::eval {
+namespace {
+
+TEST(TableReportTest, RendersAlignedTable) {
+  TableReport report({"System", "F1"});
+  report.AddRow({"CERES-Full", "0.99"});
+  report.AddRow({"Vertex++", "0.90"});
+  std::string out = report.ToString();
+  EXPECT_NE(out.find("| System"), std::string::npos);
+  EXPECT_NE(out.find("| CERES-Full | 0.99 |"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TableReportTest, ShortRowsPadded) {
+  TableReport report({"A", "B", "C"});
+  report.AddRow({"x"});
+  std::string out = report.ToString();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(TableReportTest, ExtraCellsDropped) {
+  TableReport report({"A"});
+  report.AddRow({"1", "overflow"});
+  EXPECT_EQ(report.ToString().find("overflow"), std::string::npos);
+}
+
+TEST(FormatRatioTest, Basics) {
+  EXPECT_EQ(FormatRatio(0.987), "0.99");
+  EXPECT_EQ(FormatRatio(0.5, 3), "0.500");
+  EXPECT_EQ(FormatRatio(std::nan("")), "NA");
+}
+
+TEST(RatioOrNaTest, Basics) {
+  EXPECT_EQ(RatioOrNa(true, 0.75), "0.75");
+  EXPECT_EQ(RatioOrNa(false, 0.75), "NA");
+}
+
+}  // namespace
+}  // namespace ceres::eval

@@ -1,0 +1,195 @@
+// End-to-end integration tests: synthetic corpus -> parse -> full CERES
+// pipeline -> evaluation against generator ground truth.
+
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "dom/html_parser.h"
+#include "eval/metrics.h"
+#include "synth/corpora.h"
+#include "synth/kb_builder.h"
+
+namespace ceres {
+namespace {
+
+struct ParsedSite {
+  std::vector<DomDocument> pages;
+  eval::SiteTruth truth;
+};
+
+ParsedSite ParseSite(const std::vector<synth::GeneratedPage>& generated) {
+  ParsedSite site;
+  for (const synth::GeneratedPage& page : generated) {
+    Result<DomDocument> parsed = ParseHtml(page.html);
+    EXPECT_TRUE(parsed.ok());
+    site.pages.push_back(std::move(parsed).value());
+  }
+  site.truth = eval::SiteTruth::Build(generated, site.pages);
+  EXPECT_EQ(site.truth.unresolved, 0);
+  return site;
+}
+
+class PipelineIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::MovieWorldConfig config;
+    config.scale = 0.25;
+    world_ = new synth::World(synth::BuildMovieWorld(config));
+    synth::SeedKbConfig kb_config;
+    kb_config.default_coverage = 0.9;
+    seed_kb_ = new KnowledgeBase(synth::BuildSeedKb(*world_, kb_config));
+
+    synth::SiteSpec spec;
+    spec.name = "integration.example";
+    spec.seed = 21;
+    spec.tmpl.topic_type = "film";
+    spec.tmpl.css_prefix = "it";
+    spec.tmpl.num_recommendations = 3;
+    spec.tmpl.sections = {
+        {synth::pred::kFilmDirectedBy, "director",
+         synth::SectionLayout::kRow, 0.05, 3},
+        {synth::pred::kFilmWrittenBy, "writer", synth::SectionLayout::kRow,
+         0.05, 4},
+        {synth::pred::kFilmHasCastMember, "cast",
+         synth::SectionLayout::kList, 0.05, 15},
+        {synth::pred::kFilmHasGenre, "genre", synth::SectionLayout::kList,
+         0.05, 5},
+        {synth::pred::kFilmReleaseDate, "release_date",
+         synth::SectionLayout::kRow, 0.05, 1},
+    };
+    TypeId film = *world_->kb.ontology().TypeByName("film");
+    const auto& films = world_->OfType(film);
+    spec.topics.assign(films.begin(), films.begin() + 80);
+    generated_ = new std::vector<synth::GeneratedPage>(
+        GenerateSite(*world_, spec));
+  }
+
+  static void TearDownTestSuite() {
+    delete generated_;
+    delete seed_kb_;
+    delete world_;
+    generated_ = nullptr;
+    seed_kb_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static synth::World* world_;
+  static KnowledgeBase* seed_kb_;
+  static std::vector<synth::GeneratedPage>* generated_;
+};
+
+synth::World* PipelineIntegrationTest::world_ = nullptr;
+KnowledgeBase* PipelineIntegrationTest::seed_kb_ = nullptr;
+std::vector<synth::GeneratedPage>* PipelineIntegrationTest::generated_ =
+    nullptr;
+
+TEST_F(PipelineIntegrationTest, FullPipelineReachesHighQuality) {
+  ParsedSite site = ParseSite(*generated_);
+  PipelineConfig config;
+  Result<PipelineResult> result = RunPipeline(site.pages, *seed_kb_, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->annotated_pages.size(), 40u);
+  EXPECT_GT(result->extractions.size(), 300u);
+
+  eval::ScoreOptions options;
+  options.confidence_threshold = 0.5;
+  eval::Prf prf = eval::ScoreExtractions(result->extractions, site.truth,
+                                         options);
+  EXPECT_GT(prf.precision(), 0.85) << "tp=" << prf.tp << " fp=" << prf.fp;
+  EXPECT_GT(prf.recall(), 0.6) << "tp=" << prf.tp << " fn=" << prf.fn;
+}
+
+TEST_F(PipelineIntegrationTest, TopicIdentificationIsAccurate) {
+  ParsedSite site = ParseSite(*generated_);
+  PipelineConfig config;
+  Result<PipelineResult> result = RunPipeline(site.pages, *seed_kb_, config);
+  ASSERT_TRUE(result.ok());
+  eval::Prf prf =
+      eval::ScoreTopics(result->topic_of_page, site.truth, *seed_kb_);
+  EXPECT_GT(prf.precision(), 0.9);
+  EXPECT_GT(prf.recall(), 0.7);
+}
+
+TEST_F(PipelineIntegrationTest, AnnotationPrecisionHigh) {
+  ParsedSite site = ParseSite(*generated_);
+  PipelineConfig config;
+  Result<PipelineResult> result = RunPipeline(site.pages, *seed_kb_, config);
+  ASSERT_TRUE(result.ok());
+  eval::Prf prf = eval::ScoreAnnotations(result->annotations, site.truth,
+                                         *seed_kb_);
+  EXPECT_GT(prf.precision(), 0.9);
+}
+
+TEST_F(PipelineIntegrationTest, TrainEvalSplitExtractsOnUnseenHalf) {
+  ParsedSite site = ParseSite(*generated_);
+  PipelineConfig config;
+  for (size_t i = 0; i < site.pages.size(); ++i) {
+    if (i % 2 == 0) {
+      config.annotation_pages.push_back(static_cast<PageIndex>(i));
+    } else {
+      config.extraction_pages.push_back(static_cast<PageIndex>(i));
+    }
+  }
+  Result<PipelineResult> result = RunPipeline(site.pages, *seed_kb_, config);
+  ASSERT_TRUE(result.ok());
+  for (const Extraction& extraction : result->extractions) {
+    EXPECT_EQ(extraction.page % 2, 1);  // Only eval pages.
+  }
+  eval::ScoreOptions options;
+  options.pages = config.extraction_pages;
+  options.confidence_threshold = 0.5;
+  eval::Prf prf = eval::ScoreExtractions(result->extractions, site.truth,
+                                         options);
+  EXPECT_GT(prf.precision(), 0.8);
+}
+
+TEST_F(PipelineIntegrationTest, RejectsBadConfigs) {
+  ParsedSite site = ParseSite(*generated_);
+  PipelineConfig config;
+  config.annotation_pages = {99999};
+  EXPECT_EQ(RunPipeline(site.pages, *seed_kb_, config).status().code(),
+            StatusCode::kInvalidArgument);
+  PipelineConfig config2;
+  EXPECT_EQ(RunPipeline({}, *seed_kb_, config2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PipelineIntegrationTest, DeterministicEndToEnd) {
+  ParsedSite site = ParseSite(*generated_);
+  PipelineConfig config;
+  Result<PipelineResult> a = RunPipeline(site.pages, *seed_kb_, config);
+  Result<PipelineResult> b = RunPipeline(site.pages, *seed_kb_, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->annotations.size(), b->annotations.size());
+  ASSERT_EQ(a->extractions.size(), b->extractions.size());
+  for (size_t i = 0; i < a->extractions.size(); ++i) {
+    EXPECT_EQ(a->extractions[i].node, b->extractions[i].node);
+    EXPECT_DOUBLE_EQ(a->extractions[i].confidence,
+                     b->extractions[i].confidence);
+  }
+}
+
+TEST(PipelineClusteringTest, MixedTemplateSiteHandledPerCluster) {
+  synth::Corpus corpus = synth::MakeImdbCorpus(0.12);
+  std::vector<DomDocument> pages;
+  for (const synth::GeneratedPage& page : corpus.sites[0].pages) {
+    Result<DomDocument> parsed = ParseHtml(page.html);
+    ASSERT_TRUE(parsed.ok());
+    pages.push_back(std::move(parsed).value());
+  }
+  PipelineConfig config;
+  Result<PipelineResult> result = RunPipeline(pages, corpus.seed_kb, config);
+  ASSERT_TRUE(result.ok());
+  // More than one template cluster must have been found.
+  int max_cluster = 0;
+  for (int cluster : result->cluster_of_page) {
+    max_cluster = std::max(max_cluster, cluster);
+  }
+  EXPECT_GE(max_cluster, 1);
+  EXPECT_GT(result->extractions.size(), 100u);
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,117 @@
+#include "kb/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres {
+namespace {
+
+class KnowledgeBaseTest : public ::testing::Test {
+ protected:
+  KnowledgeBaseTest() : kb_(MakeOntology()) {
+    film_type_ = *kb_.ontology().TypeByName("film");
+    person_type_ = *kb_.ontology().TypeByName("person");
+    directed_ = *kb_.ontology().PredicateByName("directedBy");
+    wrote_ = *kb_.ontology().PredicateByName("writtenBy");
+
+    film_ = kb_.AddEntity(film_type_, "Do the Right Thing");
+    other_film_ = kb_.AddEntity(film_type_, "Crooklyn");
+    lee_ = kb_.AddEntity(person_type_, "Spike Lee");
+    kb_.AddAlias(lee_, "S. Lee");
+    kb_.AddTriple(film_, directed_, lee_);
+    kb_.AddTriple(film_, wrote_, lee_);
+    kb_.AddTriple(other_film_, directed_, lee_);
+    kb_.AddTriple(other_film_, directed_, lee_);  // Duplicate, collapsed.
+  }
+
+  static Ontology MakeOntology() {
+    Ontology ontology;
+    TypeId film = ontology.AddEntityType("film");
+    TypeId person = ontology.AddEntityType("person");
+    ontology.AddPredicate("directedBy", film, person, true);
+    ontology.AddPredicate("writtenBy", film, person, true);
+    return ontology;
+  }
+
+  KnowledgeBase kb_;
+  TypeId film_type_ = kInvalidType;
+  TypeId person_type_ = kInvalidType;
+  PredicateId directed_ = kInvalidPredicate;
+  PredicateId wrote_ = kInvalidPredicate;
+  EntityId film_ = kInvalidEntity;
+  EntityId other_film_ = kInvalidEntity;
+  EntityId lee_ = kInvalidEntity;
+};
+
+TEST_F(KnowledgeBaseTest, FreezeDeduplicatesTriples) {
+  kb_.Freeze();
+  EXPECT_EQ(kb_.num_triples(), 3);
+  EXPECT_EQ(kb_.num_entities(), 3);
+}
+
+TEST_F(KnowledgeBaseTest, MatchMentionsByNameAndAlias) {
+  kb_.Freeze();
+  EXPECT_EQ(kb_.MatchMentions("spike lee"), (std::vector<EntityId>{lee_}));
+  EXPECT_EQ(kb_.MatchMentions("S. Lee"), (std::vector<EntityId>{lee_}));
+  EXPECT_TRUE(kb_.MatchMentions("Nobody").empty());
+}
+
+TEST_F(KnowledgeBaseTest, TriplesWithSubject) {
+  kb_.Freeze();
+  std::vector<Triple> triples = kb_.TriplesWithSubject(film_);
+  EXPECT_EQ(triples.size(), 2u);
+  EXPECT_TRUE(kb_.TriplesWithSubject(lee_).empty());
+}
+
+TEST_F(KnowledgeBaseTest, ObjectsOfSubject) {
+  kb_.Freeze();
+  const auto& objects = kb_.ObjectsOfSubject(film_);
+  EXPECT_EQ(objects.size(), 1u);
+  EXPECT_TRUE(objects.count(lee_) > 0);
+  EXPECT_TRUE(kb_.ObjectsOfSubject(lee_).empty());
+}
+
+TEST_F(KnowledgeBaseTest, PredicatesBetween) {
+  kb_.Freeze();
+  std::vector<PredicateId> predicates = kb_.PredicatesBetween(film_, lee_);
+  EXPECT_EQ(predicates.size(), 2u);
+  EXPECT_TRUE(kb_.PredicatesBetween(lee_, film_).empty());
+}
+
+TEST_F(KnowledgeBaseTest, HasTriple) {
+  kb_.Freeze();
+  EXPECT_TRUE(kb_.HasTriple(film_, directed_, lee_));
+  EXPECT_TRUE(kb_.HasTriple(other_film_, directed_, lee_));
+  EXPECT_FALSE(kb_.HasTriple(other_film_, wrote_, lee_));
+}
+
+TEST_F(KnowledgeBaseTest, CommonObjectStrings) {
+  kb_.Freeze();
+  // "spike lee" is object of all 3 triples.
+  auto common = kb_.CommonObjectStrings(0.5);
+  EXPECT_EQ(common.size(), 1u);
+  EXPECT_TRUE(common.count("spike lee") > 0);
+  // With a min_count floor above 3, nothing qualifies.
+  EXPECT_TRUE(kb_.CommonObjectStrings(0.5, 10).empty());
+}
+
+TEST_F(KnowledgeBaseTest, CountsByType) {
+  kb_.Freeze();
+  EXPECT_EQ(kb_.CountEntitiesOfType(film_type_), 2);
+  EXPECT_EQ(kb_.CountEntitiesOfType(person_type_), 1);
+  EXPECT_EQ(kb_.CountPredicatesForSubjectType(film_type_), 2);
+  EXPECT_EQ(kb_.CountPredicatesForSubjectType(person_type_), 0);
+}
+
+TEST_F(KnowledgeBaseTest, QueriesRequireFreeze) {
+  EXPECT_DEATH(kb_.MatchMentions("x"), "");
+  EXPECT_DEATH(kb_.TriplesWithSubject(film_), "");
+}
+
+TEST_F(KnowledgeBaseTest, MutationAfterFreezeDies) {
+  kb_.Freeze();
+  EXPECT_DEATH(kb_.AddEntity(film_type_, "Late"), "");
+  EXPECT_DEATH(kb_.AddTriple(film_, directed_, lee_), "");
+}
+
+}  // namespace
+}  // namespace ceres

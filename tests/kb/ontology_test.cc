@@ -1,0 +1,61 @@
+#include "kb/ontology.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres {
+namespace {
+
+TEST(OntologyTest, TypesAndPredicatesRegistered) {
+  Ontology ontology;
+  TypeId film = ontology.AddEntityType("film");
+  TypeId person = ontology.AddEntityType("person");
+  TypeId date = ontology.AddEntityType("date", /*is_literal=*/true);
+  PredicateId directed =
+      ontology.AddPredicate("film.directedBy", film, person, true);
+  PredicateId released =
+      ontology.AddPredicate("film.releaseDate", film, date, false);
+
+  EXPECT_EQ(ontology.num_types(), 3);
+  EXPECT_EQ(ontology.num_predicates(), 2);
+  EXPECT_EQ(ontology.entity_type(film).name, "film");
+  EXPECT_FALSE(ontology.entity_type(film).is_literal);
+  EXPECT_TRUE(ontology.entity_type(date).is_literal);
+  EXPECT_EQ(ontology.predicate(directed).subject_type, film);
+  EXPECT_EQ(ontology.predicate(directed).object_type, person);
+  EXPECT_TRUE(ontology.predicate(directed).multi_valued);
+  EXPECT_FALSE(ontology.predicate(released).multi_valued);
+}
+
+TEST(OntologyTest, LookupByName) {
+  Ontology ontology;
+  TypeId film = ontology.AddEntityType("film");
+  PredicateId predicate =
+      ontology.AddPredicate("film.self", film, film, false);
+
+  Result<TypeId> found_type = ontology.TypeByName("film");
+  ASSERT_TRUE(found_type.ok());
+  EXPECT_EQ(*found_type, film);
+  Result<PredicateId> found_pred = ontology.PredicateByName("film.self");
+  ASSERT_TRUE(found_pred.ok());
+  EXPECT_EQ(*found_pred, predicate);
+
+  EXPECT_EQ(ontology.TypeByName("nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ontology.PredicateByName("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(OntologyDeathTest, DuplicateNamesRejected) {
+  Ontology ontology;
+  ontology.AddEntityType("film");
+  EXPECT_DEATH(ontology.AddEntityType("film"), "duplicate entity type");
+}
+
+TEST(OntologyDeathTest, PredicateWithUnknownTypeRejected) {
+  Ontology ontology;
+  TypeId film = ontology.AddEntityType("film");
+  EXPECT_DEATH(ontology.AddPredicate("p", film, 99, false), "");
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,47 @@
+#include "ml/feature_map.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres {
+namespace {
+
+TEST(FeatureMapTest, AssignsDenseIndices) {
+  FeatureMap map;
+  EXPECT_EQ(map.GetOrAdd("a"), 0);
+  EXPECT_EQ(map.GetOrAdd("b"), 1);
+  EXPECT_EQ(map.GetOrAdd("a"), 0);
+  EXPECT_EQ(map.size(), 2);
+}
+
+TEST(FeatureMapTest, GetNeverInserts) {
+  FeatureMap map;
+  EXPECT_EQ(map.Get("missing"), -1);
+  EXPECT_EQ(map.size(), 0);
+  map.GetOrAdd("present");
+  EXPECT_EQ(map.Get("present"), 0);
+}
+
+TEST(FeatureMapTest, FrozenMapRejectsNewFeatures) {
+  FeatureMap map;
+  map.GetOrAdd("seen");
+  map.Freeze();
+  EXPECT_EQ(map.GetOrAdd("unseen"), -1);
+  EXPECT_EQ(map.GetOrAdd("seen"), 0);
+  EXPECT_EQ(map.size(), 1);
+}
+
+TEST(FeatureMapTest, NameLookup) {
+  FeatureMap map;
+  map.GetOrAdd("alpha");
+  map.GetOrAdd("beta");
+  EXPECT_EQ(map.Name(0), "alpha");
+  EXPECT_EQ(map.Name(1), "beta");
+}
+
+TEST(FeatureMapDeathTest, NameOutOfRange) {
+  FeatureMap map;
+  EXPECT_DEATH(map.Name(0), "");
+}
+
+}  // namespace
+}  // namespace ceres

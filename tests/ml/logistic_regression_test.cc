@@ -1,0 +1,183 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace ceres {
+namespace {
+
+LabeledExample Example(std::vector<std::pair<int32_t, double>> entries,
+                       int32_t label) {
+  LabeledExample example;
+  for (auto& [index, value] : entries) example.features.Add(index, value);
+  example.features.Finalize();
+  example.label = label;
+  return example;
+}
+
+TEST(LogisticRegressionTest, SeparatesTwoClasses) {
+  std::vector<LabeledExample> examples;
+  for (int i = 0; i < 20; ++i) {
+    examples.push_back(Example({{0, 1.0}}, 0));
+    examples.push_back(Example({{1, 1.0}}, 1));
+  }
+  LogisticRegression model;
+  Result<LbfgsResult> fit = model.Train(examples, 2, 2);
+  ASSERT_TRUE(fit.ok());
+  SparseVector a;
+  a.Add(0, 1.0);
+  a.Finalize();
+  auto [cls_a, conf_a] = model.Predict(a);
+  EXPECT_EQ(cls_a, 0);
+  EXPECT_GT(conf_a, 0.8);
+  SparseVector b;
+  b.Add(1, 1.0);
+  b.Finalize();
+  EXPECT_EQ(model.Predict(b).first, 1);
+}
+
+TEST(LogisticRegressionTest, MultinomialThreeClasses) {
+  std::vector<LabeledExample> examples;
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    int cls = i % 3;
+    // Each class fires its own feature plus a noisy shared one.
+    std::vector<std::pair<int32_t, double>> entries{
+        {cls, 1.0}, {3, rng.UniformDouble()}};
+    examples.push_back(Example(entries, cls));
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Train(examples, 4, 3).ok());
+  for (int cls = 0; cls < 3; ++cls) {
+    SparseVector v;
+    v.Add(cls, 1.0);
+    v.Finalize();
+    EXPECT_EQ(model.Predict(v).first, cls);
+  }
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesSumToOne) {
+  std::vector<LabeledExample> examples{Example({{0, 1.0}}, 0),
+                                       Example({{1, 1.0}}, 1),
+                                       Example({{2, 1.0}}, 2)};
+  LogisticRegression model;
+  ASSERT_TRUE(model.Train(examples, 3, 3).ok());
+  SparseVector v;
+  v.Add(0, 0.5);
+  v.Add(2, 0.5);
+  v.Finalize();
+  std::vector<double> probs = model.PredictProbabilities(v);
+  double sum = 0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LogisticRegressionTest, RegularizationShrinksWeights) {
+  std::vector<LabeledExample> examples;
+  for (int i = 0; i < 10; ++i) {
+    examples.push_back(Example({{0, 1.0}}, 0));
+    examples.push_back(Example({{1, 1.0}}, 1));
+  }
+  LogisticRegression strong;
+  LogRegConfig strong_config;
+  strong_config.l2_c = 0.01;  // Strong penalty.
+  ASSERT_TRUE(strong.Train(examples, 2, 2, strong_config).ok());
+  LogisticRegression weak;
+  LogRegConfig weak_config;
+  weak_config.l2_c = 100.0;  // Weak penalty.
+  ASSERT_TRUE(weak.Train(examples, 2, 2, weak_config).ok());
+  EXPECT_LT(std::fabs(strong.WeightAt(0, 0)),
+            std::fabs(weak.WeightAt(0, 0)));
+}
+
+TEST(LogisticRegressionTest, UnseenFeatureFallsBackToPrior) {
+  // With an imbalanced training set, an all-unknown-feature example should
+  // get the majority class (intercepts are unregularized).
+  std::vector<LabeledExample> examples;
+  for (int i = 0; i < 30; ++i) examples.push_back(Example({{0, 1.0}}, 0));
+  for (int i = 0; i < 10; ++i) examples.push_back(Example({{1, 1.0}}, 1));
+  LogisticRegression model;
+  ASSERT_TRUE(model.Train(examples, 2, 2).ok());
+  SparseVector empty;
+  empty.Finalize();
+  EXPECT_EQ(model.Predict(empty).first, 0);
+}
+
+TEST(LogisticRegressionTest, ErrorsOnBadInput) {
+  LogisticRegression model;
+  EXPECT_EQ(model.Train({}, 2, 2).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<LabeledExample> examples{Example({{0, 1.0}}, 5)};
+  EXPECT_EQ(model.Train(examples, 2, 2).status().code(),
+            StatusCode::kInvalidArgument);
+
+  LabeledExample unfinalized;
+  unfinalized.features.Add(0, 1.0);
+  unfinalized.label = 0;
+  std::vector<LabeledExample> bad;
+  bad.push_back(std::move(unfinalized));
+  EXPECT_EQ(model.Train(bad, 2, 2).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(model.Train({Example({{0, 1.0}}, 0)}, 2, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LogisticRegressionTest, ExampleWeightsMatter) {
+  // One heavily weighted contrarian example should beat three normal ones
+  // carrying the same feature.
+  std::vector<LabeledExample> examples;
+  for (int i = 0; i < 3; ++i) examples.push_back(Example({{0, 1.0}}, 0));
+  LabeledExample heavy = Example({{0, 1.0}}, 1);
+  heavy.weight = 30.0;
+  examples.push_back(std::move(heavy));
+  LogisticRegression model;
+  ASSERT_TRUE(model.Train(examples, 1, 2).ok());
+  SparseVector v;
+  v.Add(0, 1.0);
+  v.Finalize();
+  EXPECT_EQ(model.Predict(v).first, 1);
+}
+
+TEST(LogisticRegressionTest, RecoversOnNoisyLinearlySeparableData) {
+  Rng rng(11);
+  std::vector<LabeledExample> examples;
+  for (int i = 0; i < 400; ++i) {
+    double x0 = rng.Gaussian(0, 1);
+    double x1 = rng.Gaussian(0, 1);
+    int label = x0 + 0.5 * x1 > 0 ? 1 : 0;
+    if (rng.Bernoulli(0.05)) label = 1 - label;  // 5% label noise.
+    LabeledExample example;
+    example.features.Add(0, x0);
+    example.features.Add(1, x1);
+    example.features.Finalize();
+    example.label = label;
+    examples.push_back(std::move(example));
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Train(examples, 2, 2).ok());
+  int correct = 0;
+  int total = 0;
+  for (int i = 0; i < 200; ++i) {
+    double x0 = rng.Gaussian(0, 1);
+    double x1 = rng.Gaussian(0, 1);
+    SparseVector v;
+    v.Add(0, x0);
+    v.Add(1, x1);
+    v.Finalize();
+    int truth = x0 + 0.5 * x1 > 0 ? 1 : 0;
+    if (model.Predict(v).first == truth) ++correct;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+}  // namespace
+}  // namespace ceres

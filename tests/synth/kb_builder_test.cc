@@ -1,0 +1,148 @@
+#include "synth/kb_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres::synth {
+namespace {
+
+World SmallWorld() {
+  MovieWorldConfig config;
+  config.scale = 0.15;
+  return BuildMovieWorld(config);
+}
+
+TEST(KbBuilderTest, FullCoverageCopiesAllTriples) {
+  World world = SmallWorld();
+  SeedKbConfig config;
+  config.default_coverage = 1.0;
+  KnowledgeBase seed = BuildSeedKb(world, config);
+  EXPECT_EQ(seed.num_triples(), world.kb.num_triples());
+  EXPECT_TRUE(seed.frozen());
+}
+
+TEST(KbBuilderTest, PartialCoverageDropsTriples) {
+  World world = SmallWorld();
+  SeedKbConfig config;
+  config.default_coverage = 0.5;
+  KnowledgeBase seed = BuildSeedKb(world, config);
+  double ratio = static_cast<double>(seed.num_triples()) /
+                 static_cast<double>(world.kb.num_triples());
+  EXPECT_NEAR(ratio, 0.5, 0.05);
+  EXPECT_LT(seed.num_entities(), world.kb.num_entities() + 1);
+}
+
+TEST(KbBuilderTest, PerPredicateCoverageRespected) {
+  World world = SmallWorld();
+  SeedKbConfig config;
+  config.default_coverage = 1.0;
+  config.coverage[pred::kFilmHasCastMember] = 0.0;
+  config.coverage[pred::kFilmMpaaRating] = 0.0;
+  KnowledgeBase seed = BuildSeedKb(world, config);
+  PredicateId cast = *seed.ontology().PredicateByName(pred::kFilmHasCastMember);
+  PredicateId rating = *seed.ontology().PredicateByName(pred::kFilmMpaaRating);
+  for (const Triple& triple : seed.triples()) {
+    EXPECT_NE(triple.predicate, cast);
+    EXPECT_NE(triple.predicate, rating);
+  }
+}
+
+TEST(KbBuilderTest, PopularityBiasFavoursEarlyRosterEntities) {
+  World world = SmallWorld();
+  SeedKbConfig config;
+  config.default_coverage = 0.5;
+  config.popularity_bias = true;
+  KnowledgeBase seed = BuildSeedKb(world, config);
+
+  // Split world films into popular (first quartile) and obscure (last
+  // quartile) and compare seed fact counts via name lookups.
+  TypeId film = *world.kb.ontology().TypeByName("film");
+  const auto& films = world.OfType(film);
+  auto seed_fact_count = [&](EntityId world_film) {
+    std::vector<EntityId> ids =
+        seed.MatchMentions(world.kb.entity(world_film).name);
+    int64_t count = 0;
+    for (EntityId id : ids) {
+      count += static_cast<int64_t>(seed.TriplesWithSubject(id).size());
+    }
+    return count;
+  };
+  int64_t popular = 0;
+  int64_t obscure = 0;
+  size_t quarter = films.size() / 4;
+  for (size_t i = 0; i < quarter; ++i) {
+    popular += seed_fact_count(films[i]);
+    obscure += seed_fact_count(films[films.size() - 1 - i]);
+  }
+  EXPECT_GT(popular, obscure * 2);
+}
+
+TEST(KbBuilderTest, AliasesCopiedWhenRequested) {
+  World world = SmallWorld();
+  SeedKbConfig with;
+  with.include_aliases = true;
+  SeedKbConfig without;
+  without.include_aliases = false;
+  KnowledgeBase kb_with = BuildSeedKb(world, with);
+  KnowledgeBase kb_without = BuildSeedKb(world, without);
+
+  // Find a person with an alias in the world.
+  TypeId person = *world.kb.ontology().TypeByName("person");
+  for (EntityId id : world.OfType(person)) {
+    const Entity& entity = world.kb.entity(id);
+    if (entity.aliases.empty()) continue;
+    if (kb_with.MatchMentions(entity.name).empty()) continue;
+    EXPECT_FALSE(kb_with.MatchMentions(entity.aliases[0]).empty());
+    // Note: alias string may still collide with other names, so only check
+    // the with/without asymmetry on the first hit.
+    if (!kb_without.MatchMentions(entity.name).empty()) {
+      SUCCEED();
+      return;
+    }
+  }
+}
+
+TEST(KbBuilderTest, SeedFromPagesCoversExactlyAssertedFacts) {
+  World world = SmallWorld();
+  SiteSpec spec;
+  spec.name = "seed.example";
+  spec.seed = 3;
+  spec.tmpl.topic_type = "film";
+  spec.tmpl.sections = {
+      {pred::kFilmDirectedBy, "director", SectionLayout::kRow, 0.0, 3},
+      {pred::kFilmHasGenre, "genre", SectionLayout::kList, 0.0, 5},
+  };
+  TypeId film = *world.kb.ontology().TypeByName("film");
+  const auto& films = world.OfType(film);
+  spec.topics.assign(films.begin(), films.begin() + 10);
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+
+  KnowledgeBase seed = BuildSeedKbFromPages(world, pages);
+  int64_t expected = 0;
+  for (const GeneratedPage& page : pages) {
+    for (const GroundTruthFact& fact : page.facts) {
+      if (fact.predicate != kNamePredicate) ++expected;
+    }
+  }
+  // Duplicate (s,p,o) across pages collapse, so <=; but close.
+  EXPECT_LE(seed.num_triples(), expected);
+  EXPECT_GT(seed.num_triples(), expected / 2);
+  // The seed only contains director + genre predicates.
+  PredicateId director = *seed.ontology().PredicateByName(pred::kFilmDirectedBy);
+  PredicateId genre = *seed.ontology().PredicateByName(pred::kFilmHasGenre);
+  for (const Triple& triple : seed.triples()) {
+    EXPECT_TRUE(triple.predicate == director || triple.predicate == genre);
+  }
+}
+
+TEST(KbBuilderTest, Deterministic) {
+  World world = SmallWorld();
+  SeedKbConfig config;
+  config.default_coverage = 0.6;
+  KnowledgeBase a = BuildSeedKb(world, config);
+  KnowledgeBase b = BuildSeedKb(world, config);
+  EXPECT_EQ(a.num_triples(), b.num_triples());
+  EXPECT_EQ(a.num_entities(), b.num_entities());
+}
+
+}  // namespace
+}  // namespace ceres::synth

@@ -1,0 +1,97 @@
+#include "synth/names.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace ceres::synth {
+namespace {
+
+TEST(NamesTest, DeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(PersonName(&a), PersonName(&b));
+  }
+}
+
+TEST(NamesTest, PersonNamesHaveTwoParts) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    std::string name = PersonName(&rng);
+    EXPECT_NE(name.find(' '), std::string::npos) << name;
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(name[0]))) << name;
+  }
+}
+
+TEST(NamesTest, VarietyAcrossDraws) {
+  Rng rng(2);
+  std::set<std::string> names;
+  for (int i = 0; i < 200; ++i) names.insert(FilmTitle(&rng));
+  EXPECT_GT(names.size(), 100u);
+}
+
+TEST(NamesTest, LocalesProduceDistinctFlavours) {
+  Rng a(3);
+  Rng b(3);
+  // Same seed, different locale banks: names differ.
+  std::string english = PersonName(&a, Locale::kEnglish);
+  std::string icelandic = PersonName(&b, Locale::kIcelandic);
+  EXPECT_NE(english, icelandic);
+}
+
+TEST(NamesTest, LiteralFormats) {
+  Rng rng(4);
+  EXPECT_NE(DateString(&rng).find(' '), std::string::npos);
+  std::string height = HeightString(&rng);
+  EXPECT_NE(height.find('\''), std::string::npos);
+  std::string weight = WeightString(&rng);
+  EXPECT_NE(weight.find("lbs"), std::string::npos);
+  std::string phone = PhoneString(&rng);
+  EXPECT_EQ(phone.front(), '(');
+  std::string isbn = IsbnString(&rng);
+  EXPECT_EQ(isbn.substr(0, 4), "978-");
+  EXPECT_EQ(WebsiteString(&rng, "Ashford College"),
+            "www.ashford-college.edu");
+}
+
+TEST(NamesTest, GenreVocabularyFixed) {
+  EXPECT_EQ(GenreNames().size(), 18u);
+  EXPECT_EQ(GenreNames()[0], "Comedy");
+}
+
+TEST(NamesTest, AmbiguousEpisodeTitlesIncludePilot) {
+  const auto& titles = AmbiguousEpisodeTitles();
+  EXPECT_NE(std::find(titles.begin(), titles.end(), "Pilot"), titles.end());
+}
+
+TEST(UiLabelTest, EnglishDefaults) {
+  EXPECT_EQ(UiLabel("director", Locale::kEnglish), "Director:");
+  EXPECT_EQ(UiLabel("cast", Locale::kEnglish), "Cast");
+}
+
+TEST(UiLabelTest, LocalizedWhenAvailable) {
+  EXPECT_EQ(UiLabel("director", Locale::kItalian), "Regia:");
+  EXPECT_EQ(UiLabel("director", Locale::kCzech), "Režie:");
+  EXPECT_EQ(UiLabel("director", Locale::kDanish), "Instruktør:");
+}
+
+TEST(UiLabelTest, FallsBackToEnglish) {
+  // Italian table has no "isbn" entry.
+  EXPECT_EQ(UiLabel("isbn", Locale::kItalian), "ISBN-13:");
+  // Unknown key falls through to the key itself.
+  EXPECT_EQ(UiLabel("nonexistent_key", Locale::kEnglish),
+            "nonexistent_key");
+}
+
+TEST(SlugifyTest, Basics) {
+  EXPECT_EQ(Slugify("Do the Right Thing"), "do-the-right-thing");
+  EXPECT_EQ(Slugify("  A -- B  "), "a-b");
+  EXPECT_EQ(Slugify("Ümlaut"), "mlaut");  // Non-ASCII dropped.
+  EXPECT_EQ(Slugify(""), "");
+}
+
+}  // namespace
+}  // namespace ceres::synth

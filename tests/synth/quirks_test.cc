@@ -1,0 +1,145 @@
+// Tests for the template quirk/trap machinery that drives the paper's
+// failure-mode reproductions (§5.5.1).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dom/html_parser.h"
+#include "dom/xpath.h"
+#include "synth/site_generator.h"
+#include "synth/world.h"
+
+namespace ceres::synth {
+namespace {
+
+World SmallWorld() {
+  MovieWorldConfig config;
+  config.scale = 0.1;
+  return BuildMovieWorld(config);
+}
+
+SiteSpec BaseSpec(const World& world, int pages) {
+  SiteSpec spec;
+  spec.name = "quirks.example";
+  spec.seed = 11;
+  spec.tmpl.topic_type = "film";
+  spec.tmpl.css_prefix = "qq";
+  spec.tmpl.sections = {
+      {pred::kFilmDirectedBy, "director", SectionLayout::kRow, 0.0, 3},
+      {pred::kFilmWrittenBy, "writer", SectionLayout::kRow, 0.0, 3},
+      {pred::kFilmHasGenre, "genre", SectionLayout::kList, 0.0, 5},
+  };
+  TypeId film = *world.kb.ontology().TypeByName("film");
+  const auto& films = world.OfType(film);
+  spec.topics.assign(films.begin(), films.begin() + pages);
+  return spec;
+}
+
+TEST(QuirksTest, WeakLabelsRenderGenericLabelEverywhere) {
+  World world = SmallWorld();
+  SiteSpec spec = BaseSpec(world, 6);
+  spec.tmpl.weak_labels = true;
+  for (const GeneratedPage& page : GenerateSite(world, spec)) {
+    EXPECT_EQ(page.html.find("Director:"), std::string::npos);
+    EXPECT_EQ(page.html.find("Writer:"), std::string::npos);
+    EXPECT_NE(page.html.find("Details:"), std::string::npos);
+  }
+}
+
+TEST(QuirksTest, DailyChartsEmbedReleaseDateWithGroundTruth) {
+  World world = SmallWorld();
+  SiteSpec spec = BaseSpec(world, 10);
+  spec.tmpl.daily_charts = true;
+  PredicateId release =
+      *world.kb.ontology().PredicateByName(pred::kFilmReleaseDate);
+  int pages_with_release_truth = 0;
+  for (const GeneratedPage& page : GenerateSite(world, spec)) {
+    Result<DomDocument> parsed = ParseHtml(page.html);
+    ASSERT_TRUE(parsed.ok());
+    for (const GroundTruthFact& fact : page.facts) {
+      if (fact.predicate != release) continue;
+      ++pages_with_release_truth;
+      NodeId node = XPath::Parse(fact.xpath)->Resolve(*parsed);
+      ASSERT_NE(node, kInvalidNode);
+      // The labelled date sits in a td of the (mimicking) chart table.
+      EXPECT_EQ(parsed->node(node).tag, "td");
+      NodeId table = parsed->node(parsed->node(node).parent).parent;
+      EXPECT_EQ(parsed->node(table).Attribute("class"), "qq-tbl");
+      break;
+    }
+  }
+  EXPECT_GT(pages_with_release_truth, 5);
+}
+
+TEST(QuirksTest, SectionShuffleChangesOrderAcrossPages) {
+  World world = SmallWorld();
+  SiteSpec spec = BaseSpec(world, 20);
+  spec.tmpl.section_shuffle_prob = 1.0;
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+  // With shuffling on every page, the director row cannot sit at the same
+  // main-child position everywhere.
+  std::set<std::string> director_paths;
+  PredicateId director =
+      *world.kb.ontology().PredicateByName(pred::kFilmDirectedBy);
+  for (const GeneratedPage& page : pages) {
+    for (const GroundTruthFact& fact : page.facts) {
+      if (fact.predicate == director) {
+        director_paths.insert(fact.xpath);
+        break;
+      }
+    }
+  }
+  EXPECT_GT(director_paths.size(), 1u);
+}
+
+TEST(QuirksTest, AllGenresNavListsEveryGenreWithoutTruth) {
+  World world = SmallWorld();
+  SiteSpec spec = BaseSpec(world, 4);
+  spec.tmpl.all_genres_nav = true;
+  spec.tmpl.sections.pop_back();  // Remove the true genre section.
+  PredicateId genre =
+      *world.kb.ontology().PredicateByName(pred::kFilmHasGenre);
+  for (const GeneratedPage& page : GenerateSite(world, spec)) {
+    // Every genre name appears on every page...
+    EXPECT_NE(page.html.find("Comedy"), std::string::npos);
+    EXPECT_NE(page.html.find("Western"), std::string::npos);
+    // ...but none of them is asserted.
+    for (const GroundTruthFact& fact : page.facts) {
+      EXPECT_NE(fact.predicate, genre);
+    }
+  }
+}
+
+TEST(QuirksTest, PageNoiseShiftsDownstreamPaths) {
+  World world = SmallWorld();
+  SiteSpec spec = BaseSpec(world, 40);
+  spec.tmpl.page_noise_prob = 0.5;
+  PredicateId director =
+      *world.kb.ontology().PredicateByName(pred::kFilmDirectedBy);
+  std::set<std::string> paths;
+  for (const GeneratedPage& page : GenerateSite(world, spec)) {
+    for (const GroundTruthFact& fact : page.facts) {
+      if (fact.predicate == director) {
+        paths.insert(fact.xpath);
+        break;
+      }
+    }
+  }
+  // Ad insertion before some sections produces at least two distinct
+  // director paths (the Figure 2 phenomenon).
+  EXPECT_GT(paths.size(), 1u);
+}
+
+TEST(QuirksTest, LocaleAffectsRenderedLabels) {
+  World world = SmallWorld();
+  SiteSpec spec = BaseSpec(world, 3);
+  spec.tmpl.locale = Locale::kCzech;
+  for (const GeneratedPage& page : GenerateSite(world, spec)) {
+    EXPECT_NE(page.html.find("Režie:"), std::string::npos);
+    EXPECT_EQ(page.html.find("Director:"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ceres::synth

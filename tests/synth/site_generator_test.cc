@@ -1,0 +1,218 @@
+#include "synth/site_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "dom/html_parser.h"
+#include "dom/xpath.h"
+
+namespace ceres::synth {
+namespace {
+
+World SmallWorld() {
+  MovieWorldConfig config;
+  config.scale = 0.1;
+  return BuildMovieWorld(config);
+}
+
+SiteSpec FilmSiteSpec(const World& world, int pages) {
+  SiteSpec spec;
+  spec.name = "test.example";
+  spec.seed = 9;
+  spec.tmpl.topic_type = "film";
+  spec.tmpl.css_prefix = "tt";
+  spec.tmpl.sections = {
+      {pred::kFilmDirectedBy, "director", SectionLayout::kRow, 0.0, 3},
+      {pred::kFilmHasCastMember, "cast", SectionLayout::kList, 0.0, 10},
+      {pred::kFilmHasGenre, "genre", SectionLayout::kList, 0.0, 5},
+      {pred::kFilmReleaseDate, "release_date", SectionLayout::kRow, 0.0, 1},
+  };
+  TypeId film = *world.kb.ontology().TypeByName("film");
+  const auto& films = world.OfType(film);
+  spec.topics.assign(films.begin(),
+                     films.begin() + std::min<size_t>(films.size(),
+                                                      static_cast<size_t>(pages)));
+  return spec;
+}
+
+TEST(SiteGeneratorTest, RendersOnePagePerTopic) {
+  World world = SmallWorld();
+  SiteSpec spec = FilmSiteSpec(world, 12);
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+  ASSERT_EQ(pages.size(), 12u);
+  for (const GeneratedPage& page : pages) {
+    EXPECT_NE(page.topic, kInvalidEntity);
+    EXPECT_FALSE(page.html.empty());
+    EXPECT_FALSE(page.topic_xpath.empty());
+    EXPECT_NE(page.url.find("test.example"), std::string::npos);
+  }
+}
+
+TEST(SiteGeneratorTest, GroundTruthMatchesWorldFacts) {
+  World world = SmallWorld();
+  SiteSpec spec = FilmSiteSpec(world, 8);
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+  PredicateId director =
+      *world.kb.ontology().PredicateByName(pred::kFilmDirectedBy);
+  for (const GeneratedPage& page : pages) {
+    for (const GroundTruthFact& fact : page.facts) {
+      if (fact.predicate == kNamePredicate) {
+        EXPECT_EQ(fact.object, page.topic);
+        continue;
+      }
+      // Every recorded fact must exist in the world KB.
+      EXPECT_TRUE(world.kb.HasTriple(page.topic, fact.predicate,
+                                     fact.object))
+          << "page " << page.url;
+      if (fact.predicate == director) {
+        EXPECT_EQ(world.kb.entity(fact.object).name, fact.object_text);
+      }
+    }
+  }
+}
+
+TEST(SiteGeneratorTest, DeterministicOutput) {
+  World world = SmallWorld();
+  SiteSpec spec = FilmSiteSpec(world, 6);
+  std::vector<GeneratedPage> a = GenerateSite(world, spec);
+  std::vector<GeneratedPage> b = GenerateSite(world, spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].html, b[i].html);
+    EXPECT_EQ(a[i].facts.size(), b[i].facts.size());
+  }
+}
+
+TEST(SiteGeneratorTest, MissingProbabilityDropsSections) {
+  World world = SmallWorld();
+  SiteSpec spec = FilmSiteSpec(world, 30);
+  spec.tmpl.sections[0].missing_prob = 0.5;  // Director often missing.
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+  PredicateId director =
+      *world.kb.ontology().PredicateByName(pred::kFilmDirectedBy);
+  int with_director = 0;
+  for (const GeneratedPage& page : pages) {
+    for (const GroundTruthFact& fact : page.facts) {
+      if (fact.predicate == director) {
+        ++with_director;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_director, 3);
+  EXPECT_LT(with_director, 27);
+}
+
+TEST(SiteGeneratorTest, TrapSectionsCarryNoGroundTruth) {
+  World world = SmallWorld();
+  SiteSpec spec = FilmSiteSpec(world, 10);
+  spec.tmpl.num_recommendations = 4;
+  spec.tmpl.all_genres_nav = true;
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+  for (const GeneratedPage& page : pages) {
+    Result<DomDocument> parsed = ParseHtml(page.html);
+    ASSERT_TRUE(parsed.ok());
+    // Collect ground-truth nodes.
+    std::set<NodeId> truth_nodes;
+    for (const GroundTruthFact& fact : page.facts) {
+      truth_nodes.insert(XPath::Parse(fact.xpath)->Resolve(*parsed));
+    }
+    // No truth node sits inside a rec card or the genre nav.
+    for (NodeId id = 0; id < parsed->size(); ++id) {
+      std::string_view cls = parsed->node(id).Attribute("class");
+      if (cls == "tt-card" || cls == "tt-gnav") {
+        for (NodeId inner = id; inner < parsed->size(); ++inner) {
+          if (!parsed->IsAncestorOrSelf(id, inner)) continue;
+          EXPECT_EQ(truth_nodes.count(inner), 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(SiteGeneratorTest, MergedFilmographyLabelsAllRoles) {
+  World world = SmallWorld();
+  SiteSpec spec;
+  spec.name = "person.example";
+  spec.seed = 4;
+  spec.tmpl.topic_type = "person";
+  spec.tmpl.css_prefix = "pp";
+  spec.tmpl.merged_filmography = true;
+  spec.tmpl.sections = {
+      {pred::kPersonActedIn, "cast", SectionLayout::kList, 0.0, 20},
+      {pred::kPersonDirectorOf, "director", SectionLayout::kList, 0.0, 10},
+      {pred::kPersonWriterOf, "writer", SectionLayout::kList, 0.0, 10},
+  };
+  TypeId person = *world.kb.ontology().TypeByName("person");
+  const auto& persons = world.OfType(person);
+  spec.topics.assign(persons.begin(), persons.begin() + 20);
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+  PredicateId acted = *world.kb.ontology().PredicateByName(pred::kPersonActedIn);
+  PredicateId directed =
+      *world.kb.ontology().PredicateByName(pred::kPersonDirectorOf);
+  bool saw_multi_role_node = false;
+  for (const GeneratedPage& page : pages) {
+    std::map<std::string, std::set<PredicateId>> roles_at;
+    for (const GroundTruthFact& fact : page.facts) {
+      if (fact.predicate == acted || fact.predicate == directed) {
+        roles_at[fact.xpath].insert(fact.predicate);
+      }
+    }
+    for (const auto& [xpath, roles] : roles_at) {
+      if (roles.size() > 1) saw_multi_role_node = true;
+    }
+  }
+  EXPECT_TRUE(saw_multi_role_node);
+}
+
+TEST(SiteGeneratorTest, NonDetailPagesHaveNoTopic) {
+  World world = SmallWorld();
+  SiteSpec spec = FilmSiteSpec(world, 3);
+  spec.num_non_detail_pages = 4;
+  spec.tmpl.daily_charts = true;
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+  ASSERT_EQ(pages.size(), 7u);
+  int non_detail = 0;
+  for (const GeneratedPage& page : pages) {
+    if (page.topic == kInvalidEntity) {
+      ++non_detail;
+      EXPECT_TRUE(page.facts.empty());
+      EXPECT_TRUE(page.topic_xpath.empty());
+    }
+  }
+  EXPECT_EQ(non_detail, 4);
+}
+
+TEST(SiteGeneratorTest, TitleYearSuffixApplied) {
+  World world = SmallWorld();
+  SiteSpec spec = FilmSiteSpec(world, 5);
+  spec.tmpl.title_year_suffix = true;
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+  for (const GeneratedPage& page : pages) {
+    Result<DomDocument> parsed = ParseHtml(page.html);
+    NodeId title = XPath::Parse(page.topic_xpath)->Resolve(*parsed);
+    ASSERT_NE(title, kInvalidNode);
+    // Rendered title ends with "(YYYY)" but the recorded topic name is
+    // the canonical name without the year.
+    const std::string& rendered = parsed->node(title).text;
+    EXPECT_EQ(rendered.back(), ')');
+    EXPECT_EQ(rendered.find(page.topic_name), 0u);
+  }
+}
+
+TEST(SiteGeneratorTest, SearchBoxRendersBothTypeValues) {
+  World world = SmallWorld();
+  SiteSpec spec = FilmSiteSpec(world, 3);
+  spec.tmpl.search_box_values = true;
+  std::vector<GeneratedPage> pages = GenerateSite(world, spec);
+  for (const GeneratedPage& page : pages) {
+    EXPECT_NE(page.html.find(">Public<"), std::string::npos);
+    EXPECT_NE(page.html.find(">Private<"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ceres::synth

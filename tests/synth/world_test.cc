@@ -1,0 +1,142 @@
+#include "synth/world.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres::synth {
+namespace {
+
+TEST(MovieWorldTest, BuildsConsistentGraph) {
+  MovieWorldConfig config;
+  config.scale = 0.2;
+  World world = BuildMovieWorld(config);
+  EXPECT_TRUE(world.kb.frozen());
+  const Ontology& ontology = world.kb.ontology();
+  Result<TypeId> film = ontology.TypeByName("film");
+  Result<TypeId> person = ontology.TypeByName("person");
+  ASSERT_TRUE(film.ok());
+  ASSERT_TRUE(person.ok());
+  EXPECT_GT(world.OfType(*film).size(), 50u);
+  EXPECT_GT(world.OfType(*person).size(), 200u);
+  EXPECT_GT(world.kb.num_triples(), 1000);
+}
+
+TEST(MovieWorldTest, InversePredicatesConsistent) {
+  MovieWorldConfig config;
+  config.scale = 0.15;
+  World world = BuildMovieWorld(config);
+  const Ontology& ontology = world.kb.ontology();
+  PredicateId film_director = *ontology.PredicateByName(pred::kFilmDirectedBy);
+  PredicateId director_of = *ontology.PredicateByName(pred::kPersonDirectorOf);
+  PredicateId film_cast = *ontology.PredicateByName(pred::kFilmHasCastMember);
+  PredicateId acted_in = *ontology.PredicateByName(pred::kPersonActedIn);
+  for (const Triple& triple : world.kb.triples()) {
+    if (triple.predicate == film_director) {
+      EXPECT_TRUE(world.kb.HasTriple(triple.object, director_of,
+                                     triple.subject));
+    }
+    if (triple.predicate == film_cast) {
+      EXPECT_TRUE(world.kb.HasTriple(triple.object, acted_in,
+                                     triple.subject));
+    }
+  }
+}
+
+TEST(MovieWorldTest, EveryFilmHasRequiredFacts) {
+  MovieWorldConfig config;
+  config.scale = 0.1;
+  World world = BuildMovieWorld(config);
+  const Ontology& ontology = world.kb.ontology();
+  TypeId film = *ontology.TypeByName("film");
+  PredicateId year = *ontology.PredicateByName(pred::kFilmReleaseYear);
+  PredicateId director = *ontology.PredicateByName(pred::kFilmDirectedBy);
+  PredicateId genre = *ontology.PredicateByName(pred::kFilmHasGenre);
+  PredicateId rating = *ontology.PredicateByName(pred::kFilmMpaaRating);
+  for (EntityId f : world.OfType(film)) {
+    int years = 0;
+    int directors = 0;
+    int genres = 0;
+    int ratings = 0;
+    for (const Triple& triple : world.kb.TriplesWithSubject(f)) {
+      if (triple.predicate == year) ++years;
+      if (triple.predicate == director) ++directors;
+      if (triple.predicate == genre) ++genres;
+      if (triple.predicate == rating) ++ratings;
+    }
+    EXPECT_EQ(years, 1);
+    EXPECT_GE(directors, 1);
+    EXPECT_GE(genres, 1);
+    EXPECT_EQ(ratings, 1);
+  }
+}
+
+TEST(MovieWorldTest, DeterministicForSeed) {
+  MovieWorldConfig config;
+  config.scale = 0.1;
+  World a = BuildMovieWorld(config);
+  World b = BuildMovieWorld(config);
+  ASSERT_EQ(a.kb.num_entities(), b.kb.num_entities());
+  ASSERT_EQ(a.kb.num_triples(), b.kb.num_triples());
+  for (EntityId id = 0; id < a.kb.num_entities(); ++id) {
+    EXPECT_EQ(a.kb.entity(id).name, b.kb.entity(id).name);
+  }
+}
+
+TEST(MovieWorldTest, EpisodesCarryAmbiguousTitles) {
+  MovieWorldConfig config;
+  config.scale = 0.3;
+  World world = BuildMovieWorld(config);
+  TypeId episode = *world.kb.ontology().TypeByName("tv_episode");
+  int ambiguous = 0;
+  for (EntityId e : world.OfType(episode)) {
+    const std::string& name = world.kb.entity(e).name;
+    for (const std::string& t : AmbiguousEpisodeTitles()) {
+      if (name == t) {
+        ++ambiguous;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(ambiguous, 10);
+}
+
+TEST(BookWorldTest, BooksFullyAttributed) {
+  BookWorldConfig config;
+  config.scale = 0.2;
+  World world = BuildBookWorld(config);
+  TypeId book = *world.kb.ontology().TypeByName("book");
+  for (EntityId b : world.OfType(book)) {
+    EXPECT_GE(world.kb.TriplesWithSubject(b).size(), 4u);
+  }
+}
+
+TEST(NbaWorldTest, SharedLiteralValues) {
+  NbaWorldConfig config;
+  World world = BuildNbaWorld(config);
+  TypeId length = *world.kb.ontology().TypeByName("length");
+  // Heights repeat across players: far fewer height entities than players.
+  TypeId player = *world.kb.ontology().TypeByName("player");
+  EXPECT_LT(world.OfType(length).size(), world.OfType(player).size());
+}
+
+TEST(UniversityWorldTest, TypesAreOnlyPublicPrivate) {
+  UniversityWorldConfig config;
+  World world = BuildUniversityWorld(config);
+  TypeId category = *world.kb.ontology().TypeByName("category");
+  ASSERT_EQ(world.OfType(category).size(), 2u);
+  EXPECT_EQ(world.kb.entity(world.OfType(category)[0]).name, "Public");
+  EXPECT_EQ(world.kb.entity(world.OfType(category)[1]).name, "Private");
+}
+
+TEST(WorldScalingTest, ScaleGrowsRosters) {
+  MovieWorldConfig small;
+  small.scale = 0.1;
+  MovieWorldConfig large;
+  large.scale = 0.4;
+  World a = BuildMovieWorld(small);
+  World b = BuildMovieWorld(large);
+  EXPECT_LT(a.kb.num_entities(), b.kb.num_entities());
+  EXPECT_LT(a.kb.num_triples(), b.kb.num_triples());
+}
+
+}  // namespace
+}  // namespace ceres::synth

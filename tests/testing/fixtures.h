@@ -1,0 +1,113 @@
+#ifndef CERES_TESTS_TESTING_FIXTURES_H_
+#define CERES_TESTS_TESTING_FIXTURES_H_
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dom/html_parser.h"
+#include "kb/knowledge_base.h"
+#include "util/string_util.h"
+
+namespace ceres::testing {
+
+inline DomDocument ParseOrDie(const std::string& html) {
+  Result<DomDocument> doc = ParseHtml(html);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+/// A tiny movie ontology/KB used by the core unit tests: three films, four
+/// people, two genres, with director/writer/cast/genre predicates.
+struct TinyMovieKb {
+  TinyMovieKb() : kb(MakeOntology()) {
+    film_type = *kb.ontology().TypeByName("film");
+    person_type = *kb.ontology().TypeByName("person");
+    genre_type = *kb.ontology().TypeByName("genre");
+    directed = *kb.ontology().PredicateByName("directedBy");
+    wrote = *kb.ontology().PredicateByName("writtenBy");
+    cast = *kb.ontology().PredicateByName("hasCastMember");
+    genre = *kb.ontology().PredicateByName("hasGenre");
+
+    right_thing = kb.AddEntity(film_type, "Do the Right Thing");
+    crooklyn = kb.AddEntity(film_type, "Crooklyn");
+    selma = kb.AddEntity(film_type, "Selma");
+    lee = kb.AddEntity(person_type, "Spike Lee");
+    aiello = kb.AddEntity(person_type, "Danny Aiello");
+    turturro = kb.AddEntity(person_type, "John Turturro");
+    harris = kb.AddEntity(person_type, "Zelda Harris");
+    comedy = kb.AddEntity(genre_type, "Comedy");
+    drama_genre = kb.AddEntity(genre_type, "Dramedy");
+
+    kb.AddTriple(right_thing, directed, lee);
+    kb.AddTriple(right_thing, wrote, lee);
+    kb.AddTriple(right_thing, cast, lee);
+    kb.AddTriple(right_thing, cast, aiello);
+    kb.AddTriple(right_thing, cast, turturro);
+    kb.AddTriple(right_thing, genre, comedy);
+    kb.AddTriple(right_thing, genre, drama_genre);
+
+    kb.AddTriple(crooklyn, directed, lee);
+    kb.AddTriple(crooklyn, cast, harris);
+    kb.AddTriple(crooklyn, genre, comedy);
+
+    kb.AddTriple(selma, cast, aiello);
+    kb.AddTriple(selma, genre, drama_genre);
+    kb.Freeze();
+  }
+
+  static Ontology MakeOntology() {
+    Ontology ontology;
+    TypeId film = ontology.AddEntityType("film");
+    TypeId person = ontology.AddEntityType("person");
+    TypeId genre = ontology.AddEntityType("genre");
+    ontology.AddPredicate("directedBy", film, person, true);
+    ontology.AddPredicate("writtenBy", film, person, true);
+    ontology.AddPredicate("hasCastMember", film, person, true);
+    ontology.AddPredicate("hasGenre", film, genre, true);
+    return ontology;
+  }
+
+  KnowledgeBase kb;
+  TypeId film_type, person_type, genre_type;
+  PredicateId directed, wrote, cast, genre;
+  EntityId right_thing, crooklyn, selma;
+  EntityId lee, aiello, turturro, harris;
+  EntityId comedy, drama_genre;
+};
+
+/// Renders a fixed-layout film detail page. The cast list is a <ul>, the
+/// director/writer are rows, genres are a list; `rec_genres` adds a
+/// recommendation block that repeats genre strings (the Example 3.2 trap).
+inline std::string FilmPageHtml(
+    const std::string& title, const std::string& director,
+    const std::string& writer, const std::vector<std::string>& cast,
+    const std::vector<std::string>& genres,
+    const std::vector<std::string>& rec_genres = {}) {
+  std::string html = StrCat(
+      "<body><div class=page><h1 class=title>", title, "</h1>",
+      "<div class=row><span class=lbl>Director:</span><span class=val>",
+      director, "</span></div>",
+      "<div class=row><span class=lbl>Writer:</span><span class=val>",
+      writer, "</span></div>", "<div class=sec><h3>Cast</h3><ul class=cast>");
+  for (const std::string& member : cast) {
+    html += StrCat("<li>", member, "</li>");
+  }
+  html += "</ul></div><div class=sec><h3>Genres</h3><ul class=genres>";
+  for (const std::string& g : genres) html += StrCat("<li>", g, "</li>");
+  html += "</ul></div>";
+  if (!rec_genres.empty()) {
+    html += "<div class=recs><h3>Also like</h3><ul class=recgenres>";
+    for (const std::string& g : rec_genres) {
+      html += StrCat("<li>", g, "</li>");
+    }
+    html += "</ul></div>";
+  }
+  html += "</div></body>";
+  return html;
+}
+
+}  // namespace ceres::testing
+
+#endif  // CERES_TESTS_TESTING_FIXTURES_H_

@@ -1,0 +1,75 @@
+#include "text/fuzzy_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres {
+namespace {
+
+TEST(FuzzyMatcherTest, ExactNormalizedMatch) {
+  FuzzyMatcher matcher;
+  matcher.Add("Do the Right Thing", 1);
+  EXPECT_EQ(matcher.Match("do the right thing"), (std::vector<int64_t>{1}));
+  EXPECT_EQ(matcher.Match("DO THE RIGHT THING!"), (std::vector<int64_t>{1}));
+  EXPECT_TRUE(matcher.Match("something else").empty());
+}
+
+TEST(FuzzyMatcherTest, AmbiguousStringsReturnAllIds) {
+  FuzzyMatcher matcher;
+  matcher.Add("Pilot", 10);
+  matcher.Add("Pilot", 20);
+  matcher.Add("Pilot", 30);
+  EXPECT_EQ(matcher.Match("Pilot").size(), 3u);
+}
+
+TEST(FuzzyMatcherTest, DuplicateRegistrationCollapsed) {
+  FuzzyMatcher matcher;
+  matcher.Add("Selma", 5);
+  matcher.Add("Selma", 5);
+  EXPECT_EQ(matcher.Match("Selma"), (std::vector<int64_t>{5}));
+}
+
+TEST(FuzzyMatcherTest, AliasesMapToSameId) {
+  FuzzyMatcher matcher;
+  matcher.Add("Samuel Clemens", 3);
+  matcher.Add("Mark Twain", 3);
+  EXPECT_EQ(matcher.Match("mark twain"), (std::vector<int64_t>{3}));
+  EXPECT_EQ(matcher.Match("Samuel Clemens"), (std::vector<int64_t>{3}));
+}
+
+TEST(FuzzyMatcherTest, TrailingYearStripped) {
+  FuzzyMatcher matcher;
+  matcher.Add("Do the Right Thing", 1);
+  EXPECT_EQ(matcher.Match("Do the Right Thing (1989)"),
+            (std::vector<int64_t>{1}));
+}
+
+TEST(FuzzyMatcherTest, YearNotStrippedWhenNameHasYear) {
+  FuzzyMatcher matcher;
+  matcher.Add("Class of 1984", 7);
+  EXPECT_EQ(matcher.Match("Class of 1984"), (std::vector<int64_t>{7}));
+}
+
+TEST(FuzzyMatcherTest, AccentInsensitive) {
+  FuzzyMatcher matcher;
+  matcher.Add("Amélie", 9);
+  EXPECT_EQ(matcher.Match("Amelie"), (std::vector<int64_t>{9}));
+}
+
+TEST(FuzzyMatcherTest, EmptyAndBlankNeverMatch) {
+  FuzzyMatcher matcher;
+  matcher.Add("", 1);
+  matcher.Add("  !! ", 2);
+  EXPECT_EQ(matcher.KeyCount(), 0u);
+  EXPECT_TRUE(matcher.Match("").empty());
+}
+
+TEST(StripTrailingYearTest, Behaviour) {
+  EXPECT_EQ(StripTrailingYear("selma 2014"), "selma");
+  EXPECT_EQ(StripTrailingYear("selma"), "selma");
+  EXPECT_EQ(StripTrailingYear("2014"), "2014");         // Nothing would remain.
+  EXPECT_EQ(StripTrailingYear("top 100"), "top 100");    // Not 4 digits.
+  EXPECT_EQ(StripTrailingYear("war 19999"), "war 19999");
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,51 @@
+#include "text/jaccard.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace ceres {
+namespace {
+
+using Set = std::unordered_set<int64_t>;
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Set{1, 2, 3}, Set{2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Set{1}, Set{1}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Set{1}, Set{2}), 0.0);
+}
+
+TEST(JaccardTest, EmptySets) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Set{}, Set{}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Set{1}, Set{}), 0.0);
+}
+
+TEST(JaccardTest, SubsetScore) {
+  // |A∩B| / |A∪B| = 2/4.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Set{1, 2}, Set{1, 2, 3, 4}), 0.5);
+}
+
+TEST(JaccardPropertyTest, SymmetricAndBounded) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    Set a;
+    Set b;
+    int na = static_cast<int>(rng.Uniform(0, 20));
+    int nb = static_cast<int>(rng.Uniform(0, 20));
+    for (int i = 0; i < na; ++i) a.insert(rng.Uniform(0, 30));
+    for (int i = 0; i < nb; ++i) b.insert(rng.Uniform(0, 30));
+    double ab = JaccardSimilarity(a, b);
+    double ba = JaccardSimilarity(b, a);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    if (!a.empty()) {
+      EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ceres

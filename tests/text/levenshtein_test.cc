@@ -1,0 +1,76 @@
+#include "text/levenshtein.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace ceres {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance(std::string("kitten"),
+                                std::string("sitting")),
+            3u);
+  EXPECT_EQ(LevenshteinDistance(std::string("flaw"), std::string("lawn")),
+            2u);
+  EXPECT_EQ(LevenshteinDistance(std::string(""), std::string("abc")), 3u);
+  EXPECT_EQ(LevenshteinDistance(std::string("abc"), std::string("")), 3u);
+  EXPECT_EQ(LevenshteinDistance(std::string("same"), std::string("same")),
+            0u);
+}
+
+TEST(LevenshteinTest, WorksOnVectors) {
+  std::vector<int> a{1, 2, 3, 4};
+  std::vector<int> b{1, 3, 4, 5};
+  EXPECT_EQ(LevenshteinDistance(a, b), 2u);
+}
+
+TEST(BoundedLevenshteinTest, AgreesWithExactWithinBound) {
+  Rng rng(77);
+  const std::string alphabet = "abcd";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a;
+    std::string b;
+    int la = static_cast<int>(rng.Uniform(0, 12));
+    int lb = static_cast<int>(rng.Uniform(0, 12));
+    for (int i = 0; i < la; ++i) a += alphabet[rng.Index(4)];
+    for (int i = 0; i < lb; ++i) b += alphabet[rng.Index(4)];
+    size_t exact = LevenshteinDistance(a, b);
+    for (size_t bound : {0u, 1u, 2u, 3u, 8u}) {
+      size_t bounded = BoundedLevenshtein(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << a << " vs " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(bounded, bound) << a << " vs " << b << " bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(BoundedLevenshteinTest, QuickRejectOnLengthGap) {
+  EXPECT_EQ(BoundedLevenshtein("ab", "abcdefgh", 2), 3u);
+}
+
+// Metric properties (symmetry + triangle inequality) on random inputs.
+TEST(LevenshteinPropertyTest, SymmetryAndTriangle) {
+  Rng rng(99);
+  const std::string alphabet = "xyz";
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string s[3];
+    for (auto& str : s) {
+      int len = static_cast<int>(rng.Uniform(0, 8));
+      for (int i = 0; i < len; ++i) str += alphabet[rng.Index(3)];
+    }
+    size_t ab = LevenshteinDistance(s[0], s[1]);
+    size_t ba = LevenshteinDistance(s[1], s[0]);
+    size_t bc = LevenshteinDistance(s[1], s[2]);
+    size_t ac = LevenshteinDistance(s[0], s[2]);
+    EXPECT_EQ(ab, ba);
+    EXPECT_LE(ac, ab + bc);
+  }
+}
+
+}  // namespace
+}  // namespace ceres

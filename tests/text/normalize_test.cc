@@ -1,0 +1,74 @@
+#include "text/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres {
+namespace {
+
+TEST(NormalizeTest, LowercasesAscii) {
+  EXPECT_EQ(NormalizeText("Spike Lee"), "spike lee");
+}
+
+TEST(NormalizeTest, CollapsesWhitespaceAndPunctuation) {
+  EXPECT_EQ(NormalizeText("  Do the Right Thing!  "), "do the right thing");
+  EXPECT_EQ(NormalizeText("a,b;c"), "a b c");
+  EXPECT_EQ(NormalizeText("one -- two"), "one two");
+}
+
+TEST(NormalizeTest, FoldsLatinAccents) {
+  EXPECT_EQ(NormalizeText("Réžie"), "rezie");
+  EXPECT_EQ(NormalizeText("Søren Kierkegaard"), "soren kierkegaard");
+  EXPECT_EQ(NormalizeText("Guðrún Ásdóttir"), "gudrun asdottir");
+  EXPECT_EQ(NormalizeText("Żółć"), "zolc");
+}
+
+TEST(NormalizeTest, KeepsDigits) {
+  EXPECT_EQ(NormalizeText("978-1-2345-6"), "978 1 2345 6");
+}
+
+TEST(NormalizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_EQ(NormalizeText(""), "");
+  EXPECT_EQ(NormalizeText("!!!"), "");
+  EXPECT_TRUE(IsBlankAfterNormalize("—–…"));
+  EXPECT_FALSE(IsBlankAfterNormalize("a"));
+}
+
+TEST(NormalizeTest, HandlesMalformedUtf8) {
+  std::string bad = "abc";
+  bad.push_back(static_cast<char>(0xC3));  // Truncated 2-byte sequence.
+  std::string out = NormalizeText(bad);
+  EXPECT_EQ(out.substr(0, 3), "abc");
+}
+
+TEST(NormalizeTest, MatchingIsCaseAndAccentInsensitive) {
+  EXPECT_EQ(NormalizeText("FRANÇOIS Truffaut"),
+            NormalizeText("francois truffaut"));
+}
+
+TEST(LowInformationTest, YearsAndDigits) {
+  EXPECT_TRUE(IsLowInformation("1989"));
+  EXPECT_TRUE(IsLowInformation("7"));
+  EXPECT_FALSE(IsLowInformation("12345"));  // 5 digits: could be a zip/id.
+}
+
+TEST(LowInformationTest, SingleCharactersAndEmpty) {
+  EXPECT_TRUE(IsLowInformation("a"));
+  EXPECT_TRUE(IsLowInformation(""));
+  EXPECT_TRUE(IsLowInformation("!"));
+}
+
+TEST(LowInformationTest, CountriesAndBoilerplate) {
+  EXPECT_TRUE(IsLowInformation("USA"));
+  EXPECT_TRUE(IsLowInformation("France"));
+  EXPECT_TRUE(IsLowInformation("Help"));
+  EXPECT_TRUE(IsLowInformation("Login"));
+}
+
+TEST(LowInformationTest, RealNamesPass) {
+  EXPECT_FALSE(IsLowInformation("Do the Right Thing"));
+  EXPECT_FALSE(IsLowInformation("Spike Lee"));
+  EXPECT_FALSE(IsLowInformation("Crooklyn"));
+}
+
+}  // namespace
+}  // namespace ceres

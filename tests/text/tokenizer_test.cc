@@ -1,0 +1,43 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres {
+namespace {
+
+TEST(TokenizerTest, BasicTokens) {
+  EXPECT_EQ(Tokenize("Do the Right Thing"),
+            (std::vector<std::string>{"do", "the", "right", "thing"}));
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  EXPECT_EQ(Tokenize("Director: Spike Lee"),
+            (std::vector<std::string>{"director", "spike", "lee"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!!").empty());
+}
+
+TEST(WordShinglesTest, BigramsOfFourTokens) {
+  EXPECT_EQ(WordShingles("a b c d", 2),
+            (std::vector<std::string>{"a b", "b c", "c d"}));
+}
+
+TEST(WordShinglesTest, ShortInputCollapses) {
+  EXPECT_EQ(WordShingles("a b", 3), (std::vector<std::string>{"a b"}));
+  EXPECT_EQ(WordShingles("solo", 2), (std::vector<std::string>{"solo"}));
+}
+
+TEST(WordShinglesTest, UnigramsEqualTokens) {
+  EXPECT_EQ(WordShingles("x y z", 1),
+            (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(WordShinglesTest, EmptyInput) {
+  EXPECT_TRUE(WordShingles("", 2).empty());
+}
+
+}  // namespace
+}  // namespace ceres

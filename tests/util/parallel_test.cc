@@ -1,0 +1,54 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ceres {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h = 0;
+  ParallelFor(n, 4, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h = 0;
+  ParallelFor(3, 64, [&](size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0] + hits[1] + hits[2], 3);
+}
+
+TEST(ParallelForTest, ResultsMatchSequential) {
+  const size_t n = 200;
+  std::vector<double> parallel_out(n);
+  std::vector<double> sequential_out(n);
+  auto work = [](size_t i) {
+    double x = static_cast<double>(i);
+    for (int k = 0; k < 50; ++k) x = x * 1.0000001 + 0.5;
+    return x;
+  };
+  ParallelFor(n, 8, [&](size_t i) { parallel_out[i] = work(i); });
+  for (size_t i = 0; i < n; ++i) sequential_out[i] = work(i);
+  EXPECT_EQ(parallel_out, sequential_out);
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,114 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ceres {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform(0, 1'000'000) == b.Uniform(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, IndexCoversAllSlots) {
+  Rng rng(2);
+  std::set<size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10'000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(6);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, PickReturnsMember) {
+  Rng rng(7);
+  std::vector<std::string> items{"x", "y", "z"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& picked = rng.Pick(items);
+    EXPECT_TRUE(picked == "x" || picked == "y" || picked == "z");
+  }
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng parent_a(9);
+  Rng parent_b(9);
+  Rng child_a = parent_a.Fork();
+  Rng child_b = parent_b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child_a.Uniform(0, 1000), child_b.Uniform(0, 1000));
+  }
+  // Parents continue to agree after forking.
+  EXPECT_EQ(parent_a.Uniform(0, 1000), parent_b.Uniform(0, 1000));
+}
+
+TEST(RngTest, PoissonMeanRoughlyCorrect) {
+  Rng rng(10);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) sum += rng.Poisson(4.0);
+  EXPECT_NEAR(sum / 5000.0, 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace ceres

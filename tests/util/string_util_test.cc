@@ -1,0 +1,53 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ceres {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a/b/c", '/'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a//b", '/'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("/a/", '/'), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(SplitJoinTest, RoundTrips) {
+  const std::string original = "x/y//z";
+  EXPECT_EQ(Join(Split(original, '/'), "/"), original);
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(StripWhitespace("inner space kept"), "inner space kept");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("film.hasGenre", "film."));
+  EXPECT_FALSE(StartsWith("film", "film."));
+  EXPECT_TRUE(EndsWith("index.html", ".html"));
+  EXPECT_FALSE(EndsWith("html", ".html"));
+}
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("page-", 12, "/", 3.5), "page-12/3.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+}  // namespace
+}  // namespace ceres
