@@ -233,7 +233,8 @@ bench/CMakeFiles/classifier_ablation.dir/classifier_ablation.cc.o: \
  /root/repo/src/text/fuzzy_matcher.h /root/repo/src/dom/xpath.h \
  /root/repo/src/core/pipeline.h \
  /root/repo/src/cluster/detail_page_detector.h \
- /root/repo/src/cluster/page_clustering.h /root/repo/src/core/extractor.h \
+ /root/repo/src/cluster/page_clustering.h /root/repo/src/util/deadline.h \
+ /usr/include/c++/12/atomic /root/repo/src/core/extractor.h \
  /root/repo/src/core/training.h /root/repo/src/ml/logistic_regression.h \
  /root/repo/src/ml/lbfgs.h /root/repo/src/core/relation_annotator.h \
  /root/repo/src/core/topic_identification.h /root/repo/src/eval/metrics.h \

@@ -229,6 +229,9 @@ bench/CMakeFiles/micro_components.dir/micro_components.cc.o: \
  /root/repo/src/core/training.h /root/repo/src/ml/logistic_regression.h \
  /root/repo/src/ml/lbfgs.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /root/repo/src/util/deadline.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/core/pipeline.h \
  /root/repo/src/cluster/detail_page_detector.h \
  /root/repo/src/cluster/page_clustering.h \

@@ -228,9 +228,13 @@ bench/CMakeFiles/table3_swde_f1.dir/table3_swde_f1.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/baselines/vertex.h /root/repo/src/dom/xpath.h \
- /root/repo/src/core/pipeline.h \
+ /root/repo/src/core/pipeline.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/cluster/detail_page_detector.h \
- /root/repo/src/cluster/page_clustering.h /root/repo/src/core/extractor.h \
+ /root/repo/src/cluster/page_clustering.h /root/repo/src/util/deadline.h \
+ /usr/include/c++/12/atomic /root/repo/src/core/extractor.h \
  /root/repo/src/core/training.h /root/repo/src/core/relation_annotator.h \
  /root/repo/src/core/topic_identification.h /root/repo/src/eval/metrics.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
@@ -248,8 +252,7 @@ bench/CMakeFiles/table3_swde_f1.dir/table3_swde_f1.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

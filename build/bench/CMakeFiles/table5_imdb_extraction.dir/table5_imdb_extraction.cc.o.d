@@ -226,8 +226,12 @@ bench/CMakeFiles/table5_imdb_extraction.dir/table5_imdb_extraction.cc.o: \
  /root/repo/src/kb/ontology.h /root/repo/src/util/status.h \
  /usr/include/c++/12/optional /root/repo/src/text/fuzzy_matcher.h \
  /root/repo/src/dom/xpath.h /root/repo/src/core/pipeline.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/cluster/detail_page_detector.h \
- /root/repo/src/cluster/page_clustering.h /root/repo/src/core/extractor.h \
+ /root/repo/src/cluster/page_clustering.h /root/repo/src/util/deadline.h \
+ /usr/include/c++/12/atomic /root/repo/src/core/extractor.h \
  /root/repo/src/core/training.h /root/repo/src/ml/logistic_regression.h \
  /root/repo/src/ml/lbfgs.h /root/repo/src/core/relation_annotator.h \
  /root/repo/src/core/topic_identification.h /root/repo/src/eval/metrics.h \
@@ -243,8 +247,7 @@ bench/CMakeFiles/table5_imdb_extraction.dir/table5_imdb_extraction.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -11,6 +11,7 @@ subdirs("kb")
 subdirs("ml")
 subdirs("cluster")
 subdirs("core")
+subdirs("robustness")
 subdirs("baselines")
 subdirs("synth")
 subdirs("eval")

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/deadline.cc" "src/util/CMakeFiles/ceres_util.dir/deadline.cc.o" "gcc" "src/util/CMakeFiles/ceres_util.dir/deadline.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/ceres_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/ceres_util.dir/logging.cc.o.d"
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/ceres_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/ceres_util.dir/status.cc.o.d"
   "/root/repo/src/util/string_util.cc" "src/util/CMakeFiles/ceres_util.dir/string_util.cc.o" "gcc" "src/util/CMakeFiles/ceres_util.dir/string_util.cc.o.d"

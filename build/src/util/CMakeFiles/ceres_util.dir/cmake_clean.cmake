@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/ceres_util.dir/deadline.cc.o"
+  "CMakeFiles/ceres_util.dir/deadline.cc.o.d"
   "CMakeFiles/ceres_util.dir/logging.cc.o"
   "CMakeFiles/ceres_util.dir/logging.cc.o.d"
   "CMakeFiles/ceres_util.dir/status.cc.o"

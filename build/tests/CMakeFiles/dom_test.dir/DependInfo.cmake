@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/dom/dom_tree_test.cc" "tests/CMakeFiles/dom_test.dir/dom/dom_tree_test.cc.o" "gcc" "tests/CMakeFiles/dom_test.dir/dom/dom_tree_test.cc.o.d"
   "/root/repo/tests/dom/dom_utils_test.cc" "tests/CMakeFiles/dom_test.dir/dom/dom_utils_test.cc.o" "gcc" "tests/CMakeFiles/dom_test.dir/dom/dom_utils_test.cc.o.d"
+  "/root/repo/tests/dom/html_parser_adversarial_test.cc" "tests/CMakeFiles/dom_test.dir/dom/html_parser_adversarial_test.cc.o" "gcc" "tests/CMakeFiles/dom_test.dir/dom/html_parser_adversarial_test.cc.o.d"
   "/root/repo/tests/dom/html_parser_param_test.cc" "tests/CMakeFiles/dom_test.dir/dom/html_parser_param_test.cc.o" "gcc" "tests/CMakeFiles/dom_test.dir/dom/html_parser_param_test.cc.o.d"
   "/root/repo/tests/dom/html_parser_test.cc" "tests/CMakeFiles/dom_test.dir/dom/html_parser_test.cc.o" "gcc" "tests/CMakeFiles/dom_test.dir/dom/html_parser_test.cc.o.d"
   "/root/repo/tests/dom/html_serializer_test.cc" "tests/CMakeFiles/dom_test.dir/dom/html_serializer_test.cc.o" "gcc" "tests/CMakeFiles/dom_test.dir/dom/html_serializer_test.cc.o.d"
@@ -23,12 +24,13 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/ceres_core.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/ceres_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/fusion/CMakeFiles/ceres_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/ceres_robustness.dir/DependInfo.cmake"
   "/root/repo/build/src/synth/CMakeFiles/ceres_synth.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/ceres_cluster.dir/DependInfo.cmake"
-  "/root/repo/build/src/dom/CMakeFiles/ceres_dom.dir/DependInfo.cmake"
-  "/root/repo/build/src/ml/CMakeFiles/ceres_ml.dir/DependInfo.cmake"
   "/root/repo/build/src/kb/CMakeFiles/ceres_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ceres_ml.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/ceres_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/ceres_dom.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
   )
 

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dom_test.dir/dom/dom_tree_test.cc.o.d"
   "CMakeFiles/dom_test.dir/dom/dom_utils_test.cc.o"
   "CMakeFiles/dom_test.dir/dom/dom_utils_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/html_parser_adversarial_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/html_parser_adversarial_test.cc.o.d"
   "CMakeFiles/dom_test.dir/dom/html_parser_param_test.cc.o"
   "CMakeFiles/dom_test.dir/dom/html_parser_param_test.cc.o.d"
   "CMakeFiles/dom_test.dir/dom/html_parser_test.cc.o"

@@ -297,17 +297,18 @@ tests/CMakeFiles/integration_test.dir/integration/swde_param_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/pipeline.h \
+ /root/repo/src/core/pipeline.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/cluster/detail_page_detector.h \
  /root/repo/src/dom/dom_tree.h /root/repo/src/util/logging.h \
  /root/repo/src/cluster/page_clustering.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/extractor.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/deadline.h \
+ /root/repo/src/util/status.h /root/repo/src/core/extractor.h \
  /root/repo/src/core/features.h /root/repo/src/ml/feature_map.h \
  /root/repo/src/ml/sparse_vector.h /root/repo/src/core/training.h \
  /root/repo/src/core/types.h /root/repo/src/kb/knowledge_base.h \
- /root/repo/src/kb/ontology.h /root/repo/src/util/status.h \
- /root/repo/src/text/fuzzy_matcher.h \
+ /root/repo/src/kb/ontology.h /root/repo/src/text/fuzzy_matcher.h \
  /root/repo/src/ml/logistic_regression.h /root/repo/src/ml/lbfgs.h \
  /root/repo/src/core/relation_annotator.h \
  /root/repo/src/core/topic_identification.h /root/repo/src/dom/xpath.h \

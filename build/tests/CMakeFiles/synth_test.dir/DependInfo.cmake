@@ -22,12 +22,13 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/ceres_core.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/ceres_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/fusion/CMakeFiles/ceres_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/ceres_robustness.dir/DependInfo.cmake"
   "/root/repo/build/src/synth/CMakeFiles/ceres_synth.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/ceres_cluster.dir/DependInfo.cmake"
-  "/root/repo/build/src/dom/CMakeFiles/ceres_dom.dir/DependInfo.cmake"
-  "/root/repo/build/src/ml/CMakeFiles/ceres_ml.dir/DependInfo.cmake"
   "/root/repo/build/src/kb/CMakeFiles/ceres_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ceres_ml.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/ceres_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/ceres_dom.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
   )
 

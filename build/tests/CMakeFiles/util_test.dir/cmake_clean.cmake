@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/deadline_test.cc.o"
+  "CMakeFiles/util_test.dir/util/deadline_test.cc.o.d"
   "CMakeFiles/util_test.dir/util/parallel_test.cc.o"
   "CMakeFiles/util_test.dir/util/parallel_test.cc.o.d"
   "CMakeFiles/util_test.dir/util/random_test.cc.o"

@@ -16,3 +16,5 @@ include("/root/repo/build/tests/synth_test[1]_include.cmake")
 include("/root/repo/build/tests/fusion_test[1]_include.cmake")
 include("/root/repo/build/tests/eval_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")

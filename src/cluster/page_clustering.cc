@@ -58,20 +58,28 @@ std::vector<int> ClusterPages(const std::vector<DomDocument>& pages,
   std::vector<std::unordered_set<uint64_t>> leaders;
   std::vector<size_t> counts;
   for (size_t i = 0; i < pages.size(); ++i) {
-    std::unordered_set<uint64_t> signature =
-        PageSignature(pages[i], config.max_signature_size);
     int assigned = -1;
-    for (size_t c = 0; c < leaders.size(); ++c) {
-      if (SignatureSimilarity(signature, leaders[c]) >=
-          config.similarity_threshold) {
-        assigned = static_cast<int>(c);
-        break;
-      }
-    }
-    if (assigned < 0) {
+    if (config.deadline.expired()) {
+      // Out of budget: remaining pages become singleton clusters rather
+      // than paying further signature comparisons.
       assigned = static_cast<int>(leaders.size());
-      leaders.push_back(std::move(signature));
+      leaders.emplace_back();
       counts.push_back(0);
+    } else {
+      std::unordered_set<uint64_t> signature =
+          PageSignature(pages[i], config.max_signature_size);
+      for (size_t c = 0; c < leaders.size(); ++c) {
+        if (SignatureSimilarity(signature, leaders[c]) >=
+            config.similarity_threshold) {
+          assigned = static_cast<int>(c);
+          break;
+        }
+      }
+      if (assigned < 0) {
+        assigned = static_cast<int>(leaders.size());
+        leaders.push_back(std::move(signature));
+        counts.push_back(0);
+      }
     }
     raw_labels[i] = assigned;
     ++counts[static_cast<size_t>(assigned)];

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dom/dom_tree.h"
+#include "util/deadline.h"
 
 namespace ceres {
 
@@ -19,6 +20,10 @@ struct PageClusteringConfig {
   /// Signature cap per page; very large pages are represented by their
   /// first this-many distinct tag paths.
   size_t max_signature_size = 4096;
+  /// Cooperative time budget. When it expires mid-run, every not-yet
+  /// clustered page is assigned a fresh singleton cluster (degrading
+  /// gracefully: such clusters fall below any min-size filter downstream).
+  Deadline deadline;
 };
 
 /// Structural signature of a page: hashes of the index-free tag paths

@@ -21,11 +21,8 @@ std::vector<PageIndex> ResolvePageSet(const std::vector<PageIndex>& requested,
   return all;
 }
 
-}  // namespace
-
-Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
-                                   const KnowledgeBase& kb,
-                                   const PipelineConfig& config) {
+Status ValidateConfig(const std::vector<DomDocument>& pages,
+                      const KnowledgeBase& kb, const PipelineConfig& config) {
   if (!kb.frozen()) {
     return Status::FailedPrecondition("knowledge base must be frozen");
   }
@@ -44,16 +41,81 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
           StrCat("extraction page out of range: ", page));
     }
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* PipelineStageName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kClustering:
+      return "clustering";
+    case PipelineStage::kTopicIdentification:
+      return "topic identification";
+    case PipelineStage::kAnnotation:
+      return "annotation";
+    case PipelineStage::kTraining:
+      return "training";
+    case PipelineStage::kExtraction:
+      return "extraction";
+  }
+  return "unknown";
+}
+
+std::vector<ClusterSkip> PipelineDiagnostics::SkipsForCluster(
+    int cluster) const {
+  std::vector<ClusterSkip> out;
+  for (const ClusterSkip& skip : skipped_clusters) {
+    if (skip.cluster == cluster) out.push_back(skip);
+  }
+  return out;
+}
+
+std::string PipelineDiagnostics::Summary() const {
+  std::string out = "pipeline diagnostics:\n";
+  out += StrCat("  quarantined pages: ", quarantined_pages.size(), "\n");
+  for (int s = 0; s < kNumPipelineStages; ++s) {
+    const StageCounts& c = stages[s];
+    if (c.attempted == 0 && c.skipped == 0) continue;
+    out += StrCat("  ", PipelineStageName(static_cast<PipelineStage>(s)),
+                  ": attempted ", c.attempted, ", completed ", c.completed,
+                  ", skipped ", c.skipped, "\n");
+  }
+  if (run_deadline_expired) out += "  run deadline expired\n";
+  for (const ClusterSkip& skip : skipped_clusters) {
+    out += StrCat("  cluster ", skip.cluster, " skipped at ",
+                  PipelineStageName(skip.stage), ": ",
+                  skip.reason.ToString(), "\n");
+  }
+  return out;
+}
+
+Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
+                                   const KnowledgeBase& kb,
+                                   const PipelineConfig& config) {
+  CERES_RETURN_IF_ERROR(
+      PrependContext(ValidateConfig(pages, kb, config), "pipeline config"));
 
   PipelineResult result;
+  PipelineDiagnostics& diag = result.diagnostics;
   result.topic_of_page.assign(pages.size(), kInvalidEntity);
   result.topic_node_of_page.assign(pages.size(), kInvalidNode);
 
-  // 1. Template clustering.
+  // 1. Template clustering (whole-run deadline only; the per-cluster
+  // budget starts once clusters exist).
+  diag.counts(PipelineStage::kClustering).attempted = 1;
   if (config.cluster_pages) {
-    result.cluster_of_page = ClusterPages(pages, config.clustering);
+    PageClusteringConfig clustering_config = config.clustering;
+    clustering_config.deadline = config.deadline;
+    result.cluster_of_page = ClusterPages(pages, clustering_config);
   } else {
     result.cluster_of_page.assign(pages.size(), 0);
+  }
+  if (config.deadline.expired()) {
+    diag.run_deadline_expired = true;
+    ++diag.counts(PipelineStage::kClustering).skipped;
+  } else {
+    ++diag.counts(PipelineStage::kClustering).completed;
   }
   int num_clusters = 0;
   for (int cluster : result.cluster_of_page) {
@@ -65,7 +127,34 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
   const std::vector<PageIndex> extraction_pages =
       ResolvePageSet(config.extraction_pages, pages.size());
 
+  auto skip_cluster = [&](int cluster, PipelineStage stage, Status reason) {
+    LogInfo(StrCat("cluster ", cluster, ": skipped at ",
+                   PipelineStageName(stage), ": ", reason.ToString()));
+    ++diag.counts(stage).skipped;
+    diag.skipped_clusters.push_back(
+        ClusterSkip{cluster, stage, std::move(reason)});
+  };
+
   for (int cluster = 0; cluster < num_clusters; ++cluster) {
+    // Every cluster runs under the earlier of the whole-run deadline and
+    // its own fresh time budget.
+    Deadline cluster_deadline = config.deadline;
+    if (config.cluster_time_budget.count() > 0) {
+      cluster_deadline =
+          cluster_deadline.Earlier(Deadline::After(config.cluster_time_budget));
+    }
+    // A deadline observed as expired but returning OK from Check can only
+    // happen through a stage's own flag; normalize to a typed status.
+    auto expiry_reason = [&](const char* what) {
+      Status reason = cluster_deadline.Check(StrCat("cluster ", cluster, " ", what));
+      if (reason.ok()) {
+        reason = Status::DeadlineExceeded(
+            StrCat("cluster ", cluster, " ", what, ": deadline exceeded"));
+      }
+      if (config.deadline.expired()) diag.run_deadline_expired = true;
+      return reason;
+    };
+
     // Global page indices of this cluster, split into the annotation and
     // extraction roles.
     std::vector<PageIndex> cluster_annotation;
@@ -80,7 +169,14 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
         cluster_extraction.push_back(page);
       }
     }
-    if (cluster_annotation.size() < config.min_cluster_size) continue;
+    if (cluster_annotation.size() < config.min_cluster_size) {
+      skip_cluster(cluster, PipelineStage::kClustering,
+                   Status::FailedPrecondition(
+                       StrCat("only ", cluster_annotation.size(),
+                              " annotation pages; min_cluster_size=",
+                              config.min_cluster_size)));
+      continue;
+    }
     LogInfo(StrCat("cluster ", cluster, ": ", cluster_annotation.size(),
                    " annotation pages, ", cluster_extraction.size(),
                    " extraction pages"));
@@ -95,19 +191,39 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
     // pages at all (chart/index clusters).
     if (config.filter_non_detail_clusters &&
         !LooksLikeDetailPages(annotation_docs, config.detail_detector)) {
-      LogInfo(StrCat("cluster ", cluster,
-                     ": does not look like detail pages; skipping"));
+      skip_cluster(
+          cluster, PipelineStage::kClustering,
+          Status::FailedPrecondition("does not look like detail pages"));
       continue;
     }
 
     // 2. Entity matching + topic identification on annotation pages.
+    ++diag.counts(PipelineStage::kTopicIdentification).attempted;
+    {
+      Status live = cluster_deadline.Check(
+          StrCat("cluster ", cluster, " topic identification"));
+      if (!live.ok()) {
+        if (config.deadline.expired()) diag.run_deadline_expired = true;
+        skip_cluster(cluster, PipelineStage::kTopicIdentification,
+                     std::move(live));
+        continue;
+      }
+    }
     std::vector<PageMentions> mentions;
     mentions.reserve(annotation_docs.size());
     for (const DomDocument* doc : annotation_docs) {
       mentions.push_back(MatchPageMentions(*doc, kb));
     }
+    TopicConfig topic_config = config.topic;
+    topic_config.deadline = cluster_deadline;
     TopicResult topics =
-        IdentifyTopics(annotation_docs, mentions, kb, config.topic);
+        IdentifyTopics(annotation_docs, mentions, kb, topic_config);
+    if (topics.deadline_expired) {
+      skip_cluster(cluster, PipelineStage::kTopicIdentification,
+                   expiry_reason("topic identification"));
+      continue;
+    }
+    ++diag.counts(PipelineStage::kTopicIdentification).completed;
     for (size_t i = 0; i < cluster_annotation.size(); ++i) {
       const size_t page = static_cast<size_t>(cluster_annotation[i]);
       result.topic_of_page[page] = topics.topic[i];
@@ -116,13 +232,22 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
 
     // 3. Relation annotation (Algorithm 2). Local indices map 1:1 onto
     // annotation_docs; translate to global page indices afterwards.
-    AnnotationResult annotation =
-        AnnotateRelations(annotation_docs, mentions, topics, kb,
-                          config.annotator);
-    if (annotation.annotations.empty()) {
-      LogInfo(StrCat("cluster ", cluster, ": no annotations; skipping"));
+    ++diag.counts(PipelineStage::kAnnotation).attempted;
+    AnnotatorConfig annotator_config = config.annotator;
+    annotator_config.deadline = cluster_deadline;
+    AnnotationResult annotation = AnnotateRelations(
+        annotation_docs, mentions, topics, kb, annotator_config);
+    if (annotation.deadline_expired) {
+      skip_cluster(cluster, PipelineStage::kAnnotation,
+                   expiry_reason("annotation"));
       continue;
     }
+    if (annotation.annotations.empty()) {
+      skip_cluster(cluster, PipelineStage::kAnnotation,
+                   Status::NotFound("no annotations produced"));
+      continue;
+    }
+    ++diag.counts(PipelineStage::kAnnotation).completed;
     std::vector<Annotation> local_annotations = annotation.annotations;
     for (Annotation& a : annotation.annotations) {
       a.page = cluster_annotation[static_cast<size_t>(a.page)];
@@ -134,17 +259,31 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
     }
 
     // 4. Training on the cluster's annotated pages.
+    ++diag.counts(PipelineStage::kTraining).attempted;
     FeatureExtractor featurizer(annotation_docs, config.features);
+    TrainingConfig training_config = config.training;
+    training_config.deadline = cluster_deadline;
     Result<TrainedModel> trained =
         TrainExtractor(annotation_docs, local_annotations, featurizer,
-                       kb.ontology(), config.training);
+                       kb.ontology(), training_config);
     if (!trained.ok()) {
-      LogInfo(StrCat("cluster ", cluster,
-                     ": training failed: ", trained.status().ToString()));
+      if (config.deadline.expired()) diag.run_deadline_expired = true;
+      skip_cluster(cluster, PipelineStage::kTraining, trained.status());
       continue;
     }
+    ++diag.counts(PipelineStage::kTraining).completed;
 
     // 5. Extraction over the cluster's extraction pages.
+    ++diag.counts(PipelineStage::kExtraction).attempted;
+    {
+      Status live =
+          cluster_deadline.Check(StrCat("cluster ", cluster, " extraction"));
+      if (!live.ok()) {
+        if (config.deadline.expired()) diag.run_deadline_expired = true;
+        skip_cluster(cluster, PipelineStage::kExtraction, std::move(live));
+        continue;
+      }
+    }
     std::vector<const DomDocument*> extraction_docs;
     extraction_docs.reserve(cluster_extraction.size());
     for (PageIndex page : cluster_extraction) {
@@ -157,6 +296,7 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
                               extracted.end());
     result.models.push_back(
         ClusterModel{cluster, std::move(trained).value()});
+    ++diag.counts(PipelineStage::kExtraction).completed;
   }
 
   std::sort(result.annotated_pages.begin(), result.annotated_pages.end());

@@ -1,6 +1,8 @@
 #ifndef CERES_CORE_PIPELINE_H_
 #define CERES_CORE_PIPELINE_H_
 
+#include <chrono>
+#include <string>
 #include <vector>
 
 #include "cluster/detail_page_detector.h"
@@ -11,6 +13,7 @@
 #include "core/training.h"
 #include "core/types.h"
 #include "kb/knowledge_base.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace ceres {
@@ -43,6 +46,16 @@ struct PipelineConfig {
   std::vector<PageIndex> annotation_pages;
   /// Pages to extract from; empty = all.
   std::vector<PageIndex> extraction_pages;
+
+  /// Whole-run cooperative deadline (time budget and/or cancellation
+  /// token). Once it expires, remaining clusters are recorded as typed
+  /// skips in the diagnostics instead of being processed.
+  Deadline deadline;
+  /// Per-cluster time budget; zero = unlimited. Each cluster runs under
+  /// the earlier of this budget and the whole-run deadline, so one
+  /// pathological cluster times out into a diagnostic entry without
+  /// starving the rest of the site.
+  std::chrono::milliseconds cluster_time_budget{0};
 };
 
 /// A model trained for one template cluster, reusable on later crawls of
@@ -50,6 +63,72 @@ struct PipelineConfig {
 struct ClusterModel {
   int cluster = 0;
   TrainedModel model;
+};
+
+/// Stages a cluster moves through, in order; used to type diagnostics.
+enum class PipelineStage {
+  kClustering = 0,
+  kTopicIdentification,
+  kAnnotation,
+  kTraining,
+  kExtraction,
+};
+inline constexpr int kNumPipelineStages = 5;
+
+/// Human-readable stage name ("clustering", ...).
+const char* PipelineStageName(PipelineStage stage);
+
+/// A page excluded from the run, with the typed reason. Produced by
+/// resilient crawl loading (robustness/resilient_loader.h) and carried in
+/// the diagnostics so downstream accounting sees exactly which pages were
+/// dropped and why. `page` indexes the caller's original page order.
+struct QuarantinedPage {
+  PageIndex page = 0;
+  std::string url;
+  Status reason;
+};
+
+/// A cluster the pipeline gave up on: at which stage and why. The reason
+/// Status is typed (kFailedPrecondition for size/detail filters, kNotFound
+/// for zero annotations, kDeadlineExceeded / kCancelled for timeouts, the
+/// trainer's own code for training failures).
+struct ClusterSkip {
+  int cluster = -1;
+  PipelineStage stage = PipelineStage::kClustering;
+  Status reason;
+};
+
+/// Per-stage outcome counters at cluster granularity.
+struct StageCounts {
+  int64_t attempted = 0;
+  int64_t completed = 0;
+  int64_t skipped = 0;
+};
+
+/// Structured record of everything a pipeline run dropped, skipped, or
+/// timed out on — the machine-readable replacement for grepping log lines.
+/// A run that degrades (quarantined pages, skipped clusters) still returns
+/// OK; the diagnostics say what was lost.
+struct PipelineDiagnostics {
+  /// Pages quarantined before the pipeline saw them (resilient loading).
+  std::vector<QuarantinedPage> quarantined_pages;
+  /// Clusters abandoned mid-pipeline, in cluster order.
+  std::vector<ClusterSkip> skipped_clusters;
+  /// Outcome counts per stage, indexed by PipelineStage.
+  StageCounts stages[kNumPipelineStages];
+  /// True when the whole-run deadline expired before all clusters ran.
+  bool run_deadline_expired = false;
+
+  StageCounts& counts(PipelineStage stage) {
+    return stages[static_cast<int>(stage)];
+  }
+  const StageCounts& counts(PipelineStage stage) const {
+    return stages[static_cast<int>(stage)];
+  }
+  /// Skips of one cluster (empty when it completed).
+  std::vector<ClusterSkip> SkipsForCluster(int cluster) const;
+  /// Multi-line human-readable rendering for logs and CLI tools.
+  std::string Summary() const;
 };
 
 /// Everything the evaluation benches need from one pipeline run.
@@ -70,6 +149,8 @@ struct PipelineResult {
   std::vector<Extraction> extractions;
   /// The trained per-cluster extractor models, largest cluster first.
   std::vector<ClusterModel> models;
+  /// What the run dropped, skipped, or timed out on.
+  PipelineDiagnostics diagnostics;
 };
 
 /// Runs the full CERES pipeline over the pages of one website.

@@ -34,6 +34,11 @@ struct AnnotatorConfig {
   /// Cap on distinct XPaths clustered per predicate; the most frequent
   /// paths are kept when exceeded.
   size_t max_cluster_paths = 1200;
+
+  /// Cooperative time budget, checked at page/task granularity. On expiry
+  /// the annotator stops early and sets
+  /// AnnotationResult::deadline_expired.
+  Deadline deadline;
 };
 
 /// Result of annotating one template cluster.
@@ -42,6 +47,10 @@ struct AnnotationResult {
   std::vector<Annotation> annotations;
   /// Pages that received at least one relation annotation.
   std::vector<PageIndex> annotated_pages;
+  /// True when AnnotatorConfig::deadline expired before all tasks were
+  /// decided; the result is partial and callers should treat the cluster
+  /// as timed out.
+  bool deadline_expired = false;
 };
 
 /// Runs Algorithm 2 over all pages with identified topics.

@@ -7,6 +7,7 @@
 #include "dom/dom_tree.h"
 #include "dom/xpath.h"
 #include "kb/knowledge_base.h"
+#include "util/deadline.h"
 
 namespace ceres {
 
@@ -31,6 +32,10 @@ struct TopicConfig {
   bool apply_uniqueness_filter = true;
   bool apply_dominant_xpath = true;
   bool apply_informativeness_filter = true;
+  /// Cooperative time budget, checked at page granularity. On expiry the
+  /// algorithm stops early and sets TopicResult::deadline_expired; pages
+  /// not reached keep kInvalidEntity.
+  Deadline deadline;
 };
 
 /// Output of Algorithm 1 for one site.
@@ -46,6 +51,10 @@ struct TopicResult {
   /// Dominant topic XPaths across the site, most frequent first (for
   /// diagnostics and tests).
   std::vector<XPath> ranked_paths;
+  /// True when TopicConfig::deadline expired before all pages were
+  /// processed; the result is partial and callers should treat the cluster
+  /// as timed out.
+  bool deadline_expired = false;
 };
 
 /// Runs Algorithm 1 over the pages of one template cluster.

@@ -93,6 +93,7 @@ Result<TrainedModel> TrainExtractor(
   std::vector<LabeledExample> examples;
 
   for (PageIndex page : annotated_pages) {
+    CERES_RETURN_IF_ERROR(config.deadline.Check("building training examples"));
     const DomDocument& doc = *pages[static_cast<size_t>(page)];
     const std::vector<const Annotation*>& page_annotations = by_page[page];
 
@@ -137,6 +138,7 @@ Result<TrainedModel> TrainExtractor(
     }
   }
 
+  CERES_RETURN_IF_ERROR(config.deadline.Check("fitting extractor model"));
   trained.feature_config = featurizer.config();
   trained.frequent_strings = featurizer.frequent_strings();
   trained.features.Freeze();

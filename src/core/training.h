@@ -8,6 +8,7 @@
 #include "core/features.h"
 #include "core/types.h"
 #include "ml/logistic_regression.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace ceres {
@@ -32,6 +33,10 @@ struct TrainingConfig {
   /// Seed for negative sampling (and the annotated-page subsample).
   uint64_t seed = 42;
   LogRegConfig logreg;
+  /// Cooperative time budget, checked at page granularity while building
+  /// training examples and again before fitting; expiry fails the training
+  /// with kDeadlineExceeded / kCancelled.
+  Deadline deadline;
 };
 
 /// A trained per-template extractor model: the classifier plus the frozen

@@ -87,42 +87,33 @@ Status SaveKbToFile(const KnowledgeBase& kb, const std::string& path) {
   return SaveKb(kb, &out);
 }
 
-Result<KnowledgeBase> LoadKb(std::istream* in) {
-  enum class Section { kNone, kTypes, kPredicates, kEntities, kTriples };
-  Section section = Section::kNone;
-  Ontology ontology;
-  // Ontology fills first; the KB is created lazily when #entities begins.
-  std::unique_ptr<KnowledgeBase> kb;
-  std::unordered_map<int64_t, EntityId> id_map;
+namespace {
 
-  auto parse_id = [](const std::string& field, int64_t* value) {
-    auto [ptr, ec] = std::from_chars(field.data(),
-                                     field.data() + field.size(), *value);
-    return ec == std::errc() && ptr == field.data() + field.size();
-  };
-
-  std::string line;
-  int line_number = 0;
-  while (std::getline(*in, line)) {
-    ++line_number;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      if (line == "#types") {
-        section = Section::kTypes;
-      } else if (line == "#predicates") {
-        section = Section::kPredicates;
-      } else if (line == "#entities") {
-        section = Section::kEntities;
-        kb = std::make_unique<KnowledgeBase>(ontology);
-      } else if (line == "#triples") {
-        if (kb == nullptr) kb = std::make_unique<KnowledgeBase>(ontology);
-        section = Section::kTriples;
-      }
-      continue;  // Unknown '#' lines are comments.
+/// Incremental parser state of one LoadKb call. ConsumeLine returns a
+/// per-line Status so the caller can choose strict (propagate) or lenient
+/// (tally and continue) handling without duplicating the grammar.
+class KbParser {
+ public:
+  /// Section-header / comment lines; never fails.
+  bool ConsumeDirective(const std::string& line) {
+    if (line.empty() || line[0] != '#') return false;
+    if (line == "#types") {
+      section_ = Section::kTypes;
+    } else if (line == "#predicates") {
+      section_ = Section::kPredicates;
+    } else if (line == "#entities") {
+      section_ = Section::kEntities;
+      EnsureKb();
+    } else if (line == "#triples") {
+      EnsureKb();
+      section_ = Section::kTriples;
     }
+    return true;  // Unknown '#' lines are comments.
+  }
+
+  Status ConsumeLine(int line_number, const std::string& line) {
     std::vector<std::string> fields = Split(line, '\t');
-    switch (section) {
+    switch (section_) {
       case Section::kNone:
         return MalformedLine(line_number, line, "data before any section");
       case Section::kTypes: {
@@ -133,18 +124,18 @@ Result<KnowledgeBase> LoadKb(std::istream* in) {
           return MalformedLine(line_number, line,
                                "kind must be literal|entity");
         }
-        if (ontology.TypeByName(fields[0]).ok()) {
+        if (ontology_.TypeByName(fields[0]).ok()) {
           return MalformedLine(line_number, line, "duplicate type");
         }
-        ontology.AddEntityType(fields[0], fields[1] == "literal");
-        break;
+        ontology_.AddEntityType(fields[0], fields[1] == "literal");
+        return Status::Ok();
       }
       case Section::kPredicates: {
         if (fields.size() != 4) {
           return MalformedLine(line_number, line, "expected 4 fields");
         }
-        Result<TypeId> subject = ontology.TypeByName(fields[1]);
-        Result<TypeId> object = ontology.TypeByName(fields[2]);
+        Result<TypeId> subject = ontology_.TypeByName(fields[1]);
+        Result<TypeId> object = ontology_.TypeByName(fields[2]);
         if (!subject.ok() || !object.ok()) {
           return MalformedLine(line_number, line, "unknown type");
         }
@@ -152,34 +143,34 @@ Result<KnowledgeBase> LoadKb(std::istream* in) {
           return MalformedLine(line_number, line,
                                "cardinality must be multi|single");
         }
-        if (ontology.PredicateByName(fields[0]).ok()) {
+        if (ontology_.PredicateByName(fields[0]).ok()) {
           return MalformedLine(line_number, line, "duplicate predicate");
         }
-        ontology.AddPredicate(fields[0], *subject, *object,
-                              fields[3] == "multi");
-        break;
+        ontology_.AddPredicate(fields[0], *subject, *object,
+                               fields[3] == "multi");
+        return Status::Ok();
       }
       case Section::kEntities: {
         if (fields.size() < 3) {
           return MalformedLine(line_number, line, "expected >= 3 fields");
         }
         int64_t external_id = 0;
-        if (!parse_id(fields[0], &external_id)) {
+        if (!ParseId(fields[0], &external_id)) {
           return MalformedLine(line_number, line, "bad entity id");
         }
-        if (id_map.count(external_id) > 0) {
+        if (id_map_.count(external_id) > 0) {
           return MalformedLine(line_number, line, "duplicate entity id");
         }
-        Result<TypeId> type = kb->ontology().TypeByName(fields[1]);
+        Result<TypeId> type = kb_->ontology().TypeByName(fields[1]);
         if (!type.ok()) {
           return MalformedLine(line_number, line, "unknown type");
         }
-        EntityId internal = kb->AddEntity(*type, fields[2]);
+        EntityId internal = kb_->AddEntity(*type, fields[2]);
         for (size_t i = 3; i < fields.size(); ++i) {
-          kb->AddAlias(internal, fields[i]);
+          kb_->AddAlias(internal, fields[i]);
         }
-        id_map[external_id] = internal;
-        break;
+        id_map_[external_id] = internal;
+        return Status::Ok();
       }
       case Section::kTriples: {
         if (fields.size() != 3) {
@@ -187,36 +178,97 @@ Result<KnowledgeBase> LoadKb(std::istream* in) {
         }
         int64_t subject_id = 0;
         int64_t object_id = 0;
-        if (!parse_id(fields[0], &subject_id) ||
-            !parse_id(fields[2], &object_id)) {
+        if (!ParseId(fields[0], &subject_id) ||
+            !ParseId(fields[2], &object_id)) {
           return MalformedLine(line_number, line, "bad entity id");
         }
-        auto subject_it = id_map.find(subject_id);
-        auto object_it = id_map.find(object_id);
-        if (subject_it == id_map.end() || object_it == id_map.end()) {
+        auto subject_it = id_map_.find(subject_id);
+        auto object_it = id_map_.find(object_id);
+        if (subject_it == id_map_.end() || object_it == id_map_.end()) {
           return MalformedLine(line_number, line, "undeclared entity id");
         }
         Result<PredicateId> predicate =
-            kb->ontology().PredicateByName(fields[1]);
+            kb_->ontology().PredicateByName(fields[1]);
         if (!predicate.ok()) {
           return MalformedLine(line_number, line, "unknown predicate");
         }
-        kb->AddTriple(subject_it->second, *predicate, object_it->second);
-        break;
+        kb_->AddTriple(subject_it->second, *predicate, object_it->second);
+        return Status::Ok();
       }
     }
+    return Status::Internal("unreachable");
   }
-  if (kb == nullptr) kb = std::make_unique<KnowledgeBase>(ontology);
-  kb->Freeze();
-  return std::move(*kb);
+
+  KnowledgeBase Finish() {
+    EnsureKb();
+    kb_->Freeze();
+    return std::move(*kb_);
+  }
+
+ private:
+  enum class Section { kNone, kTypes, kPredicates, kEntities, kTriples };
+
+  static bool ParseId(const std::string& field, int64_t* value) {
+    auto [ptr, ec] = std::from_chars(field.data(),
+                                     field.data() + field.size(), *value);
+    return ec == std::errc() && ptr == field.data() + field.size();
+  }
+
+  // Ontology fills first; the KB is created lazily when #entities begins.
+  void EnsureKb() {
+    if (kb_ == nullptr) kb_ = std::make_unique<KnowledgeBase>(ontology_);
+  }
+
+  Section section_ = Section::kNone;
+  Ontology ontology_;
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unordered_map<int64_t, EntityId> id_map_;
+};
+
+}  // namespace
+
+Result<KnowledgeBase> LoadKb(std::istream* in, const KbLoadOptions& options,
+                             KbLoadStats* stats) {
+  KbParser parser;
+  KbLoadStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  stats->bad_lines = 0;
+  stats->errors.clear();
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (parser.ConsumeDirective(line)) continue;
+    Status status = parser.ConsumeLine(line_number, line);
+    if (status.ok()) continue;
+    if (options.strict) return status;
+    ++stats->bad_lines;
+    if (stats->errors.size() < KbLoadStats::kMaxRecordedErrors) {
+      stats->errors.push_back(status.ToString());
+    }
+    if (stats->bad_lines > options.max_bad_lines) {
+      return Status::ResourceExhausted(
+          StrCat("gave up after ", stats->bad_lines,
+                 " malformed lines (max_bad_lines=", options.max_bad_lines,
+                 "); last: ", status.message()));
+    }
+  }
+  return parser.Finish();
 }
 
-Result<KnowledgeBase> LoadKbFromFile(const std::string& path) {
+Result<KnowledgeBase> LoadKbFromFile(const std::string& path,
+                                     const KbLoadOptions& options,
+                                     KbLoadStats* stats) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound(StrCat("cannot open: ", path));
   }
-  return LoadKb(&in);
+  CERES_ASSIGN_OR_RETURN(KnowledgeBase kb, LoadKb(&in, options, stats),
+                         StrCat("loading ", path));
+  return kb;
 }
 
 }  // namespace ceres

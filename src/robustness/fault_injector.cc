@@ -1,0 +1,273 @@
+#include "robustness/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace ceres {
+
+const char* FaultTypeName(FaultType fault) {
+  switch (fault) {
+    case FaultType::kNone:
+      return "none";
+    case FaultType::kTruncate:
+      return "truncate";
+    case FaultType::kGarble:
+      return "garble";
+    case FaultType::kTagDelete:
+      return "tag-delete";
+    case FaultType::kEntityBreak:
+      return "entity-break";
+    case FaultType::kNodeBomb:
+      return "node-bomb";
+    case FaultType::kDrop:
+      return "drop";
+    case FaultType::kDuplicate:
+      return "duplicate";
+  }
+  return "unknown";
+}
+
+int64_t FaultReport::count(FaultType fault) const {
+  int64_t n = 0;
+  for (const InjectedFault& f : faults) {
+    if (f.fault == fault) ++n;
+  }
+  return n;
+}
+
+std::vector<PageIndex> FaultReport::PagesWith(FaultType fault) const {
+  std::vector<PageIndex> pages;
+  for (const InjectedFault& f : faults) {
+    if (f.fault == fault) pages.push_back(f.source_page);
+  }
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+namespace {
+
+std::string Truncate(std::string_view html, const FaultInjectionConfig& config,
+                     Rng* rng) {
+  if (html.empty()) return std::string();
+  const double lo = std::clamp(config.truncate_keep_min, 0.0, 1.0);
+  const double hi = std::clamp(config.truncate_keep_max, lo, 1.0);
+  const double keep = lo + (hi - lo) * rng->UniformDouble();
+  const size_t bytes =
+      static_cast<size_t>(keep * static_cast<double>(html.size()));
+  return std::string(html.substr(0, bytes));
+}
+
+std::string Garble(std::string_view html, const FaultInjectionConfig& config,
+                   Rng* rng) {
+  std::string out(html);
+  if (out.empty()) return out;
+  const size_t hits = std::max<size_t>(
+      1, static_cast<size_t>(config.garble_byte_fraction *
+                             static_cast<double>(out.size())));
+  for (size_t i = 0; i < hits; ++i) {
+    out[rng->Index(out.size())] = static_cast<char>(rng->Uniform(0, 255));
+  }
+  return out;
+}
+
+std::string TagDelete(std::string_view html,
+                      const FaultInjectionConfig& config, Rng* rng) {
+  std::string out;
+  out.reserve(html.size());
+  size_t i = 0;
+  while (i < html.size()) {
+    if (html[i] == '<') {
+      size_t close = html.find('>', i);
+      if (close == std::string_view::npos) close = html.size() - 1;
+      if (!rng->Bernoulli(config.tag_delete_fraction)) {
+        out.append(html.substr(i, close - i + 1));
+      }
+      i = close + 1;
+    } else {
+      out.push_back(html[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string EntityBreak(std::string_view html,
+                        const FaultInjectionConfig& /*config*/, Rng* rng) {
+  std::string out;
+  out.reserve(html.size() + 16);
+  size_t i = 0;
+  while (i < html.size()) {
+    if (html[i] != '&') {
+      out.push_back(html[i]);
+      ++i;
+      continue;
+    }
+    switch (rng->Uniform(0, 2)) {
+      case 0: {
+        // Drop the terminator: "&amp;" -> "&amp".
+        size_t end = html.find(';', i);
+        size_t copy_to = (end == std::string_view::npos || end > i + 12)
+                             ? i + 1
+                             : end;  // excludes the ';'
+        out.append(html.substr(i, copy_to - i));
+        i = (copy_to == i + 1) ? i + 1 : copy_to + 1;
+        break;
+      }
+      case 1: {
+        // Replace the whole entity with an invalid numeric one.
+        out.append("&#xZZ;");
+        const size_t limit = std::min(html.size(), i + 12);
+        ++i;  // the '&'
+        while (i < limit && html[i] != ';' && html[i] != ' ' &&
+               html[i] != '<') {
+          ++i;
+        }
+        if (i < html.size() && html[i] == ';') ++i;
+        break;
+      }
+      default:
+        // Stutter the ampersand: "&amp;" -> "&&amp;".
+        out.push_back('&');
+        out.push_back('&');
+        ++i;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string NodeBomb(std::string_view html, const FaultInjectionConfig& config,
+                     Rng* rng) {
+  std::string out(html);
+  const int nodes = std::max(1, config.node_bomb_nodes);
+  out.reserve(out.size() + static_cast<size_t>(nodes) * 4);
+  // <p> auto-closes its own kind, so this is a flat run of sibling
+  // elements: element count grows without pathological nesting depth.
+  for (int i = 0; i < nodes; ++i) {
+    out.append(rng->Bernoulli(0.5) ? "<p>x" : "<p>y");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CorruptHtml(std::string_view html, FaultType fault,
+                        const FaultInjectionConfig& config, Rng* rng) {
+  switch (fault) {
+    case FaultType::kTruncate:
+      return Truncate(html, config, rng);
+    case FaultType::kGarble:
+      return Garble(html, config, rng);
+    case FaultType::kTagDelete:
+      return TagDelete(html, config, rng);
+    case FaultType::kEntityBreak:
+      return EntityBreak(html, config, rng);
+    case FaultType::kNodeBomb:
+      return NodeBomb(html, config, rng);
+    case FaultType::kNone:
+    case FaultType::kDrop:
+    case FaultType::kDuplicate:
+      break;
+  }
+  return std::string(html);
+}
+
+std::vector<RawPage> InjectFaults(const std::vector<RawPage>& pages,
+                                  const FaultInjectionConfig& config,
+                                  FaultReport* report) {
+  const FaultType kinds[] = {FaultType::kTruncate, FaultType::kGarble,
+                             FaultType::kTagDelete, FaultType::kEntityBreak,
+                             FaultType::kNodeBomb};
+  const double weights[] = {config.truncate_weight, config.garble_weight,
+                            config.tag_delete_weight,
+                            config.entity_break_weight,
+                            config.node_bomb_weight};
+  double total_weight = 0;
+  for (double w : weights) total_weight += std::max(0.0, w);
+
+  auto record = [&](PageIndex page, FaultType fault) {
+    if (report != nullptr) {
+      report->faults.push_back(InjectedFault{page, fault});
+    }
+  };
+
+  std::vector<RawPage> out;
+  out.reserve(pages.size());
+  Rng root(config.seed);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    // One fork per page: a page's corruption depends only on (seed, index),
+    // never on what happened to earlier pages.
+    Rng rng = root.Fork();
+    const PageIndex page = static_cast<PageIndex>(i);
+    if (rng.Bernoulli(config.drop_rate)) {
+      record(page, FaultType::kDrop);
+      continue;
+    }
+    RawPage kept = pages[i];
+    if (total_weight > 0 && rng.Bernoulli(config.page_fault_rate)) {
+      double roll = rng.UniformDouble() * total_weight;
+      FaultType fault = kinds[0];
+      for (size_t k = 0; k < 5; ++k) {
+        roll -= std::max(0.0, weights[k]);
+        if (roll <= 0) {
+          fault = kinds[k];
+          break;
+        }
+      }
+      kept.html = CorruptHtml(kept.html, fault, config, &rng);
+      record(page, fault);
+    }
+    if (rng.Bernoulli(config.duplicate_rate)) {
+      record(page, FaultType::kDuplicate);
+      out.push_back(kept);
+    }
+    out.push_back(std::move(kept));
+  }
+  return out;
+}
+
+std::string CorruptKbText(std::string_view kb_text, double line_fault_rate,
+                          uint64_t seed, int64_t* corrupted_lines) {
+  Rng rng(seed);
+  int64_t corrupted = 0;
+  std::string out;
+  out.reserve(kb_text.size());
+  bool in_triples = false;
+  size_t start = 0;
+  while (start <= kb_text.size()) {
+    size_t end = kb_text.find('\n', start);
+    const bool had_newline = end != std::string_view::npos;
+    if (!had_newline) end = kb_text.size();
+    std::string_view line = kb_text.substr(start, end - start);
+    std::string_view trimmed = line;
+    while (!trimmed.empty() && (trimmed.back() == '\r')) {
+      trimmed.remove_suffix(1);
+    }
+    if (!trimmed.empty() && trimmed[0] == '#') in_triples = trimmed == "#triples";
+    // Only fact lines are corrupted: no other record references a triple,
+    // so each mangled line is exactly one bad line on load — corrupting
+    // schema or entity lines would cascade into their referents and make
+    // the tally unpredictable.
+    const bool data_line = in_triples && !trimmed.empty() && trimmed[0] != '#';
+    if (data_line && rng.Bernoulli(line_fault_rate)) {
+      // A single tab-less token is malformed in every section of the KB
+      // grammar, so the bad-line tally is exactly predictable.
+      out.append("~corrupt ");
+      for (char c : line) {
+        if (c != '\t') out.push_back(c);
+      }
+      ++corrupted;
+    } else {
+      out.append(line);
+    }
+    if (had_newline) out.push_back('\n');
+    start = end + 1;
+    if (!had_newline) break;
+  }
+  if (corrupted_lines != nullptr) *corrupted_lines = corrupted;
+  return out;
+}
+
+}  // namespace ceres

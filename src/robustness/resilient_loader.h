@@ -1,0 +1,68 @@
+#ifndef CERES_ROBUSTNESS_RESILIENT_LOADER_H_
+#define CERES_ROBUSTNESS_RESILIENT_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dom/html_parser.h"
+#include "util/status.h"
+
+namespace ceres {
+
+/// One fetched page of a crawl, before parsing. This is the boundary where
+/// real inputs go wrong: truncated transfers, garbled bytes, duplicated
+/// fetches. Everything downstream of the resilient loader works on parsed
+/// DomDocuments and may assume they are well-formed.
+struct RawPage {
+  std::string url;
+  std::string html;
+};
+
+/// Options of LoadCrawl.
+struct ResilientLoadOptions {
+  /// Parser options applied to every page. Lower `parse.max_nodes` to bound
+  /// per-page work against pathological inputs; pages over the bound are
+  /// quarantined rather than failing the load.
+  HtmlParseOptions parse;
+  /// Abort with kResourceExhausted when more than this fraction of the
+  /// crawl ends up quarantined — past that point the input is likely not a
+  /// crawl of detail pages at all and degrading silently would hide it.
+  double max_quarantine_fraction = 0.5;
+};
+
+/// A crawl after resilient loading: the surviving parsed pages plus an
+/// exact account of what was quarantined.
+struct LoadedCrawl {
+  /// Parsed survivors, in original crawl order.
+  std::vector<DomDocument> pages;
+  /// pages[i] was parsed from raw[source_index[i]].
+  std::vector<PageIndex> source_index;
+  /// Inverse map, sized to the raw crawl: surviving index of each raw page,
+  /// -1 when it was quarantined.
+  std::vector<PageIndex> surviving_index;
+  /// Quarantined pages in original crawl order, each with its typed parse
+  /// failure.
+  std::vector<QuarantinedPage> quarantined;
+};
+
+/// Parses a raw crawl, quarantining pages that fail to parse instead of
+/// failing the batch. Fails only when the quarantine budget
+/// (`max_quarantine_fraction`) is blown.
+Result<LoadedCrawl> LoadCrawl(const std::vector<RawPage>& raw,
+                              const ResilientLoadOptions& options = {});
+
+/// LoadCrawl + RunPipeline + index remapping, as one call.
+///
+/// `config.annotation_pages` / `config.extraction_pages` and every page
+/// index in the returned PipelineResult use the caller's raw-crawl
+/// indexing; quarantined pages simply drop out (cluster -1, no topic, no
+/// extractions) and appear in `result.diagnostics.quarantined_pages`.
+Result<PipelineResult> RunPipelineResilient(
+    const std::vector<RawPage>& raw, const KnowledgeBase& kb,
+    const PipelineConfig& config = {},
+    const ResilientLoadOptions& load_options = {});
+
+}  // namespace ceres
+
+#endif  // CERES_ROBUSTNESS_RESILIENT_LOADER_H_

@@ -1,0 +1,18 @@
+#include "util/deadline.h"
+
+#include <string>
+
+namespace ceres {
+
+Status Deadline::Check(std::string_view stage) const {
+  if (cancelled()) {
+    return Status::Cancelled(std::string(stage) + ": cancellation requested");
+  }
+  if (time_expired()) {
+    return Status::DeadlineExceeded(std::string(stage) +
+                                    ": deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ceres

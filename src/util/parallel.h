@@ -2,7 +2,9 @@
 #define CERES_UTIL_PARALLEL_H_
 
 #include <atomic>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -14,6 +16,12 @@ namespace ceres {
 /// balance naturally. The caller must ensure `body` is safe to run
 /// concurrently for distinct indices; results should be written to
 /// pre-sized per-index slots so no synchronization is needed.
+///
+/// If `body` throws, the first exception is captured and rethrown on the
+/// calling thread after all workers have joined (an exception escaping a
+/// worker thread would otherwise std::terminate the process). Remaining
+/// unclaimed indices are abandoned once a failure is recorded; in-flight
+/// iterations on other workers still run to completion.
 inline void ParallelFor(size_t n, int threads,
                         const std::function<void(size_t)>& body) {
   if (n == 0) return;
@@ -26,18 +34,30 @@ inline void ParallelFor(size_t n, int threads,
     return;
   }
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_exception;
+  std::mutex exception_mutex;
   std::vector<std::thread> workers;
   workers.reserve(worker_count);
   for (size_t w = 0; w < worker_count; ++w) {
     workers.emplace_back([&]() {
-      while (true) {
+      while (!failed.load(std::memory_order_relaxed)) {
         size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
-        body(i);
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(exception_mutex);
+          if (first_exception == nullptr) {
+            first_exception = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
+  if (first_exception != nullptr) std::rethrow_exception(first_exception);
 }
 
 }  // namespace ceres

@@ -20,6 +20,10 @@ const char* CodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -31,6 +35,14 @@ std::string Status::ToString() const {
   out += ": ";
   out += message_;
   return out;
+}
+
+Status PrependContext(Status status, std::string_view context) {
+  if (status.ok() || context.empty()) return status;
+  std::string message(context);
+  message += ": ";
+  message += status.message();
+  return Status(status.code(), std::move(message));
 }
 
 namespace internal {

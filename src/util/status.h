@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace ceres {
@@ -16,6 +17,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// A lightweight status object carrying an error code and message.
@@ -45,6 +48,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -101,8 +110,18 @@ class Result {
   std::optional<T> value_;
 };
 
+/// Returns `status` unchanged when OK; otherwise prepends "context: " to its
+/// message, preserving the code. Use to add caller context while an error
+/// propagates ("loading seed.kb: line 7: bad entity id").
+Status PrependContext(Status status, std::string_view context);
+
 namespace internal {
 [[noreturn]] void DieOnBadResultAccess(const Status& status);
+
+inline Status AnnotateError(Status status) { return status; }
+inline Status AnnotateError(Status status, std::string_view context) {
+  return PrependContext(std::move(status), context);
+}
 }  // namespace internal
 
 template <typename T>
@@ -118,5 +137,28 @@ void Result<T>::AbortIfNotOk() const {
     ::ceres::Status _st = (expr);                   \
     if (!_st.ok()) return _st;                      \
   } while (false)
+
+#define CERES_STATUS_CONCAT_INNER_(x, y) x##y
+#define CERES_STATUS_CONCAT_(x, y) CERES_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (an expression yielding Result<T>); on error returns
+/// its Status from the enclosing function, otherwise assigns the value to
+/// `lhs` (which may be a declaration). An optional third argument prepends
+/// context to a propagated error:
+///
+///   CERES_ASSIGN_OR_RETURN(KnowledgeBase kb, LoadKb(&in));
+///   CERES_ASSIGN_OR_RETURN(kb, LoadKb(&in), StrCat("loading ", path));
+#define CERES_ASSIGN_OR_RETURN(lhs, rexpr, ...)                           \
+  CERES_ASSIGN_OR_RETURN_IMPL_(                                           \
+      CERES_STATUS_CONCAT_(_ceres_result_, __LINE__), lhs,                \
+      rexpr __VA_OPT__(, ) __VA_ARGS__)
+
+#define CERES_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr, ...)             \
+  auto result = (rexpr);                                                  \
+  if (!result.ok()) {                                                     \
+    return ::ceres::internal::AnnotateError(                              \
+        std::move(result).status() __VA_OPT__(, ) __VA_ARGS__);           \
+  }                                                                       \
+  lhs = std::move(result).value()
 
 #endif  // CERES_UTIL_STATUS_H_

@@ -1,0 +1,127 @@
+// Adversarial parser inputs: the corruption the chaos harness injects
+// (robustness/fault_injector.h) plus hand-built pathological documents.
+// ParseHtml is tolerant by design, so the contract under corruption is
+// "never crash, fail only on the max_nodes budget".
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dom/html_parser.h"
+#include "robustness/fault_injector.h"
+#include "util/random.h"
+
+namespace ceres {
+namespace {
+
+std::string SamplePage() {
+  return "<html><head><title>Heat (1995)</title></head><body>"
+         "<div class=\"main\"><h1>Heat</h1>"
+         "<table><tr><th>Director</th><td>Michael Mann</td></tr>"
+         "<tr><th>Release</th><td>15 &amp; 16 December 1995</td></tr></table>"
+         "<ul class=\"cast\"><li>Al Pacino</li><li>Robert De Niro</li>"
+         "<li>Val Kilmer</li></ul>"
+         "<p>Crime &#38; drama &mdash; 170&nbsp;minutes.</p>"
+         "</div></body></html>";
+}
+
+TEST(HtmlParserAdversarialTest, EveryTruncationPointParses) {
+  const std::string page = SamplePage();
+  for (size_t cut = 0; cut <= page.size(); ++cut) {
+    Result<DomDocument> parsed = ParseHtml(page.substr(0, cut));
+    EXPECT_TRUE(parsed.ok()) << "truncated at byte " << cut;
+  }
+}
+
+TEST(HtmlParserAdversarialTest, GarbledBytesParse) {
+  FaultInjectionConfig config;
+  config.garble_byte_fraction = 0.10;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    std::string garbled =
+        CorruptHtml(SamplePage(), FaultType::kGarble, config, &rng);
+    Result<DomDocument> parsed = ParseHtml(garbled);
+    EXPECT_TRUE(parsed.ok()) << "seed " << seed;
+  }
+}
+
+TEST(HtmlParserAdversarialTest, DeletedTagsParse) {
+  FaultInjectionConfig config;
+  config.tag_delete_fraction = 0.5;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    std::string mangled =
+        CorruptHtml(SamplePage(), FaultType::kTagDelete, config, &rng);
+    Result<DomDocument> parsed = ParseHtml(mangled);
+    EXPECT_TRUE(parsed.ok()) << "seed " << seed;
+  }
+}
+
+TEST(HtmlParserAdversarialTest, BrokenEntitiesParse) {
+  FaultInjectionConfig config;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    std::string broken =
+        CorruptHtml(SamplePage(), FaultType::kEntityBreak, config, &rng);
+    Result<DomDocument> parsed = ParseHtml(broken);
+    EXPECT_TRUE(parsed.ok()) << "seed " << seed;
+  }
+}
+
+TEST(HtmlParserAdversarialTest, HandBuiltTagSoupParses) {
+  const char* soups[] = {
+      "<",
+      "<div",
+      "<div class=\"x",
+      "</nothing></ever></opened>",
+      "<b><i>wrong</b> nesting</i>",
+      "text < not a tag > more",
+      "&#xZZ; &#999999999999; &unknown; &amp",
+      "<!doctype html><!-- unterminated comment",
+      "\xff\xfe\x00garbage\x80\x81",
+      "<td><td><td><li><li><p><p><dt><dd><option>",
+  };
+  for (const char* soup : soups) {
+    Result<DomDocument> parsed = ParseHtml(soup);
+    EXPECT_TRUE(parsed.ok()) << "input: " << soup;
+  }
+}
+
+TEST(HtmlParserAdversarialTest, DeeplyNestedDocumentParses) {
+  // The parser keeps its own explicit stack, so depth is bounded by memory,
+  // not the call stack.
+  std::string deep;
+  const int depth = 50000;
+  for (int i = 0; i < depth; ++i) deep += "<div>";
+  deep += "x";
+  Result<DomDocument> parsed = ParseHtml(deep);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_GT(parsed->size(), depth);
+}
+
+TEST(HtmlParserAdversarialTest, MaxNodesBudgetIsEnforced) {
+  std::string many;
+  for (int i = 0; i < 200; ++i) many += "<p>x";
+  HtmlParseOptions options;
+  options.max_nodes = 100;
+  Result<DomDocument> parsed = ParseHtml(many, options);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+  // The same document parses fine under the default budget.
+  EXPECT_TRUE(ParseHtml(many).ok());
+}
+
+TEST(HtmlParserAdversarialTest, NodeBombTripsLoweredBudgetOnly) {
+  FaultInjectionConfig config;
+  config.node_bomb_nodes = 4096;
+  Rng rng(7);
+  std::string bombed =
+      CorruptHtml(SamplePage(), FaultType::kNodeBomb, config, &rng);
+  HtmlParseOptions tight;
+  tight.max_nodes = 1000;
+  EXPECT_EQ(ParseHtml(bombed, tight).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ParseHtml(bombed).ok());
+}
+
+}  // namespace
+}  // namespace ceres

@@ -1,0 +1,86 @@
+#include "robustness/resilient_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ceres {
+namespace {
+
+RawPage GoodPage(int i) {
+  return RawPage{"http://example.test/good" + std::to_string(i),
+                 "<html><body><p>fine</p></body></html>"};
+}
+
+// Only parse failure ParseHtml has: element count over max_nodes. The
+// loader options lower the budget so this page reliably quarantines.
+RawPage BombPage(int i) {
+  std::string html;
+  for (int k = 0; k < 300; ++k) html += "<p>x";
+  return RawPage{"http://example.test/bomb" + std::to_string(i),
+                 std::move(html)};
+}
+
+ResilientLoadOptions TightOptions() {
+  ResilientLoadOptions options;
+  options.parse.max_nodes = 100;
+  return options;
+}
+
+TEST(ResilientLoaderTest, CleanCrawlLoadsEverything) {
+  std::vector<RawPage> raw = {GoodPage(0), GoodPage(1), GoodPage(2)};
+  Result<LoadedCrawl> crawl = LoadCrawl(raw);
+  ASSERT_TRUE(crawl.ok());
+  EXPECT_EQ(crawl->pages.size(), 3u);
+  EXPECT_TRUE(crawl->quarantined.empty());
+  EXPECT_EQ(crawl->source_index, (std::vector<PageIndex>{0, 1, 2}));
+  EXPECT_EQ(crawl->surviving_index, (std::vector<PageIndex>{0, 1, 2}));
+}
+
+TEST(ResilientLoaderTest, UnparseablePagesAreQuarantinedNotFatal) {
+  std::vector<RawPage> raw = {GoodPage(0), BombPage(1), GoodPage(2),
+                              BombPage(3), GoodPage(4)};
+  Result<LoadedCrawl> crawl = LoadCrawl(raw, TightOptions());
+  ASSERT_TRUE(crawl.ok()) << crawl.status().ToString();
+  EXPECT_EQ(crawl->pages.size(), 3u);
+  ASSERT_EQ(crawl->quarantined.size(), 2u);
+  EXPECT_EQ(crawl->quarantined[0].page, 1);
+  EXPECT_EQ(crawl->quarantined[1].page, 3);
+  EXPECT_EQ(crawl->quarantined[0].reason.code(),
+            StatusCode::kResourceExhausted);
+  // The reason names the page's URL.
+  EXPECT_NE(crawl->quarantined[0].reason.message().find("bomb1"),
+            std::string::npos);
+  EXPECT_EQ(crawl->source_index, (std::vector<PageIndex>{0, 2, 4}));
+  EXPECT_EQ(crawl->surviving_index,
+            (std::vector<PageIndex>{0, -1, 1, -1, 2}));
+}
+
+TEST(ResilientLoaderTest, QuarantineBudgetBlowsWithResourceExhausted) {
+  std::vector<RawPage> raw = {GoodPage(0), BombPage(1), BombPage(2),
+                              BombPage(3)};
+  ResilientLoadOptions options = TightOptions();
+  options.max_quarantine_fraction = 0.5;
+  Result<LoadedCrawl> crawl = LoadCrawl(raw, options);
+  EXPECT_EQ(crawl.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResilientLoaderTest, BudgetBoundaryIsInclusive) {
+  // Exactly at the budget (2 of 4 = 0.5) still loads.
+  std::vector<RawPage> raw = {GoodPage(0), BombPage(1), BombPage(2),
+                              GoodPage(3)};
+  ResilientLoadOptions options = TightOptions();
+  options.max_quarantine_fraction = 0.5;
+  Result<LoadedCrawl> crawl = LoadCrawl(raw, options);
+  ASSERT_TRUE(crawl.ok());
+  EXPECT_EQ(crawl->quarantined.size(), 2u);
+}
+
+TEST(ResilientLoaderTest, EmptyCrawlLoadsEmpty) {
+  Result<LoadedCrawl> crawl = LoadCrawl({});
+  ASSERT_TRUE(crawl.ok());
+  EXPECT_TRUE(crawl->pages.empty());
+}
+
+}  // namespace
+}  // namespace ceres

@@ -50,5 +50,45 @@ TEST(ParallelForTest, ResultsMatchSequential) {
   EXPECT_EQ(parallel_out, sequential_out);
 }
 
+TEST(ParallelForTest, RethrowsBodyExceptionOnCallingThread) {
+  try {
+    ParallelFor(1000, 4, [&](size_t i) {
+      if (i == 17) throw std::runtime_error("boom at 17");
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 17");
+  }
+}
+
+TEST(ParallelForTest, RethrowsInSingleThreadFallback) {
+  EXPECT_THROW(
+      ParallelFor(5, 1, [](size_t i) {
+        if (i == 3) throw std::logic_error("bad");
+      }),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, FailureStopsWorkersFromClaimingNewIndices) {
+  // Workers stop picking up indices once a failure is recorded; with the
+  // failure on the very first index, a 1e6-item loop must end far short of
+  // completing (each in-flight iteration may still finish).
+  std::atomic<size_t> executed{0};
+  const size_t n = 1000000;
+  EXPECT_THROW(ParallelFor(n, 4,
+                           [&](size_t i) {
+                             if (i == 0) throw std::runtime_error("early");
+                             ++executed;
+                           }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), n / 2);
+}
+
+TEST(ParallelForTest, AllIndicesRunWhenNothingThrows) {
+  std::atomic<int> hits{0};
+  ParallelFor(64, 8, [&](size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 64);
+}
+
 }  // namespace
 }  // namespace ceres

@@ -70,5 +70,71 @@ TEST(ResultDeathTest, AccessWithoutValueAborts) {
   EXPECT_DEATH({ (void)result.value(); }, "non-OK status");
 }
 
+TEST(StatusTest, DeadlineAndCancelledFactories) {
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DeadlineExceeded("x").ToString(),
+            "DEADLINE_EXCEEDED: x");
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Cancelled("x").ToString(), "CANCELLED: x");
+}
+
+TEST(StatusTest, PrependContextKeepsCodeAndPrefixesMessage) {
+  Status status =
+      PrependContext(Status::NotFound("no such file"), "loading kb");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "loading kb: no such file");
+}
+
+TEST(StatusTest, PrependContextLeavesOkAndEmptyContextAlone) {
+  EXPECT_TRUE(PrependContext(Status::Ok(), "ctx").ok());
+  Status status = PrependContext(Status::Internal("msg"), "");
+  EXPECT_EQ(status.message(), "msg");
+}
+
+Result<int> ParseEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd input");
+  return x;
+}
+
+Result<int> DoubleEven(int x) {
+  CERES_ASSIGN_OR_RETURN(int value, ParseEven(x));
+  return value * 2;
+}
+
+Result<int> DoubleEvenWithContext(int x) {
+  CERES_ASSIGN_OR_RETURN(int value, ParseEven(x), "doubling");
+  return value * 2;
+}
+
+TEST(StatusTest, AssignOrReturnUnwrapsValue) {
+  Result<int> result = DoubleEven(4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 8);
+}
+
+TEST(StatusTest, AssignOrReturnPropagatesError) {
+  Result<int> result = DoubleEven(3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(), "odd input");
+}
+
+TEST(StatusTest, AssignOrReturnPrependsOptionalContext) {
+  Result<int> result = DoubleEvenWithContext(3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "doubling: odd input");
+}
+
+TEST(StatusTest, AssignOrReturnAllowsExistingVariable) {
+  int value = 0;
+  auto assign = [&]() -> Status {
+    CERES_ASSIGN_OR_RETURN(value, ParseEven(6));
+    return Status::Ok();
+  };
+  ASSERT_TRUE(assign().ok());
+  EXPECT_EQ(value, 6);
+}
+
 }  // namespace
 }  // namespace ceres
