@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libceres_bench_common.a"
+  "../lib/libceres_bench_common.pdb"
+  "CMakeFiles/ceres_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ceres_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/ceres_bench_common.dir/longtail_common.cc.o"
+  "CMakeFiles/ceres_bench_common.dir/longtail_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_ablation.dir/classifier_ablation.cc.o"
+  "CMakeFiles/classifier_ablation.dir/classifier_ablation.cc.o.d"
+  "classifier_ablation"
+  "classifier_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_ablation.dir/clustering_ablation.cc.o"
+  "CMakeFiles/clustering_ablation.dir/clustering_ablation.cc.o.d"
+  "clustering_ablation"
+  "clustering_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

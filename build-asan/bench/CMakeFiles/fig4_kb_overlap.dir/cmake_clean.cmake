@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_kb_overlap.dir/fig4_kb_overlap.cc.o"
+  "CMakeFiles/fig4_kb_overlap.dir/fig4_kb_overlap.cc.o.d"
+  "fig4_kb_overlap"
+  "fig4_kb_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_kb_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

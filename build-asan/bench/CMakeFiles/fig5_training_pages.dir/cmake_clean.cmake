@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_training_pages.dir/fig5_training_pages.cc.o"
+  "CMakeFiles/fig5_training_pages.dir/fig5_training_pages.cc.o.d"
+  "fig5_training_pages"
+  "fig5_training_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_training_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_confidence_sweep.dir/fig6_confidence_sweep.cc.o"
+  "CMakeFiles/fig6_confidence_sweep.dir/fig6_confidence_sweep.cc.o.d"
+  "fig6_confidence_sweep"
+  "fig6_confidence_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_confidence_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

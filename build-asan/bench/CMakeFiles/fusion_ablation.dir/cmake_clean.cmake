@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_ablation.dir/fusion_ablation.cc.o"
+  "CMakeFiles/fusion_ablation.dir/fusion_ablation.cc.o.d"
+  "fusion_ablation"
+  "fusion_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_dataset.cc" "bench/CMakeFiles/table1_dataset.dir/table1_dataset.cc.o" "gcc" "bench/CMakeFiles/table1_dataset.dir/table1_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/bench/CMakeFiles/ceres_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/baselines/CMakeFiles/ceres_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/eval/CMakeFiles/ceres_eval.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fusion/CMakeFiles/ceres_fusion.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/synth/CMakeFiles/ceres_synth.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/ceres_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cluster/CMakeFiles/ceres_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/ceres_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dom/CMakeFiles/ceres_dom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/kb/CMakeFiles/ceres_kb.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/text/CMakeFiles/ceres_text.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

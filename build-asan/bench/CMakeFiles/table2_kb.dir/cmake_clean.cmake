@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_kb.dir/table2_kb.cc.o"
+  "CMakeFiles/table2_kb.dir/table2_kb.cc.o.d"
+  "table2_kb"
+  "table2_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_swde_f1.dir/table3_swde_f1.cc.o"
+  "CMakeFiles/table3_swde_f1.dir/table3_swde_f1.cc.o.d"
+  "table3_swde_f1"
+  "table3_swde_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_swde_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

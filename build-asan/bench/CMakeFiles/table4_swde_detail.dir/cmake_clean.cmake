@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_swde_detail.dir/table4_swde_detail.cc.o"
+  "CMakeFiles/table4_swde_detail.dir/table4_swde_detail.cc.o.d"
+  "table4_swde_detail"
+  "table4_swde_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_swde_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

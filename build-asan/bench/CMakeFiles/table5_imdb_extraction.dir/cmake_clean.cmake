@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_imdb_extraction.dir/table5_imdb_extraction.cc.o"
+  "CMakeFiles/table5_imdb_extraction.dir/table5_imdb_extraction.cc.o.d"
+  "table5_imdb_extraction"
+  "table5_imdb_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_imdb_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_imdb_annotation.dir/table6_imdb_annotation.cc.o"
+  "CMakeFiles/table6_imdb_annotation.dir/table6_imdb_annotation.cc.o.d"
+  "table6_imdb_annotation"
+  "table6_imdb_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_imdb_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_topic_id.dir/table7_topic_id.cc.o"
+  "CMakeFiles/table7_topic_id.dir/table7_topic_id.cc.o.d"
+  "table7_topic_id"
+  "table7_topic_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_topic_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_longtail_sites.dir/table8_longtail_sites.cc.o"
+  "CMakeFiles/table8_longtail_sites.dir/table8_longtail_sites.cc.o.d"
+  "table8_longtail_sites"
+  "table8_longtail_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_longtail_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

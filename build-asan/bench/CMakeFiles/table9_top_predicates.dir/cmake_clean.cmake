@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_top_predicates.dir/table9_top_predicates.cc.o"
+  "CMakeFiles/table9_top_predicates.dir/table9_top_predicates.cc.o.d"
+  "table9_top_predicates"
+  "table9_top_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_top_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table9_top_predicates.
+# This may be replaced when dependencies are built.

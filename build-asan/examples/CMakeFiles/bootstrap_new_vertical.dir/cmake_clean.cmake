@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap_new_vertical.dir/bootstrap_new_vertical.cpp.o"
+  "CMakeFiles/bootstrap_new_vertical.dir/bootstrap_new_vertical.cpp.o.d"
+  "bootstrap_new_vertical"
+  "bootstrap_new_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_new_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_website.dir/custom_website.cpp.o"
+  "CMakeFiles/custom_website.dir/custom_website.cpp.o.d"
+  "custom_website"
+  "custom_website.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_website.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdb_complex.dir/imdb_complex.cpp.o"
+  "CMakeFiles/imdb_complex.dir/imdb_complex.cpp.o.d"
+  "imdb_complex"
+  "imdb_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdb_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_multilingual.dir/longtail_multilingual.cpp.o"
+  "CMakeFiles/longtail_multilingual.dir/longtail_multilingual.cpp.o.d"
+  "longtail_multilingual"
+  "longtail_multilingual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_multilingual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

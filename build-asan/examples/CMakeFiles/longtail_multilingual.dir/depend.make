@@ -1,0 +1,2 @@
+# Empty dependencies file for longtail_multilingual.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("text")
+subdirs("dom")
+subdirs("kb")
+subdirs("ml")
+subdirs("cluster")
+subdirs("core")
+subdirs("robustness")
+subdirs("baselines")
+subdirs("synth")
+subdirs("eval")
+subdirs("fusion")

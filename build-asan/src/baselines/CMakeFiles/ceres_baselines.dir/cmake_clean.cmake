@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_baselines.dir/ceres_baseline.cc.o"
+  "CMakeFiles/ceres_baselines.dir/ceres_baseline.cc.o.d"
+  "CMakeFiles/ceres_baselines.dir/vertex.cc.o"
+  "CMakeFiles/ceres_baselines.dir/vertex.cc.o.d"
+  "libceres_baselines.a"
+  "libceres_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/detail_page_detector.cc" "src/cluster/CMakeFiles/ceres_cluster.dir/detail_page_detector.cc.o" "gcc" "src/cluster/CMakeFiles/ceres_cluster.dir/detail_page_detector.cc.o.d"
+  "/root/repo/src/cluster/page_clustering.cc" "src/cluster/CMakeFiles/ceres_cluster.dir/page_clustering.cc.o" "gcc" "src/cluster/CMakeFiles/ceres_cluster.dir/page_clustering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/dom/CMakeFiles/ceres_dom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/text/CMakeFiles/ceres_text.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_cluster.dir/detail_page_detector.cc.o"
+  "CMakeFiles/ceres_cluster.dir/detail_page_detector.cc.o.d"
+  "CMakeFiles/ceres_cluster.dir/page_clustering.cc.o"
+  "CMakeFiles/ceres_cluster.dir/page_clustering.cc.o.d"
+  "libceres_cluster.a"
+  "libceres_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/entity_matcher.cc" "src/core/CMakeFiles/ceres_core.dir/entity_matcher.cc.o" "gcc" "src/core/CMakeFiles/ceres_core.dir/entity_matcher.cc.o.d"
+  "/root/repo/src/core/extractor.cc" "src/core/CMakeFiles/ceres_core.dir/extractor.cc.o" "gcc" "src/core/CMakeFiles/ceres_core.dir/extractor.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/ceres_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/ceres_core.dir/features.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/ceres_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/ceres_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/ceres_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/ceres_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/relation_annotator.cc" "src/core/CMakeFiles/ceres_core.dir/relation_annotator.cc.o" "gcc" "src/core/CMakeFiles/ceres_core.dir/relation_annotator.cc.o.d"
+  "/root/repo/src/core/topic_identification.cc" "src/core/CMakeFiles/ceres_core.dir/topic_identification.cc.o" "gcc" "src/core/CMakeFiles/ceres_core.dir/topic_identification.cc.o.d"
+  "/root/repo/src/core/training.cc" "src/core/CMakeFiles/ceres_core.dir/training.cc.o" "gcc" "src/core/CMakeFiles/ceres_core.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/cluster/CMakeFiles/ceres_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dom/CMakeFiles/ceres_dom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/kb/CMakeFiles/ceres_kb.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/ceres_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/text/CMakeFiles/ceres_text.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_core.dir/entity_matcher.cc.o"
+  "CMakeFiles/ceres_core.dir/entity_matcher.cc.o.d"
+  "CMakeFiles/ceres_core.dir/extractor.cc.o"
+  "CMakeFiles/ceres_core.dir/extractor.cc.o.d"
+  "CMakeFiles/ceres_core.dir/features.cc.o"
+  "CMakeFiles/ceres_core.dir/features.cc.o.d"
+  "CMakeFiles/ceres_core.dir/model_io.cc.o"
+  "CMakeFiles/ceres_core.dir/model_io.cc.o.d"
+  "CMakeFiles/ceres_core.dir/pipeline.cc.o"
+  "CMakeFiles/ceres_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/ceres_core.dir/relation_annotator.cc.o"
+  "CMakeFiles/ceres_core.dir/relation_annotator.cc.o.d"
+  "CMakeFiles/ceres_core.dir/topic_identification.cc.o"
+  "CMakeFiles/ceres_core.dir/topic_identification.cc.o.d"
+  "CMakeFiles/ceres_core.dir/training.cc.o"
+  "CMakeFiles/ceres_core.dir/training.cc.o.d"
+  "libceres_core.a"
+  "libceres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dom/dom_tree.cc" "src/dom/CMakeFiles/ceres_dom.dir/dom_tree.cc.o" "gcc" "src/dom/CMakeFiles/ceres_dom.dir/dom_tree.cc.o.d"
+  "/root/repo/src/dom/dom_utils.cc" "src/dom/CMakeFiles/ceres_dom.dir/dom_utils.cc.o" "gcc" "src/dom/CMakeFiles/ceres_dom.dir/dom_utils.cc.o.d"
+  "/root/repo/src/dom/html_parser.cc" "src/dom/CMakeFiles/ceres_dom.dir/html_parser.cc.o" "gcc" "src/dom/CMakeFiles/ceres_dom.dir/html_parser.cc.o.d"
+  "/root/repo/src/dom/html_serializer.cc" "src/dom/CMakeFiles/ceres_dom.dir/html_serializer.cc.o" "gcc" "src/dom/CMakeFiles/ceres_dom.dir/html_serializer.cc.o.d"
+  "/root/repo/src/dom/xpath.cc" "src/dom/CMakeFiles/ceres_dom.dir/xpath.cc.o" "gcc" "src/dom/CMakeFiles/ceres_dom.dir/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_dom.dir/dom_tree.cc.o"
+  "CMakeFiles/ceres_dom.dir/dom_tree.cc.o.d"
+  "CMakeFiles/ceres_dom.dir/dom_utils.cc.o"
+  "CMakeFiles/ceres_dom.dir/dom_utils.cc.o.d"
+  "CMakeFiles/ceres_dom.dir/html_parser.cc.o"
+  "CMakeFiles/ceres_dom.dir/html_parser.cc.o.d"
+  "CMakeFiles/ceres_dom.dir/html_serializer.cc.o"
+  "CMakeFiles/ceres_dom.dir/html_serializer.cc.o.d"
+  "CMakeFiles/ceres_dom.dir/xpath.cc.o"
+  "CMakeFiles/ceres_dom.dir/xpath.cc.o.d"
+  "libceres_dom.a"
+  "libceres_dom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_dom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_eval.dir/metrics.cc.o"
+  "CMakeFiles/ceres_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/ceres_eval.dir/report.cc.o"
+  "CMakeFiles/ceres_eval.dir/report.cc.o.d"
+  "libceres_eval.a"
+  "libceres_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

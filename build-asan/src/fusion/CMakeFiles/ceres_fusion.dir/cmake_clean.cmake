@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_fusion.dir/knowledge_fusion.cc.o"
+  "CMakeFiles/ceres_fusion.dir/knowledge_fusion.cc.o.d"
+  "libceres_fusion.a"
+  "libceres_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

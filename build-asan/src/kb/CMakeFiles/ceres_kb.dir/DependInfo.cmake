@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/kb_io.cc" "src/kb/CMakeFiles/ceres_kb.dir/kb_io.cc.o" "gcc" "src/kb/CMakeFiles/ceres_kb.dir/kb_io.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/kb/CMakeFiles/ceres_kb.dir/knowledge_base.cc.o" "gcc" "src/kb/CMakeFiles/ceres_kb.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/ontology.cc" "src/kb/CMakeFiles/ceres_kb.dir/ontology.cc.o" "gcc" "src/kb/CMakeFiles/ceres_kb.dir/ontology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/text/CMakeFiles/ceres_text.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

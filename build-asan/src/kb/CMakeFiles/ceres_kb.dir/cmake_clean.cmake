@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_kb.dir/kb_io.cc.o"
+  "CMakeFiles/ceres_kb.dir/kb_io.cc.o.d"
+  "CMakeFiles/ceres_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/ceres_kb.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/ceres_kb.dir/ontology.cc.o"
+  "CMakeFiles/ceres_kb.dir/ontology.cc.o.d"
+  "libceres_kb.a"
+  "libceres_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/agglomerative.cc" "src/ml/CMakeFiles/ceres_ml.dir/agglomerative.cc.o" "gcc" "src/ml/CMakeFiles/ceres_ml.dir/agglomerative.cc.o.d"
+  "/root/repo/src/ml/feature_map.cc" "src/ml/CMakeFiles/ceres_ml.dir/feature_map.cc.o" "gcc" "src/ml/CMakeFiles/ceres_ml.dir/feature_map.cc.o.d"
+  "/root/repo/src/ml/lbfgs.cc" "src/ml/CMakeFiles/ceres_ml.dir/lbfgs.cc.o" "gcc" "src/ml/CMakeFiles/ceres_ml.dir/lbfgs.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/ceres_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/ceres_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/ceres_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/ceres_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_ml.dir/agglomerative.cc.o"
+  "CMakeFiles/ceres_ml.dir/agglomerative.cc.o.d"
+  "CMakeFiles/ceres_ml.dir/feature_map.cc.o"
+  "CMakeFiles/ceres_ml.dir/feature_map.cc.o.d"
+  "CMakeFiles/ceres_ml.dir/lbfgs.cc.o"
+  "CMakeFiles/ceres_ml.dir/lbfgs.cc.o.d"
+  "CMakeFiles/ceres_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/ceres_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/ceres_ml.dir/random_forest.cc.o"
+  "CMakeFiles/ceres_ml.dir/random_forest.cc.o.d"
+  "libceres_ml.a"
+  "libceres_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

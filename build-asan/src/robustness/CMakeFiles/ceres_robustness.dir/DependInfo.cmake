@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robustness/fault_injector.cc" "src/robustness/CMakeFiles/ceres_robustness.dir/fault_injector.cc.o" "gcc" "src/robustness/CMakeFiles/ceres_robustness.dir/fault_injector.cc.o.d"
+  "/root/repo/src/robustness/resilient_loader.cc" "src/robustness/CMakeFiles/ceres_robustness.dir/resilient_loader.cc.o" "gcc" "src/robustness/CMakeFiles/ceres_robustness.dir/resilient_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/ceres_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dom/CMakeFiles/ceres_dom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cluster/CMakeFiles/ceres_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/kb/CMakeFiles/ceres_kb.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/ceres_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/text/CMakeFiles/ceres_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

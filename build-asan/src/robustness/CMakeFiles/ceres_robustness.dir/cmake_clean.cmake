@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_robustness.dir/fault_injector.cc.o"
+  "CMakeFiles/ceres_robustness.dir/fault_injector.cc.o.d"
+  "CMakeFiles/ceres_robustness.dir/resilient_loader.cc.o"
+  "CMakeFiles/ceres_robustness.dir/resilient_loader.cc.o.d"
+  "libceres_robustness.a"
+  "libceres_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_synth.dir/corpora.cc.o"
+  "CMakeFiles/ceres_synth.dir/corpora.cc.o.d"
+  "CMakeFiles/ceres_synth.dir/kb_builder.cc.o"
+  "CMakeFiles/ceres_synth.dir/kb_builder.cc.o.d"
+  "CMakeFiles/ceres_synth.dir/names.cc.o"
+  "CMakeFiles/ceres_synth.dir/names.cc.o.d"
+  "CMakeFiles/ceres_synth.dir/site_generator.cc.o"
+  "CMakeFiles/ceres_synth.dir/site_generator.cc.o.d"
+  "CMakeFiles/ceres_synth.dir/world.cc.o"
+  "CMakeFiles/ceres_synth.dir/world.cc.o.d"
+  "libceres_synth.a"
+  "libceres_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

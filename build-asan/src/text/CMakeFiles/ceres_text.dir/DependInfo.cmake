@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/fuzzy_matcher.cc" "src/text/CMakeFiles/ceres_text.dir/fuzzy_matcher.cc.o" "gcc" "src/text/CMakeFiles/ceres_text.dir/fuzzy_matcher.cc.o.d"
+  "/root/repo/src/text/levenshtein.cc" "src/text/CMakeFiles/ceres_text.dir/levenshtein.cc.o" "gcc" "src/text/CMakeFiles/ceres_text.dir/levenshtein.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/text/CMakeFiles/ceres_text.dir/normalize.cc.o" "gcc" "src/text/CMakeFiles/ceres_text.dir/normalize.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/ceres_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/ceres_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ceres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

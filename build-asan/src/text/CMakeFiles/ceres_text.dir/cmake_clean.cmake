@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_text.dir/fuzzy_matcher.cc.o"
+  "CMakeFiles/ceres_text.dir/fuzzy_matcher.cc.o.d"
+  "CMakeFiles/ceres_text.dir/levenshtein.cc.o"
+  "CMakeFiles/ceres_text.dir/levenshtein.cc.o.d"
+  "CMakeFiles/ceres_text.dir/normalize.cc.o"
+  "CMakeFiles/ceres_text.dir/normalize.cc.o.d"
+  "CMakeFiles/ceres_text.dir/tokenizer.cc.o"
+  "CMakeFiles/ceres_text.dir/tokenizer.cc.o.d"
+  "libceres_text.a"
+  "libceres_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

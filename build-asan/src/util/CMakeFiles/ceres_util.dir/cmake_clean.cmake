@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_util.dir/deadline.cc.o"
+  "CMakeFiles/ceres_util.dir/deadline.cc.o.d"
+  "CMakeFiles/ceres_util.dir/logging.cc.o"
+  "CMakeFiles/ceres_util.dir/logging.cc.o.d"
+  "CMakeFiles/ceres_util.dir/status.cc.o"
+  "CMakeFiles/ceres_util.dir/status.cc.o.d"
+  "CMakeFiles/ceres_util.dir/string_util.cc.o"
+  "CMakeFiles/ceres_util.dir/string_util.cc.o.d"
+  "libceres_util.a"
+  "libceres_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

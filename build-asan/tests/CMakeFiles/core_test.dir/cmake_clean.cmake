@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/entity_matcher_test.cc.o"
+  "CMakeFiles/core_test.dir/core/entity_matcher_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/extractor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/extractor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/features_test.cc.o"
+  "CMakeFiles/core_test.dir/core/features_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/model_io_test.cc.o"
+  "CMakeFiles/core_test.dir/core/model_io_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_ablation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pipeline_ablation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/relation_annotator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/relation_annotator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/topic_identification_test.cc.o"
+  "CMakeFiles/core_test.dir/core/topic_identification_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/training_test.cc.o"
+  "CMakeFiles/core_test.dir/core/training_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dom_test.dir/dom/dom_tree_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/dom_tree_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/dom_utils_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/dom_utils_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/html_parser_adversarial_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/html_parser_adversarial_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/html_parser_param_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/html_parser_param_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/html_parser_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/html_parser_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/html_serializer_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/html_serializer_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/roundtrip_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/roundtrip_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/xpath_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/xpath_test.cc.o.d"
+  "dom_test"
+  "dom_test.pdb"
+  "dom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

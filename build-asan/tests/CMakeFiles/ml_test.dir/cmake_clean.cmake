@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/agglomerative_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/agglomerative_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/feature_map_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/feature_map_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/lbfgs_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/lbfgs_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/logistic_regression_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/logistic_regression_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/logreg_param_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/logreg_param_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/random_forest_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/random_forest_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/sparse_vector_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/sparse_vector_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/text_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/dom_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/kb_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ml_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/synth_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fusion_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/eval_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/chaos_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_chaos.dir/ceres_chaos_main.cc.o"
+  "CMakeFiles/ceres_chaos.dir/ceres_chaos_main.cc.o.d"
+  "ceres_chaos"
+  "ceres_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_extract.dir/ceres_extract_main.cc.o"
+  "CMakeFiles/ceres_extract.dir/ceres_extract_main.cc.o.d"
+  "ceres_extract"
+  "ceres_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

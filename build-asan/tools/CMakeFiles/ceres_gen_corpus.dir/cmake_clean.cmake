@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceres_gen_corpus.dir/ceres_gen_corpus_main.cc.o"
+  "CMakeFiles/ceres_gen_corpus.dir/ceres_gen_corpus_main.cc.o.d"
+  "ceres_gen_corpus"
+  "ceres_gen_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceres_gen_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
