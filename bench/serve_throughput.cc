@@ -1,0 +1,314 @@
+// serve_throughput — latency/QPS sweep of the online extraction service.
+//
+// Trains per-site models for a small SWDE-style movie corpus, publishes
+// them to a versioned store, then replays the held-out crawl through
+// ExtractionService under a closed-loop client pool, sweeping worker
+// threads x cache configuration:
+//
+//   warm: default byte budget — every site stays resident after its one
+//         cold load;
+//   cold: a 1-byte budget and no micro-batching, so every request
+//         re-reads and re-parses its model file from disk (the naive
+//         load-per-request baseline a cache-less server degenerates to;
+//         batching is off so queue pile-ups cannot amortize the reloads
+//         the cache is supposed to eliminate).
+//
+// For each cell it prints QPS and p50/p95/p99 end-to-end latency plus
+// shed counts. After the sweep it truncates one site's model file through
+// the fault injector and replays a burst to show typed load-shedding.
+//
+// Invariants (exit 1 on violation):
+//   * accounting is exact in every cell (completed + shed == submitted);
+//   * the warm cache earns its keep: warm QPS >= 5x cold QPS at 8
+//     threads;
+//   * an injected model-load fault degrades into kModelLoadFailed sheds
+//     for that site only — other sites keep serving, nothing crashes.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dom/html_parser.h"
+#include "robustness/fault_injector.h"
+#include "serve/extraction_service.h"
+#include "serve/model_registry.h"
+#include "synth/corpora.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ceres;  // NOLINT(build/namespaces)
+
+int g_violations = 0;
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", what);
+    ++g_violations;
+  }
+}
+
+int64_t Percentile(const std::vector<int64_t>& sorted_micros, double p) {
+  if (sorted_micros.empty()) return 0;
+  const size_t index = std::min(
+      sorted_micros.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_micros.size())));
+  return sorted_micros[index];
+}
+
+struct SiteCrawl {
+  std::string name;
+  std::vector<const synth::GeneratedPage*> pages;
+};
+
+struct RunResult {
+  double qps = 0;
+  int64_t p50 = 0, p95 = 0, p99 = 0;
+  serve::ServiceStats stats;
+};
+
+/// Replays `rounds` passes over the crawl (requests alternate across
+/// sites) through a fresh service on `registry`, with a closed-loop
+/// client pool twice the worker count.
+RunResult Replay(serve::ModelRegistry* registry,
+                 const std::vector<SiteCrawl>& crawl, int threads,
+                 int rounds, size_t max_batch = 16,
+                 int per_site_max_inflight = 2) {
+  std::vector<std::pair<const std::string*, const synth::GeneratedPage*>>
+      stream;
+  size_t max_pages = 0;
+  for (const SiteCrawl& site : crawl) {
+    max_pages = std::max(max_pages, site.pages.size());
+  }
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < max_pages; ++i) {
+      for (const SiteCrawl& site : crawl) {
+        if (i < site.pages.size()) {
+          stream.emplace_back(&site.name, site.pages[i]);
+        }
+      }
+    }
+  }
+
+  serve::ExtractionServiceConfig config;
+  config.worker_threads = threads;
+  config.max_queue = stream.size() + 1;
+  config.max_batch = max_batch;
+  config.per_site_max_inflight = per_site_max_inflight;
+  serve::ExtractionService service(registry, config);
+  Status started = service.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    std::exit(1);
+  }
+
+  const int clients = std::max(4, threads * 2);
+  std::atomic<size_t> next{0};
+  std::vector<std::vector<int64_t>> latencies(
+      static_cast<size_t>(clients));
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> pool;
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      for (;;) {
+        const size_t index = next.fetch_add(1);
+        if (index >= stream.size()) return;
+        serve::ServeRequest request;
+        request.site = *stream[index].first;
+        request.html = stream[index].second->html;
+        request.url = stream[index].second->url;
+        const Clock::time_point start = Clock::now();
+        serve::ServeResult result = service.Submit(std::move(request)).get();
+        (void)result;
+        latencies[static_cast<size_t>(c)].push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - start)
+                .count());
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          Clock::now() - t0)
+          .count();
+  service.Stop();
+
+  std::vector<int64_t> all;
+  for (const std::vector<int64_t>& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  RunResult run;
+  run.qps = static_cast<double>(stream.size()) / wall;
+  run.p50 = Percentile(all, 0.50);
+  run.p95 = Percentile(all, 0.95);
+  run.p99 = Percentile(all, 0.99);
+  run.stats = service.stats();
+  Require(run.stats.completed + run.stats.total_shed() ==
+              static_cast<int64_t>(stream.size()),
+          "accounting is exact (completed + shed == submitted)");
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const std::string store =
+      (std::filesystem::temp_directory_path() / "serve_throughput_store")
+          .string();
+  std::filesystem::remove_all(store);
+
+  // --- Offline: train + publish one model per site. ----------------------
+  // Scale 0.6 yields realistically sized models (several hundred KB of
+  // lexicon + weights), so the cold path's per-request reload cost is
+  // measured against a non-trivial load.
+  synth::Corpus corpus =
+      synth::MakeSwdeCorpus(synth::SwdeVertical::kMovie, 0.6, 100);
+  const size_t kNumSites = 4;
+
+  serve::ModelRegistryConfig warm_config;
+  warm_config.root_dir = store;
+  serve::ModelRegistry warm_registry(corpus.seed_kb.ontology(), warm_config);
+
+  std::vector<SiteCrawl> crawl;
+  for (size_t s = 0; s < std::min(kNumSites, corpus.sites.size()); ++s) {
+    const synth::SyntheticSite& site = corpus.sites[s];
+    std::vector<DomDocument> pages;
+    for (const synth::GeneratedPage& page : site.pages) {
+      Result<DomDocument> doc = ParseHtml(page.html);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "unparseable generated page: %s\n",
+                     doc.status().ToString().c_str());
+        return 1;
+      }
+      pages.push_back(std::move(doc).value());
+    }
+    PipelineConfig train_config;
+    // Production-sized feature space: a deep frequent-string lexicon and
+    // extra text-feature levels, so the persisted model is realistically
+    // heavy (the load cost the warm cache exists to amortize).
+    train_config.features.frequent_string_page_fraction = 0.05;
+    train_config.features.max_frequent_strings = 2000;
+    train_config.features.text_feature_levels = 4;
+    for (size_t i = 0; i < pages.size(); i += 2) {
+      train_config.annotation_pages.push_back(static_cast<PageIndex>(i));
+    }
+    train_config.extraction_pages = train_config.annotation_pages;
+    Result<PipelineResult> trained =
+        RunPipeline(pages, corpus.seed_kb, train_config);
+    if (!trained.ok() || trained->models.empty()) {
+      std::fprintf(stderr, "site %s trained no model; skipping\n",
+                   site.name.c_str());
+      continue;
+    }
+    Result<int64_t> version =
+        warm_registry.Publish(site.name, trained->models.front().model);
+    if (!version.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   version.status().ToString().c_str());
+      return 1;
+    }
+    SiteCrawl entry;
+    entry.name = site.name;
+    for (size_t i = 1; i < site.pages.size(); i += 2) {
+      entry.pages.push_back(&site.pages[i]);
+    }
+    crawl.push_back(std::move(entry));
+  }
+  if (crawl.size() < 2) {
+    std::fprintf(stderr, "need at least two trained sites\n");
+    return 1;
+  }
+
+  // --- Sweep: threads x {warm, cold}. ------------------------------------
+  std::printf("%-7s %-6s %-9s %-9s %-9s %-9s %-6s\n", "cache", "thr",
+              "qps", "p50_us", "p95_us", "p99_us", "shed");
+  const int kRounds = 3;
+  double warm_qps_8 = 0;
+  double cold_qps_8 = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    // Fresh cold registry per cell so its 1-byte budget forces a disk
+    // load for every batch (requests alternate sites; each insert evicts).
+    serve::ModelRegistryConfig cold_config;
+    cold_config.root_dir = store;
+    cold_config.byte_budget = 1;
+    serve::ModelRegistry cold_registry(corpus.seed_kb.ontology(),
+                                       cold_config);
+    for (bool warm : {true, false}) {
+      serve::ModelRegistry* registry =
+          warm ? &warm_registry : &cold_registry;
+      // The cold baseline is the cache-less server: one load per
+      // request, no batching or in-flight dedup to amortize it.
+      RunResult run = Replay(registry, crawl, threads, kRounds,
+                             /*max_batch=*/warm ? 16 : 1,
+                             /*per_site_max_inflight=*/warm ? 2 : 1);
+      std::printf("%-7s %-6d %-9.1f %-9lld %-9lld %-9lld %-6lld\n",
+                  warm ? "warm" : "cold", threads, run.qps,
+                  static_cast<long long>(run.p50),
+                  static_cast<long long>(run.p95),
+                  static_cast<long long>(run.p99),
+                  static_cast<long long>(run.stats.total_shed()));
+      if (threads == 8) {
+        (warm ? warm_qps_8 : cold_qps_8) = run.qps;
+      }
+      Require(run.stats.total_shed() == 0,
+              "healthy sweep sheds nothing");
+    }
+  }
+  std::printf("warm/cold qps ratio at 8 threads: %.1fx\n",
+              cold_qps_8 > 0 ? warm_qps_8 / cold_qps_8 : 0.0);
+  Require(warm_qps_8 >= 5.0 * cold_qps_8,
+          "warm-cache QPS at 8 threads is at least 5x the cold-load QPS");
+
+  // --- Injected model-load fault: typed sheds, no crash. -----------------
+  const std::string& victim = crawl.front().name;
+  Result<int64_t> latest = LatestModelVersion(store, victim);
+  if (!latest.ok()) {
+    std::fprintf(stderr, "latest version lookup failed: %s\n",
+                 latest.status().ToString().c_str());
+    return 1;
+  }
+  const std::string victim_path = ModelVersionPath(store, victim, *latest);
+  {
+    std::ifstream in(victim_path);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    FaultInjectionConfig fault_config;
+    Rng rng(7);
+    std::string corrupted =
+        CorruptHtml(bytes, FaultType::kTruncate, fault_config, &rng);
+    std::ofstream out(victim_path, std::ios::trunc);
+    out << corrupted;
+  }
+  warm_registry.Invalidate(victim);
+
+  RunResult faulted = Replay(&warm_registry, crawl, 8, 1);
+  const int64_t load_sheds = faulted.stats.shed[static_cast<int>(
+      serve::ShedCause::kModelLoadFailed)];
+  std::printf("fault burst: %lld completed, %lld model-load sheds\n",
+              static_cast<long long>(faulted.stats.completed),
+              static_cast<long long>(load_sheds));
+  Require(load_sheds ==
+              static_cast<int64_t>(crawl.front().pages.size()),
+          "every victim-site request sheds as kModelLoadFailed");
+  Require(faulted.stats.completed ==
+              faulted.stats.submitted - load_sheds,
+          "non-victim sites keep serving through the fault");
+
+  if (g_violations > 0) {
+    std::fprintf(stderr, "%d invariant(s) violated\n", g_violations);
+    return 1;
+  }
+  std::fprintf(stderr, "all throughput invariants hold\n");
+  return 0;
+}

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <system_error>
 
 #include "util/string_util.h"
 
@@ -96,6 +99,7 @@ Status SaveModel(const TrainedModel& model, const Ontology& ontology,
     double bias = model.model.BiasAt(cls);
     if (bias != 0.0) *out << cls << "\tbias\t" << bias << '\n';
   }
+  *out << "#end\n";
   if (!out->good()) return Status::Internal("stream write failed");
   return Status::Ok();
 }
@@ -117,11 +121,14 @@ Result<TrainedModel> LoadModel(std::istream* in, const Ontology& ontology) {
     kLexicon,
     kClasses,
     kFeatures,
-    kWeights
+    kWeights,
+    kEnd
   };
   Section section = Section::kNone;
   int64_t num_classes = -1;
   int64_t num_features = -1;
+  int64_t classes_seen = 0;
+  bool saw_weights_section = false;
   TrainedModel model;
   model.classes = ClassMap(ontology);
   std::vector<double> weights;
@@ -138,13 +145,22 @@ Result<TrainedModel> LoadModel(std::istream* in, const Ontology& ontology) {
       else if (line == "#lexicon") section = Section::kLexicon;
       else if (line == "#classes") section = Section::kClasses;
       else if (line == "#features") section = Section::kFeatures;
-      else if (line == "#weights") section = Section::kWeights;
+      else if (line == "#weights") {
+        section = Section::kWeights;
+        saw_weights_section = true;
+      } else if (line == "#end") {
+        section = Section::kEnd;
+      } else {
+        return MalformedLine(line_number, line, "unknown section header");
+      }
       continue;
     }
     std::vector<std::string> fields = Split(line, '\t');
     switch (section) {
       case Section::kNone:
         return MalformedLine(line_number, line, "data before any section");
+      case Section::kEnd:
+        return MalformedLine(line_number, line, "data after #end marker");
       case Section::kModel: {
         if (fields.size() != 2 || !ParseInt(fields[0], &num_classes) ||
             !ParseInt(fields[1], &num_features) || num_classes < 2 ||
@@ -195,6 +211,7 @@ Result<TrainedModel> LoadModel(std::istream* in, const Ontology& ontology) {
                      "\" in the file but \"", expected,
                      "\" in the ontology — ontology mismatch"));
         }
+        ++classes_seen;
         break;
       }
       case Section::kFeatures: {
@@ -240,6 +257,19 @@ Result<TrainedModel> LoadModel(std::istream* in, const Ontology& ontology) {
         StrCat("file declares ", num_features, " features but lists ",
                model.features.size()));
   }
+  if (classes_seen != num_classes) {
+    return Status::InvalidArgument(
+        StrCat("file declares ", num_classes, " classes but lists ",
+               classes_seen, " — truncated file?"));
+  }
+  if (!saw_weights_section) {
+    return Status::InvalidArgument(
+        "missing #weights section — truncated file?");
+  }
+  if (section != Section::kEnd) {
+    return Status::InvalidArgument(
+        "missing #end marker — file truncated mid-transfer");
+  }
   model.features.Freeze();
   Result<LogisticRegression> lr = LogisticRegression::FromWeights(
       static_cast<int32_t>(num_features), static_cast<int32_t>(num_classes),
@@ -256,6 +286,135 @@ Result<TrainedModel> LoadModelFromFile(const std::string& path,
     return Status::NotFound(StrCat("cannot open: ", path));
   }
   return LoadModel(&in, ontology);
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path SiteDir(const std::string& root, const std::string& site) {
+  return fs::path(root) / site;
+}
+
+/// Writes `text` to `path` via a sibling tmp file + rename, so readers only
+/// ever see complete files.
+Status AtomicWrite(const fs::path& path, const std::string& text) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out.is_open()) {
+      return Status::NotFound(
+          StrCat("cannot open for writing: ", tmp.string()));
+    }
+    out << text;
+    if (!out.good()) return Status::Internal("stream write failed");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal(
+        StrCat("rename ", tmp.string(), " -> ", path.string(), ": ",
+               ec.message()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ModelVersionPath(const std::string& root, const std::string& site,
+                             int64_t version) {
+  return (SiteDir(root, site) / StrCat(version, ".model")).string();
+}
+
+Result<std::vector<int64_t>> ListModelVersions(const std::string& root,
+                                               const std::string& site) {
+  fs::path dir = SiteDir(root, site);
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound(StrCat("no model directory: ", dir.string()));
+  }
+  std::vector<int64_t> versions;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (entry.path().extension() != ".model") continue;
+    const std::string stem = entry.path().stem().string();
+    int64_t version = -1;
+    if (!ParseInt(stem, &version) || version < 0) continue;
+    versions.push_back(version);
+  }
+  if (versions.empty()) {
+    return Status::NotFound(StrCat("no model versions for site: ", site));
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+Result<int64_t> LatestModelVersion(const std::string& root,
+                                   const std::string& site) {
+  // CURRENT is authoritative when present and well-formed; a missing or
+  // garbled pointer (crashed publish) falls back to the newest snapshot.
+  fs::path current = SiteDir(root, site) / "CURRENT";
+  std::ifstream in(current);
+  if (in.is_open()) {
+    std::string line;
+    int64_t version = -1;
+    if (std::getline(in, line) && ParseInt(line, &version) && version >= 0) {
+      std::error_code ec;
+      if (fs::exists(ModelVersionPath(root, site, version), ec)) {
+        return version;
+      }
+    }
+  }
+  CERES_ASSIGN_OR_RETURN(std::vector<int64_t> versions,
+                         ListModelVersions(root, site));
+  return versions.back();
+}
+
+Result<int64_t> SaveModelVersion(const std::string& root,
+                                 const std::string& site,
+                                 const TrainedModel& model,
+                                 const Ontology& ontology) {
+  fs::path dir = SiteDir(root, site);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal(
+        StrCat("cannot create ", dir.string(), ": ", ec.message()));
+  }
+  int64_t version = 1;
+  Result<int64_t> latest = LatestModelVersion(root, site);
+  if (latest.ok()) version = *latest + 1;
+
+  std::ostringstream out;
+  CERES_RETURN_IF_ERROR(SaveModel(model, ontology, &out));
+  CERES_RETURN_IF_ERROR(
+      AtomicWrite(ModelVersionPath(root, site, version), out.str()));
+  CERES_RETURN_IF_ERROR(AtomicWrite(dir / "CURRENT", StrCat(version, "\n")));
+  return version;
+}
+
+Result<TrainedModel> LoadModelVersion(const std::string& root,
+                                      const std::string& site, int64_t version,
+                                      const Ontology& ontology) {
+  const std::string path = ModelVersionPath(root, site, version);
+  Result<TrainedModel> model = LoadModelFromFile(path, ontology);
+  if (!model.ok()) {
+    return PrependContext(model.status(),
+                          StrCat("site ", site, " version ", version));
+  }
+  return model;
+}
+
+Result<TrainedModel> LoadLatestModel(const std::string& root,
+                                     const std::string& site,
+                                     const Ontology& ontology,
+                                     int64_t* version) {
+  CERES_ASSIGN_OR_RETURN(int64_t latest, LatestModelVersion(root, site));
+  CERES_ASSIGN_OR_RETURN(TrainedModel model,
+                         LoadModelVersion(root, site, latest, ontology));
+  if (version != nullptr) *version = latest;
+  return model;
 }
 
 }  // namespace ceres

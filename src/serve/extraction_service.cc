@@ -1,0 +1,349 @@
+#include "serve/extraction_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace ceres::serve {
+
+namespace {
+
+std::chrono::microseconds Since(
+    std::chrono::steady_clock::time_point start,
+    std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - start);
+}
+
+}  // namespace
+
+ExtractionService::ExtractionService(ModelRegistry* registry,
+                                     ExtractionServiceConfig config)
+    : registry_(registry), config_(std::move(config)) {}
+
+ExtractionService::~ExtractionService() { Stop(); }
+
+ServeResult ExtractionService::ShedResult(Status status, ShedCause cause) {
+  ServeResult result;
+  result.status = std::move(status);
+  result.diagnostics.shed_cause = cause;
+  return result;
+}
+
+Status ExtractionService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::FailedPrecondition("service already started");
+  if (stopping_) return Status::FailedPrecondition("service was stopped");
+  started_ = true;
+  const size_t workers =
+      config_.worker_threads > 0
+          ? static_cast<size_t>(config_.worker_threads)
+          : std::max(1u, std::thread::hardware_concurrency());
+  // The pool rides util/parallel.h: one launcher thread fans out `workers`
+  // long-lived WorkerLoop bodies and inherits ParallelFor's exception
+  // containment (a throwing worker surfaces at join, not via terminate).
+  pool_ = std::thread([this, workers] {
+    ParallelFor(workers, static_cast<int>(workers),
+                [this](size_t) { WorkerLoop(); });
+  });
+  return Status::Ok();
+}
+
+void ExtractionService::Stop() {
+  std::vector<PendingRequest> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+    for (auto& [site, queue] : queues_) {
+      for (PendingRequest& pending : queue.pending) {
+        orphans.push_back(std::move(pending));
+      }
+      queue.pending.clear();
+      queue.in_ready_list = false;
+    }
+    ready_.clear();
+    total_pending_ = 0;
+  }
+  work_ready_.notify_all();
+  for (PendingRequest& orphan : orphans) {
+    orphan.promise.set_value(ShedResult(
+        Status::Cancelled("service stopped with request still queued"),
+        ShedCause::kShutdown));
+  }
+  if (!orphans.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.shed[static_cast<int>(ShedCause::kShutdown)] +=
+        static_cast<int64_t>(orphans.size());
+  }
+  if (pool_.joinable()) pool_.join();
+}
+
+std::future<ServeResult> ExtractionService::Submit(ServeRequest request) {
+  std::promise<ServeResult> shed_promise;
+  std::future<ServeResult> shed_future = shed_promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+
+  auto shed = [&](Status status, ShedCause cause) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed[static_cast<int>(cause)];
+    }
+    shed_promise.set_value(ShedResult(std::move(status), cause));
+    return std::move(shed_future);
+  };
+
+  if (request.deadline.expired()) {
+    return shed(request.deadline.Check("admission"),
+                ShedCause::kDeadlineBeforeAdmission);
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!accepting_) {
+    lock.unlock();
+    return shed(Status::Cancelled("service is stopped"),
+                ShedCause::kShutdown);
+  }
+  if (total_pending_ >= config_.max_queue) {
+    lock.unlock();
+    return shed(
+        Status::ResourceExhausted(StrCat(
+            "request queue full (", config_.max_queue, " pending)")),
+        ShedCause::kQueueFull);
+  }
+
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.enqueued = Clock::now();
+  std::future<ServeResult> future = pending.promise.get_future();
+  SiteQueue& queue = queues_[pending.request.site];
+  const std::string site = pending.request.site;
+  queue.pending.push_back(std::move(pending));
+  ++total_pending_;
+  MaybeReadyLocked(site, &queue);
+  return future;
+}
+
+void ExtractionService::MaybeReadyLocked(const std::string& site,
+                                         SiteQueue* queue) {
+  if (queue->in_ready_list || queue->pending.empty()) return;
+  if (queue->inflight_batches >= config_.per_site_max_inflight) return;
+  ready_.push_back(site);
+  queue->in_ready_list = true;
+  work_ready_.notify_one();
+}
+
+void ExtractionService::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const std::string site = std::move(ready_.front());
+    ready_.pop_front();
+    auto it = queues_.find(site);
+    if (it == queues_.end()) continue;
+    SiteQueue& queue = it->second;
+    queue.in_ready_list = false;
+    if (queue.pending.empty()) continue;
+
+    const size_t n = std::min(config_.max_batch, queue.pending.size());
+    std::vector<PendingRequest> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue.pending.front()));
+      queue.pending.pop_front();
+    }
+    total_pending_ -= n;
+    ++queue.inflight_batches;
+    // Leftover work re-arms the site immediately (up to the inflight cap),
+    // so another worker can run the next batch concurrently.
+    MaybeReadyLocked(site, &queue);
+
+    lock.unlock();
+    ProcessBatch(site, std::move(batch));
+    lock.lock();
+
+    auto post = queues_.find(site);
+    if (post != queues_.end()) {
+      --post->second.inflight_batches;
+      if (post->second.pending.empty() &&
+          post->second.inflight_batches == 0 &&
+          !post->second.in_ready_list) {
+        queues_.erase(post);
+      } else {
+        MaybeReadyLocked(site, &post->second);
+      }
+    }
+  }
+}
+
+void ExtractionService::ProcessBatch(const std::string& site,
+                                     std::vector<PendingRequest> batch) {
+  struct LiveRequest {
+    PendingRequest pending;
+    std::chrono::microseconds queue_wait{0};
+    std::chrono::microseconds parse_time{0};
+    DomDocument doc;
+  };
+  // Promises are fulfilled only at the very end, AFTER the stats update: a
+  // caller woken by future.get() must never observe counters that do not
+  // yet include its own request.
+  std::vector<std::promise<ServeResult>> promises;
+  std::vector<ServeResult> outcomes;
+  promises.reserve(batch.size());
+  outcomes.reserve(batch.size());
+  auto resolve = [&](std::promise<ServeResult> promise, ServeResult result) {
+    promises.push_back(std::move(promise));
+    outcomes.push_back(std::move(result));
+  };
+
+  int64_t timed_out = 0;
+  int64_t parse_failed = 0;
+  int64_t model_load_failed = 0;
+  int64_t completed = 0;
+  int64_t total_extractions = 0;
+  bool batch_ran = false;
+
+  std::vector<LiveRequest> live;
+  live.reserve(batch.size());
+  const Clock::time_point picked_up = Clock::now();
+  for (PendingRequest& pending : batch) {
+    const std::chrono::microseconds wait =
+        Since(pending.enqueued, picked_up);
+    if (pending.request.deadline.expired()) {
+      ServeResult result = ShedResult(pending.request.deadline.Check("queue"),
+                                      ShedCause::kTimedOutInQueue);
+      result.diagnostics.queue_wait = wait;
+      resolve(std::move(pending.promise), std::move(result));
+      ++timed_out;
+      continue;
+    }
+    LiveRequest request;
+    request.pending = std::move(pending);
+    request.queue_wait = wait;
+    live.push_back(std::move(request));
+  }
+
+  if (!live.empty()) {
+    // One model fetch covers the whole batch — this is where
+    // micro-batching pays: the registry lookup (or cold load) amortizes
+    // across `live`.
+    bool cache_hit = false;
+    Result<std::shared_ptr<const SiteModel>> model_or =
+        registry_->Get(site, &cache_hit);
+    if (!model_or.ok()) {
+      model_load_failed = static_cast<int64_t>(live.size());
+      for (LiveRequest& request : live) {
+        ServeResult result =
+            ShedResult(model_or.status(), ShedCause::kModelLoadFailed);
+        result.diagnostics.queue_wait = request.queue_wait;
+        result.diagnostics.batch_size = static_cast<int>(live.size());
+        resolve(std::move(request.pending.promise), std::move(result));
+      }
+      live.clear();
+    } else {
+      const std::shared_ptr<const SiteModel>& model = model_or.value();
+
+      // Parse each page; a broken page fails its own request only.
+      std::vector<LiveRequest> parsed;
+      parsed.reserve(live.size());
+      for (LiveRequest& request : live) {
+        const Clock::time_point parse_start = Clock::now();
+        Result<DomDocument> doc =
+            ParseHtml(request.pending.request.html, config_.parse);
+        request.parse_time = Since(parse_start, Clock::now());
+        if (!doc.ok()) {
+          ServeResult result = ShedResult(
+              PrependContext(doc.status(),
+                             StrCat("parsing ", request.pending.request.url)),
+              ShedCause::kParseFailed);
+          result.diagnostics.queue_wait = request.queue_wait;
+          result.diagnostics.parse_time = request.parse_time;
+          result.diagnostics.model_version = model->version;
+          result.diagnostics.model_cache_hit = cache_hit;
+          resolve(std::move(request.pending.promise), std::move(result));
+          ++parse_failed;
+          continue;
+        }
+        request.doc = std::move(doc).value();
+        parsed.push_back(std::move(request));
+      }
+
+      if (!parsed.empty()) {
+        std::vector<const DomDocument*> pages;
+        std::vector<PageIndex> page_indices;
+        pages.reserve(parsed.size());
+        page_indices.reserve(parsed.size());
+        for (size_t i = 0; i < parsed.size(); ++i) {
+          pages.push_back(&parsed[i].doc);
+          page_indices.push_back(static_cast<PageIndex>(i));
+        }
+
+        // The frozen feature map makes this a read-only pass over the
+        // shared model; ExtractFromPages only takes TrainedModel* for the
+        // (unused here) training-time interning path.
+        const Clock::time_point inference_start = Clock::now();
+        std::vector<Extraction> extractions = ExtractFromPages(
+            pages, page_indices,
+            const_cast<TrainedModel*>(&model->model), model->featurizer,
+            config_.extraction);
+        const std::chrono::microseconds inference_time =
+            Since(inference_start, Clock::now());
+
+        std::vector<std::vector<Extraction>> per_request(parsed.size());
+        for (Extraction& extraction : extractions) {
+          const size_t index = static_cast<size_t>(extraction.page);
+          extraction.page = 0;  // each request carries exactly one page
+          per_request[index].push_back(std::move(extraction));
+        }
+
+        batch_ran = true;
+        completed = static_cast<int64_t>(parsed.size());
+        for (size_t i = 0; i < parsed.size(); ++i) {
+          ServeResult result;
+          result.status = Status::Ok();
+          result.triples = std::move(per_request[i]);
+          total_extractions += static_cast<int64_t>(result.triples.size());
+          result.diagnostics.queue_wait = parsed[i].queue_wait;
+          result.diagnostics.parse_time = parsed[i].parse_time;
+          result.diagnostics.inference_time = inference_time;
+          result.diagnostics.batch_size = static_cast<int>(parsed.size());
+          result.diagnostics.model_cache_hit = cache_hit;
+          result.diagnostics.model_version = model->version;
+          resolve(std::move(parsed[i].pending.promise), std::move(result));
+        }
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.shed[static_cast<int>(ShedCause::kTimedOutInQueue)] += timed_out;
+    stats_.shed[static_cast<int>(ShedCause::kParseFailed)] += parse_failed;
+    stats_.shed[static_cast<int>(ShedCause::kModelLoadFailed)] +=
+        model_load_failed;
+    stats_.completed += completed;
+    stats_.extractions += total_extractions;
+    if (batch_ran) {
+      ++stats_.batches;
+      stats_.batched_requests += completed;
+    }
+  }
+  for (size_t i = 0; i < promises.size(); ++i) {
+    promises[i].set_value(std::move(outcomes[i]));
+  }
+}
+
+ServiceStats ExtractionService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace ceres::serve

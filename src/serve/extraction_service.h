@@ -1,0 +1,147 @@
+#ifndef CERES_SERVE_EXTRACTION_SERVICE_H_
+#define CERES_SERVE_EXTRACTION_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/extractor.h"
+#include "dom/html_parser.h"
+#include "serve/model_registry.h"
+#include "serve/serve_diagnostics.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace ceres::serve {
+
+/// One extraction request: a crawled page of a known site, plus the
+/// caller's cooperative deadline (default: none). The site name selects
+/// the per-site model in the registry.
+struct ServeRequest {
+  std::string site;
+  std::string html;
+  std::string url;
+  Deadline deadline;
+};
+
+/// The outcome of one request. `status` is OK when extraction ran (even if
+/// it produced zero triples); shed / failed requests carry the typed error
+/// and `diagnostics.shed_cause` says which admission or execution gate
+/// rejected them.
+struct ServeResult {
+  Status status;
+  std::vector<Extraction> triples;
+  ServeDiagnostics diagnostics;
+};
+
+struct ExtractionServiceConfig {
+  /// Worker threads applying models (0 = hardware concurrency).
+  int worker_threads = 8;
+  /// Global pending-request bound; submissions beyond it are shed with
+  /// kResourceExhausted (admission control, never an unbounded queue).
+  size_t max_queue = 1024;
+  /// Most requests drained into one model application batch.
+  size_t max_batch = 16;
+  /// Concurrent batches per site. Caps how much of the worker pool one
+  /// hot site can own, so a traffic spike on one site cannot starve the
+  /// rest (per-site fairness under load).
+  int per_site_max_inflight = 2;
+  HtmlParseOptions parse;
+  ExtractionConfig extraction;
+};
+
+/// A long-running online extraction service over a ModelRegistry.
+///
+/// Submit(request) admits the request (bounded queue, pre-expired-deadline
+/// shedding), enqueues it on its site's micro-batch queue, and returns a
+/// future. Worker threads — a pool fanned out over util/parallel.h's
+/// ParallelFor — repeatedly claim the site whose queue became ready first,
+/// drain up to `max_batch` requests, load the site model through the warm
+/// registry, parse the batch's pages, run one batched model application,
+/// and fulfil the futures with triples + per-request ServeDiagnostics
+/// (queue wait, parse time, inference time, shed causes).
+///
+/// Failure containment mirrors the offline pipeline's graceful
+/// degradation: a model-load failure sheds only that site's batch with a
+/// typed kModelLoadFailed diagnostic; an unparseable page fails only its
+/// own request (kParseFailed); deadline expiry in the queue sheds only the
+/// expired requests. The service itself never crashes on bad input.
+///
+/// Submit is valid before Start(): requests queue up and run once workers
+/// exist (tests use this for deterministic batching). Stop() sheds
+/// anything still queued with kShutdown and joins the pool; the destructor
+/// calls Stop().
+class ExtractionService {
+ public:
+  explicit ExtractionService(ModelRegistry* registry,
+                             ExtractionServiceConfig config = {});
+  ~ExtractionService();
+
+  ExtractionService(const ExtractionService&) = delete;
+  ExtractionService& operator=(const ExtractionService&) = delete;
+
+  /// Spawns the worker pool. Fails on a second Start or after Stop.
+  Status Start();
+
+  /// Stops accepting work, sheds queued requests, joins workers. Safe to
+  /// call twice.
+  void Stop();
+
+  /// Admission-controlled enqueue. The returned future is always valid;
+  /// shed requests resolve immediately with the typed reason.
+  std::future<ServeResult> Submit(ServeRequest request);
+
+  ServiceStats stats() const;
+  const ExtractionServiceConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PendingRequest {
+    ServeRequest request;
+    std::promise<ServeResult> promise;
+    Clock::time_point enqueued;
+  };
+
+  struct SiteQueue {
+    std::deque<PendingRequest> pending;
+    int inflight_batches = 0;
+    bool in_ready_list = false;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(const std::string& site,
+                    std::vector<PendingRequest> batch);
+  /// Marks `site` ready if it has work and spare inflight slots. Caller
+  /// holds mu_.
+  void MaybeReadyLocked(const std::string& site, SiteQueue* queue);
+  static ServeResult ShedResult(Status status, ShedCause cause);
+
+  ModelRegistry* const registry_;
+  const ExtractionServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::unordered_map<std::string, SiteQueue> queues_;
+  /// Sites with drainable work, FIFO across sites.
+  std::deque<std::string> ready_;
+  size_t total_pending_ = 0;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread pool_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+};
+
+}  // namespace ceres::serve
+
+#endif  // CERES_SERVE_EXTRACTION_SERVICE_H_

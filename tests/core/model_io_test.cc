@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
@@ -127,6 +129,93 @@ TEST_F(ModelIoTest, LoadRejectsCorruptedInput) {
   std::string corrupted = original.substr(0, pos + 1) + "9" +
                           original.substr(pos + 1);
   EXPECT_EQ(load(corrupted), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, TruncatedFileIsRejectedNotSilentlyEmpty) {
+  std::ostringstream out;
+  ASSERT_TRUE(SaveModel(*model_, kb_.kb.ontology(), &out).ok());
+  const std::string full = out.str();
+
+  auto load = [&](const std::string& text) {
+    std::istringstream in(text);
+    return LoadModel(&in, kb_.kb.ontology()).status();
+  };
+  ASSERT_TRUE(load(full).ok());
+
+  // A transfer cut off at any section boundary must fail loudly. Before the
+  // #end trailer existed, cutting just above #weights produced a "valid"
+  // model whose every weight was zero.
+  for (const char* marker : {"#classes", "#features", "#weights", "#end"}) {
+    size_t pos = full.find(marker);
+    ASSERT_NE(pos, std::string::npos) << marker;
+    Status status = load(full.substr(0, pos));
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << "cut before " << marker << ": " << status.ToString();
+  }
+  // Mid-line byte truncation inside the weights section.
+  Status status = load(full.substr(0, full.size() - 8));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // Garbage appended after the end marker.
+  EXPECT_EQ(load(full + "0\t0\t1.0\n").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, VersionedStoreSavesLoadsAndAdvancesCurrent) {
+  const std::string root = ::testing::TempDir() + "/model_store";
+  std::filesystem::remove_all(root);  // version numbers restart at 1
+  const std::string site = "films.example";
+
+  Result<int64_t> v1 = SaveModelVersion(root, site, *model_,
+                                        kb_.kb.ontology());
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(*v1, 1);
+  Result<int64_t> v2 = SaveModelVersion(root, site, *model_,
+                                        kb_.kb.ontology());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2);
+
+  Result<std::vector<int64_t>> versions = ListModelVersions(root, site);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(*versions, (std::vector<int64_t>{1, 2}));
+
+  int64_t loaded_version = -1;
+  Result<TrainedModel> latest =
+      LoadLatestModel(root, site, kb_.kb.ontology(), &loaded_version);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(loaded_version, 2);
+  EXPECT_EQ(latest->features.size(), model_->features.size());
+  EXPECT_TRUE(LoadModelVersion(root, site, 1, kb_.kb.ontology()).ok());
+
+  EXPECT_EQ(LatestModelVersion(root, "unknown.example").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ModelIoTest, VersionedStoreSurvivesLostCurrentAndRejectsCorruption) {
+  const std::string root = ::testing::TempDir() + "/model_store_corrupt";
+  std::filesystem::remove_all(root);  // version numbers restart at 1
+  const std::string site = "films.example";
+  ASSERT_TRUE(SaveModelVersion(root, site, *model_, kb_.kb.ontology()).ok());
+  ASSERT_TRUE(SaveModelVersion(root, site, *model_, kb_.kb.ontology()).ok());
+
+  // A crashed publish can lose CURRENT; the newest snapshot still wins.
+  std::filesystem::remove(std::filesystem::path(root) / site / "CURRENT");
+  Result<int64_t> latest = LatestModelVersion(root, site);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 2);
+
+  // Truncate the current snapshot on disk: the load must fail typed, not
+  // hand back an empty model.
+  const std::string path = ModelVersionPath(root, site, 2);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  std::ofstream out(path, std::ios::trunc);
+  out << bytes.substr(0, bytes.size() / 2);
+  out.close();
+  Result<TrainedModel> loaded =
+      LoadLatestModel(root, site, kb_.kb.ontology());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(ModelIoTest, SaveRequiresTrainedModel) {

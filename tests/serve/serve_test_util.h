@@ -1,0 +1,61 @@
+#ifndef CERES_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define CERES_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/entity_matcher.h"
+#include "core/relation_annotator.h"
+#include "core/topic_identification.h"
+#include "core/training.h"
+#include "testing/fixtures.h"
+
+namespace ceres::testing {
+
+/// Trains the tiny two-page film extractor used across the serve tests —
+/// the same distant-supervision path as ModelIoTest, packaged so registry
+/// and service tests can mint models (and model files) on demand.
+struct TrainedFilmSite {
+  TrainedFilmSite() {
+    docs.push_back(ParseOrDie(FilmPageHtml(
+        "Do the Right Thing", "Spike Lee", "Spike Lee",
+        {"Spike Lee", "Danny Aiello", "John Turturro"},
+        {"Comedy", "Dramedy"})));
+    docs.push_back(ParseOrDie(FilmPageHtml(
+        "Crooklyn", "Spike Lee", "Nobody", {"Zelda Harris"}, {"Comedy"})));
+    for (const DomDocument& doc : docs) ptrs.push_back(&doc);
+    std::vector<PageMentions> mentions;
+    for (const DomDocument* doc : ptrs) {
+      mentions.push_back(MatchPageMentions(*doc, kb.kb));
+    }
+    TopicConfig topic_config;
+    topic_config.min_annotations_per_page = 2;
+    topic_config.common_string_min_count = 100;
+    TopicResult topics = IdentifyTopics(ptrs, mentions, kb.kb, topic_config);
+    AnnotationResult annotations =
+        AnnotateRelations(ptrs, mentions, topics, kb.kb, {});
+    featurizer = std::make_unique<FeatureExtractor>(ptrs, FeatureConfig{});
+    model = std::make_unique<TrainedModel>(
+        std::move(TrainExtractor(ptrs, annotations.annotations, *featurizer,
+                                 kb.kb.ontology(), {}))
+            .value());
+  }
+
+  /// A detail page the model has never seen, in the site's template.
+  static std::string UnseenPageHtml(int variant = 0) {
+    return FilmPageHtml("Fresh Film " + std::to_string(variant),
+                        "New Director", "New Writer",
+                        {"Actor A", "Actor B"}, {"Dramedy"});
+  }
+
+  TinyMovieKb kb;
+  std::vector<DomDocument> docs;
+  std::vector<const DomDocument*> ptrs;
+  std::unique_ptr<FeatureExtractor> featurizer;
+  std::unique_ptr<TrainedModel> model;
+};
+
+}  // namespace ceres::testing
+
+#endif  // CERES_TESTS_SERVE_SERVE_TEST_UTIL_H_

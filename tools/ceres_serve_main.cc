@@ -1,0 +1,390 @@
+// ceres_serve — replay a synthetic crawl through the online extraction
+// service.
+//
+// Builds an SWDE-style movie corpus, trains a per-site extractor offline
+// (the regular CERES pipeline), publishes each model into a versioned
+// on-disk store, then replays the held-out half of every site's crawl as
+// a concurrent request stream against ExtractionService. Mid-stream it
+// retrains and hot-swaps one site's model to exercise the live-update
+// path, and it sprinkles requests for a site that was never published to
+// show typed load-shedding.
+//
+// Prints per-run QPS, p50/p95/p99 end-to-end latency, shed accounting,
+// and registry cache counters, then verifies the serving invariants:
+//
+//   * every submitted request resolves, and service accounting is exact
+//     (completed + shed == submitted);
+//   * every failure carries a typed shed cause — nothing fails silently;
+//   * requests for the unpublished site shed as kModelLoadFailed with
+//     kNotFound, and never poison other sites' traffic;
+//   * the mid-stream hot-swap is observed: responses for the swapped site
+//     eventually carry the new model version, with zero dropped requests;
+//   * the warm cache works: after the cold loads, hits dominate.
+//
+// Exit status 0 when every invariant holds, 1 otherwise.
+//
+// Usage:
+//   ceres_serve [--sites 3] [--threads 8] [--clients 16] [--repeat 3]
+//               [--scale 0.25] [--seed 100] [--store DIR] [--verbose]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dom/html_parser.h"
+#include "serve/extraction_service.h"
+#include "serve/model_registry.h"
+#include "synth/corpora.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace ceres;  // NOLINT(build/namespaces)
+
+struct Options {
+  size_t sites = 3;
+  int threads = 8;
+  int clients = 16;
+  int repeat = 3;
+  double scale = 0.25;
+  uint64_t seed = 100;
+  std::string store;
+  bool verbose = false;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: ceres_serve [--sites N] [--threads N] [--clients N]\n"
+               "  [--repeat N] [--scale X] [--seed N] [--store DIR]\n"
+               "  [--verbose]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--sites" && next(&value)) {
+      options->sites =
+          static_cast<size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--threads" && next(&value)) {
+      options->threads =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (arg == "--clients" && next(&value)) {
+      options->clients =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (arg == "--repeat" && next(&value)) {
+      options->repeat =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (arg == "--scale" && next(&value)) {
+      options->scale = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--seed" && next(&value)) {
+      options->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--store" && next(&value)) {
+      options->store = value;
+    } else if (arg == "--verbose") {
+      options->verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return options->sites >= 1 && options->threads >= 1 &&
+         options->clients >= 1 && options->repeat >= 1;
+}
+
+int g_violations = 0;
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", what);
+    ++g_violations;
+  }
+}
+
+int64_t Percentile(std::vector<int64_t>* sorted_micros, double p) {
+  if (sorted_micros->empty()) return 0;
+  const size_t index = std::min(
+      sorted_micros->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_micros->size())));
+  return (*sorted_micros)[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+  if (options.verbose) SetLogLevel(LogLevel::kInfo);
+  if (options.store.empty()) {
+    options.store = (std::filesystem::temp_directory_path() /
+                     "ceres_serve_store").string();
+    std::filesystem::remove_all(options.store);
+  }
+
+  // --- Offline: train one extractor per site and publish it. -------------
+  synth::Corpus corpus =
+      synth::MakeSwdeCorpus(synth::SwdeVertical::kMovie, options.scale,
+                            options.seed);
+  const size_t num_sites = std::min(options.sites, corpus.sites.size());
+
+  serve::ModelRegistryConfig registry_config;
+  registry_config.root_dir = options.store;
+  serve::ModelRegistry registry(corpus.seed_kb.ontology(), registry_config);
+
+  struct ReplaySite {
+    std::string name;
+    std::vector<const synth::GeneratedPage*> eval_pages;
+  };
+  std::vector<ReplaySite> replay;
+  TrainedModel swap_model;  // retrain source for the mid-stream hot-swap
+  for (size_t s = 0; s < num_sites; ++s) {
+    const synth::SyntheticSite& site = corpus.sites[s];
+    std::vector<DomDocument> pages;
+    for (const synth::GeneratedPage& page : site.pages) {
+      Result<DomDocument> doc = ParseHtml(page.html);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "generator produced unparseable page: %s\n",
+                     doc.status().ToString().c_str());
+        return 1;
+      }
+      pages.push_back(std::move(doc).value());
+    }
+    // The paper's 50/50 protocol: even pages train, odd pages are the
+    // held-out crawl we replay against the service.
+    PipelineConfig config;
+    for (size_t i = 0; i < pages.size(); i += 2) {
+      config.annotation_pages.push_back(static_cast<PageIndex>(i));
+    }
+    config.extraction_pages = config.annotation_pages;  // skip eval work
+    Result<PipelineResult> trained = RunPipeline(pages, corpus.seed_kb,
+                                                 config);
+    if (!trained.ok() || trained->models.empty()) {
+      std::fprintf(stderr, "site %s: training produced no model (%s)\n",
+                   site.name.c_str(),
+                   trained.ok() ? "no clusters survived"
+                                : trained.status().ToString().c_str());
+      continue;
+    }
+    const TrainedModel& model = trained->models.front().model;
+    Result<int64_t> version = registry.Publish(site.name, model);
+    if (!version.ok()) {
+      std::fprintf(stderr, "site %s: publish failed: %s\n",
+                   site.name.c_str(), version.status().ToString().c_str());
+      return 1;
+    }
+    if (replay.empty()) swap_model = model;
+    ReplaySite entry;
+    entry.name = site.name;
+    for (size_t i = 1; i < site.pages.size(); i += 2) {
+      entry.eval_pages.push_back(&site.pages[i]);
+    }
+    std::fprintf(stderr, "site %-24s model v%lld published (%zu eval pages)\n",
+                 site.name.c_str(), static_cast<long long>(*version),
+                 entry.eval_pages.size());
+    replay.push_back(std::move(entry));
+  }
+  if (replay.empty()) {
+    std::fprintf(stderr, "no site trained a model; nothing to serve\n");
+    return 1;
+  }
+
+  // --- Build the request stream: interleave sites, repeat the crawl. -----
+  struct ReplayRequest {
+    const ReplaySite* site;
+    const synth::GeneratedPage* page;
+    bool unknown_site = false;
+  };
+  std::vector<ReplayRequest> stream;
+  size_t max_pages = 0;
+  for (const ReplaySite& site : replay) {
+    max_pages = std::max(max_pages, site.eval_pages.size());
+  }
+  for (int r = 0; r < options.repeat; ++r) {
+    for (size_t i = 0; i < max_pages; ++i) {
+      for (const ReplaySite& site : replay) {
+        if (i < site.eval_pages.size()) {
+          stream.push_back(ReplayRequest{&site, site.eval_pages[i], false});
+        }
+      }
+      // Every 16th slot asks for a site nobody ever published.
+      if (i % 16 == 0) {
+        stream.push_back(
+            ReplayRequest{&replay.front(), replay.front().eval_pages[0],
+                          true});
+      }
+    }
+  }
+
+  serve::ExtractionServiceConfig service_config;
+  service_config.worker_threads = options.threads;
+  service_config.max_queue = stream.size() + 1;
+  serve::ExtractionService service(&registry, service_config);
+  Status started = service.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "replaying %zu requests over %zu sites "
+               "(%d workers, %d closed-loop clients)\n",
+               stream.size(), replay.size(), options.threads,
+               options.clients);
+
+  // --- Replay: closed-loop clients, mid-stream hot-swap. -----------------
+  const std::string swap_site = replay.front().name;
+  std::atomic<size_t> next_request{0};
+  std::atomic<size_t> resolved{0};
+  std::atomic<int64_t> ok_count{0};
+  std::atomic<int64_t> typed_shed_count{0};
+  std::atomic<int64_t> untyped_failures{0};
+  std::atomic<int64_t> unknown_ok{0};
+  std::atomic<int64_t> swapped_version_seen{0};
+  std::atomic<bool> swap_published{false};
+  std::atomic<size_t> unresolved_at_swap{0};
+  std::vector<std::vector<int64_t>> latencies(
+      static_cast<size_t>(options.clients));
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (;;) {
+        const size_t index = next_request.fetch_add(1);
+        if (index >= stream.size()) return;
+        const ReplayRequest& replay_request = stream[index];
+        serve::ServeRequest request;
+        request.site = replay_request.unknown_site ? "unpublished.example"
+                                                   : replay_request.site->name;
+        request.html = replay_request.page->html;
+        request.url = replay_request.page->url;
+        const Clock::time_point start = Clock::now();
+        serve::ServeResult result = service.Submit(std::move(request)).get();
+        latencies[static_cast<size_t>(c)].push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - start)
+                .count());
+        resolved.fetch_add(1);
+        if (result.status.ok()) {
+          ok_count.fetch_add(1);
+          if (replay_request.unknown_site) unknown_ok.fetch_add(1);
+          if (!replay_request.unknown_site &&
+              replay_request.site->name == swap_site &&
+              result.diagnostics.model_version >= 2) {
+            swapped_version_seen.fetch_add(1);
+          }
+        } else if (result.diagnostics.shed_cause !=
+                   serve::ShedCause::kNone) {
+          typed_shed_count.fetch_add(1);
+          if (replay_request.unknown_site) {
+            if (result.status.code() != StatusCode::kNotFound) {
+              untyped_failures.fetch_add(1);
+            }
+          }
+        } else {
+          untyped_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // The hot-swap: once half the stream resolved, retrain-and-publish the
+  // first site. In-flight extractions finish on v1; later ones see v2.
+  std::thread swapper([&] {
+    while (resolved.load() < stream.size() / 2) {
+      if (next_request.load() >= stream.size()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Result<int64_t> version = registry.Publish(swap_site, swap_model);
+    if (version.ok()) {
+      unresolved_at_swap.store(stream.size() - resolved.load());
+      swap_published.store(true);
+      std::fprintf(stderr, "hot-swapped %s to v%lld mid-stream\n",
+                   swap_site.c_str(), static_cast<long long>(*version));
+    }
+  });
+  for (std::thread& client : clients) client.join();
+  swapper.join();
+  const double wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          Clock::now() - t0)
+          .count();
+  service.Stop();
+
+  // --- Report. -----------------------------------------------------------
+  std::vector<int64_t> all_latencies;
+  for (const std::vector<int64_t>& client_latencies : latencies) {
+    all_latencies.insert(all_latencies.end(), client_latencies.begin(),
+                         client_latencies.end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const serve::ServiceStats stats = service.stats();
+  const serve::RegistryStats registry_stats = registry.stats();
+
+  std::printf("requests   %zu\n", stream.size());
+  std::printf("wall       %.3f s\n", wall_seconds);
+  std::printf("qps        %.1f\n",
+              static_cast<double>(stream.size()) / wall_seconds);
+  std::printf("latency    p50 %lld us   p95 %lld us   p99 %lld us\n",
+              static_cast<long long>(Percentile(&all_latencies, 0.50)),
+              static_cast<long long>(Percentile(&all_latencies, 0.95)),
+              static_cast<long long>(Percentile(&all_latencies, 0.99)));
+  std::printf("ok         %lld\n",
+              static_cast<long long>(ok_count.load()));
+  std::fputs(stats.Summary().c_str(), stdout);
+  std::printf("registry   hits %lld  misses %lld  loads %lld  "
+              "hot_swaps %lld  evictions %lld\n",
+              static_cast<long long>(registry_stats.hits),
+              static_cast<long long>(registry_stats.misses),
+              static_cast<long long>(registry_stats.loads),
+              static_cast<long long>(registry_stats.hot_swaps),
+              static_cast<long long>(registry_stats.evictions));
+
+  // --- Invariants. -------------------------------------------------------
+  Require(resolved.load() == stream.size(), "every request resolves");
+  Require(stats.completed + stats.total_shed() ==
+              static_cast<int64_t>(stream.size()),
+          "service accounting is exact (completed + shed == submitted)");
+  Require(untyped_failures.load() == 0,
+          "every failure carries a typed shed cause");
+  Require(unknown_ok.load() == 0,
+          "the unpublished site never serves a model");
+  Require(stats.shed[static_cast<int>(
+              serve::ShedCause::kModelLoadFailed)] > 0,
+          "unpublished-site requests shed as kModelLoadFailed");
+  Require(ok_count.load() == stats.completed,
+          "client-observed successes match service accounting");
+  Require(swap_published.load(), "the mid-stream hot-swap published");
+  // Only assert v2 sightings if a meaningful tail of traffic remained
+  // when the swap landed (tiny streams can drain before the publish).
+  if (swap_published.load() &&
+      unresolved_at_swap.load() > replay.size() * 4) {
+    Require(swapped_version_seen.load() > 0,
+            "post-swap responses carry the new model version");
+  }
+  Require(registry_stats.hits > registry_stats.misses,
+          "warm cache dominates after the cold loads");
+
+  if (g_violations > 0) {
+    std::fprintf(stderr, "%d invariant(s) violated\n", g_violations);
+    return 1;
+  }
+  std::fprintf(stderr, "all serving invariants hold\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# tier1.sh — the repo's tier-1 verification gate in one command.
+#
+# Configures and builds the tree, runs the full test suite, then runs the
+# serve and chaos labels explicitly (they cover the online service and the
+# fault-injection paths and must never be skipped by label filters).
+#
+#   tools/tier1.sh                 # regular build in ./build
+#   CERES_SANITIZE=ON tools/tier1.sh   # address+UB sanitized build in
+#                                      # ./build-asan (slower, catches
+#                                      # memory errors on corrupt input)
+#
+# Any extra arguments are passed to every ctest invocation, e.g.
+#   tools/tier1.sh -j4
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+if [ "${CERES_SANITIZE:-}" = "ON" ]; then
+  build_dir="$repo_root/build-asan"
+  sanitize_flags='-DCERES_SANITIZE=address;undefined'
+else
+  build_dir="$repo_root/build"
+  sanitize_flags=''
+fi
+
+echo "== tier1: configure ($build_dir)"
+# shellcheck disable=SC2086  # sanitize_flags is intentionally word-split
+cmake -B "$build_dir" -S "$repo_root" $sanitize_flags
+
+echo "== tier1: build"
+cmake --build "$build_dir" -j
+
+echo "== tier1: full test suite"
+(cd "$build_dir" && ctest --output-on-failure -j "$@")
+
+echo "== tier1: serve label"
+(cd "$build_dir" && ctest --output-on-failure -L serve "$@")
+
+echo "== tier1: chaos label"
+(cd "$build_dir" && ctest --output-on-failure -L chaos "$@")
+
+echo "== tier1: all gates passed"
