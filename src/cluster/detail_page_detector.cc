@@ -54,6 +54,7 @@ DetailPageSignals ComputeDetailPageSignals(
   int64_t total_fields = 0;
   int64_t numeric_fields = 0;
   for (const DomDocument* page : pages) {
+    if (config.deadline.expired()) break;
     std::unordered_set<std::string> on_page;
     for (NodeId id : page->TextFields()) {
       const std::string& raw = page->node(id).text;

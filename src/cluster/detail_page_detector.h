@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dom/dom_tree.h"
+#include "util/deadline.h"
 
 namespace ceres {
 
@@ -34,6 +35,9 @@ struct DetailPageConfig {
   double max_numeric_fraction = 0.45;
   double min_distinct_heading_fraction = 0.6;
   double min_mean_fields = 4.0;
+  /// Cooperative time budget, checked per page while computing signals:
+  /// once expired, the signals are computed from the pages seen so far.
+  Deadline deadline;
 };
 
 /// Computes the cluster signals.

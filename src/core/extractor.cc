@@ -15,6 +15,7 @@ std::vector<Extraction> ExtractFromPages(
   std::vector<Extraction> out;
 
   for (size_t p = 0; p < pages.size(); ++p) {
+    if (config.deadline.expired()) break;
     const DomDocument& doc = *pages[p];
     const PageIndex page = page_indices[p];
     std::vector<NodeId> fields = doc.TextFields();

@@ -7,6 +7,7 @@
 #include "core/training.h"
 #include "core/types.h"
 #include "dom/dom_tree.h"
+#include "util/deadline.h"
 
 namespace ceres {
 
@@ -18,6 +19,9 @@ struct ExtractionConfig {
   /// Minimum NAME probability for accepting a node as the page's topic
   /// name; pages without an accepted name node yield no extractions.
   double name_threshold = 0.5;
+  /// Cooperative time budget, checked at page granularity: once expired,
+  /// remaining pages yield no extractions (partial output, never a hang).
+  Deadline deadline;
 };
 
 /// Applies a trained model to every text field of `pages` (global indices

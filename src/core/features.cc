@@ -44,6 +44,7 @@ FeatureExtractor::FeatureExtractor(
   // ("Director:", "Genres") that anchor text features.
   std::unordered_map<std::string, size_t> page_counts;
   for (const DomDocument* page : pages) {
+    if (config_.deadline.expired()) break;
     std::unordered_set<std::string> on_page;
     for (NodeId id : page->TextFields()) {
       std::string norm = NormalizeText(page->node(id).text);

@@ -8,6 +8,7 @@
 #include "dom/dom_tree.h"
 #include "ml/feature_map.h"
 #include "ml/sparse_vector.h"
+#include "util/deadline.h"
 
 namespace ceres {
 
@@ -27,6 +28,10 @@ struct FeatureConfig {
   size_t max_frequent_strings = 200;
   /// Ancestor levels examined for text features (nearby-node search).
   int text_feature_levels = 3;
+  /// Cooperative time budget for lexicon mining, checked per page: once
+  /// expired, remaining pages contribute no frequent strings (a shallower
+  /// lexicon, never a hang).
+  Deadline deadline;
 };
 
 /// Extracts the classifier features of one DOM node (§4.2).

@@ -32,7 +32,7 @@ ServeResult ExtractionService::ShedResult(Status status, ShedCause cause) {
 }
 
 Status ExtractionService::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return Status::FailedPrecondition("service already started");
   if (stopping_) return Status::FailedPrecondition("service was stopped");
   started_ = true;
@@ -52,10 +52,14 @@ Status ExtractionService::Start() {
 
 void ExtractionService::Stop() {
   std::vector<PendingRequest> orphans;
+  // The pool handle leaves the critical section with us so the join below
+  // never races a concurrent Start writing pool_.
+  std::thread pool;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     accepting_ = false;
     stopping_ = true;
+    pool = std::move(pool_);
     for (auto& [site, queue] : queues_) {
       for (PendingRequest& pending : queue.pending) {
         orphans.push_back(std::move(pending));
@@ -73,24 +77,24 @@ void ExtractionService::Stop() {
         ShedCause::kShutdown));
   }
   if (!orphans.empty()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.shed[static_cast<int>(ShedCause::kShutdown)] +=
         static_cast<int64_t>(orphans.size());
   }
-  if (pool_.joinable()) pool_.join();
+  if (pool.joinable()) pool.join();
 }
 
 std::future<ServeResult> ExtractionService::Submit(ServeRequest request) {
   std::promise<ServeResult> shed_promise;
   std::future<ServeResult> shed_future = shed_promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.submitted;
   }
 
   auto shed = [&](Status status, ShedCause cause) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.shed[static_cast<int>(cause)];
     }
     shed_promise.set_value(ShedResult(std::move(status), cause));
@@ -102,7 +106,7 @@ std::future<ServeResult> ExtractionService::Submit(ServeRequest request) {
                 ShedCause::kDeadlineBeforeAdmission);
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(mu_);
   if (!accepting_) {
     lock.unlock();
     return shed(Status::Cancelled("service is stopped"),
@@ -138,7 +142,7 @@ void ExtractionService::MaybeReadyLocked(const std::string& site,
 }
 
 void ExtractionService::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(mu_);
   for (;;) {
     work_ready_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
     if (ready_.empty()) {
@@ -324,7 +328,7 @@ void ExtractionService::ProcessBatch(const std::string& site,
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.shed[static_cast<int>(ShedCause::kTimedOutInQueue)] += timed_out;
     stats_.shed[static_cast<int>(ShedCause::kParseFailed)] += parse_failed;
     stats_.shed[static_cast<int>(ShedCause::kModelLoadFailed)] +=
@@ -342,7 +346,7 @@ void ExtractionService::ProcessBatch(const std::string& site,
 }
 
 ServiceStats ExtractionService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 

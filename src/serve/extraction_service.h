@@ -2,11 +2,9 @@
 #define CERES_SERVE_EXTRACTION_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -18,6 +16,7 @@
 #include "serve/serve_diagnostics.h"
 #include "util/deadline.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ceres::serve {
 
@@ -116,30 +115,32 @@ class ExtractionService {
     bool in_ready_list = false;
   };
 
-  void WorkerLoop();
-  void ProcessBatch(const std::string& site,
-                    std::vector<PendingRequest> batch);
-  /// Marks `site` ready if it has work and spare inflight slots. Caller
-  /// holds mu_.
-  void MaybeReadyLocked(const std::string& site, SiteQueue* queue);
+  void WorkerLoop() CERES_EXCLUDES(mu_);
+  void ProcessBatch(const std::string& site, std::vector<PendingRequest> batch)
+      CERES_EXCLUDES(mu_);
+  /// Marks `site` ready if it has work and spare inflight slots.
+  void MaybeReadyLocked(const std::string& site, SiteQueue* queue)
+      CERES_REQUIRES(mu_);
   static ServeResult ShedResult(Status status, ShedCause cause);
 
   ModelRegistry* const registry_;
   const ExtractionServiceConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::unordered_map<std::string, SiteQueue> queues_;
+  mutable CheckedMutex mu_{"ExtractionService.mu"};
+  CondVar work_ready_;
+  std::unordered_map<std::string, SiteQueue> queues_ CERES_GUARDED_BY(mu_);
   /// Sites with drainable work, FIFO across sites.
-  std::deque<std::string> ready_;
-  size_t total_pending_ = 0;
-  bool accepting_ = true;
-  bool stopping_ = false;
-  bool started_ = false;
-  std::thread pool_;
+  std::deque<std::string> ready_ CERES_GUARDED_BY(mu_);
+  size_t total_pending_ CERES_GUARDED_BY(mu_) = 0;
+  bool accepting_ CERES_GUARDED_BY(mu_) = true;
+  bool stopping_ CERES_GUARDED_BY(mu_) = false;
+  bool started_ CERES_GUARDED_BY(mu_) = false;
+  /// Launcher thread owning the worker pool; written by Start under mu_,
+  /// joined by Stop after workers have been told to drain.
+  std::thread pool_ CERES_GUARDED_BY(mu_);
 
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;
+  mutable CheckedMutex stats_mu_{"ExtractionService.stats_mu"};
+  ServiceStats stats_ CERES_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace ceres::serve

@@ -46,7 +46,7 @@ Result<std::shared_ptr<const SiteModel>> ModelRegistry::Get(
   if (cache_hit != nullptr) *cache_hit = false;
   std::shared_ptr<InflightLoad> load;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueMutexLock lock(mu_);
     auto it = cache_.find(site);
     if (it != cache_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_position);
@@ -83,7 +83,7 @@ Result<std::shared_ptr<const SiteModel>> ModelRegistry::Get(
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (result.ok()) {
       ++stats_.loads;
       InstallLocked(site, result.value());
@@ -105,14 +105,14 @@ Result<int64_t> ModelRegistry::Publish(const std::string& site,
       SaveModelVersion(config_.root_dir, site, model, ontology_),
       StrCat("publishing model ", site));
   auto site_model = std::make_shared<SiteModel>(site, version, model);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (cache_.count(site) > 0) ++stats_.hot_swaps;
   InstallLocked(site, std::move(site_model));
   return version;
 }
 
 void ModelRegistry::Invalidate(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cache_.find(site);
   if (it == cache_.end()) return;
   stats_.bytes_cached -= it->second.model->bytes;
@@ -122,7 +122,7 @@ void ModelRegistry::Invalidate(const std::string& site) {
 }
 
 RegistryStats ModelRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

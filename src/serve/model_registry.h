@@ -1,11 +1,9 @@
 #ifndef CERES_SERVE_MODEL_REGISTRY_H_
 #define CERES_SERVE_MODEL_REGISTRY_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -14,6 +12,7 @@
 #include "core/training.h"
 #include "kb/ontology.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ceres::serve {
 
@@ -106,7 +105,9 @@ class ModelRegistry {
 
  private:
   struct InflightLoad {
-    std::condition_variable done;
+    /// Signalled (under mu_) when the owning load finishes; fields below
+    /// are guarded by the registry's mu_, not a per-load mutex.
+    CondVar done;
     bool finished = false;
     Result<std::shared_ptr<const SiteModel>> result{
         Status::Internal("load not finished")};
@@ -119,20 +120,22 @@ class ModelRegistry {
   };
 
   /// Inserts (or replaces) `site` -> `model` and evicts LRU entries over
-  /// budget. Caller holds mu_. Never evicts the entry just inserted.
+  /// budget. Never evicts the entry just inserted.
   void InstallLocked(const std::string& site,
-                     std::shared_ptr<const SiteModel> model);
-  void EvictOverBudgetLocked(const std::string& keep);
+                     std::shared_ptr<const SiteModel> model)
+      CERES_REQUIRES(mu_);
+  void EvictOverBudgetLocked(const std::string& keep) CERES_REQUIRES(mu_);
 
   const Ontology ontology_;
   const ModelRegistryConfig config_;
 
-  mutable std::mutex mu_;
+  mutable CheckedMutex mu_{"ModelRegistry.mu"};
   /// Most-recently used at the front.
-  std::list<std::string> lru_;
-  std::unordered_map<std::string, CacheEntry> cache_;
-  std::unordered_map<std::string, std::shared_ptr<InflightLoad>> inflight_;
-  RegistryStats stats_;
+  std::list<std::string> lru_ CERES_GUARDED_BY(mu_);
+  std::unordered_map<std::string, CacheEntry> cache_ CERES_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::shared_ptr<InflightLoad>> inflight_
+      CERES_GUARDED_BY(mu_);
+  RegistryStats stats_ CERES_GUARDED_BY(mu_);
 };
 
 }  // namespace ceres::serve

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ceres {
 
@@ -36,7 +37,7 @@ inline void ParallelFor(size_t n, int threads,
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_exception;
-  std::mutex exception_mutex;
+  CheckedMutex exception_mutex{"ParallelFor.exception_mutex"};
   std::vector<std::thread> workers;
   workers.reserve(worker_count);
   for (size_t w = 0; w < worker_count; ++w) {
@@ -47,7 +48,7 @@ inline void ParallelFor(size_t n, int threads,
         try {
           body(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(exception_mutex);
+          MutexLock lock(exception_mutex);
           if (first_exception == nullptr) {
             first_exception = std::current_exception();
           }

@@ -26,33 +26,37 @@ enum class StatusCode {
 /// Mirrors the absl::Status idiom: functions that can fail return Status (or
 /// Result<T> when they also produce a value); `ok()` must be checked before
 /// using any produced value.
-class Status {
+///
+/// The type is [[nodiscard]]: silently dropping a returned Status is a
+/// compile-time warning (an error under CERES_WERROR) and a ceres_lint
+/// diagnostic. Discard deliberately with `(void)Expr();`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
 
@@ -73,7 +77,7 @@ class Status {
 /// Either holds a value of type T (status().ok() is true) or an error Status.
 /// Accessing value() when not ok() aborts the process.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value; the common success path.
   Result(T value)  // NOLINT(google-explicit-constructor)
@@ -113,7 +117,7 @@ class Result {
 /// Returns `status` unchanged when OK; otherwise prepends "context: " to its
 /// message, preserving the code. Use to add caller context while an error
 /// propagates ("loading seed.kb: line 7: bad entity id").
-Status PrependContext(Status status, std::string_view context);
+[[nodiscard]] Status PrependContext(Status status, std::string_view context);
 
 namespace internal {
 [[noreturn]] void DieOnBadResultAccess(const Status& status);

@@ -1,0 +1,258 @@
+#include "util/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace ceres {
+
+namespace {
+
+#ifndef CERES_DISABLE_LOCK_ORDER_CHECKS
+
+/// One lock currently held by the calling thread.
+struct HeldLock {
+  uint64_t id = 0;
+  const char* name = "mutex";
+};
+
+/// The held→acquired edges observed so far, process-wide. For every edge
+/// the graph keeps the lock chain that first recorded it, so a violation
+/// report can show the conflicting order's acquisition context, not just
+/// its existence.
+///
+/// All state is guarded by a plain std::mutex: the tracker must not be a
+/// CheckedMutex (it would recurse into itself), and it is only taken on
+/// the first time a thread sees a given edge — steady-state nested locking
+/// is served from the thread-local edge cache.
+class LockOrderGraph {
+ public:
+  static LockOrderGraph& Instance() {
+    static LockOrderGraph* graph = new LockOrderGraph();
+    return *graph;
+  }
+
+  /// Records that `held` (the full chain, innermost last) was held while
+  /// acquiring `acquired`. Reports a violation for the first edge that
+  /// closes a cycle.
+  void RecordAcquisition(const std::vector<HeldLock>& held,
+                         const HeldLock& acquired) {
+    const HeldLock& parent = held.back();
+    std::unique_lock<std::mutex> lock(mu_);
+    auto& out = edges_[parent.id];
+    if (out.count(acquired.id) > 0) return;  // known edge, known acyclic
+    if (ReachableLocked(acquired.id, parent.id)) {
+      LockOrderViolation violation;
+      violation.report = BuildReportLocked(held, acquired);
+      lock.unlock();
+      Report(violation);
+      return;  // a custom handler chose to continue; keep the graph acyclic
+    }
+    out.insert(acquired.id);
+    witnesses_[EdgeKey(parent.id, acquired.id)] =
+        Witness{held, acquired, std::this_thread::get_id()};
+  }
+
+  /// Forgets a destroyed mutex. Its id is never reused, but dropping its
+  /// edges keeps the graph from growing without bound when mutexes churn
+  /// (per-request locals, test fixtures).
+  void ForgetMutex(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    edges_.erase(id);
+    for (auto& [from, out] : edges_) out.erase(id);
+    for (auto it = witnesses_.begin(); it != witnesses_.end();) {
+      if (it->second.acquired.id == id || EdgeFrom(it->first) == id) {
+        it = witnesses_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void SetHandler(std::function<void(const LockOrderViolation&)> handler) {
+    std::lock_guard<std::mutex> lock(mu_);
+    handler_ = std::move(handler);
+  }
+
+ private:
+  struct Witness {
+    std::vector<HeldLock> held;
+    HeldLock acquired;
+    std::thread::id thread;
+  };
+
+  static uint64_t EdgeKey(uint64_t from, uint64_t to) {
+    return (from << 32) | (to & 0xffffffffu);
+  }
+  static uint64_t EdgeFrom(uint64_t key) { return key >> 32; }
+
+  /// Depth-first reachability from `from` to `target` over edges_.
+  bool ReachableLocked(uint64_t from, uint64_t target) const {
+    std::vector<uint64_t> stack{from};
+    std::unordered_set<uint64_t> seen{from};
+    while (!stack.empty()) {
+      const uint64_t node = stack.back();
+      stack.pop_back();
+      if (node == target) return true;
+      auto it = edges_.find(node);
+      if (it == edges_.end()) continue;
+      for (uint64_t next : it->second) {
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+    return false;
+  }
+
+  static void AppendChain(std::ostringstream* out,
+                          const std::vector<HeldLock>& held,
+                          const HeldLock& acquired) {
+    for (const HeldLock& lock : held) {
+      *out << lock.name << "#" << lock.id << " -> ";
+    }
+    *out << "[acquiring] " << acquired.name << "#" << acquired.id;
+  }
+
+  std::string BuildReportLocked(const std::vector<HeldLock>& held,
+                                const HeldLock& acquired) const {
+    std::ostringstream out;
+    out << "ceres: lock-order cycle detected (potential deadlock)\n"
+        << "  this thread holds:     ";
+    AppendChain(&out, held, acquired);
+    out << "\n";
+    // Walk the recorded witnesses for the first edge on a path
+    // acquired -> ... -> held.back(); showing the direct witness of the
+    // opposite order when one exists, else the first outgoing edge of the
+    // about-to-be-acquired lock that reaches us.
+    const Witness* conflicting = nullptr;
+    for (const auto& [key, witness] : witnesses_) {
+      if (EdgeFrom(key) == acquired.id &&
+          (witness.acquired.id == held.back().id ||
+           ReachableLocked(witness.acquired.id, held.back().id))) {
+        conflicting = &witness;
+        break;
+      }
+    }
+    if (conflicting != nullptr) {
+      out << "  conflicting order was: ";
+      AppendChain(&out, conflicting->held, conflicting->acquired);
+      out << "\n  first recorded on thread " << conflicting->thread << "\n";
+    } else {
+      out << "  conflicting order was recorded transitively through other "
+             "locks\n";
+    }
+    return out.str();
+  }
+
+  void Report(const LockOrderViolation& violation) const {
+    std::function<void(const LockOrderViolation&)> handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      handler = handler_;
+    }
+    if (handler) {
+      handler(violation);
+      return;
+    }
+    std::fputs(violation.report.c_str(), stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> edges_;
+  std::unordered_map<uint64_t, Witness> witnesses_;
+  std::function<void(const LockOrderViolation&)> handler_;
+};
+
+/// The calling thread's current CheckedMutex chain, innermost last.
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+/// Edges this thread has already pushed to the global graph; consulting it
+/// keeps steady-state nested locking off the global mutex.
+std::unordered_set<uint64_t>& KnownEdges() {
+  thread_local std::unordered_set<uint64_t> known;
+  return known;
+}
+
+void NoteLocked(uint64_t id, const char* name) {
+  std::vector<HeldLock>& held = HeldStack();
+  const HeldLock acquired{id, name};
+  if (!held.empty()) {
+    const uint64_t key = (held.back().id << 32) | (id & 0xffffffffu);
+    if (KnownEdges().insert(key).second) {
+      LockOrderGraph::Instance().RecordAcquisition(held, acquired);
+    }
+  }
+  held.push_back(acquired);
+}
+
+void NoteUnlocked(uint64_t id) {
+  std::vector<HeldLock>& held = HeldStack();
+  // Unlock order need not be LIFO (unique_lock::unlock mid-scope), so
+  // erase the innermost matching entry.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->id == id) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+#endif  // CERES_DISABLE_LOCK_ORDER_CHECKS
+
+uint64_t NextMutexId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void SetLockOrderViolationHandler(
+    std::function<void(const LockOrderViolation&)> handler) {
+#ifndef CERES_DISABLE_LOCK_ORDER_CHECKS
+  LockOrderGraph::Instance().SetHandler(std::move(handler));
+#else
+  (void)handler;
+#endif
+}
+
+CheckedMutex::CheckedMutex(const char* name) : name_(name), id_(NextMutexId()) {}
+
+CheckedMutex::~CheckedMutex() {
+#ifndef CERES_DISABLE_LOCK_ORDER_CHECKS
+  LockOrderGraph::Instance().ForgetMutex(id_);
+#endif
+}
+
+void CheckedMutex::lock() {
+  mu_.lock();
+#ifndef CERES_DISABLE_LOCK_ORDER_CHECKS
+  NoteLocked(id_, name_);
+#endif
+}
+
+void CheckedMutex::unlock() {
+#ifndef CERES_DISABLE_LOCK_ORDER_CHECKS
+  NoteUnlocked(id_);
+#endif
+  mu_.unlock();
+}
+
+bool CheckedMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+#ifndef CERES_DISABLE_LOCK_ORDER_CHECKS
+  NoteLocked(id_, name_);
+#endif
+  return true;
+}
+
+}  // namespace ceres

@@ -1,0 +1,122 @@
+#ifndef CERES_UTIL_SYNC_H_
+#define CERES_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+/// Thread-safety annotation macros plus a checked mutex for the concurrent
+/// serve path.
+///
+/// The annotation macros (`CERES_GUARDED_BY` et al.) expand to Clang's
+/// thread-safety attributes when the compiler supports them and to nothing
+/// otherwise (g++, the only compiler in the build image, ignores them).
+/// They still pay their way on g++: they are machine-readable documentation
+/// that `tools/ceres_lint` and reviewers can hold the code to, and any
+/// developer with clang gets `-Wthread-safety` for free.
+///
+/// `CheckedMutex` wraps `std::mutex` with a process-wide lock-order graph:
+/// every acquisition taken while other CheckedMutexes are held records a
+/// held→acquired edge, and the first edge that closes a cycle reports both
+/// lock chains and aborts — the deadlock fires on the *potential*, in the
+/// very first run whose interleaving merely proves both orders exist, not
+/// only on the unlucky run that actually hangs. Concurrency code in
+/// `src/serve/` and `src/util/parallel.h` must use these wrappers instead
+/// of naked `std::mutex` / `std::lock_guard` (enforced by `ceres_lint`).
+
+#if defined(__clang__)
+#define CERES_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CERES_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares that the annotated type is a lockable capability.
+#define CERES_CAPABILITY(x) CERES_THREAD_ANNOTATION_(capability(x))
+/// Declares that the annotated field may only be touched with `x` held.
+#define CERES_GUARDED_BY(x) CERES_THREAD_ANNOTATION_(guarded_by(x))
+/// Declares that callers must hold the given capabilities.
+#define CERES_REQUIRES(...) \
+  CERES_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Declares that callers must NOT hold the given capabilities.
+#define CERES_EXCLUDES(...) \
+  CERES_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Function acquires the capability and holds it on return.
+#define CERES_ACQUIRE(...) \
+  CERES_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// Function releases the capability.
+#define CERES_RELEASE(...) \
+  CERES_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// Function acquires the capability when it returns `ret`.
+#define CERES_TRY_ACQUIRE(ret, ...) \
+  CERES_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+/// Opts a function out of the static analysis (init/teardown paths).
+#define CERES_NO_THREAD_SAFETY_ANALYSIS \
+  CERES_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace ceres {
+
+/// A report of one lock-order cycle: the chain this thread held while
+/// acquiring the closing lock, and the previously recorded chain that
+/// established the opposite order.
+struct LockOrderViolation {
+  /// Human-readable multi-line report naming both chains.
+  std::string report;
+};
+
+/// Installs `handler` to receive lock-order violations instead of the
+/// default stderr-print-and-abort. Pass nullptr to restore the default.
+/// Intended for tests that deliberately provoke a cycle; production code
+/// should leave the aborting default in place.
+void SetLockOrderViolationHandler(
+    std::function<void(const LockOrderViolation&)> handler);
+
+/// A std::mutex that participates in process-wide lock-order deadlock
+/// detection. Satisfies Lockable, so it composes with std::lock_guard,
+/// std::unique_lock, and std::condition_variable_any.
+///
+/// Detection cost: lock/unlock of an uncontended-with-others mutex (no
+/// other CheckedMutex held by this thread) is a thread-local vector
+/// push/pop on top of the underlying mutex. Nested acquisitions consult a
+/// thread-local edge cache first and touch the global graph only the first
+/// time this thread observes a given held→acquired pair. Define
+/// CERES_DISABLE_LOCK_ORDER_CHECKS to compile the bookkeeping out.
+class CERES_CAPABILITY("mutex") CheckedMutex {
+ public:
+  /// `name` appears in violation reports; it must outlive the mutex
+  /// (string literals only).
+  explicit CheckedMutex(const char* name = "mutex");
+  ~CheckedMutex();
+
+  CheckedMutex(const CheckedMutex&) = delete;
+  CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+  void lock() CERES_ACQUIRE();
+  void unlock() CERES_RELEASE();
+  bool try_lock() CERES_TRY_ACQUIRE(true);
+
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+  /// Process-unique, never reused; keys the lock-order graph.
+  const uint64_t id_;
+};
+
+/// RAII lock over a CheckedMutex; the drop-in for std::lock_guard in code
+/// covered by the naked-sync lint rule.
+using MutexLock = std::lock_guard<CheckedMutex>;
+
+/// Deferrable/movable lock over a CheckedMutex; pairs with CondVar.
+using UniqueMutexLock = std::unique_lock<CheckedMutex>;
+
+/// Condition variable usable with CheckedMutex. Waiting re-enters the
+/// mutex through CheckedMutex::lock, so the lock-order bookkeeping stays
+/// exact across waits.
+using CondVar = std::condition_variable_any;
+
+}  // namespace ceres
+
+#endif  // CERES_UTIL_SYNC_H_

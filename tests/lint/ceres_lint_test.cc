@@ -1,0 +1,131 @@
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ceres::lint {
+namespace {
+
+#ifndef CERES_LINT_CORPUS_DIR
+#error "CERES_LINT_CORPUS_DIR must point at tools/lint/corpus"
+#endif
+
+std::string ReadCorpus(const std::string& name) {
+  const std::string path = std::string(CERES_LINT_CORPUS_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+/// Lints one corpus snippet under a synthetic path (the path selects the
+/// rule scope: serve scope, test exemption, stage-config scope).
+std::vector<Diagnostic> LintAs(const std::string& corpus_name,
+                               const std::string& synthetic_path) {
+  return Lint({SourceFile{synthetic_path, ReadCorpus(corpus_name)}});
+}
+
+struct KnownBad {
+  const char* corpus;
+  const char* path;
+  const char* rule;
+};
+
+/// Each known-bad snippet must fire its diagnostic exactly once.
+TEST(CeresLintTest, EachKnownBadSnippetFiresExactlyOnce) {
+  const KnownBad cases[] = {
+      {"ignored_status.cc", "src/eval/ignored_status.cc", "ignored-status"},
+      {"naked_mutex.cc", "src/serve/naked_mutex.cc", "naked-sync"},
+      {"missing_deadline.cc", "src/core/missing_deadline.h",
+       "config-deadline"},
+      {"detached_thread.cc", "src/dom/detached_thread.cc", "thread-hygiene"},
+      {"sleep_poll.cc", "src/robustness/sleep_poll.cc", "thread-hygiene"},
+  };
+  for (const KnownBad& known : cases) {
+    SCOPED_TRACE(known.corpus);
+    const std::vector<Diagnostic> diagnostics =
+        LintAs(known.corpus, known.path);
+    ASSERT_EQ(diagnostics.size(), 1u);
+    EXPECT_EQ(diagnostics[0].rule, known.rule);
+    EXPECT_EQ(diagnostics[0].file, known.path);
+    EXPECT_GT(diagnostics[0].line, 0);
+  }
+}
+
+TEST(CeresLintTest, CleanSnippetProducesNoDiagnostics) {
+  // Even under the strictest scope (src/serve/), the clean corpus file —
+  // which uses the checked wrappers, macro-propagated and (void)-discarded
+  // Status, and a suppressed deliberate sleep — must lint clean.
+  EXPECT_TRUE(LintAs("clean.cc", "src/serve/clean.cc").empty());
+}
+
+TEST(CeresLintTest, WholeCorpusTotalsAcrossFiles) {
+  // All snippets linted together as one program: the Status-function pass
+  // is global, and each bad file still reports exactly its one violation.
+  std::vector<SourceFile> files = {
+      {"src/eval/ignored_status.cc", ReadCorpus("ignored_status.cc")},
+      {"src/serve/naked_mutex.cc", ReadCorpus("naked_mutex.cc")},
+      {"src/core/missing_deadline.h", ReadCorpus("missing_deadline.cc")},
+      {"src/dom/detached_thread.cc", ReadCorpus("detached_thread.cc")},
+      {"src/robustness/sleep_poll.cc", ReadCorpus("sleep_poll.cc")},
+      {"src/serve/clean.cc", ReadCorpus("clean.cc")},
+  };
+  EXPECT_EQ(Lint(files).size(), 5u);
+}
+
+TEST(CeresLintTest, ScopeGatesRules) {
+  // The same content outside its rule's scope is silent: naked std::mutex
+  // is allowed off the serve path, sleeps are allowed in tests, and a
+  // Deadline-less Config struct is fine outside src/core + src/cluster.
+  EXPECT_TRUE(LintAs("naked_mutex.cc", "src/kb/naked_mutex.cc").empty());
+  EXPECT_TRUE(
+      LintAs("sleep_poll.cc", "tests/robustness/sleep_poll_test.cc").empty());
+  EXPECT_TRUE(
+      LintAs("missing_deadline.cc", "src/serve/missing_deadline.h").empty());
+}
+
+TEST(CeresLintTest, SuppressionCommentSilencesOneLine) {
+  const std::string content =
+      "namespace ceres {\n"
+      "Status DoWork();\n"
+      "void Caller() {\n"
+      "  DoWork();  // ceres-lint: allow(ignored-status)\n"
+      "  DoWork();\n"
+      "}\n"
+      "}  // namespace ceres\n";
+  const std::vector<Diagnostic> diagnostics =
+      Lint({SourceFile{"src/eval/suppressed.cc", content}});
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].line, 5);
+}
+
+TEST(CeresLintTest, IgnoredStatusSeesCallsThroughReceiverChains) {
+  const std::string content =
+      "namespace ceres {\n"
+      "struct Registry { Status Publish(); };\n"
+      "void Caller(Registry* registry, Registry& ref) {\n"
+      "  registry->Publish();\n"
+      "  ref.Publish();\n"
+      "  Status kept = ref.Publish();\n"
+      "  if (!kept.ok()) return;\n"
+      "}\n"
+      "}  // namespace ceres\n";
+  const std::vector<Diagnostic> diagnostics =
+      Lint({SourceFile{"src/eval/chains.cc", content}});
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].line, 4);
+  EXPECT_EQ(diagnostics[1].line, 5);
+}
+
+TEST(CeresLintTest, FormatIsFileLineRuleMessage) {
+  const Diagnostic diagnostic{"src/a.cc", 12, "naked-sync", "boom"};
+  EXPECT_EQ(FormatDiagnostic(diagnostic), "src/a.cc:12: [naked-sync] boom");
+}
+
+}  // namespace
+}  // namespace ceres::lint

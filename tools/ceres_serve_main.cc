@@ -258,6 +258,15 @@ int main(int argc, char** argv) {
   std::atomic<int64_t> swapped_version_seen{0};
   std::atomic<bool> swap_published{false};
   std::atomic<size_t> unresolved_at_swap{0};
+  // Signaled by whichever client resolves the request that crosses the
+  // half-stream mark; the swapper blocks on it instead of polling.
+  const size_t swap_threshold = stream.size() / 2;
+  std::promise<void> half_resolved;
+  std::future<void> half_resolved_ready = half_resolved.get_future();
+  std::atomic<bool> half_signaled{false};
+  if (swap_threshold == 0 && !half_signaled.exchange(true)) {
+    half_resolved.set_value();
+  }
   std::vector<std::vector<int64_t>> latencies(
       static_cast<size_t>(options.clients));
 
@@ -281,7 +290,10 @@ int main(int argc, char** argv) {
             std::chrono::duration_cast<std::chrono::microseconds>(
                 Clock::now() - start)
                 .count());
-        resolved.fetch_add(1);
+        if (resolved.fetch_add(1) + 1 >= swap_threshold &&
+            !half_signaled.exchange(true)) {
+          half_resolved.set_value();
+        }
         if (result.status.ok()) {
           ok_count.fetch_add(1);
           if (replay_request.unknown_site) unknown_ok.fetch_add(1);
@@ -307,10 +319,7 @@ int main(int argc, char** argv) {
   // The hot-swap: once half the stream resolved, retrain-and-publish the
   // first site. In-flight extractions finish on v1; later ones see v2.
   std::thread swapper([&] {
-    while (resolved.load() < stream.size() / 2) {
-      if (next_request.load() >= stream.size()) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
+    half_resolved_ready.wait();
     Result<int64_t> version = registry.Publish(swap_site, swap_model);
     if (version.ok()) {
       unresolved_at_swap.store(stream.size() - resolved.load());

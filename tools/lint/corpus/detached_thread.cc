@@ -1,0 +1,19 @@
+// Corpus: a detached thread in non-test code. Exactly one thread-hygiene
+// violation; the joined thread is the compliant form.
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include <thread>
+
+namespace ceres {
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();  // BAD: outlives every invariant it captured
+}
+
+void FireAndJoin() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace ceres

@@ -1,0 +1,21 @@
+// Corpus: a Status-returning call used as a bare statement. The linter
+// must flag exactly one ignored-status violation (the bare DoWork() call;
+// the checked and explicitly-discarded calls are fine).
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include "util/status.h"
+
+namespace ceres {
+
+Status DoWork();
+
+void Caller() {
+  DoWork();  // BAD: result silently dropped
+  (void)DoWork();
+  Status checked = DoWork();
+  if (!checked.ok()) {
+    return;
+  }
+}
+
+}  // namespace ceres

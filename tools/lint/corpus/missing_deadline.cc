@@ -1,0 +1,21 @@
+// Corpus: a pipeline-stage config struct without a Deadline member (the
+// test lints this content under a src/core/ path). Exactly one
+// config-deadline violation — RankingConfig; NormalizeConfig carries its
+// deadline and is compliant.
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include "util/deadline.h"
+
+namespace ceres {
+
+struct RankingConfig {  // BAD: stage cannot be interrupted
+  double threshold = 0.5;
+  int max_candidates = 10;
+};
+
+struct NormalizeConfig {
+  bool fold_case = true;
+  Deadline deadline;
+};
+
+}  // namespace ceres

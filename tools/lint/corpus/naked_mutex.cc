@@ -1,0 +1,18 @@
+// Corpus: a naked std::mutex declared in the lock-order-checked scope
+// (the test lints this content under a src/serve/ path). Exactly one
+// naked-sync violation; the CheckedMutex member is the compliant form.
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include <mutex>
+
+#include "util/sync.h"
+
+namespace ceres::serve {
+
+class Cache {
+ private:
+  std::mutex mu_;  // BAD: invisible to the lock-order graph
+  CheckedMutex checked_mu_{"Cache.checked_mu"};
+};
+
+}  // namespace ceres::serve

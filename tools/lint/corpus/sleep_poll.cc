@@ -1,0 +1,19 @@
+// Corpus: sleep_for polling in non-test code. Exactly one thread-hygiene
+// violation on the sleeping loop.
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace ceres {
+
+std::atomic<bool> done{false};
+
+void WaitForDone() {
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // BAD
+  }
+}
+
+}  // namespace ceres

@@ -1,0 +1,483 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ceres::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Tokenizer: comments, string/char literals, and preprocessor lines are
+// stripped (literals survive as placeholder tokens so statement shapes stay
+// intact); `// ceres-lint: allow(<rule>)` comments are recorded per line.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_literal = false;
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  /// line -> rules suppressed on that line ("all" suppresses every rule).
+  std::unordered_map<int, std::unordered_set<std::string>> suppressions;
+};
+
+bool IsIdentStart(char c) {
+  return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+
+bool IsIdent(const Token& token) {
+  return !token.is_literal && !token.text.empty() &&
+         IsIdentStart(token.text[0]);
+}
+
+/// Records `ceres-lint: allow(rule)` found in a comment's text.
+void ParseSuppression(const std::string& comment, int line,
+                      TokenizedFile* out) {
+  static const std::string kMarker = "ceres-lint: allow(";
+  size_t at = comment.find(kMarker);
+  while (at != std::string::npos) {
+    const size_t start = at + kMarker.size();
+    const size_t end = comment.find(')', start);
+    if (end == std::string::npos) break;
+    out->suppressions[line].insert(comment.substr(start, end - start));
+    at = comment.find(kMarker, end);
+  }
+}
+
+TokenizedFile Tokenize(const std::string& content) {
+  TokenizedFile out;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  auto advance_newline = [&]() {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      advance_newline();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip the logical line (with continuations).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          advance_newline();
+          i += 2;
+          continue;
+        }
+        if (content[i] == '\n') {
+          advance_newline();
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && content[i] != '\n') ++i;
+      ParseSuppression(content.substr(start, i - start), line, &out);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const size_t start = i;
+      const int comment_line = line;
+      i += 2;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') advance_newline();
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      ParseSuppression(content.substr(start, i - start), comment_line, &out);
+      continue;
+    }
+    // Identifiers (and raw-string prefixes).
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      const std::string ident = content.substr(i, j - i);
+      static const std::unordered_set<std::string> kRawPrefixes = {
+          "R", "LR", "u8R", "uR", "UR"};
+      if (j < n && content[j] == '"' && kRawPrefixes.count(ident) > 0) {
+        // Raw string literal: R"delim( ... )delim".
+        size_t k = j + 1;
+        std::string delim;
+        while (k < n && content[k] != '(') delim += content[k++];
+        const std::string closer = ")" + delim + "\"";
+        size_t close = content.find(closer, k);
+        if (close == std::string::npos) close = n;
+        for (size_t p = j; p < std::min(close + closer.size(), n); ++p) {
+          if (content[p] == '\n') advance_newline();
+        }
+        out.tokens.push_back(Token{"<str>", line, true});
+        i = std::min(close + closer.size(), n);
+        continue;
+      }
+      out.tokens.push_back(Token{ident, line, false});
+      i = j;
+      continue;
+    }
+    // Numbers (only shape matters; consume alnum + dots + exponent signs).
+    if (c >= '0' && c <= '9') {
+      size_t j = i;
+      while (j < n && (IsIdentChar(content[j]) || content[j] == '.' ||
+                       ((content[j] == '+' || content[j] == '-') && j > i &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back(Token{content.substr(i, j - i), line, false});
+      i = j;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        if (content[j] == '\n') advance_newline();
+        ++j;
+      }
+      out.tokens.push_back(
+          Token{quote == '"' ? "<str>" : "<chr>", line, true});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Two-character punctuators the rules care about.
+    if (i + 1 < n) {
+      const std::string two = content.substr(i, 2);
+      if (two == "::" || two == "->") {
+        out.tokens.push_back(Token{two, line, false});
+        i += 2;
+        continue;
+      }
+    }
+    out.tokens.push_back(Token{std::string(1, c), line, false});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scope classification from the file path.
+// ---------------------------------------------------------------------------
+
+bool PathContains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool EndsWith(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Test code: exempt from thread-hygiene (tests legitimately sleep to widen
+/// race windows and provoke timeouts).
+bool IsTestFile(const std::string& path) {
+  return PathContains(path, "tests/") || EndsWith(path, "_test.cc");
+}
+
+/// The concurrency-critical scope that must use util/sync.h wrappers.
+bool IsCheckedSyncScope(const std::string& path) {
+  if (EndsWith(path, "util/sync.h") || EndsWith(path, "util/sync.cc")) {
+    return false;  // the wrappers themselves wrap std primitives
+  }
+  return PathContains(path, "src/serve/") || EndsWith(path, "util/parallel.h");
+}
+
+/// Pipeline-stage configuration scope for the config-deadline rule.
+bool IsStageConfigScope(const std::string& path) {
+  return PathContains(path, "src/core/") || PathContains(path, "src/cluster/");
+}
+
+bool Suppressed(const TokenizedFile& file, int line, const std::string& rule) {
+  auto it = file.suppressions.find(line);
+  if (it == file.suppressions.end()) return false;
+  return it->second.count(rule) > 0 || it->second.count("all") > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Pass one: mine the names of functions declared to return Status/Result.
+// ---------------------------------------------------------------------------
+
+const std::unordered_set<std::string>& KeywordBlacklist() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "if",     "for",    "while",  "switch", "return", "sizeof",
+      "operator", "new",  "delete", "co_await", "co_return", "throw"};
+  return kKeywords;
+}
+
+void CollectStatusFunctions(const TokenizedFile& file,
+                            std::unordered_set<std::string>* names) {
+  const std::vector<Token>& tokens = file.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].is_literal) continue;
+    const std::string& text = tokens[i].text;
+    if (text != "Status" && text != "Result") continue;
+    size_t j = i + 1;
+    if (text == "Result") {
+      if (j >= tokens.size() || tokens[j].text != "<") continue;
+      int depth = 1;
+      ++j;
+      while (j < tokens.size() && depth > 0) {
+        if (tokens[j].text == "<") ++depth;
+        if (tokens[j].text == ">") --depth;
+        ++j;
+      }
+      if (depth != 0) continue;
+    }
+    // Identifier chain: Name, Class::Name, ns::Class::Name, ...
+    size_t name_at = j;
+    while (name_at + 1 < tokens.size() && IsIdent(tokens[name_at]) &&
+           tokens[name_at + 1].text == "::") {
+      name_at += 2;
+    }
+    if (name_at >= tokens.size() || !IsIdent(tokens[name_at])) continue;
+    if (name_at + 1 >= tokens.size() || tokens[name_at + 1].text != "(") {
+      continue;
+    }
+    const std::string& name = tokens[name_at].text;
+    if (KeywordBlacklist().count(name) > 0) continue;
+    names->insert(name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+void CheckIgnoredStatus(const SourceFile& source, const TokenizedFile& file,
+                        const std::unordered_set<std::string>& status_fns,
+                        std::vector<Diagnostic>* out) {
+  const std::vector<Token>& tokens = file.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsIdent(tokens[i]) || status_fns.count(tokens[i].text) == 0) continue;
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
+    // Walk back over the receiver chain (obj.  obj->  ns::) to find what
+    // precedes the whole call expression.
+    size_t k = i;
+    while (k >= 2 && !tokens[k - 1].is_literal &&
+           (tokens[k - 1].text == "::" || tokens[k - 1].text == "." ||
+            tokens[k - 1].text == "->") &&
+           IsIdent(tokens[k - 2])) {
+      k -= 2;
+    }
+    if (k > 0) {
+      const std::string& before = tokens[k - 1].text;
+      if (before != ";" && before != "{" && before != "}") continue;
+    }
+    // The call must be the entire statement: matching ')' followed by ';'.
+    size_t j = i + 2;
+    int depth = 1;
+    while (j < tokens.size() && depth > 0) {
+      if (!tokens[j].is_literal) {
+        if (tokens[j].text == "(") ++depth;
+        if (tokens[j].text == ")") --depth;
+      }
+      ++j;
+    }
+    if (depth != 0 || j >= tokens.size() || tokens[j].text != ";") continue;
+    const int line = tokens[i].line;
+    if (Suppressed(file, line, "ignored-status")) continue;
+    out->push_back(Diagnostic{
+        source.path, line, "ignored-status",
+        "result of Status/Result-returning call '" + tokens[i].text +
+            "' is ignored; propagate it, handle it, or discard explicitly "
+            "with (void)"});
+  }
+}
+
+void CheckNakedSync(const SourceFile& source, const TokenizedFile& file,
+                    std::vector<Diagnostic>* out) {
+  if (!IsCheckedSyncScope(source.path)) return;
+  static const std::unordered_map<std::string, std::string> kReplacements = {
+      {"mutex", "ceres::CheckedMutex"},
+      {"recursive_mutex", "ceres::CheckedMutex"},
+      {"shared_mutex", "ceres::CheckedMutex"},
+      {"timed_mutex", "ceres::CheckedMutex"},
+      {"lock_guard", "ceres::MutexLock"},
+      {"scoped_lock", "ceres::MutexLock"},
+      {"unique_lock", "ceres::UniqueMutexLock"},
+      {"condition_variable", "ceres::CondVar"},
+      {"condition_variable_any", "ceres::CondVar"},
+  };
+  const std::vector<Token>& tokens = file.tokens;
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].is_literal || tokens[i].text != "std") continue;
+    if (tokens[i + 1].text != "::") continue;
+    auto it = kReplacements.find(tokens[i + 2].text);
+    if (it == kReplacements.end()) continue;
+    const int line = tokens[i].line;
+    if (Suppressed(file, line, "naked-sync")) continue;
+    out->push_back(Diagnostic{
+        source.path, line, "naked-sync",
+        "naked std::" + it->first +
+            " in lock-order-checked scope; use " + it->second +
+            " from util/sync.h"});
+  }
+}
+
+void CheckThreadHygiene(const SourceFile& source, const TokenizedFile& file,
+                        std::vector<Diagnostic>* out) {
+  if (IsTestFile(source.path)) return;
+  const std::vector<Token>& tokens = file.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].is_literal) continue;
+    const std::string& text = tokens[i].text;
+    if (text == "detach" && i > 0 && i + 1 < tokens.size() &&
+        (tokens[i - 1].text == "." || tokens[i - 1].text == "->") &&
+        tokens[i + 1].text == "(") {
+      const int line = tokens[i].line;
+      if (Suppressed(file, line, "thread-hygiene")) continue;
+      out->push_back(Diagnostic{
+          source.path, line, "thread-hygiene",
+          "detached thread in non-test code; detached threads outlive the "
+          "invariants of the objects they capture — keep the handle and "
+          "join"});
+    }
+    if (text == "sleep_for" || text == "sleep_until") {
+      const int line = tokens[i].line;
+      if (Suppressed(file, line, "thread-hygiene")) continue;
+      out->push_back(Diagnostic{
+          source.path, line, "thread-hygiene",
+          text + " polling in non-test code; wait on a condition variable "
+                 "or future instead of sleeping"});
+    }
+  }
+}
+
+void CheckConfigDeadline(const SourceFile& source, const TokenizedFile& file,
+                         std::vector<Diagnostic>* out) {
+  if (!IsStageConfigScope(source.path)) return;
+  const std::vector<Token>& tokens = file.tokens;
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].is_literal || tokens[i].text != "struct") continue;
+    if (!IsIdent(tokens[i + 1]) || !EndsWith(tokens[i + 1].text, "Config")) {
+      continue;
+    }
+    if (tokens[i + 2].text != "{") continue;
+    const int line = tokens[i].line;
+    size_t j = i + 3;
+    int depth = 1;
+    bool has_deadline = false;
+    while (j < tokens.size() && depth > 0) {
+      if (!tokens[j].is_literal) {
+        if (tokens[j].text == "{") ++depth;
+        if (tokens[j].text == "}") --depth;
+        if (tokens[j].text == "Deadline") has_deadline = true;
+      }
+      ++j;
+    }
+    if (has_deadline || Suppressed(file, line, "config-deadline")) continue;
+    out->push_back(Diagnostic{
+        source.path, line, "config-deadline",
+        "pipeline-stage config struct '" + tokens[i + 1].text +
+            "' carries no Deadline member; every stage config must be "
+            "cooperatively interruptible (util/deadline.h)"});
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
+  std::vector<TokenizedFile> tokenized;
+  tokenized.reserve(files.size());
+  std::unordered_set<std::string> status_fns;
+  for (const SourceFile& file : files) {
+    tokenized.push_back(Tokenize(file.content));
+    CollectStatusFunctions(tokenized.back(), &status_fns);
+  }
+  std::vector<Diagnostic> diagnostics;
+  for (size_t i = 0; i < files.size(); ++i) {
+    CheckIgnoredStatus(files[i], tokenized[i], status_fns, &diagnostics);
+    CheckNakedSync(files[i], tokenized[i], &diagnostics);
+    CheckThreadHygiene(files[i], tokenized[i], &diagnostics);
+    CheckConfigDeadline(files[i], tokenized[i], &diagnostics);
+  }
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return diagnostics;
+}
+
+std::vector<SourceFile> CollectSources(const std::vector<std::string>& paths,
+                                       std::string* error) {
+  std::vector<std::string> collected;
+  auto want_file = [](const fs::path& path) {
+    const std::string ext = path.extension().string();
+    return ext == ".h" || ext == ".cc";
+  };
+  auto skip_dir = [](const fs::path& path) {
+    const std::string name = path.filename().string();
+    return name == "corpus" || name == ".git" ||
+           name.rfind("build", 0) == 0;
+  };
+  for (const std::string& root : paths) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      collected.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      if (error != nullptr) *error = "no such file or directory: " + root;
+      return {};
+    }
+    fs::recursive_directory_iterator it(root, ec), end;
+    while (it != end) {
+      if (it->is_directory() && skip_dir(it->path())) {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file() && want_file(it->path())) {
+        collected.push_back(it->path().string());
+      }
+      it.increment(ec);
+      if (ec) break;
+    }
+  }
+  std::sort(collected.begin(), collected.end());
+  std::vector<SourceFile> sources;
+  sources.reserve(collected.size());
+  for (const std::string& path : collected) {
+    std::ifstream in(path);
+    if (!in) {
+      if (error != nullptr) *error = "cannot read: " + path;
+      return {};
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    sources.push_back(SourceFile{path, content.str()});
+  }
+  return sources;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic) {
+  return diagnostic.file + ":" + std::to_string(diagnostic.line) + ": [" +
+         diagnostic.rule + "] " + diagnostic.message;
+}
+
+}  // namespace ceres::lint

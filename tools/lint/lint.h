@@ -1,0 +1,73 @@
+#ifndef CERES_TOOLS_LINT_LINT_H_
+#define CERES_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+/// ceres_lint — a tokenizer-level static analyzer enforcing the project's
+/// concurrency and status-discipline invariants over src/, tools/, and
+/// bench/. It deliberately has no libclang dependency (only g++ ships in
+/// the build image): files are tokenized with comment/string/preprocessor
+/// stripping, and each rule pattern-matches the token stream. The rules
+/// are tuned to the repo's idiom — precise on this codebase rather than
+/// general over all C++.
+///
+/// Rules:
+///   ignored-status   A call to a function declared as returning Status /
+///                    Result<T> used as a bare expression statement. The
+///                    declared-function set is mined from the scanned
+///                    files themselves (pass one). Discard deliberately
+///                    with `(void)Call();`.
+///   naked-sync       `std::mutex` / `std::lock_guard` / `std::unique_lock`
+///                    / `std::condition_variable` (and friends) named in
+///                    the concurrency-critical scope (src/serve/,
+///                    src/util/parallel.h). That scope must use the
+///                    checked wrappers from util/sync.h so every lock
+///                    participates in lock-order deadlock detection.
+///   thread-hygiene   `std::thread::detach()` or `sleep_for`/`sleep_until`
+///                    polling in non-test code. Detached threads outlive
+///                    their owners' invariants; sleep-polling hides
+///                    missing condition-variable signalling.
+///   config-deadline  A `*Config` struct in src/core/ or src/cluster/
+///                    without a `Deadline` member. Every pipeline-stage
+///                    config must carry the cooperative deadline so no
+///                    stage is uninterruptible.
+///
+/// Any diagnostic can be suppressed for one line with a trailing comment:
+///   // ceres-lint: allow(<rule>)    or    // ceres-lint: allow(all)
+namespace ceres::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  /// Rule slug ("ignored-status", "naked-sync", ...).
+  std::string rule;
+  std::string message;
+};
+
+/// One input to the linter. `path` decides rule scope (serve scope, test
+/// exemption) and is what diagnostics cite; `content` is linted as-is, so
+/// callers may pair corpus content with a synthetic path to pin a scope.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Lints `files` as one program: pass one mines Status-returning function
+/// declarations across all of them, pass two applies every rule per file.
+/// Diagnostics come back sorted by (file, line).
+std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files);
+
+/// Recursively collects .h/.cc files under each of `paths` (a path may
+/// also name a single file). Skips directories named "corpus" (the lint
+/// self-test's deliberately-bad snippets) and any build output directory
+/// (name starting with "build").
+std::vector<SourceFile> CollectSources(const std::vector<std::string>& paths,
+                                       std::string* error);
+
+/// "file:line: [rule] message" — the grep/IDE-clickable rendering.
+std::string FormatDiagnostic(const Diagnostic& diagnostic);
+
+}  // namespace ceres::lint
+
+#endif  // CERES_TOOLS_LINT_LINT_H_

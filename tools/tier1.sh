@@ -1,14 +1,20 @@
 #!/usr/bin/env sh
 # tier1.sh — the repo's tier-1 verification gate in one command.
 #
-# Configures and builds the tree, runs the full test suite, then runs the
-# serve and chaos labels explicitly (they cover the online service and the
+# Configures and builds the tree (warnings-as-errors), runs the ceres_lint
+# static-analysis gate, runs the full test suite, then runs the serve and
+# chaos labels explicitly (they cover the online service and the
 # fault-injection paths and must never be skipped by label filters).
 #
-#   tools/tier1.sh                 # regular build in ./build
+#   tools/tier1.sh                     # regular build in ./build
 #   CERES_SANITIZE=ON tools/tier1.sh   # address+UB sanitized build in
 #                                      # ./build-asan (slower, catches
 #                                      # memory errors on corrupt input)
+#   CERES_SANITIZE=thread tools/tier1.sh
+#                                      # ThreadSanitizer build in
+#                                      # ./build-tsan; runs the serve +
+#                                      # tsan test labels (the concurrent
+#                                      # slice) and fails on any data race
 #
 # Any extra arguments are passed to every ctest invocation, e.g.
 #   tools/tier1.sh -j4
@@ -16,9 +22,13 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
-if [ "${CERES_SANITIZE:-}" = "ON" ]; then
+mode="${CERES_SANITIZE:-}"
+if [ "$mode" = "ON" ]; then
   build_dir="$repo_root/build-asan"
   sanitize_flags='-DCERES_SANITIZE=address;undefined'
+elif [ "$mode" = "thread" ]; then
+  build_dir="$repo_root/build-tsan"
+  sanitize_flags='-DCERES_SANITIZE=thread'
 else
   build_dir="$repo_root/build"
   sanitize_flags=''
@@ -26,10 +36,26 @@ fi
 
 echo "== tier1: configure ($build_dir)"
 # shellcheck disable=SC2086  # sanitize_flags is intentionally word-split
-cmake -B "$build_dir" -S "$repo_root" $sanitize_flags
+cmake -B "$build_dir" -S "$repo_root" -DCERES_WERROR=ON $sanitize_flags
 
 echo "== tier1: build"
 cmake --build "$build_dir" -j
+
+echo "== tier1: lint gate (ceres_lint over src/ tools/ bench/)"
+cmake --build "$build_dir" --target lint
+
+if [ "$mode" = "thread" ]; then
+  # The ThreadSanitizer slice: concurrency primitives + the serve path.
+  # TSan halts the test with a non-zero exit on the first reported race.
+  echo "== tier1: tsan label (ThreadSanitizer)"
+  (cd "$build_dir" && ctest --output-on-failure -L tsan "$@")
+
+  echo "== tier1: serve label (ThreadSanitizer)"
+  (cd "$build_dir" && ctest --output-on-failure -L serve "$@")
+
+  echo "== tier1: tsan gates passed"
+  exit 0
+fi
 
 echo "== tier1: full test suite"
 (cd "$build_dir" && ctest --output-on-failure -j "$@")
