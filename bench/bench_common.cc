@@ -115,7 +115,8 @@ eval::Prf SumPrf(const std::map<PredicateId, eval::Prf>& by_predicate) {
 
 void ForEachSite(const ParsedCorpus& corpus,
                  const std::function<void(size_t)>& body) {
-  ParallelFor(corpus.sites.size(), /*threads=*/0, body);
+  // Default config: all hardware threads, one site per worker minimum.
+  ParallelFor(corpus.sites.size(), ParallelConfig{}, body);
 }
 
 }  // namespace ceres::bench

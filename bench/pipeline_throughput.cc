@@ -1,0 +1,215 @@
+// pipeline_throughput — batch-pipeline scaling sweep.
+//
+// Builds a multi-template synthetic corpus (several SWDE-style movie sites
+// concatenated into one page set, so template clustering yields several
+// independent clusters), then runs the full offline pipeline
+// (cluster -> topic -> annotate -> train -> extract) at 1/2/4/8 threads and
+// reports pages/sec and speedup vs the serial run as BENCH JSON lines:
+//
+//   BENCH {"bench":"pipeline_throughput","threads":4,...}
+//
+// Invariants (exit 1 on violation):
+//   * the corpus clusters into at least two template clusters (otherwise
+//     the sweep would not exercise cluster-level parallelism);
+//   * every multi-threaded run's PipelineResult — cluster assignment,
+//     topics, annotations, annotated pages, extractions, diagnostics
+//     counters and typed skips — is identical to the serial run's;
+//   * speedup gates, applied only when the host has at least as many
+//     hardware threads as the swept thread count (they are printed as
+//     SKIPPED otherwise): --smoke requires >= 1.5x at 4 threads; the full
+//     sweep requires >= 3x at 8 threads.
+//
+// Usage: pipeline_throughput [--smoke]
+//   --smoke: small corpus + the 4-thread gate; wired into tools/tier1.sh.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/pipeline.h"
+#include "synth/corpora.h"
+
+namespace {
+
+using namespace ceres;  // NOLINT(build/namespaces)
+
+int g_violations = 0;
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", what);
+    ++g_violations;
+  }
+}
+
+bool SameExtractions(const std::vector<Extraction>& a,
+                     const std::vector<Extraction>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].page != b[i].page || a[i].node != b[i].node ||
+        a[i].predicate != b[i].predicate || a[i].subject != b[i].subject ||
+        a[i].object != b[i].object || a[i].confidence != b[i].confidence) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameAnnotations(const std::vector<Annotation>& a,
+                     const std::vector<Annotation>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].page != b[i].page || a[i].node != b[i].node ||
+        a[i].predicate != b[i].predicate || a[i].object != b[i].object) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameDiagnostics(const PipelineDiagnostics& a,
+                     const PipelineDiagnostics& b) {
+  for (int s = 0; s < kNumPipelineStages; ++s) {
+    if (a.stages[s].attempted != b.stages[s].attempted ||
+        a.stages[s].completed != b.stages[s].completed ||
+        a.stages[s].skipped != b.stages[s].skipped) {
+      return false;
+    }
+  }
+  if (a.run_deadline_expired != b.run_deadline_expired) return false;
+  if (a.skipped_clusters.size() != b.skipped_clusters.size()) return false;
+  for (size_t i = 0; i < a.skipped_clusters.size(); ++i) {
+    if (a.skipped_clusters[i].cluster != b.skipped_clusters[i].cluster ||
+        a.skipped_clusters[i].stage != b.skipped_clusters[i].stage) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Full-result equality against the serial baseline: everything benches and
+// callers consume must be byte-identical at any thread count.
+bool SameResult(const PipelineResult& a, const PipelineResult& b) {
+  return a.cluster_of_page == b.cluster_of_page &&
+         a.topic_of_page == b.topic_of_page &&
+         a.topic_node_of_page == b.topic_node_of_page &&
+         SameAnnotations(a.annotations, b.annotations) &&
+         a.annotated_pages == b.annotated_pages &&
+         SameExtractions(a.extractions, b.extractions) &&
+         a.models.size() == b.models.size() &&
+         SameDiagnostics(a.diagnostics, b.diagnostics);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // Several distinct-template sites concatenated into one page set: the
+  // clustering stage recovers them as independent clusters, which is the
+  // unit of batch parallelism.
+  const double scale = smoke ? 0.25 : synth::EnvScale();
+  const size_t num_sites = smoke ? 3 : 4;
+  synth::Corpus corpus =
+      synth::MakeSwdeCorpus(synth::SwdeVertical::kMovie, scale, /*seed=*/42);
+  bench::ParsedCorpus parsed = bench::ParseCorpus(std::move(corpus));
+
+  std::vector<DomDocument> pages;
+  for (size_t s = 0; s < parsed.sites.size() && s < num_sites; ++s) {
+    for (DomDocument& page : parsed.sites[s].pages) {
+      pages.push_back(std::move(page));
+    }
+  }
+  const size_t num_pages = pages.size();
+  std::printf("pipeline_throughput: %zu pages from %zu sites (%s)\n",
+              num_pages, num_sites, smoke ? "smoke" : "full");
+
+  const bench::Split split = bench::HalfSplit(num_pages);
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  PipelineResult serial;
+  double serial_seconds = 0;
+  const int sweep[] = {1, 2, 4, 8};
+  for (int threads : sweep) {
+    PipelineConfig config =
+        bench::MakeConfig(bench::System::kCeresFull, split);
+    config.parallel.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    Result<PipelineResult> run =
+        RunPipeline(pages, parsed.corpus.seed_kb, config);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    Require(run.ok(), "RunPipeline returned an error");
+    if (!run.ok()) {
+      std::fprintf(stderr, "  %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+
+    bool identical = true;
+    if (threads == 1) {
+      serial = std::move(run).value();
+      serial_seconds = seconds;
+      int num_clusters = 0;
+      for (int cluster : serial.cluster_of_page) {
+        num_clusters = std::max(num_clusters, cluster + 1);
+      }
+      std::printf("  clusters: %d, extractions: %zu, models: %zu\n",
+                  num_clusters, serial.extractions.size(),
+                  serial.models.size());
+      Require(num_clusters >= 2,
+              "corpus must cluster into >= 2 template clusters");
+      Require(!serial.extractions.empty(),
+              "serial run produced no extractions");
+    } else {
+      identical = SameResult(run.value(), serial);
+      Require(identical, "multi-threaded result differs from serial run");
+    }
+
+    const double pages_per_sec =
+        seconds > 0 ? static_cast<double>(num_pages) / seconds : 0;
+    const double speedup = seconds > 0 ? serial_seconds / seconds : 0;
+    std::printf(
+        "BENCH {\"bench\":\"pipeline_throughput\",\"mode\":\"%s\","
+        "\"threads\":%d,\"pages\":%zu,\"seconds\":%.3f,"
+        "\"pages_per_sec\":%.1f,\"speedup\":%.2f,"
+        "\"hardware_concurrency\":%u,\"identical_to_serial\":%s}\n",
+        smoke ? "smoke" : "full", threads, num_pages, seconds, pages_per_sec,
+        speedup, hardware, identical ? "true" : "false");
+
+    // Speedup gates only bind when the host can actually run that many
+    // workers; a 1-core CI box still checks determinism above.
+    if (smoke && threads == 4) {
+      if (hardware >= 4) {
+        Require(speedup >= 1.5, "smoke: speedup at 4 threads below 1.5x");
+      } else {
+        std::printf("  SKIPPED speedup gate (4 threads > %u hardware)\n",
+                    hardware);
+      }
+    }
+    if (!smoke && threads == 8) {
+      if (hardware >= 8) {
+        Require(speedup >= 3.0, "full: speedup at 8 threads below 3x");
+      } else {
+        std::printf("  SKIPPED speedup gate (8 threads > %u hardware)\n",
+                    hardware);
+      }
+    }
+  }
+
+  if (g_violations > 0) {
+    std::fprintf(stderr, "pipeline_throughput: %d violation(s)\n",
+                 g_violations);
+    return 1;
+  }
+  std::printf("pipeline_throughput: OK\n");
+  return 0;
+}

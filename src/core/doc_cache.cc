@@ -1,0 +1,19 @@
+#include "core/doc_cache.h"
+
+#include "text/normalize.h"
+
+namespace ceres {
+
+const std::string& NormalizedTextCache::Normalized(NodeId id) {
+  if (entries_.empty()) {
+    entries_.resize(static_cast<size_t>(doc_->size()));
+  }
+  Entry& entry = entries_[static_cast<size_t>(id)];
+  if (!entry.filled) {
+    NormalizeTextInto(doc_->node(id).text, &entry.text);
+    entry.filled = true;
+  }
+  return entry.text;
+}
+
+}  // namespace ceres

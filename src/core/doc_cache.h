@@ -1,0 +1,36 @@
+#ifndef CERES_CORE_DOC_CACHE_H_
+#define CERES_CORE_DOC_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "dom/dom_tree.h"
+
+namespace ceres {
+
+/// Per-document memo of NormalizeText over node text. The featurizer's
+/// nearby-node search normalizes the same label nodes once per featurized
+/// field — hundreds of times per page — so training and extraction hand one
+/// of these (per document, per worker) to FeatureExtractor::Extract.
+/// Lookups are lazy; the class is intentionally not thread-safe.
+class NormalizedTextCache {
+ public:
+  explicit NormalizedTextCache(const DomDocument& doc) : doc_(&doc) {}
+
+  /// The normalized direct text of `id`, built on first use. The reference
+  /// stays valid for the cache's lifetime.
+  const std::string& Normalized(NodeId id);
+
+ private:
+  struct Entry {
+    std::string text;
+    bool filled = false;
+  };
+
+  const DomDocument* doc_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_CORE_DOC_CACHE_H_

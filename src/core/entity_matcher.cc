@@ -6,14 +6,16 @@ PageMentions MatchPageMentions(const DomDocument& page,
                                const KnowledgeBase& kb) {
   PageMentions out;
   for (NodeId id : page.TextFields()) {
-    std::vector<EntityId> ids = kb.MatchMentions(page.node(id).text);
+    // The view overload matches without allocating a normalized key per
+    // text field; we copy only the (rare) non-empty hits.
+    std::span<const EntityId> ids = kb.MatchMentionsView(page.node(id).text);
     if (ids.empty()) continue;
     out.fields.push_back(id);
     for (EntityId entity : ids) {
       out.page_set.insert(entity);
       out.mentions_of[entity].push_back(id);
     }
-    out.candidates.push_back(std::move(ids));
+    out.candidates.emplace_back(ids.begin(), ids.end());
   }
   return out;
 }

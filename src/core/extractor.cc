@@ -2,9 +2,64 @@
 
 #include <algorithm>
 
+#include "core/doc_cache.h"
 #include "util/logging.h"
 
 namespace ceres {
+
+namespace {
+
+// Extraction pass over one page, appending to `out`. Runs concurrently for
+// distinct pages: the model is only read (the FeatureMap is frozen, so
+// featurization interns nothing), and each worker owns its output slot.
+void ExtractFromPage(const DomDocument& doc, PageIndex page,
+                     TrainedModel* model, const FeatureExtractor& featurizer,
+                     const ExtractionConfig& config,
+                     std::vector<Extraction>* out) {
+  std::vector<NodeId> fields = doc.TextFields();
+  if (fields.empty()) return;
+
+  // Score all fields once.
+  NormalizedTextCache text_cache(doc);
+  std::vector<std::vector<double>> probabilities(fields.size());
+  for (size_t f = 0; f < fields.size(); ++f) {
+    SparseVector features = featurizer.Extract(doc, fields[f],
+                                               &model->features,
+                                               /*name_prefix=*/{}, &text_cache);
+    probabilities[f] = model->model.PredictProbabilities(features);
+  }
+
+  // Topic-name node: the field with the highest NAME probability.
+  size_t name_field = 0;
+  double name_prob = -1;
+  for (size_t f = 0; f < fields.size(); ++f) {
+    double prob = probabilities[f][ClassMap::kNameClass];
+    if (prob > name_prob) {
+      name_prob = prob;
+      name_field = f;
+    }
+  }
+  if (name_prob < config.name_threshold) return;
+  const std::string& subject = doc.node(fields[name_field]).text;
+  out->push_back(Extraction{page, fields[name_field], kNamePredicate,
+                            subject, subject, name_prob});
+
+  for (size_t f = 0; f < fields.size(); ++f) {
+    if (f == name_field) continue;
+    const std::vector<double>& probs = probabilities[f];
+    auto it = std::max_element(probs.begin(), probs.end());
+    int32_t cls = static_cast<int32_t>(it - probs.begin());
+    if (cls == ClassMap::kOtherClass || cls == ClassMap::kNameClass) {
+      continue;
+    }
+    if (*it < config.confidence_threshold) continue;
+    out->push_back(Extraction{page, fields[f],
+                              model->classes.PredicateOf(cls), subject,
+                              doc.node(fields[f]).text, *it});
+  }
+}
+
+}  // namespace
 
 std::vector<Extraction> ExtractFromPages(
     const std::vector<const DomDocument*>& pages,
@@ -12,51 +67,22 @@ std::vector<Extraction> ExtractFromPages(
     const FeatureExtractor& featurizer, const ExtractionConfig& config) {
   CERES_CHECK(pages.size() == page_indices.size());
   CERES_CHECK(model->features.frozen());
+
+  // Per-page output slots, merged in page order below: the result is
+  // byte-identical to a serial pass regardless of thread count. A page
+  // reached after the deadline expires yields nothing, matching the serial
+  // cutoff (expiry is monotonic).
+  std::vector<std::vector<Extraction>> per_page(pages.size());
+  ParallelFor(pages.size(), config.parallel, [&](size_t p) {
+    if (config.deadline.expired()) return;
+    ExtractFromPage(*pages[p], page_indices[p], model, featurizer, config,
+                    &per_page[p]);
+  });
+
   std::vector<Extraction> out;
-
-  for (size_t p = 0; p < pages.size(); ++p) {
-    if (config.deadline.expired()) break;
-    const DomDocument& doc = *pages[p];
-    const PageIndex page = page_indices[p];
-    std::vector<NodeId> fields = doc.TextFields();
-    if (fields.empty()) continue;
-
-    // Score all fields once.
-    std::vector<std::vector<double>> probabilities(fields.size());
-    for (size_t f = 0; f < fields.size(); ++f) {
-      SparseVector features =
-          featurizer.Extract(doc, fields[f], &model->features);
-      probabilities[f] = model->model.PredictProbabilities(features);
-    }
-
-    // Topic-name node: the field with the highest NAME probability.
-    size_t name_field = 0;
-    double name_prob = -1;
-    for (size_t f = 0; f < fields.size(); ++f) {
-      double prob = probabilities[f][ClassMap::kNameClass];
-      if (prob > name_prob) {
-        name_prob = prob;
-        name_field = f;
-      }
-    }
-    if (name_prob < config.name_threshold) continue;
-    const std::string& subject = doc.node(fields[name_field]).text;
-    out.push_back(Extraction{page, fields[name_field], kNamePredicate,
-                             subject, subject, name_prob});
-
-    for (size_t f = 0; f < fields.size(); ++f) {
-      if (f == name_field) continue;
-      const std::vector<double>& probs = probabilities[f];
-      auto it = std::max_element(probs.begin(), probs.end());
-      int32_t cls = static_cast<int32_t>(it - probs.begin());
-      if (cls == ClassMap::kOtherClass || cls == ClassMap::kNameClass) {
-        continue;
-      }
-      if (*it < config.confidence_threshold) continue;
-      out.push_back(Extraction{page, fields[f],
-                               model->classes.PredicateOf(cls), subject,
-                               doc.node(fields[f]).text, *it});
-    }
+  for (std::vector<Extraction>& slot : per_page) {
+    out.insert(out.end(), std::make_move_iterator(slot.begin()),
+               std::make_move_iterator(slot.end()));
   }
   return out;
 }

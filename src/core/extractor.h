@@ -8,6 +8,7 @@
 #include "core/types.h"
 #include "dom/dom_tree.h"
 #include "util/deadline.h"
+#include "util/parallel.h"
 
 namespace ceres {
 
@@ -22,6 +23,11 @@ struct ExtractionConfig {
   /// Cooperative time budget, checked at page granularity: once expired,
   /// remaining pages yield no extractions (partial output, never a hang).
   Deadline deadline;
+  /// Fan-out across pages. Workers write per-page slots that are merged in
+  /// page order, so the extraction list is identical at any thread count.
+  /// The batch pipeline passes Sequential() here when it is already
+  /// parallel across clusters.
+  ParallelConfig parallel = ParallelConfig::Sequential();
 };
 
 /// Applies a trained model to every text field of `pages` (global indices

@@ -41,15 +41,23 @@ FeatureExtractor::FeatureExtractor(
     : config_(config) {
   if (!config_.text_features || pages.empty()) return;
   // Mine strings that repeat across pages; these are the static labels
-  // ("Director:", "Genres") that anchor text features.
-  std::unordered_map<std::string, size_t> page_counts;
-  for (const DomDocument* page : pages) {
-    if (config_.deadline.expired()) break;
-    std::unordered_set<std::string> on_page;
-    for (NodeId id : page->TextFields()) {
-      std::string norm = NormalizeText(page->node(id).text);
-      if (!norm.empty() && norm.size() <= 60) on_page.insert(std::move(norm));
+  // ("Director:", "Genres") that anchor text features. Pages are scanned
+  // concurrently into per-page slots, then merged in page order; counting
+  // is commutative, so the lexicon is identical at any thread count. A
+  // page scanned after the deadline expires contributes nothing (same
+  // monotonic cutoff the serial loop had).
+  std::vector<std::unordered_set<std::string>> per_page(pages.size());
+  ParallelFor(pages.size(), config_.parallel, [&](size_t i) {
+    if (config_.deadline.expired()) return;
+    std::unordered_set<std::string>& on_page = per_page[i];
+    std::string norm;
+    for (NodeId id : pages[i]->TextFields()) {
+      NormalizeTextInto(pages[i]->node(id).text, &norm);
+      if (!norm.empty() && norm.size() <= 60) on_page.insert(norm);
     }
+  });
+  std::unordered_map<std::string, size_t> page_counts;
+  for (const std::unordered_set<std::string>& on_page : per_page) {
     for (const std::string& s : on_page) ++page_counts[s];
   }
   // Floor of two pages: a string seen on a single page is a value, not a
@@ -102,21 +110,28 @@ void FeatureExtractor::AddStructural(const DomDocument& doc, NodeId node,
 
 void FeatureExtractor::AddText(const DomDocument& doc, NodeId node,
                                std::string_view prefix, FeatureMap* map,
-                               SparseVector* out) const {
+                               SparseVector* out,
+                               NormalizedTextCache* text_cache) const {
+  // Scratch used only on the cache-less path; with a cache the normalized
+  // strings are computed once per document, not once per featurized field.
+  std::string scratch;
+  auto normalized = [&](NodeId id) -> const std::string& {
+    if (text_cache != nullptr) return text_cache->Normalized(id);
+    NormalizeTextInto(doc.node(id).text, &scratch);
+    return scratch;
+  };
   auto consider = [&](NodeId nearby, const std::string& relation) {
     if (nearby == kInvalidNode || nearby == node) return;
-    const DomNode& record = doc.node(nearby);
-    if (!record.HasText()) return;
-    std::string norm = NormalizeText(record.text);
+    if (!doc.node(nearby).HasText()) return;
+    const std::string& norm = normalized(nearby);
     if (frequent_strings_.count(norm) == 0) return;
     AddFeature(prefix, StrCat("T|", relation, "|", norm), map, out);
   };
 
   // The node's own text, when it is itself a frequent site string, is a
   // strong OTHER signal (boilerplate labels).
-  const DomNode& self = doc.node(node);
-  if (self.HasText()) {
-    std::string norm = NormalizeText(self.text);
+  if (doc.node(node).HasText()) {
+    const std::string& norm = normalized(node);
     if (frequent_strings_.count(norm) > 0) {
       AddFeature(prefix, StrCat("T|self|", norm), map, out);
     }
@@ -145,12 +160,15 @@ void FeatureExtractor::AddText(const DomDocument& doc, NodeId node,
 
 SparseVector FeatureExtractor::Extract(const DomDocument& doc, NodeId node,
                                        FeatureMap* map,
-                                       std::string_view name_prefix) const {
+                                       std::string_view name_prefix,
+                                       NormalizedTextCache* text_cache) const {
   SparseVector out;
   if (config_.structural_features) {
     AddStructural(doc, node, name_prefix, map, &out);
   }
-  if (config_.text_features) AddText(doc, node, name_prefix, map, &out);
+  if (config_.text_features) {
+    AddText(doc, node, name_prefix, map, &out, text_cache);
+  }
   out.Finalize();
   return out;
 }

@@ -5,10 +5,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/doc_cache.h"
 #include "dom/dom_tree.h"
 #include "ml/feature_map.h"
 #include "ml/sparse_vector.h"
 #include "util/deadline.h"
+#include "util/parallel.h"
 
 namespace ceres {
 
@@ -32,6 +34,11 @@ struct FeatureConfig {
   /// expired, remaining pages contribute no frequent strings (a shallower
   /// lexicon, never a hang).
   Deadline deadline;
+  /// Fan-out for lexicon mining: pages are scanned concurrently and their
+  /// string sets merged in page order (the mined lexicon is identical at
+  /// any thread count). The batch pipeline passes Sequential() here when it
+  /// is already parallel across clusters.
+  ParallelConfig parallel = ParallelConfig::Sequential();
 };
 
 /// Extracts the classifier features of one DOM node (§4.2).
@@ -61,9 +68,12 @@ class FeatureExtractor {
   /// unless it is frozen (then unknown features are dropped). The returned
   /// vector is finalized. `name_prefix` is prepended to every feature name;
   /// the pair-based baseline uses it to keep subject-node and object-node
-  /// features distinct.
+  /// features distinct. `text_cache`, when given, must be a cache over
+  /// `doc`; the nearby-node text features then reuse its normalizations
+  /// instead of re-normalizing the same label nodes for every field.
   SparseVector Extract(const DomDocument& doc, NodeId node, FeatureMap* map,
-                       std::string_view name_prefix = {}) const;
+                       std::string_view name_prefix = {},
+                       NormalizedTextCache* text_cache = nullptr) const;
 
   const std::unordered_set<std::string>& frequent_strings() const {
     return frequent_strings_;
@@ -75,7 +85,8 @@ class FeatureExtractor {
                      std::string_view prefix, FeatureMap* map,
                      SparseVector* out) const;
   void AddText(const DomDocument& doc, NodeId node, std::string_view prefix,
-               FeatureMap* map, SparseVector* out) const;
+               FeatureMap* map, SparseVector* out,
+               NormalizedTextCache* text_cache) const;
 
   FeatureConfig config_;
   std::unordered_set<std::string> frequent_strings_;

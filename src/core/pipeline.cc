@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -20,6 +21,20 @@ std::vector<PageIndex> ResolvePageSet(const std::vector<PageIndex>& requested,
   for (size_t i = 0; i < num_pages; ++i) all[i] = static_cast<PageIndex>(i);
   return all;
 }
+
+// Everything one cluster contributes to the merged PipelineResult. Workers
+// fill disjoint, pre-sized slots; the merge below appends them in
+// cluster-id order, so a parallel run reproduces the serial output byte
+// for byte.
+struct ClusterOutcome {
+  StageCounts stages[kNumPipelineStages];
+  std::vector<ClusterSkip> skips;
+  bool run_deadline_expired = false;
+  std::vector<Annotation> annotations;     // global page indices
+  std::vector<PageIndex> annotated_pages;  // global page indices
+  std::vector<Extraction> extractions;
+  std::vector<ClusterModel> models;        // zero or one entry
+};
 
 Status ValidateConfig(const std::vector<DomDocument>& pages,
                       const KnowledgeBase& kb, const PipelineConfig& config) {
@@ -127,17 +142,51 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
   const std::vector<PageIndex> extraction_pages =
       ResolvePageSet(config.extraction_pages, pages.size());
 
-  auto skip_cluster = [&](int cluster, PipelineStage stage, Status reason) {
-    LogInfo(StrCat("cluster ", cluster, ": skipped at ",
-                   PipelineStageName(stage), ": ", reason.ToString()));
-    ++diag.counts(stage).skipped;
-    diag.skipped_clusters.push_back(
-        ClusterSkip{cluster, stage, std::move(reason)});
-  };
+  // Bucket the annotation/extraction page sets per cluster in one pass
+  // over each set (the serial loop used to rescan every page per cluster).
+  std::vector<std::vector<PageIndex>> cluster_annotation(
+      static_cast<size_t>(num_clusters));
+  std::vector<std::vector<PageIndex>> cluster_extraction(
+      static_cast<size_t>(num_clusters));
+  for (PageIndex page : annotation_pages) {
+    int cluster = result.cluster_of_page[static_cast<size_t>(page)];
+    if (cluster >= 0) {
+      cluster_annotation[static_cast<size_t>(cluster)].push_back(page);
+    }
+  }
+  for (PageIndex page : extraction_pages) {
+    int cluster = result.cluster_of_page[static_cast<size_t>(page)];
+    if (cluster >= 0) {
+      cluster_extraction[static_cast<size_t>(cluster)].push_back(page);
+    }
+  }
 
-  for (int cluster = 0; cluster < num_clusters; ++cluster) {
+  // Thread-budget placement: with several clusters the fan-out is across
+  // clusters (the inner per-page loops run inline in each worker); with a
+  // single cluster the per-page loops get the budget instead. Nested
+  // fan-out is never used — it would oversubscribe without speeding
+  // anything up.
+  const bool single_cluster = num_clusters <= 1;
+  const ParallelConfig outer_parallel =
+      single_cluster ? ParallelConfig::Sequential() : config.parallel;
+  const ParallelConfig inner_parallel =
+      single_cluster ? config.parallel : ParallelConfig::Sequential();
+
+  std::vector<ClusterOutcome> outcomes(static_cast<size_t>(num_clusters));
+  ParallelFor(static_cast<size_t>(num_clusters), outer_parallel, [&](size_t c) {
+    const int cluster = static_cast<int>(c);
+    ClusterOutcome& out = outcomes[c];
+    auto count = [&out](PipelineStage stage) -> StageCounts& {
+      return out.stages[static_cast<int>(stage)];
+    };
+    auto skip_cluster = [&](PipelineStage stage, Status reason) {
+      LogInfo(StrCat("cluster ", cluster, ": skipped at ",
+                     PipelineStageName(stage), ": ", reason.ToString()));
+      ++count(stage).skipped;
+      out.skips.push_back(ClusterSkip{cluster, stage, std::move(reason)});
+    };
     // Every cluster runs under the earlier of the whole-run deadline and
-    // its own fresh time budget.
+    // its own fresh time budget (started when its worker picks it up).
     Deadline cluster_deadline = config.deadline;
     if (config.cluster_time_budget.count() > 0) {
       cluster_deadline =
@@ -146,44 +195,33 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
     // A deadline observed as expired but returning OK from Check can only
     // happen through a stage's own flag; normalize to a typed status.
     auto expiry_reason = [&](const char* what) {
-      Status reason = cluster_deadline.Check(StrCat("cluster ", cluster, " ", what));
+      Status reason =
+          cluster_deadline.Check(StrCat("cluster ", cluster, " ", what));
       if (reason.ok()) {
         reason = Status::DeadlineExceeded(
             StrCat("cluster ", cluster, " ", what, ": deadline exceeded"));
       }
-      if (config.deadline.expired()) diag.run_deadline_expired = true;
+      if (config.deadline.expired()) out.run_deadline_expired = true;
       return reason;
     };
 
-    // Global page indices of this cluster, split into the annotation and
-    // extraction roles.
-    std::vector<PageIndex> cluster_annotation;
-    std::vector<PageIndex> cluster_extraction;
-    for (PageIndex page : annotation_pages) {
-      if (result.cluster_of_page[static_cast<size_t>(page)] == cluster) {
-        cluster_annotation.push_back(page);
-      }
-    }
-    for (PageIndex page : extraction_pages) {
-      if (result.cluster_of_page[static_cast<size_t>(page)] == cluster) {
-        cluster_extraction.push_back(page);
-      }
-    }
-    if (cluster_annotation.size() < config.min_cluster_size) {
-      skip_cluster(cluster, PipelineStage::kClustering,
+    const std::vector<PageIndex>& annotation_set = cluster_annotation[c];
+    const std::vector<PageIndex>& extraction_set = cluster_extraction[c];
+    if (annotation_set.size() < config.min_cluster_size) {
+      skip_cluster(PipelineStage::kClustering,
                    Status::FailedPrecondition(
-                       StrCat("only ", cluster_annotation.size(),
+                       StrCat("only ", annotation_set.size(),
                               " annotation pages; min_cluster_size=",
                               config.min_cluster_size)));
-      continue;
+      return;
     }
-    LogInfo(StrCat("cluster ", cluster, ": ", cluster_annotation.size(),
-                   " annotation pages, ", cluster_extraction.size(),
+    LogInfo(StrCat("cluster ", cluster, ": ", annotation_set.size(),
+                   " annotation pages, ", extraction_set.size(),
                    " extraction pages"));
 
     std::vector<const DomDocument*> annotation_docs;
-    annotation_docs.reserve(cluster_annotation.size());
-    for (PageIndex page : cluster_annotation) {
+    annotation_docs.reserve(annotation_set.size());
+    for (PageIndex page : annotation_set) {
       annotation_docs.push_back(&pages[static_cast<size_t>(page)]);
     }
 
@@ -192,111 +230,134 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
     if (config.filter_non_detail_clusters &&
         !LooksLikeDetailPages(annotation_docs, config.detail_detector)) {
       skip_cluster(
-          cluster, PipelineStage::kClustering,
+          PipelineStage::kClustering,
           Status::FailedPrecondition("does not look like detail pages"));
-      continue;
+      return;
     }
 
     // 2. Entity matching + topic identification on annotation pages.
-    ++diag.counts(PipelineStage::kTopicIdentification).attempted;
+    ++count(PipelineStage::kTopicIdentification).attempted;
     {
       Status live = cluster_deadline.Check(
           StrCat("cluster ", cluster, " topic identification"));
       if (!live.ok()) {
-        if (config.deadline.expired()) diag.run_deadline_expired = true;
-        skip_cluster(cluster, PipelineStage::kTopicIdentification,
-                     std::move(live));
-        continue;
+        if (config.deadline.expired()) out.run_deadline_expired = true;
+        skip_cluster(PipelineStage::kTopicIdentification, std::move(live));
+        return;
       }
     }
-    std::vector<PageMentions> mentions;
-    mentions.reserve(annotation_docs.size());
-    for (const DomDocument* doc : annotation_docs) {
-      mentions.push_back(MatchPageMentions(*doc, kb));
-    }
+    // Per-page matching is independent; each iteration fills its own slot.
+    std::vector<PageMentions> mentions(annotation_docs.size());
+    ParallelFor(annotation_docs.size(), inner_parallel, [&](size_t i) {
+      mentions[i] = MatchPageMentions(*annotation_docs[i], kb);
+    });
     TopicConfig topic_config = config.topic;
     topic_config.deadline = cluster_deadline;
     TopicResult topics =
         IdentifyTopics(annotation_docs, mentions, kb, topic_config);
     if (topics.deadline_expired) {
-      skip_cluster(cluster, PipelineStage::kTopicIdentification,
+      skip_cluster(PipelineStage::kTopicIdentification,
                    expiry_reason("topic identification"));
-      continue;
+      return;
     }
-    ++diag.counts(PipelineStage::kTopicIdentification).completed;
-    for (size_t i = 0; i < cluster_annotation.size(); ++i) {
-      const size_t page = static_cast<size_t>(cluster_annotation[i]);
+    ++count(PipelineStage::kTopicIdentification).completed;
+    // Disjoint per-page writes: every page belongs to exactly one cluster.
+    for (size_t i = 0; i < annotation_set.size(); ++i) {
+      const size_t page = static_cast<size_t>(annotation_set[i]);
       result.topic_of_page[page] = topics.topic[i];
       result.topic_node_of_page[page] = topics.topic_node[i];
     }
 
     // 3. Relation annotation (Algorithm 2). Local indices map 1:1 onto
     // annotation_docs; translate to global page indices afterwards.
-    ++diag.counts(PipelineStage::kAnnotation).attempted;
+    ++count(PipelineStage::kAnnotation).attempted;
     AnnotatorConfig annotator_config = config.annotator;
     annotator_config.deadline = cluster_deadline;
     AnnotationResult annotation = AnnotateRelations(
         annotation_docs, mentions, topics, kb, annotator_config);
     if (annotation.deadline_expired) {
-      skip_cluster(cluster, PipelineStage::kAnnotation,
-                   expiry_reason("annotation"));
-      continue;
+      skip_cluster(PipelineStage::kAnnotation, expiry_reason("annotation"));
+      return;
     }
     if (annotation.annotations.empty()) {
-      skip_cluster(cluster, PipelineStage::kAnnotation,
+      skip_cluster(PipelineStage::kAnnotation,
                    Status::NotFound("no annotations produced"));
-      continue;
+      return;
     }
-    ++diag.counts(PipelineStage::kAnnotation).completed;
+    ++count(PipelineStage::kAnnotation).completed;
     std::vector<Annotation> local_annotations = annotation.annotations;
     for (Annotation& a : annotation.annotations) {
-      a.page = cluster_annotation[static_cast<size_t>(a.page)];
-      result.annotations.push_back(a);
+      a.page = annotation_set[static_cast<size_t>(a.page)];
+      out.annotations.push_back(a);
     }
     for (PageIndex local : annotation.annotated_pages) {
-      result.annotated_pages.push_back(
-          cluster_annotation[static_cast<size_t>(local)]);
+      out.annotated_pages.push_back(
+          annotation_set[static_cast<size_t>(local)]);
     }
 
-    // 4. Training on the cluster's annotated pages.
-    ++diag.counts(PipelineStage::kTraining).attempted;
-    FeatureExtractor featurizer(annotation_docs, config.features);
+    // 4. Training on the cluster's annotated pages. Lexicon mining may fan
+    // out; featurization inside TrainExtractor stays serial because the
+    // FeatureMap interning order defines the feature ids.
+    ++count(PipelineStage::kTraining).attempted;
+    FeatureConfig feature_config = config.features;
+    feature_config.parallel = inner_parallel;
+    FeatureExtractor featurizer(annotation_docs, feature_config);
     TrainingConfig training_config = config.training;
     training_config.deadline = cluster_deadline;
     Result<TrainedModel> trained =
         TrainExtractor(annotation_docs, local_annotations, featurizer,
                        kb.ontology(), training_config);
     if (!trained.ok()) {
-      if (config.deadline.expired()) diag.run_deadline_expired = true;
-      skip_cluster(cluster, PipelineStage::kTraining, trained.status());
-      continue;
+      if (config.deadline.expired()) out.run_deadline_expired = true;
+      skip_cluster(PipelineStage::kTraining, trained.status());
+      return;
     }
-    ++diag.counts(PipelineStage::kTraining).completed;
+    ++count(PipelineStage::kTraining).completed;
 
     // 5. Extraction over the cluster's extraction pages.
-    ++diag.counts(PipelineStage::kExtraction).attempted;
+    ++count(PipelineStage::kExtraction).attempted;
     {
       Status live =
           cluster_deadline.Check(StrCat("cluster ", cluster, " extraction"));
       if (!live.ok()) {
-        if (config.deadline.expired()) diag.run_deadline_expired = true;
-        skip_cluster(cluster, PipelineStage::kExtraction, std::move(live));
-        continue;
+        if (config.deadline.expired()) out.run_deadline_expired = true;
+        skip_cluster(PipelineStage::kExtraction, std::move(live));
+        return;
       }
     }
     std::vector<const DomDocument*> extraction_docs;
-    extraction_docs.reserve(cluster_extraction.size());
-    for (PageIndex page : cluster_extraction) {
+    extraction_docs.reserve(extraction_set.size());
+    for (PageIndex page : extraction_set) {
       extraction_docs.push_back(&pages[static_cast<size_t>(page)]);
     }
-    std::vector<Extraction> extracted =
-        ExtractFromPages(extraction_docs, cluster_extraction,
-                         &trained.value(), featurizer, config.extraction);
-    result.extractions.insert(result.extractions.end(), extracted.begin(),
-                              extracted.end());
-    result.models.push_back(
-        ClusterModel{cluster, std::move(trained).value()});
-    ++diag.counts(PipelineStage::kExtraction).completed;
+    ExtractionConfig extraction_config = config.extraction;
+    extraction_config.parallel = inner_parallel;
+    out.extractions =
+        ExtractFromPages(extraction_docs, extraction_set, &trained.value(),
+                         featurizer, extraction_config);
+    out.models.push_back(ClusterModel{cluster, std::move(trained).value()});
+    ++count(PipelineStage::kExtraction).completed;
+  });
+
+  // Deterministic merge in cluster-id order: the concatenation below is
+  // exactly what the serial loop appended as it went.
+  for (ClusterOutcome& out : outcomes) {
+    for (int s = 0; s < kNumPipelineStages; ++s) {
+      diag.stages[s].attempted += out.stages[s].attempted;
+      diag.stages[s].completed += out.stages[s].completed;
+      diag.stages[s].skipped += out.stages[s].skipped;
+    }
+    diag.run_deadline_expired |= out.run_deadline_expired;
+    std::move(out.skips.begin(), out.skips.end(),
+              std::back_inserter(diag.skipped_clusters));
+    std::move(out.annotations.begin(), out.annotations.end(),
+              std::back_inserter(result.annotations));
+    std::move(out.annotated_pages.begin(), out.annotated_pages.end(),
+              std::back_inserter(result.annotated_pages));
+    std::move(out.extractions.begin(), out.extractions.end(),
+              std::back_inserter(result.extractions));
+    std::move(out.models.begin(), out.models.end(),
+              std::back_inserter(result.models));
   }
 
   std::sort(result.annotated_pages.begin(), result.annotated_pages.end());

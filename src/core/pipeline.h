@@ -14,6 +14,7 @@
 #include "core/types.h"
 #include "kb/knowledge_base.h"
 #include "util/deadline.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace ceres {
@@ -56,6 +57,15 @@ struct PipelineConfig {
   /// pathological cluster times out into a diagnostic entry without
   /// starving the rest of the site.
   std::chrono::milliseconds cluster_time_budget{0};
+
+  /// Batch fan-out. Independent template clusters run concurrently; with a
+  /// single cluster the budget moves to the per-page inner loops (entity
+  /// matching, lexicon mining, extraction) instead. Workers write
+  /// pre-sized per-cluster slots merged in cluster-id order, so the
+  /// PipelineResult is identical at any thread count; the whole-run
+  /// deadline and cancel token are observed inside every worker. Default
+  /// Sequential() preserves the historical single-threaded behavior.
+  ParallelConfig parallel = ParallelConfig::Sequential();
 };
 
 /// A model trained for one template cluster, reusable on later crawls of

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -146,6 +147,18 @@ AnnotationResult AnnotateRelations(
     }
   }
 
+  // Lazy per-page XPath memos, shared by every predicate's clustering and
+  // candidate lookups below; the same mention nodes are serialized many
+  // times otherwise (once per predicate that shares them).
+  std::vector<std::unique_ptr<XPathStringCache>> page_paths(pages.size());
+  auto paths_for = [&](PageIndex page) -> XPathStringCache& {
+    auto& slot = page_paths[static_cast<size_t>(page)];
+    if (slot == nullptr) {
+      slot = std::make_unique<XPathStringCache>(*pages[page]);
+    }
+    return *slot;
+  };
+
   std::set<PageIndex> pages_with_annotations;
   auto emit = [&](PageIndex page, NodeId node, PredicateId predicate,
                   EntityId object) {
@@ -202,12 +215,12 @@ AnnotationResult AnnotateRelations(
         std::map<std::string, std::pair<XPath, int64_t>> occurrence;
         for (size_t index : task_indices) {
           const Task& task = tasks[index];
+          XPathStringCache& paths = paths_for(task.page);
           for (NodeId node : task.mentions) {
-            XPath path = XPath::FromNode(*pages[task.page], node);
-            std::string key = path.ToString();
+            const std::string& key = paths.PathString(node);
             auto it = occurrence.find(key);
             if (it == occurrence.end()) {
-              occurrence.emplace(key, std::make_pair(std::move(path), 1));
+              occurrence.emplace(key, std::make_pair(paths.Path(node), 1));
             } else {
               ++it->second.second;
             }
@@ -240,7 +253,7 @@ AnnotationResult AnnotateRelations(
         } else if (frequently_duplicated) {
           ensure_clusters();
           for (NodeId candidate : best) {
-            std::string key = XPath::FromNode(doc, candidate).ToString();
+            const std::string& key = paths_for(task.page).PathString(candidate);
             auto it = clusters.cluster_of_path.find(key);
             if (it != clusters.cluster_of_path.end() &&
                 it->second == clusters.largest_cluster) {
@@ -254,7 +267,7 @@ AnnotationResult AnnotateRelations(
         if (chosen != kInvalidNode && suspicious_value &&
             suspicious_objects.count(task.object) > 0) {
           ensure_clusters();
-          std::string key = XPath::FromNode(doc, chosen).ToString();
+          const std::string& key = paths_for(task.page).PathString(chosen);
           auto it = clusters.cluster_of_path.find(key);
           if (it == clusters.cluster_of_path.end() ||
               it->second != clusters.largest_cluster) {

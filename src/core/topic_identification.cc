@@ -1,7 +1,6 @@
 #include "core/topic_identification.h"
 
 #include <algorithm>
-#include <map>
 #include <string>
 #include <unordered_map>
 
@@ -16,25 +15,42 @@ namespace {
 // Score map for one page: topic candidate -> Jaccard score (Equation 1).
 using CandidateScores = std::unordered_map<EntityId, double>;
 
+// Memo of IsTopicCandidate over the run's pages: eligibility is
+// page-independent, and the same entity appears in many pages' pageSets, so
+// normalizing its name once per run (not once per page) matters.
+using EligibilityCache = std::unordered_map<EntityId, bool>;
+
 // True if `entity` may be considered a topic candidate at all.
 bool IsTopicCandidate(const KnowledgeBase& kb, EntityId entity,
-                      const std::unordered_set<std::string>& common_strings) {
+                      const std::unordered_set<std::string>& common_strings,
+                      EligibilityCache* cache) {
+  auto it = cache->find(entity);
+  if (it != cache->end()) return it->second;
   const Entity& record = kb.entity(entity);
-  if (kb.ontology().entity_type(record.type).is_literal) return false;
-  if (IsLowInformation(record.name)) return false;
-  if (common_strings.count(NormalizeText(record.name)) > 0) return false;
-  // An entity that is the subject of nothing in the KB can never score.
-  return !kb.ObjectsOfSubject(entity).empty();
+  bool eligible = true;
+  if (kb.ontology().entity_type(record.type).is_literal) {
+    eligible = false;
+  } else if (IsLowInformation(record.name)) {
+    eligible = false;
+  } else if (common_strings.count(NormalizeText(record.name)) > 0) {
+    eligible = false;
+  } else {
+    // An entity that is the subject of nothing in the KB can never score.
+    eligible = !kb.ObjectsOfSubject(entity).empty();
+  }
+  (*cache)[entity] = eligible;
+  return eligible;
 }
 
 // ScoreEntitiesForPage of Algorithm 1: Jaccard between the page's entity
 // set and each candidate's KB object set.
 CandidateScores ScoreEntitiesForPage(
     const PageMentions& mentions, const KnowledgeBase& kb,
-    const std::unordered_set<std::string>& common_strings) {
+    const std::unordered_set<std::string>& common_strings,
+    EligibilityCache* eligibility) {
   CandidateScores scores;
   for (EntityId entity : mentions.page_set) {
-    if (!IsTopicCandidate(kb, entity, common_strings)) continue;
+    if (!IsTopicCandidate(kb, entity, common_strings, eligibility)) continue;
     const std::unordered_set<EntityId>& entity_set =
         kb.ObjectsOfSubject(entity);
     double score = JaccardSimilarity(mentions.page_set, entity_set);
@@ -88,12 +104,14 @@ TopicResult IdentifyTopics(const std::vector<const DomDocument*>& pages,
   std::vector<CandidateScores> page_scores(n);
   std::vector<EntityId> local_candidate(n, kInvalidEntity);
   std::unordered_map<EntityId, int> candidate_page_count;
+  EligibilityCache eligibility;
   for (size_t i = 0; i < n; ++i) {
     if (config.deadline.expired()) {
       result.deadline_expired = true;
       return result;
     }
-    page_scores[i] = ScoreEntitiesForPage(mentions[i], kb, common_strings);
+    page_scores[i] =
+        ScoreEntitiesForPage(mentions[i], kb, common_strings, &eligibility);
     local_candidate[i] = BestCandidate(page_scores[i]);
     if (local_candidate[i] != kInvalidEntity) {
       ++candidate_page_count[local_candidate[i]];
@@ -132,8 +150,10 @@ TopicResult IdentifyTopics(const std::vector<const DomDocument*>& pages,
     }
   } else {
     // Dominant-XPath step (§3.1.2 step 2): count, across the site, the
-    // XPaths at which each page's best candidate is mentioned.
-    std::map<std::string, int64_t> path_counts;
+    // XPaths at which each page's best candidate is mentioned. Counting is
+    // order-insensitive (unordered_map + cached path strings); the sort
+    // below makes the final ranking deterministic.
+    std::unordered_map<std::string, int64_t> path_counts;
     std::unordered_map<std::string, XPath> path_by_string;
     for (size_t i = 0; i < n; ++i) {
       if (config.deadline.expired()) {
@@ -141,12 +161,14 @@ TopicResult IdentifyTopics(const std::vector<const DomDocument*>& pages,
         return result;
       }
       if (local_candidate[i] == kInvalidEntity) continue;
+      XPathStringCache paths(*pages[i]);
       const auto& nodes = mentions[i].mentions_of.at(local_candidate[i]);
       for (NodeId node : nodes) {
-        XPath path = XPath::FromNode(*pages[i], node);
-        std::string key = path.ToString();
+        const std::string& key = paths.PathString(node);
         ++path_counts[key];
-        path_by_string.emplace(key, std::move(path));
+        if (path_by_string.count(key) == 0) {
+          path_by_string.emplace(key, paths.Path(node));
+        }
       }
     }
     std::vector<std::pair<std::string, int64_t>> ranked(path_counts.begin(),

@@ -96,6 +96,10 @@ Result<TrainedModel> TrainExtractor(
     CERES_RETURN_IF_ERROR(config.deadline.Check("building training examples"));
     const DomDocument& doc = *pages[static_cast<size_t>(page)];
     const std::vector<const Annotation*>& page_annotations = by_page[page];
+    // Featurization itself must stay serial (FeatureMap interning order
+    // defines the feature ids), but the normalized-label lookups it makes
+    // are memoized per page.
+    NormalizedTextCache text_cache(doc);
 
     std::set<NodeId> positive_nodes;
     std::map<PredicateId, std::vector<XPath>> positives_by_predicate;
@@ -109,7 +113,8 @@ Result<TrainedModel> TrainExtractor(
     for (const Annotation* annotation : page_annotations) {
       LabeledExample example;
       example.features =
-          featurizer.Extract(doc, annotation->node, &trained.features);
+          featurizer.Extract(doc, annotation->node, &trained.features,
+                             /*name_prefix=*/{}, &text_cache);
       example.label = trained.classes.ClassOf(annotation->predicate);
       examples.push_back(std::move(example));
     }
@@ -132,7 +137,8 @@ Result<TrainedModel> TrainExtractor(
     if (candidates.size() > wanted) candidates.resize(wanted);
     for (NodeId node : candidates) {
       LabeledExample example;
-      example.features = featurizer.Extract(doc, node, &trained.features);
+      example.features = featurizer.Extract(doc, node, &trained.features,
+                                            /*name_prefix=*/{}, &text_cache);
       example.label = ClassMap::kOtherClass;
       examples.push_back(std::move(example));
     }

@@ -152,6 +152,31 @@ std::vector<size_t> IndexOnlyDifferences(const XPath& a, const XPath& b,
   return positions;
 }
 
+XPathStringCache::Entry& XPathStringCache::EntryFor(NodeId id) {
+  if (entries_.empty()) {
+    entries_.resize(static_cast<size_t>(doc_->size()));
+  }
+  return entries_[static_cast<size_t>(id)];
+}
+
+const XPath& XPathStringCache::Path(NodeId id) {
+  Entry& entry = EntryFor(id);
+  if (!entry.has_path) {
+    entry.path = XPath::FromNode(*doc_, id);
+    entry.has_path = true;
+  }
+  return entry.path;
+}
+
+const std::string& XPathStringCache::PathString(NodeId id) {
+  Entry& entry = EntryFor(id);
+  if (!entry.has_text) {
+    entry.text = Path(id).ToString();
+    entry.has_text = true;
+  }
+  return entry.text;
+}
+
 size_t XPathHash::operator()(const XPath& path) const {
   size_t h = 1469598103934665603ull;  // FNV offset basis.
   for (const XPathStep& step : path.steps()) {

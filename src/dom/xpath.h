@@ -73,6 +73,37 @@ struct XPathHash {
   size_t operator()(const XPath& path) const;
 };
 
+/// Per-document memo of XPath::FromNode / ToString results. Topic
+/// identification and relation annotation address the same text nodes
+/// repeatedly (once per candidate triple); rebuilding the root-to-node walk
+/// and re-serializing it each time dominated their profiles. One cache per
+/// (document, worker): lookups are lazy, entries live as long as the cache,
+/// and the class is intentionally not thread-safe.
+class XPathStringCache {
+ public:
+  explicit XPathStringCache(const DomDocument& doc) : doc_(&doc) {}
+
+  /// The absolute XPath of `id`, built on first use.
+  const XPath& Path(NodeId id);
+
+  /// The serialized form of Path(id), built on first use. The reference
+  /// stays valid for the cache's lifetime.
+  const std::string& PathString(NodeId id);
+
+ private:
+  struct Entry {
+    XPath path;
+    std::string text;
+    bool has_path = false;
+    bool has_text = false;
+  };
+
+  Entry& EntryFor(NodeId id);
+
+  const DomDocument* doc_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace ceres
 
 #endif  // CERES_DOM_XPATH_H_

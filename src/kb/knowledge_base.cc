@@ -48,13 +48,19 @@ void KnowledgeBase::Freeze() {
       name_index_.Add(alias, entity.id);
     }
   }
-  for (size_t i = 0; i < triples_.size(); ++i) {
-    const Triple& triple = triples_[i];
-    triples_by_subject_[triple.subject].push_back(static_cast<int>(i));
+  // CSR subject index over the (now sorted) triple array: a counting pass
+  // then a prefix sum, so TriplesWithSubject is an O(1) span handout.
+  subject_offsets_.assign(entities_.size() + 1, 0);
+  std::string key;
+  for (const Triple& triple : triples_) {
+    ++subject_offsets_[static_cast<size_t>(triple.subject) + 1];
     objects_by_subject_[triple.subject].insert(triple.object);
-    std::string key =
-        NormalizeText(entities_[static_cast<size_t>(triple.object)].name);
+    NormalizeTextInto(entities_[static_cast<size_t>(triple.object)].name,
+                      &key);
     if (!key.empty()) ++object_string_triple_count_[key];
+  }
+  for (size_t s = 1; s < subject_offsets_.size(); ++s) {
+    subject_offsets_[s] += subject_offsets_[s - 1];
   }
   frozen_ = true;
 }
@@ -82,23 +88,25 @@ int64_t KnowledgeBase::CountPredicatesForSubjectType(TypeId type) const {
   return static_cast<int64_t>(seen.size());
 }
 
-std::vector<EntityId> KnowledgeBase::MatchMentions(
+std::span<const EntityId> KnowledgeBase::MatchMentionsView(
     std::string_view text) const {
   CERES_CHECK(frozen_);
-  return name_index_.Match(text);
+  return name_index_.MatchView(text);
 }
 
-std::vector<Triple> KnowledgeBase::TriplesWithSubject(
+std::vector<EntityId> KnowledgeBase::MatchMentions(
+    std::string_view text) const {
+  std::span<const EntityId> hit = MatchMentionsView(text);
+  return std::vector<EntityId>(hit.begin(), hit.end());
+}
+
+std::span<const Triple> KnowledgeBase::TriplesWithSubject(
     EntityId subject) const {
   CERES_CHECK(frozen_);
-  std::vector<Triple> out;
-  auto it = triples_by_subject_.find(subject);
-  if (it == triples_by_subject_.end()) return out;
-  out.reserve(it->second.size());
-  for (int index : it->second) {
-    out.push_back(triples_[static_cast<size_t>(index)]);
-  }
-  return out;
+  if (subject < 0 || subject >= num_entities()) return {};
+  const size_t begin = subject_offsets_[static_cast<size_t>(subject)];
+  const size_t end = subject_offsets_[static_cast<size_t>(subject) + 1];
+  return std::span<const Triple>(triples_.data() + begin, end - begin);
 }
 
 const std::unordered_set<EntityId>& KnowledgeBase::ObjectsOfSubject(
@@ -110,12 +118,8 @@ const std::unordered_set<EntityId>& KnowledgeBase::ObjectsOfSubject(
 
 std::vector<PredicateId> KnowledgeBase::PredicatesBetween(
     EntityId subject, EntityId object) const {
-  CERES_CHECK(frozen_);
   std::vector<PredicateId> out;
-  auto it = triples_by_subject_.find(subject);
-  if (it == triples_by_subject_.end()) return out;
-  for (int index : it->second) {
-    const Triple& triple = triples_[static_cast<size_t>(index)];
+  for (const Triple& triple : TriplesWithSubject(subject)) {
     if (triple.object == object) out.push_back(triple.predicate);
   }
   return out;
@@ -123,14 +127,17 @@ std::vector<PredicateId> KnowledgeBase::PredicatesBetween(
 
 bool KnowledgeBase::HasTriple(EntityId subject, PredicateId predicate,
                               EntityId object) const {
-  CERES_CHECK(frozen_);
-  auto it = triples_by_subject_.find(subject);
-  if (it == triples_by_subject_.end()) return false;
-  for (int index : it->second) {
-    const Triple& triple = triples_[static_cast<size_t>(index)];
-    if (triple.predicate == predicate && triple.object == object) return true;
-  }
-  return false;
+  // The subject slice is sorted by (predicate, object), so membership is a
+  // binary search rather than a scan over the subject's triples.
+  std::span<const Triple> slice = TriplesWithSubject(subject);
+  const Triple probe{subject, predicate, object};
+  return std::binary_search(slice.begin(), slice.end(), probe,
+                            [](const Triple& a, const Triple& b) {
+                              if (a.predicate != b.predicate) {
+                                return a.predicate < b.predicate;
+                              }
+                              return a.object < b.object;
+                            });
 }
 
 std::unordered_set<std::string> KnowledgeBase::CommonObjectStrings(

@@ -2,6 +2,7 @@
 #define CERES_KB_KNOWLEDGE_BASE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -85,13 +86,22 @@ class KnowledgeBase {
   // --- Matching (requires frozen) ------------------------------------------
 
   /// All entity ids whose name or alias fuzzily matches `text` (§3.1.1
-  /// step 1). May return many ids for ambiguous strings.
+  /// step 1). May return many ids for ambiguous strings. The span aliases
+  /// the name index and stays valid for the KB's lifetime; matching
+  /// normalizes into per-thread scratch, so concurrent calls are safe and
+  /// allocation-free.
+  std::span<const EntityId> MatchMentionsView(std::string_view text) const;
+
+  /// Copying variant of MatchMentionsView for callers that keep the result.
   std::vector<EntityId> MatchMentions(std::string_view text) const;
 
   // --- Triple queries (require frozen) --------------------------------------
 
-  /// Triples with the given subject.
-  std::vector<Triple> TriplesWithSubject(EntityId subject) const;
+  /// Triples with the given subject. Freeze() sorts triples by (subject,
+  /// predicate, object) and indexes them CSR-style, so this is a view into
+  /// the contiguous per-subject slice of triples() — no copy. Valid for the
+  /// KB's lifetime.
+  std::span<const Triple> TriplesWithSubject(EntityId subject) const;
 
   /// Set of objects of any triple with the given subject — the
   /// entitySet of Equation (1).
@@ -118,7 +128,11 @@ class KnowledgeBase {
   bool frozen_ = false;
 
   FuzzyMatcher name_index_;
-  std::unordered_map<EntityId, std::vector<int>> triples_by_subject_;
+  // CSR subject index: entity ids are dense [0, num_entities), and triples_
+  // is sorted by (subject, predicate, object) at Freeze() time, so the
+  // triples of subject s are triples_[subject_offsets_[s],
+  // subject_offsets_[s+1]). Queries hand out spans over that slice.
+  std::vector<size_t> subject_offsets_;
   std::unordered_map<EntityId, std::unordered_set<EntityId>>
       objects_by_subject_;
   std::unordered_map<std::string, int64_t> object_string_triple_count_;

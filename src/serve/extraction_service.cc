@@ -44,8 +44,9 @@ Status ExtractionService::Start() {
   // long-lived WorkerLoop bodies and inherits ParallelFor's exception
   // containment (a throwing worker surfaces at join, not via terminate).
   pool_ = std::thread([this, workers] {
-    ParallelFor(workers, static_cast<int>(workers),
-                [this](size_t) { WorkerLoop(); });
+    ParallelConfig pool;
+    pool.threads = static_cast<int>(workers);
+    ParallelFor(workers, pool, [this](size_t) { WorkerLoop(); });
   });
   return Status::Ok();
 }

@@ -7,17 +7,21 @@
 
 namespace ceres {
 
-std::string StripTrailingYear(std::string_view normalized) {
+std::string_view StripTrailingYearView(std::string_view normalized) {
   size_t space = normalized.rfind(' ');
-  if (space == std::string_view::npos) return std::string(normalized);
+  if (space == std::string_view::npos) return normalized;
   std::string_view last = normalized.substr(space + 1);
-  if (last.size() != 4) return std::string(normalized);
+  if (last.size() != 4) return normalized;
   for (char c : last) {
     if (!std::isdigit(static_cast<unsigned char>(c))) {
-      return std::string(normalized);
+      return normalized;
     }
   }
-  return std::string(normalized.substr(0, space));
+  return normalized.substr(0, space);
+}
+
+std::string StripTrailingYear(std::string_view normalized) {
+  return std::string(StripTrailingYearView(normalized));
 }
 
 void FuzzyMatcher::Add(std::string_view name, int64_t id) {
@@ -30,26 +34,37 @@ void FuzzyMatcher::Add(std::string_view name, int64_t id) {
 }
 
 const std::vector<int64_t>* FuzzyMatcher::Lookup(
-    const std::string& normalized) const {
+    std::string_view normalized) const {
   auto it = index_.find(normalized);
   return it == index_.end() ? nullptr : &it->second;
 }
 
-std::vector<int64_t> FuzzyMatcher::Match(std::string_view text) const {
-  std::string key = NormalizeText(text);
-  if (key.empty()) return {};
-  const std::vector<int64_t>* hit = Lookup(key);
+std::span<const int64_t> FuzzyMatcher::MatchView(std::string_view text) const {
+  // One scratch buffer per thread: concurrent batch workers each reuse
+  // their own, so the hot path stays allocation-free after warm-up.
+  thread_local std::string scratch;
+  NormalizeTextInto(text, &scratch);
+  if (scratch.empty()) return {};
+  const std::vector<int64_t>* hit = Lookup(scratch);
   if (hit == nullptr) {
     // Retry with a trailing disambiguation year removed, a common pattern on
     // film sites ("Do the Right Thing (1989)").
-    std::string stripped = StripTrailingYear(key);
-    if (stripped != key && !stripped.empty()) hit = Lookup(stripped);
+    std::string_view stripped = StripTrailingYearView(scratch);
+    if (stripped.size() != scratch.size() && !stripped.empty()) {
+      hit = Lookup(stripped);
+    }
   }
-  return hit != nullptr ? *hit : std::vector<int64_t>{};
+  return hit != nullptr ? std::span<const int64_t>(*hit)
+                        : std::span<const int64_t>{};
+}
+
+std::vector<int64_t> FuzzyMatcher::Match(std::string_view text) const {
+  std::span<const int64_t> hit = MatchView(text);
+  return std::vector<int64_t>(hit.begin(), hit.end());
 }
 
 bool FuzzyMatcher::Matches(std::string_view text) const {
-  return !Match(text).empty();
+  return !MatchView(text).empty();
 }
 
 }  // namespace ceres

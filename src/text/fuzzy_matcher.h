@@ -2,6 +2,8 @@
 #define CERES_TEXT_FUZZY_MATCHER_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,6 +20,11 @@ namespace ceres {
 ///
 /// The same id may be registered under several names (aliases); the same
 /// name may map to many ids (ambiguity, e.g. "Pilot" as a TV episode title).
+///
+/// Lookups are heterogeneous (string_view keys probe the index directly) and
+/// MatchView normalizes into a per-thread scratch buffer, so the per-call
+/// cost on the DOM-text-node hot path is hashing, not allocation. Concurrent
+/// MatchView/Match calls on a fully built matcher are safe; Add is not.
 class FuzzyMatcher {
  public:
   FuzzyMatcher() = default;
@@ -27,7 +34,11 @@ class FuzzyMatcher {
   void Add(std::string_view name, int64_t id);
 
   /// All ids whose registered names fuzzily match `text`. Order is the
-  /// registration order; no duplicates.
+  /// registration order; no duplicates. The span aliases the matcher's
+  /// index and stays valid until the next Add.
+  std::span<const int64_t> MatchView(std::string_view text) const;
+
+  /// Copying variant of MatchView for callers that keep the result.
   std::vector<int64_t> Match(std::string_view text) const;
 
   /// True if any id is registered under a name matching `text`.
@@ -37,14 +48,28 @@ class FuzzyMatcher {
   size_t KeyCount() const { return index_.size(); }
 
  private:
-  const std::vector<int64_t>* Lookup(const std::string& normalized) const;
+  // Heterogeneous hashing (C++20 P0919): find(string_view) probes without
+  // materializing a std::string key.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
 
-  std::unordered_map<std::string, std::vector<int64_t>> index_;
+  const std::vector<int64_t>* Lookup(std::string_view normalized) const;
+
+  std::unordered_map<std::string, std::vector<int64_t>, TransparentHash,
+                     std::equal_to<>>
+      index_;
 };
 
-/// Strips one trailing 4-digit-year token from a normalized string:
+/// View of `normalized` with one trailing 4-digit-year token removed:
 /// "selma 2014" -> "selma". Returns the input unchanged when there is no
 /// trailing year or nothing would remain.
+std::string_view StripTrailingYearView(std::string_view normalized);
+
+/// Copying variant of StripTrailingYearView.
 std::string StripTrailingYear(std::string_view normalized);
 
 }  // namespace ceres

@@ -112,8 +112,9 @@ const std::unordered_set<std::string>& LowInformationWords() {
 
 }  // namespace
 
-std::string NormalizeText(std::string_view input) {
-  std::string out;
+void NormalizeTextInto(std::string_view input, std::string* out_ptr) {
+  std::string& out = *out_ptr;
+  out.clear();
   out.reserve(input.size());
   bool pending_space = false;
   auto push = [&](char c) {
@@ -143,6 +144,11 @@ std::string NormalizeText(std::string_view input) {
       push(folded != 0 ? folded : ' ');
     }
   }
+}
+
+std::string NormalizeText(std::string_view input) {
+  std::string out;
+  NormalizeTextInto(input, &out);
   return out;
 }
 

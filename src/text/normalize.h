@@ -16,6 +16,12 @@ namespace ceres {
 /// their normalizations are equal.
 std::string NormalizeText(std::string_view input);
 
+/// NormalizeText into a caller-owned buffer, reusing its capacity. Hot
+/// loops (per-DOM-text-node matching, lexicon mining) call this with a
+/// scratch string so normalization stops allocating per call. `out` is
+/// cleared first; `input` must not alias `*out`.
+void NormalizeTextInto(std::string_view input, std::string* out);
+
 /// True if the normalized form is empty (i.e. the field carries no
 /// matchable content).
 bool IsBlankAfterNormalize(std::string_view input);

@@ -2,6 +2,7 @@
 #define CERES_UTIL_PARALLEL_H_
 
 #include <atomic>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <thread>
@@ -11,9 +12,47 @@
 
 namespace ceres {
 
-/// Runs `body(i)` for every i in [0, n) across up to `threads` worker
-/// threads (0 = hardware concurrency). Work is claimed dynamically via an
-/// atomic counter, so uneven per-item costs (per-site pipeline runs)
+/// How a batch loop may fan out. Carried by stage configs (pipeline,
+/// feature mining, extraction) so callers decide the thread budget once and
+/// every layer below honors it; call sites never hard-code thread counts.
+struct ParallelConfig {
+  /// Worker threads; 0 = hardware concurrency.
+  int threads = 0;
+  /// Sequential fast path: no worker threads are spawned unless every
+  /// worker would receive at least this many items. Spawning a thread per
+  /// handful of cheap items costs more than it saves; stages with tiny
+  /// per-item work set this higher.
+  size_t min_items_per_thread = 1;
+
+  /// A config that always runs inline on the calling thread. Used by
+  /// nested loops whose parent already fanned out.
+  static ParallelConfig Sequential() {
+    ParallelConfig config;
+    config.threads = 1;
+    return config;
+  }
+
+  /// Worker threads ParallelFor would use for `n` items: the resolved
+  /// thread count, capped so each worker gets at least
+  /// `min_items_per_thread` items (and never more workers than items).
+  size_t WorkerCount(size_t n) const {
+    if (n == 0) return 0;
+    size_t workers =
+        threads > 0 ? static_cast<size_t>(threads)
+                    : std::max(1u, std::thread::hardware_concurrency());
+    if (workers > n) workers = n;
+    if (min_items_per_thread > 1) {
+      const size_t by_items = std::max<size_t>(1, n / min_items_per_thread);
+      if (workers > by_items) workers = by_items;
+    }
+    return workers;
+  }
+};
+
+/// Runs `body(i)` for every i in [0, n) across the workers allowed by
+/// `config` (see ParallelConfig::WorkerCount; a resolved count of one runs
+/// inline with no threads spawned). Work is claimed dynamically via an
+/// atomic counter, so uneven per-item costs (per-cluster pipeline runs)
 /// balance naturally. The caller must ensure `body` is safe to run
 /// concurrently for distinct indices; results should be written to
 /// pre-sized per-index slots so no synchronization is needed.
@@ -23,13 +62,10 @@ namespace ceres {
 /// worker thread would otherwise std::terminate the process). Remaining
 /// unclaimed indices are abandoned once a failure is recorded; in-flight
 /// iterations on other workers still run to completion.
-inline void ParallelFor(size_t n, int threads,
+inline void ParallelFor(size_t n, const ParallelConfig& config,
                         const std::function<void(size_t)>& body) {
   if (n == 0) return;
-  size_t worker_count = threads > 0
-                            ? static_cast<size_t>(threads)
-                            : std::max(1u, std::thread::hardware_concurrency());
-  if (worker_count > n) worker_count = n;
+  const size_t worker_count = config.WorkerCount(n);
   if (worker_count <= 1) {
     for (size_t i = 0; i < n; ++i) body(i);
     return;
@@ -59,6 +95,16 @@ inline void ParallelFor(size_t n, int threads,
   }
   for (std::thread& worker : workers) worker.join();
   if (first_exception != nullptr) std::rethrow_exception(first_exception);
+}
+
+/// Raw-thread-count compatibility overload (0 = hardware concurrency).
+/// Prefer the ParallelConfig overload in library code; stage configs carry
+/// one so thread budgets flow from the caller.
+inline void ParallelFor(size_t n, int threads,
+                        const std::function<void(size_t)>& body) {
+  ParallelConfig config;
+  config.threads = threads;
+  ParallelFor(n, config, body);
 }
 
 }  // namespace ceres

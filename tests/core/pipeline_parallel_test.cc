@@ -1,0 +1,207 @@
+// Thread-count determinism of the batch pipeline: RunPipeline at
+// parallel.threads = 8 must produce a PipelineResult identical, field by
+// field, to the serial run — annotations, extractions, diagnostics and
+// all. Runs under the tsan ctest label so ThreadSanitizer also sweeps the
+// cluster fan-out and the per-page inner loops for data races.
+
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "dom/html_parser.h"
+#include "dom/html_serializer.h"
+#include "synth/corpora.h"
+#include "synth/kb_builder.h"
+
+namespace ceres {
+namespace {
+
+/// Two templates over one movie world: distinct css prefixes and section
+/// mixes, so clustering yields two independent clusters — the unit the
+/// pipeline fans out across.
+class PipelineParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::MovieWorldConfig config;
+    config.scale = 0.25;
+    world_ = new synth::World(synth::BuildMovieWorld(config));
+    synth::SeedKbConfig kb_config;
+    kb_config.default_coverage = 0.9;
+    seed_kb_ = new KnowledgeBase(synth::BuildSeedKb(*world_, kb_config));
+
+    TypeId film = *world_->kb.ontology().TypeByName("film");
+    const auto& films = world_->OfType(film);
+
+    synth::SiteSpec a;
+    a.name = "alpha.example";
+    a.seed = 7;
+    a.tmpl.topic_type = "film";
+    a.tmpl.css_prefix = "pa";
+    a.tmpl.num_recommendations = 3;
+    a.tmpl.sections = {
+        {synth::pred::kFilmDirectedBy, "director", synth::SectionLayout::kRow,
+         0.05, 3},
+        {synth::pred::kFilmHasCastMember, "cast",
+         synth::SectionLayout::kList, 0.05, 12},
+        {synth::pred::kFilmReleaseDate, "release_date",
+         synth::SectionLayout::kRow, 0.05, 1},
+    };
+    a.topics.assign(films.begin(), films.begin() + 40);
+
+    // Deliberately far from template A — table layouts, no nav/footer,
+    // year-suffixed titles — so the two sites stay below the clustering
+    // similarity threshold and land in separate clusters.
+    synth::SiteSpec b;
+    b.name = "beta.example";
+    b.seed = 13;
+    b.tmpl.topic_type = "film";
+    b.tmpl.css_prefix = "pb";
+    b.tmpl.nav = false;
+    b.tmpl.footer = false;
+    b.tmpl.title_year_suffix = true;
+    b.tmpl.sections = {
+        {synth::pred::kFilmWrittenBy, "writer", synth::SectionLayout::kTable,
+         0.05, 4},
+        {synth::pred::kFilmHasGenre, "genre", synth::SectionLayout::kTable,
+         0.05, 5},
+        {synth::pred::kFilmHasCastMember, "cast",
+         synth::SectionLayout::kTable, 0.05, 10},
+        {synth::pred::kFilmReleaseDate, "release_date",
+         synth::SectionLayout::kTable, 0.05, 1},
+    };
+    b.topics.assign(films.begin() + 40, films.begin() + 80);
+
+    pages_ = new std::vector<DomDocument>();
+    split_ = new size_t(0);
+    for (const synth::SiteSpec& spec : {a, b}) {
+      for (const synth::GeneratedPage& page :
+           GenerateSite(*world_, spec)) {
+        Result<DomDocument> parsed = ParseHtml(page.html);
+        ASSERT_TRUE(parsed.ok());
+        pages_->push_back(std::move(parsed).value());
+      }
+      if (spec.name == a.name) *split_ = pages_->size();
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete pages_;
+    delete split_;
+    delete seed_kb_;
+    delete world_;
+    pages_ = nullptr;
+    split_ = nullptr;
+    seed_kb_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static PipelineResult Run(const std::vector<DomDocument>& pages,
+                            int threads) {
+    PipelineConfig config;
+    config.parallel.threads = threads;
+    Result<PipelineResult> result = RunPipeline(pages, *seed_kb_, config);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  static void ExpectSameResult(const PipelineResult& a,
+                               const PipelineResult& b) {
+    EXPECT_EQ(a.cluster_of_page, b.cluster_of_page);
+    EXPECT_EQ(a.topic_of_page, b.topic_of_page);
+    EXPECT_EQ(a.topic_node_of_page, b.topic_node_of_page);
+    EXPECT_EQ(a.annotated_pages, b.annotated_pages);
+
+    ASSERT_EQ(a.annotations.size(), b.annotations.size());
+    for (size_t i = 0; i < a.annotations.size(); ++i) {
+      EXPECT_EQ(a.annotations[i].page, b.annotations[i].page);
+      EXPECT_EQ(a.annotations[i].node, b.annotations[i].node);
+      EXPECT_EQ(a.annotations[i].predicate, b.annotations[i].predicate);
+      EXPECT_EQ(a.annotations[i].object, b.annotations[i].object);
+    }
+
+    ASSERT_EQ(a.extractions.size(), b.extractions.size());
+    for (size_t i = 0; i < a.extractions.size(); ++i) {
+      EXPECT_EQ(a.extractions[i].page, b.extractions[i].page);
+      EXPECT_EQ(a.extractions[i].node, b.extractions[i].node);
+      EXPECT_EQ(a.extractions[i].predicate, b.extractions[i].predicate);
+      EXPECT_EQ(a.extractions[i].subject, b.extractions[i].subject);
+      EXPECT_EQ(a.extractions[i].object, b.extractions[i].object);
+      // Exact, not approximate: the parallel run must execute the same
+      // float operations in the same order as the serial one.
+      EXPECT_EQ(a.extractions[i].confidence, b.extractions[i].confidence);
+    }
+
+    ASSERT_EQ(a.models.size(), b.models.size());
+    for (size_t i = 0; i < a.models.size(); ++i) {
+      EXPECT_EQ(a.models[i].cluster, b.models[i].cluster);
+    }
+
+    for (int s = 0; s < kNumPipelineStages; ++s) {
+      EXPECT_EQ(a.diagnostics.stages[s].attempted,
+                b.diagnostics.stages[s].attempted);
+      EXPECT_EQ(a.diagnostics.stages[s].completed,
+                b.diagnostics.stages[s].completed);
+      EXPECT_EQ(a.diagnostics.stages[s].skipped,
+                b.diagnostics.stages[s].skipped);
+    }
+    EXPECT_EQ(a.diagnostics.run_deadline_expired,
+              b.diagnostics.run_deadline_expired);
+    ASSERT_EQ(a.diagnostics.skipped_clusters.size(),
+              b.diagnostics.skipped_clusters.size());
+    for (size_t i = 0; i < a.diagnostics.skipped_clusters.size(); ++i) {
+      EXPECT_EQ(a.diagnostics.skipped_clusters[i].cluster,
+                b.diagnostics.skipped_clusters[i].cluster);
+      EXPECT_EQ(a.diagnostics.skipped_clusters[i].stage,
+                b.diagnostics.skipped_clusters[i].stage);
+    }
+  }
+
+  static synth::World* world_;
+  static KnowledgeBase* seed_kb_;
+  static std::vector<DomDocument>* pages_;
+  static size_t* split_;  // pages_[0, split_) came from site A
+};
+
+synth::World* PipelineParallelTest::world_ = nullptr;
+KnowledgeBase* PipelineParallelTest::seed_kb_ = nullptr;
+std::vector<DomDocument>* PipelineParallelTest::pages_ = nullptr;
+size_t* PipelineParallelTest::split_ = nullptr;
+
+TEST_F(PipelineParallelTest, MultiClusterResultIdenticalAtEightThreads) {
+  const PipelineResult serial = Run(*pages_, /*threads=*/1);
+
+  // Precondition: the two templates really landed in different clusters
+  // (otherwise this test would not exercise the cluster fan-out).
+  int num_clusters = 0;
+  for (int cluster : serial.cluster_of_page) {
+    num_clusters = std::max(num_clusters, cluster + 1);
+  }
+  ASSERT_GE(num_clusters, 2);
+  ASSERT_FALSE(serial.extractions.empty());
+
+  ExpectSameResult(Run(*pages_, /*threads=*/8), serial);
+}
+
+TEST_F(PipelineParallelTest, OddThreadCountAlsoIdentical) {
+  const PipelineResult serial = Run(*pages_, /*threads=*/1);
+  ExpectSameResult(Run(*pages_, /*threads=*/3), serial);
+}
+
+TEST_F(PipelineParallelTest, SingleClusterInnerParallelismIdentical) {
+  // One template only: the thread budget moves to the per-page inner
+  // loops (entity matching, lexicon mining, extraction), which must be
+  // just as deterministic as the cluster fan-out.
+  std::vector<DomDocument> site_a;
+  for (size_t i = 0; i < *split_; ++i) {
+    Result<DomDocument> reparsed =
+        ParseHtml(SerializeHtml((*pages_)[i]));
+    ASSERT_TRUE(reparsed.ok());
+    site_a.push_back(std::move(reparsed).value());
+  }
+  const PipelineResult serial = Run(site_a, /*threads=*/1);
+  ASSERT_FALSE(serial.extractions.empty());
+  ExpectSameResult(Run(site_a, /*threads=*/8), serial);
+}
+
+}  // namespace
+}  // namespace ceres

@@ -57,9 +57,12 @@ TEST_F(KnowledgeBaseTest, MatchMentionsByNameAndAlias) {
 
 TEST_F(KnowledgeBaseTest, TriplesWithSubject) {
   kb_.Freeze();
-  std::vector<Triple> triples = kb_.TriplesWithSubject(film_);
+  std::span<const Triple> triples = kb_.TriplesWithSubject(film_);
   EXPECT_EQ(triples.size(), 2u);
   EXPECT_TRUE(kb_.TriplesWithSubject(lee_).empty());
+  // The span aliases the frozen triple store and is sorted by
+  // (subject, predicate, object).
+  for (const Triple& triple : triples) EXPECT_EQ(triple.subject, film_);
 }
 
 TEST_F(KnowledgeBaseTest, ObjectsOfSubject) {

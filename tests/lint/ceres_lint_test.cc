@@ -45,6 +45,8 @@ TEST(CeresLintTest, EachKnownBadSnippetFiresExactlyOnce) {
        "config-deadline"},
       {"detached_thread.cc", "src/dom/detached_thread.cc", "thread-hygiene"},
       {"sleep_poll.cc", "src/robustness/sleep_poll.cc", "thread-hygiene"},
+      {"raw_parallelism.cc", "src/core/raw_parallelism.cc",
+       "raw-parallelism"},
   };
   for (const KnownBad& known : cases) {
     SCOPED_TRACE(known.corpus);
@@ -73,9 +75,10 @@ TEST(CeresLintTest, WholeCorpusTotalsAcrossFiles) {
       {"src/core/missing_deadline.h", ReadCorpus("missing_deadline.cc")},
       {"src/dom/detached_thread.cc", ReadCorpus("detached_thread.cc")},
       {"src/robustness/sleep_poll.cc", ReadCorpus("sleep_poll.cc")},
+      {"src/core/raw_parallelism.cc", ReadCorpus("raw_parallelism.cc")},
       {"src/serve/clean.cc", ReadCorpus("clean.cc")},
   };
-  EXPECT_EQ(Lint(files).size(), 5u);
+  EXPECT_EQ(Lint(files).size(), 6u);
 }
 
 TEST(CeresLintTest, ScopeGatesRules) {
@@ -87,6 +90,31 @@ TEST(CeresLintTest, ScopeGatesRules) {
       LintAs("sleep_poll.cc", "tests/robustness/sleep_poll_test.cc").empty());
   EXPECT_TRUE(
       LintAs("missing_deadline.cc", "src/serve/missing_deadline.h").empty());
+  // A hard-coded thread count is only policed in the batch-pipeline scope.
+  EXPECT_TRUE(
+      LintAs("raw_parallelism.cc", "src/serve/raw_parallelism.cc").empty());
+}
+
+TEST(CeresLintTest, RawParallelismCatchesEachShape) {
+  const std::string content =
+      "namespace ceres {\n"
+      "void Fan(size_t n, const ParallelConfig& config) {\n"
+      "  std::thread worker([] {});\n"
+      "  ParallelFor(n, 4, [](size_t) {});\n"
+      "  ParallelConfig pool{2};\n"
+      "  ParallelFor(n, config, [](size_t) {});\n"
+      "  ParallelFor(n, ParallelConfig::Sequential(), [](size_t) {});\n"
+      "}\n"
+      "}  // namespace ceres\n";
+  const std::vector<Diagnostic> diagnostics =
+      Lint({SourceFile{"src/core/fan.cc", content}});
+  ASSERT_EQ(diagnostics.size(), 3u);
+  for (const Diagnostic& diagnostic : diagnostics) {
+    EXPECT_EQ(diagnostic.rule, "raw-parallelism");
+  }
+  EXPECT_EQ(diagnostics[0].line, 3);
+  EXPECT_EQ(diagnostics[1].line, 4);
+  EXPECT_EQ(diagnostics[2].line, 5);
 }
 
 TEST(CeresLintTest, SuppressionCommentSilencesOneLine) {

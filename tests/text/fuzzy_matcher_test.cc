@@ -63,6 +63,32 @@ TEST(FuzzyMatcherTest, EmptyAndBlankNeverMatch) {
   EXPECT_TRUE(matcher.Match("").empty());
 }
 
+TEST(FuzzyMatcherTest, MatchViewAliasesIndexAndAgreesWithMatch) {
+  FuzzyMatcher matcher;
+  matcher.Add("Do the Right Thing", 1);
+  matcher.Add("Pilot", 10);
+  matcher.Add("Pilot", 20);
+  const std::span<const int64_t> hit = matcher.MatchView("pilot");
+  EXPECT_EQ(std::vector<int64_t>(hit.begin(), hit.end()),
+            matcher.Match("pilot"));
+  // The span is a view into the matcher's index, valid across lookups.
+  const std::span<const int64_t> other =
+      matcher.MatchView("DO THE RIGHT THING (1989)");
+  EXPECT_EQ(std::vector<int64_t>(other.begin(), other.end()),
+            (std::vector<int64_t>{1}));
+  EXPECT_EQ(std::vector<int64_t>(hit.begin(), hit.end()),
+            (std::vector<int64_t>{10, 20}));
+  EXPECT_TRUE(matcher.MatchView("nobody").empty());
+}
+
+TEST(StripTrailingYearTest, ViewVariantAgreesWithCopyingVariant) {
+  for (const char* input :
+       {"selma 2014", "selma", "2014", "top 100", "war 19999"}) {
+    EXPECT_EQ(StripTrailingYearView(input), StripTrailingYear(input))
+        << input;
+  }
+}
+
 TEST(StripTrailingYearTest, Behaviour) {
   EXPECT_EQ(StripTrailingYear("selma 2014"), "selma");
   EXPECT_EQ(StripTrailingYear("selma"), "selma");

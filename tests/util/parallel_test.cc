@@ -90,5 +90,69 @@ TEST(ParallelForTest, AllIndicesRunWhenNothingThrows) {
   EXPECT_EQ(hits.load(), 64);
 }
 
+TEST(ParallelConfigTest, WorkerCountNeverExceedsItems) {
+  ParallelConfig config;
+  config.threads = 16;
+  EXPECT_EQ(config.WorkerCount(3), 3u);
+  EXPECT_EQ(config.WorkerCount(16), 16u);
+  EXPECT_EQ(config.WorkerCount(0), 0u);
+}
+
+TEST(ParallelConfigTest, MinItemsPerThreadCapsWorkers) {
+  ParallelConfig config;
+  config.threads = 8;
+  config.min_items_per_thread = 10;
+  // 25 items / 10 per worker -> at most 2 workers.
+  EXPECT_EQ(config.WorkerCount(25), 2u);
+  // Fewer items than the floor: run inline rather than spawn.
+  EXPECT_EQ(config.WorkerCount(9), 1u);
+  EXPECT_EQ(config.WorkerCount(100), 8u);
+}
+
+TEST(ParallelConfigTest, SequentialAlwaysResolvesToOneWorker) {
+  const ParallelConfig config = ParallelConfig::Sequential();
+  EXPECT_EQ(config.WorkerCount(1), 1u);
+  EXPECT_EQ(config.WorkerCount(1000000), 1u);
+}
+
+TEST(ParallelConfigTest, ZeroThreadsUsesHardwareConcurrency) {
+  ParallelConfig config;
+  const size_t hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(config.WorkerCount(1000000), hardware);
+}
+
+TEST(ParallelConfigTest, SequentialConfigRunsInOrderOnCallingThread) {
+  // The sequential fast path must run inline: same thread, ascending order.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> order;
+  ParallelFor(5, ParallelConfig::Sequential(), [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelConfigTest, ConfigOverloadCoversEveryIndexExactlyOnce) {
+  const size_t n = 500;
+  ParallelConfig config;
+  config.threads = 4;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h = 0;
+  ParallelFor(n, config, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelConfigTest, MinItemsFloorStillCoversAllItems) {
+  ParallelConfig config;
+  config.threads = 8;
+  config.min_items_per_thread = 64;
+  std::atomic<int> hits{0};
+  ParallelFor(100, config, [&](size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 100);
+}
+
 }  // namespace
 }  // namespace ceres

@@ -1,0 +1,22 @@
+// Corpus: batch-pipeline code that hard-codes its own thread count (the
+// test lints this content under a src/core/ path). Exactly one
+// raw-parallelism violation — the literal-count ParallelFor; the overload
+// taking the caller's ParallelConfig is the compliant form.
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace ceres {
+
+void ScoreAll(const std::vector<int>& pages, const ParallelConfig& config) {
+  ParallelFor(pages.size(), 8, [&](size_t i) {  // BAD: count picked here
+    (void)pages[i];
+  });
+  ParallelFor(pages.size(), config, [&](size_t i) {  // caller's budget
+    (void)pages[i];
+  });
+}
+
+}  // namespace ceres

@@ -214,6 +214,12 @@ bool IsStageConfigScope(const std::string& path) {
   return PathContains(path, "src/core/") || PathContains(path, "src/cluster/");
 }
 
+/// Batch-pipeline scope for the raw-parallelism rule: stage code receives
+/// its thread budget via ParallelConfig, it never picks one itself.
+bool IsBatchParallelScope(const std::string& path) {
+  return PathContains(path, "src/core/");
+}
+
 bool Suppressed(const TokenizedFile& file, int line, const std::string& rule) {
   auto it = file.suppressions.find(line);
   if (it == file.suppressions.end()) return false;
@@ -401,6 +407,69 @@ void CheckConfigDeadline(const SourceFile& source, const TokenizedFile& file,
   }
 }
 
+void CheckRawParallelism(const SourceFile& source, const TokenizedFile& file,
+                         std::vector<Diagnostic>* out) {
+  if (!IsBatchParallelScope(source.path)) return;
+  const std::vector<Token>& tokens = file.tokens;
+  auto is_number = [](const Token& token) {
+    return !token.is_literal && !token.text.empty() &&
+           token.text[0] >= '0' && token.text[0] <= '9';
+  };
+  auto emit = [&](int line, const std::string& message) {
+    if (Suppressed(file, line, "raw-parallelism")) return;
+    out->push_back(Diagnostic{source.path, line, "raw-parallelism", message});
+  };
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].is_literal) continue;
+    const std::string& text = tokens[i].text;
+    // Raw std::thread (spawn, member, or hardware_concurrency probe): the
+    // thread budget belongs to the caller's ParallelConfig, not the stage.
+    if (text == "std" && i + 2 < tokens.size() &&
+        tokens[i + 1].text == "::" && tokens[i + 2].text == "thread") {
+      emit(tokens[i].line,
+           "raw std::thread in batch-pipeline code; take a ParallelConfig "
+           "and run through ParallelFor (util/parallel.h)");
+      continue;
+    }
+    // ParallelFor(n, <literal>, body): a hard-coded thread count.
+    if (text == "ParallelFor" && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "(") {
+      size_t j = i + 2;
+      int depth = 1;
+      while (j < tokens.size()) {
+        if (!tokens[j].is_literal) {
+          const std::string& t = tokens[j].text;
+          if (t == "(" || t == "{" || t == "[") ++depth;
+          if (t == ")" || t == "}" || t == "]") {
+            if (--depth == 0) break;  // call ended before a second argument
+          }
+          if (depth == 1 && t == ",") break;
+        }
+        ++j;
+      }
+      if (j + 2 < tokens.size() && tokens[j].text == "," &&
+          is_number(tokens[j + 1]) && tokens[j + 2].text == ",") {
+        emit(tokens[j + 1].line,
+             "literal thread count passed to ParallelFor; accept a "
+             "ParallelConfig from the caller instead");
+      }
+      continue;
+    }
+    // ParallelConfig{<literal>} / ParallelConfig name{<literal>}: same
+    // smell, aggregate-initialized with a hard-coded count.
+    if (text == "ParallelConfig" && i + 2 < tokens.size()) {
+      size_t brace = i + 1;
+      if (IsIdent(tokens[brace])) ++brace;  // optional variable name
+      if (brace + 1 < tokens.size() && tokens[brace].text == "{" &&
+          is_number(tokens[brace + 1])) {
+        emit(tokens[i].line,
+             "ParallelConfig built from a literal thread count; use "
+             "ParallelConfig::Sequential() or the caller's config");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
@@ -417,6 +486,7 @@ std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
     CheckNakedSync(files[i], tokenized[i], &diagnostics);
     CheckThreadHygiene(files[i], tokenized[i], &diagnostics);
     CheckConfigDeadline(files[i], tokenized[i], &diagnostics);
+    CheckRawParallelism(files[i], tokenized[i], &diagnostics);
   }
   std::stable_sort(diagnostics.begin(), diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {

@@ -32,6 +32,12 @@
 ///                    without a `Deadline` member. Every pipeline-stage
 ///                    config must carry the cooperative deadline so no
 ///                    stage is uninterruptible.
+///   raw-parallelism  Raw `std::thread`, a `ParallelFor` call with a bare
+///                    numeric thread count, or `ParallelConfig{<number>}`
+///                    in src/core/. Batch code must thread ParallelConfig
+///                    through from the caller (or use
+///                    ParallelConfig::Sequential()) so thread budgets stay
+///                    a single top-level policy knob.
 ///
 /// Any diagnostic can be suppressed for one line with a trailing comment:
 ///   // ceres-lint: allow(<rule>)    or    // ceres-lint: allow(all)
