@@ -32,6 +32,7 @@
 
 #include "bench/bench_common.h"
 #include "core/pipeline.h"
+#include "obs/trace.h"
 #include "synth/corpora.h"
 
 namespace {
@@ -142,6 +143,11 @@ int main(int argc, char** argv) {
     PipelineConfig config =
         bench::MakeConfig(bench::System::kCeresFull, split);
     config.parallel.threads = threads;
+    // Per-run trace tree: spans are always recorded when a tree is attached,
+    // independent of obs::Enabled(), so the counter hot paths stay disabled
+    // and the sweep measures the same code the no-observability run does.
+    obs::TraceTree trace;
+    config.trace = &trace;
     const auto start = std::chrono::steady_clock::now();
     Result<PipelineResult> run =
         RunPipeline(pages, parsed.corpus.seed_kb, config);
@@ -177,13 +183,33 @@ int main(int argc, char** argv) {
     const double pages_per_sec =
         seconds > 0 ? static_cast<double>(num_pages) / seconds : 0;
     const double speedup = seconds > 0 ? serial_seconds / seconds : 0;
+    // Stage timings are summed across clusters, so with N workers the
+    // per-stage totals can exceed wall-clock seconds.
+    const int64_t clustering_us = trace.TotalMicros({"pipeline", "clustering"});
+    const int64_t topic_us =
+        trace.TotalMicros({"pipeline", "clusters", "cluster", "topic"});
+    const int64_t annotate_us =
+        trace.TotalMicros({"pipeline", "clusters", "cluster", "annotate"});
+    const int64_t train_us =
+        trace.TotalMicros({"pipeline", "clusters", "cluster", "train"});
+    const int64_t extract_us =
+        trace.TotalMicros({"pipeline", "clusters", "cluster", "extract"});
     std::printf(
         "BENCH {\"bench\":\"pipeline_throughput\",\"mode\":\"%s\","
         "\"threads\":%d,\"pages\":%zu,\"seconds\":%.3f,"
         "\"pages_per_sec\":%.1f,\"speedup\":%.2f,"
-        "\"hardware_concurrency\":%u,\"identical_to_serial\":%s}\n",
+        "\"hardware_concurrency\":%u,\"identical_to_serial\":%s,"
+        "\"stage_us\":{\"clustering\":%lld,\"topic\":%lld,"
+        "\"annotate\":%lld,\"train\":%lld,\"extract\":%lld}}\n",
         smoke ? "smoke" : "full", threads, num_pages, seconds, pages_per_sec,
-        speedup, hardware, identical ? "true" : "false");
+        speedup, hardware, identical ? "true" : "false",
+        static_cast<long long>(clustering_us),
+        static_cast<long long>(topic_us),
+        static_cast<long long>(annotate_us),
+        static_cast<long long>(train_us),
+        static_cast<long long>(extract_us));
+    Require(clustering_us + topic_us + annotate_us + train_us + extract_us > 0,
+            "trace recorded no stage timings");
 
     // Speedup gates only bind when the host can actually run that many
     // workers; a 1-core CI box still checks determinism above.

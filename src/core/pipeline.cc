@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/entity_matcher.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -116,15 +117,26 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
   result.topic_of_page.assign(pages.size(), kInvalidEntity);
   result.topic_node_of_page.assign(pages.size(), kInvalidNode);
 
+  obs::TraceSpan run_span(config.trace, "pipeline");
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Default();
+    registry.GetCounter("ceres_pipeline_runs_total")->Increment();
+    registry.GetCounter("ceres_pipeline_pages_total")
+        ->Increment(static_cast<int64_t>(pages.size()));
+  }
+
   // 1. Template clustering (whole-run deadline only; the per-cluster
   // budget starts once clusters exist).
   diag.counts(PipelineStage::kClustering).attempted = 1;
-  if (config.cluster_pages) {
-    PageClusteringConfig clustering_config = config.clustering;
-    clustering_config.deadline = config.deadline;
-    result.cluster_of_page = ClusterPages(pages, clustering_config);
-  } else {
-    result.cluster_of_page.assign(pages.size(), 0);
+  {
+    obs::TraceSpan clustering_span(run_span, "clustering");
+    if (config.cluster_pages) {
+      PageClusteringConfig clustering_config = config.clustering;
+      clustering_config.deadline = config.deadline;
+      result.cluster_of_page = ClusterPages(pages, clustering_config);
+    } else {
+      result.cluster_of_page.assign(pages.size(), 0);
+    }
   }
   if (config.deadline.expired()) {
     diag.run_deadline_expired = true;
@@ -173,9 +185,19 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
       single_cluster ? config.parallel : ParallelConfig::Sequential();
 
   std::vector<ClusterOutcome> outcomes(static_cast<size_t>(num_clusters));
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("ceres_pipeline_clusters_total")
+        ->Increment(num_clusters);
+  }
+  obs::TraceSpan clusters_span(run_span, "clusters");
   ParallelFor(static_cast<size_t>(num_clusters), outer_parallel, [&](size_t c) {
     const int cluster = static_cast<int>(c);
     ClusterOutcome& out = outcomes[c];
+    // Per-cluster spans from concurrent workers fold into shared
+    // "clusters/cluster/<stage>" nodes (TraceTree is internally locked);
+    // RAII ends them on every early return below.
+    obs::TraceSpan cluster_span(clusters_span, "cluster");
     auto count = [&out](PipelineStage stage) -> StageCounts& {
       return out.stages[static_cast<int>(stage)];
     };
@@ -183,6 +205,11 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
       LogInfo(StrCat("cluster ", cluster, ": skipped at ",
                      PipelineStageName(stage), ": ", reason.ToString()));
       ++count(stage).skipped;
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Default()
+            .GetCounter("ceres_pipeline_cluster_skips_total")
+            ->Increment();
+      }
       out.skips.push_back(ClusterSkip{cluster, stage, std::move(reason)});
     };
     // Every cluster runs under the earlier of the whole-run deadline and
@@ -236,6 +263,7 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
     }
 
     // 2. Entity matching + topic identification on annotation pages.
+    obs::TraceSpan topic_span(cluster_span, "topic");
     ++count(PipelineStage::kTopicIdentification).attempted;
     {
       Status live = cluster_deadline.Check(
@@ -267,9 +295,11 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
       result.topic_of_page[page] = topics.topic[i];
       result.topic_node_of_page[page] = topics.topic_node[i];
     }
+    topic_span.End();
 
     // 3. Relation annotation (Algorithm 2). Local indices map 1:1 onto
     // annotation_docs; translate to global page indices afterwards.
+    obs::TraceSpan annotate_span(cluster_span, "annotate");
     ++count(PipelineStage::kAnnotation).attempted;
     AnnotatorConfig annotator_config = config.annotator;
     annotator_config.deadline = cluster_deadline;
@@ -294,10 +324,12 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
       out.annotated_pages.push_back(
           annotation_set[static_cast<size_t>(local)]);
     }
+    annotate_span.End();
 
     // 4. Training on the cluster's annotated pages. Lexicon mining may fan
     // out; featurization inside TrainExtractor stays serial because the
     // FeatureMap interning order defines the feature ids.
+    obs::TraceSpan train_span(cluster_span, "train");
     ++count(PipelineStage::kTraining).attempted;
     FeatureConfig feature_config = config.features;
     feature_config.parallel = inner_parallel;
@@ -313,8 +345,10 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
       return;
     }
     ++count(PipelineStage::kTraining).completed;
+    train_span.End();
 
     // 5. Extraction over the cluster's extraction pages.
+    obs::TraceSpan extract_span(cluster_span, "extract");
     ++count(PipelineStage::kExtraction).attempted;
     {
       Status live =
@@ -338,6 +372,7 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
     out.models.push_back(ClusterModel{cluster, std::move(trained).value()});
     ++count(PipelineStage::kExtraction).completed;
   });
+  clusters_span.End();
 
   // Deterministic merge in cluster-id order: the concatenation below is
   // exactly what the serial loop appended as it went.

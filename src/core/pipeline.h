@@ -13,6 +13,7 @@
 #include "core/training.h"
 #include "core/types.h"
 #include "kb/knowledge_base.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/parallel.h"
 #include "util/status.h"
@@ -57,6 +58,14 @@ struct PipelineConfig {
   /// pathological cluster times out into a diagnostic entry without
   /// starving the rest of the site.
   std::chrono::milliseconds cluster_time_budget{0};
+
+  /// Optional trace sink. When set, the run records stage spans
+  /// ("pipeline" → "clustering" / "clusters" → "cluster" →
+  /// "topic"/"annotate"/"train"/"extract") into this tree; per-cluster
+  /// spans aggregate across the ParallelFor workers. Null = no tracing.
+  /// The tree must outlive the RunPipeline call. See DESIGN.md
+  /// "Observability".
+  obs::TraceTree* trace = nullptr;
 
   /// Batch fan-out. Independent template clusters run concurrently; with a
   /// single cluster the budget moves to the per-page inner loops (entity

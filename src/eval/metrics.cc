@@ -110,9 +110,14 @@ std::map<PredicateId, Prf> ScoreExtractionsByPredicate(
       ok = false;
     }
     if (ok) {
-      ++out[extraction.predicate].tp;
-      correct.emplace(extraction.page, extraction.node,
-                      extraction.predicate);
+      // A repeated extraction of the same (page, node, predicate) is not
+      // new evidence: count the key once or precision inflates with
+      // duplicate emissions.
+      if (correct
+              .emplace(extraction.page, extraction.node, extraction.predicate)
+              .second) {
+        ++out[extraction.predicate].tp;
+      }
     } else {
       ++out[extraction.predicate].fp;
     }
@@ -215,9 +220,13 @@ std::map<PredicateId, Prf> ScoreAnnotationsByPredicate(
     const PageTruth& page_truth =
         truth.pages[static_cast<size_t>(annotation.page)];
     if (page_truth.Asserts(annotation.node, annotation.predicate)) {
-      ++out[annotation.predicate].tp;
-      correct.emplace(annotation.page, annotation.node,
-                      annotation.predicate);
+      // Same duplicate guard as ScoreExtractionsByPredicate: repeated
+      // annotations of one (page, node, predicate) count a single TP.
+      if (correct
+              .emplace(annotation.page, annotation.node, annotation.predicate)
+              .second) {
+        ++out[annotation.predicate].tp;
+      }
     } else {
       ++out[annotation.predicate].fp;
     }
@@ -257,7 +266,13 @@ Prf ScoreTopics(const std::vector<EntityId>& predicted_topic,
   Prf prf;
   for (PageIndex page : pages) {
     const PageTruth& page_truth = truth.pages[static_cast<size_t>(page)];
-    EntityId predicted = predicted_topic[static_cast<size_t>(page)];
+    // Callers may pass a prediction vector covering only a prefix of the
+    // site's pages (e.g. a partial run); a missing entry means "no topic
+    // identified", not an out-of-bounds read.
+    const EntityId predicted =
+        static_cast<size_t>(page) < predicted_topic.size()
+            ? predicted_topic[static_cast<size_t>(page)]
+            : kInvalidEntity;
     const bool has_truth =
         page_truth.topic != kInvalidEntity &&
         !seed_kb.MatchMentions(page_truth.topic_name).empty();

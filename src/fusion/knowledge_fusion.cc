@@ -136,7 +136,13 @@ FusionResult FuseExtractions(const std::vector<SiteExtractions>& sites,
   for (const FusedTriple& triple : result.triples) {
     for (const std::string& site : triple.sites) ++triple_counts[site];
   }
+  // A site name may appear in several SiteExtractions entries (e.g. two
+  // crawl shards of one site); its extractions were already pooled above,
+  // so report it once — a row per entry would double-count triple_count
+  // in any sum over result.sites.
+  std::set<std::string> reported;
   for (const SiteExtractions& site : sites) {
+    if (!reported.insert(site.site).second) continue;
     result.sites.push_back(SiteReliability{
         site.site, reliability[site.site], triple_counts[site.site]});
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "text/normalize.h"
 #include "util/logging.h"
 
@@ -91,7 +92,21 @@ int64_t KnowledgeBase::CountPredicatesForSubjectType(TypeId type) const {
 std::span<const EntityId> KnowledgeBase::MatchMentionsView(
     std::string_view text) const {
   CERES_CHECK(frozen_);
-  return name_index_.MatchView(text);
+  std::span<const EntityId> hit = name_index_.MatchView(text);
+  // Same one-branch guard as FuzzyMatcher::MatchView: KB mention lookups
+  // are the entity-matching hot path, so the disabled cost is one relaxed
+  // load.
+  if (obs::Enabled()) {
+    static obs::Counter* const lookups =
+        obs::MetricsRegistry::Default().GetCounter(
+            "ceres_kb_mention_lookups_total");
+    static obs::Counter* const hits =
+        obs::MetricsRegistry::Default().GetCounter(
+            "ceres_kb_mention_hits_total");
+    lookups->Increment();
+    if (!hit.empty()) hits->Increment();
+  }
+  return hit;
 }
 
 std::vector<EntityId> KnowledgeBase::MatchMentions(

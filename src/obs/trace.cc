@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace ceres::obs {
+
+TimePoint MonotonicNow() { return std::chrono::steady_clock::now(); }
+
+std::chrono::microseconds ElapsedMicros(TimePoint start, TimePoint end) {
+  if (end <= start) return std::chrono::microseconds{0};
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - start);
+}
+
+TraceTree::TraceTree() {
+  MutexLock lock(mu_);
+  Node root;
+  root.name = "root";
+  nodes_.push_back(std::move(root));
+}
+
+int32_t TraceTree::ChildNode(int32_t parent, std::string_view name) {
+  MutexLock lock(mu_);
+  for (int32_t child : nodes_[static_cast<size_t>(parent)].children) {
+    if (nodes_[static_cast<size_t>(child)].name == name) return child;
+  }
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  Node node;
+  node.name = std::string(name);
+  nodes_.push_back(std::move(node));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+void TraceTree::Record(int32_t node, int64_t micros) {
+  MutexLock lock(mu_);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  ++n.count;
+  n.total_us += micros;
+  n.min_us = std::min(n.min_us, micros);
+  n.max_us = std::max(n.max_us, micros);
+}
+
+int64_t TraceTree::TotalMicros(
+    const std::vector<std::string_view>& path) const {
+  MutexLock lock(mu_);
+  const int32_t node = FindPath(path);
+  return node < 0 ? 0 : nodes_[static_cast<size_t>(node)].total_us;
+}
+
+int64_t TraceTree::SpanCount(
+    const std::vector<std::string_view>& path) const {
+  MutexLock lock(mu_);
+  const int32_t node = FindPath(path);
+  return node < 0 ? 0 : nodes_[static_cast<size_t>(node)].count;
+}
+
+int32_t TraceTree::FindPath(const std::vector<std::string_view>& path) const {
+  int32_t current = 0;
+  for (std::string_view segment : path) {
+    int32_t next = -1;
+    for (int32_t child : nodes_[static_cast<size_t>(current)].children) {
+      if (nodes_[static_cast<size_t>(child)].name == segment) {
+        next = child;
+        break;
+      }
+    }
+    if (next < 0) return -1;
+    current = next;
+  }
+  return current;
+}
+
+void TraceTree::AppendNodeJson(int32_t node, std::string* out) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  *out += "{\"name\":\"" + n.name + "\"";
+  *out += ",\"count\":" + std::to_string(n.count);
+  *out += ",\"total_us\":" + std::to_string(n.total_us);
+  *out += ",\"min_us\":" + std::to_string(n.count == 0 ? 0 : n.min_us);
+  *out += ",\"max_us\":" + std::to_string(n.max_us);
+  if (!n.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) *out += ',';
+      AppendNodeJson(n.children[i], out);
+    }
+    *out += ']';
+  }
+  *out += '}';
+}
+
+std::string TraceTree::ToJson() const {
+  MutexLock lock(mu_);
+  std::string out;
+  AppendNodeJson(0, &out);
+  return out;
+}
+
+TraceSpan::TraceSpan(TraceTree* tree, std::string_view name) : tree_(tree) {
+  if (tree_ == nullptr) return;
+  node_ = tree_->ChildNode(0, name);
+  start_ = MonotonicNow();
+}
+
+TraceSpan::TraceSpan(const TraceSpan& parent, std::string_view name)
+    : tree_(parent.tree_) {
+  if (tree_ == nullptr) return;
+  node_ = tree_->ChildNode(parent.node_, name);
+  start_ = MonotonicNow();
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::End() {
+  if (tree_ == nullptr) return;
+  tree_->Record(node_, ElapsedMicros(start_, MonotonicNow()).count());
+  tree_ = nullptr;
+}
+
+}  // namespace ceres::obs

@@ -1,0 +1,124 @@
+#ifndef CERES_OBS_TRACE_H_
+#define CERES_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sync.h"
+
+/// RAII scoped timers that aggregate into a per-run trace tree.
+///
+/// A `TraceTree` is a tree of named aggregation nodes: every `TraceSpan`
+/// opened with the same (parent, name) pair folds into the same node, so a
+/// pipeline run over 200 clusters yields one "extract" node with
+/// count=200 and total/min/max timings, not 200 leaf entries. Stage code
+/// opens spans:
+///
+///   obs::TraceSpan pipeline(config.trace, "pipeline");
+///   obs::TraceSpan clustering(pipeline, "clustering");   // child span
+///
+/// Spans end at scope exit (or explicitly via `End()`), which makes them
+/// early-return safe. A span opened on a null tree — the default when no
+/// caller asked for tracing — is a no-op costing one branch.
+///
+/// Thread safety: node creation and recording take the tree mutex. Spans
+/// are opened at stage granularity (a handful per cluster), so contention
+/// is negligible; do not open spans in per-token loops.
+///
+/// This header is also the sanctioned clock for pipeline/serve code:
+/// `ceres_lint` (rule `raw-timing`) bans raw `std::chrono::steady_clock`
+/// reads in `src/core/` and `src/serve/` so ad-hoc timings cannot bypass
+/// the shared trace/metrics surface. Code that needs a raw timestamp (e.g.
+/// queue-wait accounting) uses `MonotonicNow()`/`ElapsedMicros()`.
+
+namespace ceres::obs {
+
+/// Monotonic timestamp type for duration measurements.
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/// Reads the monotonic clock.
+TimePoint MonotonicNow();
+
+/// Duration between two monotonic timestamps, saturated at zero.
+std::chrono::microseconds ElapsedMicros(TimePoint start, TimePoint end);
+
+class TraceSpan;
+
+/// Aggregated span timings for one run. Nodes are identified by their
+/// path of names from the root, e.g. {"pipeline", "clusters", "cluster",
+/// "extract"}.
+class TraceTree {
+ public:
+  TraceTree();
+  TraceTree(const TraceTree&) = delete;
+  TraceTree& operator=(const TraceTree&) = delete;
+
+  /// Total recorded microseconds at `path`; 0 if the node does not exist.
+  int64_t TotalMicros(const std::vector<std::string_view>& path) const;
+  /// Number of spans recorded at `path`; 0 if the node does not exist.
+  int64_t SpanCount(const std::vector<std::string_view>& path) const;
+
+  /// Nested JSON: {"name":"root","count":0,"total_us":0,
+  ///               "children":[{"name":"pipeline",...},...]}.
+  /// Children are ordered by first span creation.
+  std::string ToJson() const;
+
+ private:
+  friend class TraceSpan;
+
+  struct Node {
+    std::string name;
+    std::vector<int32_t> children;
+    int64_t count = 0;
+    int64_t total_us = 0;
+    int64_t min_us = std::numeric_limits<int64_t>::max();
+    int64_t max_us = 0;
+  };
+
+  /// Finds or creates the child of `parent` named `name`; returns its id.
+  int32_t ChildNode(int32_t parent, std::string_view name);
+  void Record(int32_t node, int64_t micros);
+  /// Walks `path` down from the root; -1 when any segment is missing.
+  int32_t FindPath(const std::vector<std::string_view>& path) const
+      CERES_REQUIRES(mu_);
+  void AppendNodeJson(int32_t node, std::string* out) const
+      CERES_REQUIRES(mu_);
+
+  mutable CheckedMutex mu_{"TraceTree.mu"};
+  /// nodes_[0] is the synthetic root; ids are stable for the tree's life.
+  std::vector<Node> nodes_ CERES_GUARDED_BY(mu_);
+};
+
+/// RAII scoped timer. Records its elapsed time into a TraceTree node at
+/// destruction or at the first `End()` call, whichever comes first.
+class TraceSpan {
+ public:
+  /// Root-level span. `tree` may be null, in which case the span (and any
+  /// span opened with it as parent) is a no-op.
+  TraceSpan(TraceTree* tree, std::string_view name);
+  /// Child span of `parent`. Must not outlive `parent`'s tree.
+  TraceSpan(const TraceSpan& parent, std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(TraceSpan&&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan& operator=(TraceSpan&&) = delete;
+
+  /// Stops the timer and records. Idempotent; later calls are no-ops.
+  void End();
+
+  bool active() const { return tree_ != nullptr; }
+
+ private:
+  TraceTree* tree_;
+  int32_t node_ = -1;
+  TimePoint start_;
+};
+
+}  // namespace ceres::obs
+
+#endif  // CERES_OBS_TRACE_H_

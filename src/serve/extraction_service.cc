@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -10,10 +11,13 @@ namespace ceres::serve {
 
 namespace {
 
-std::chrono::microseconds Since(
-    std::chrono::steady_clock::time_point start,
-    std::chrono::steady_clock::time_point end) {
-  return std::chrono::duration_cast<std::chrono::microseconds>(end - start);
+/// Bumps the per-cause shed counter (no-op when metrics are off). Shed
+/// paths are cold, so the name lookup per call is fine.
+void RecordShedMetric(ShedCause cause, int64_t n) {
+  if (!obs::Enabled() || n == 0) return;
+  obs::MetricsRegistry::Default()
+      .GetCounter(StrCat("ceres_serve_shed_", ShedCauseName(cause), "_total"))
+      ->Increment(n);
 }
 
 }  // namespace
@@ -82,6 +86,7 @@ void ExtractionService::Stop() {
     stats_.shed[static_cast<int>(ShedCause::kShutdown)] +=
         static_cast<int64_t>(orphans.size());
   }
+  RecordShedMetric(ShedCause::kShutdown, static_cast<int64_t>(orphans.size()));
   if (pool.joinable()) pool.join();
 }
 
@@ -92,12 +97,18 @@ std::future<ServeResult> ExtractionService::Submit(ServeRequest request) {
     MutexLock lock(stats_mu_);
     ++stats_.submitted;
   }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("ceres_serve_submitted_total")
+        ->Increment();
+  }
 
   auto shed = [&](Status status, ShedCause cause) {
     {
       MutexLock lock(stats_mu_);
       ++stats_.shed[static_cast<int>(cause)];
     }
+    RecordShedMetric(cause, 1);
     shed_promise.set_value(ShedResult(std::move(status), cause));
     return std::move(shed_future);
   };
@@ -123,7 +134,7 @@ std::future<ServeResult> ExtractionService::Submit(ServeRequest request) {
 
   PendingRequest pending;
   pending.request = std::move(request);
-  pending.enqueued = Clock::now();
+  pending.enqueued = obs::MonotonicNow();
   std::future<ServeResult> future = pending.promise.get_future();
   SiteQueue& queue = queues_[pending.request.site];
   const std::string site = pending.request.site;
@@ -216,12 +227,31 @@ void ExtractionService::ProcessBatch(const std::string& site,
   int64_t total_extractions = 0;
   bool batch_ran = false;
 
+  // Histogram handles are fetched once per batch when metrics are on; the
+  // per-request recording below is then a null check plus a lock-free
+  // bucket increment.
+  obs::Histogram* queue_wait_hist = nullptr;
+  obs::Histogram* parse_hist = nullptr;
+  obs::Histogram* inference_hist = nullptr;
+  obs::Histogram* latency_hist = nullptr;
+  obs::Histogram* batch_size_hist = nullptr;
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Default();
+    queue_wait_hist = registry.GetHistogram("ceres_serve_queue_wait_us");
+    parse_hist = registry.GetHistogram("ceres_serve_parse_us");
+    inference_hist = registry.GetHistogram("ceres_serve_inference_us");
+    latency_hist = registry.GetHistogram("ceres_serve_request_latency_us");
+    batch_size_hist =
+        registry.GetHistogram("ceres_serve_batch_size", obs::SizeBuckets());
+  }
+
   std::vector<LiveRequest> live;
   live.reserve(batch.size());
-  const Clock::time_point picked_up = Clock::now();
+  const obs::TimePoint picked_up = obs::MonotonicNow();
   for (PendingRequest& pending : batch) {
     const std::chrono::microseconds wait =
-        Since(pending.enqueued, picked_up);
+        obs::ElapsedMicros(pending.enqueued, picked_up);
+    if (queue_wait_hist != nullptr) queue_wait_hist->Record(wait.count());
     if (pending.request.deadline.expired()) {
       ServeResult result = ShedResult(pending.request.deadline.Check("queue"),
                                       ShedCause::kTimedOutInQueue);
@@ -260,10 +290,14 @@ void ExtractionService::ProcessBatch(const std::string& site,
       std::vector<LiveRequest> parsed;
       parsed.reserve(live.size());
       for (LiveRequest& request : live) {
-        const Clock::time_point parse_start = Clock::now();
+        const obs::TimePoint parse_start = obs::MonotonicNow();
         Result<DomDocument> doc =
             ParseHtml(request.pending.request.html, config_.parse);
-        request.parse_time = Since(parse_start, Clock::now());
+        request.parse_time =
+            obs::ElapsedMicros(parse_start, obs::MonotonicNow());
+        if (parse_hist != nullptr) {
+          parse_hist->Record(request.parse_time.count());
+        }
         if (!doc.ok()) {
           ServeResult result = ShedResult(
               PrependContext(doc.status(),
@@ -294,13 +328,16 @@ void ExtractionService::ProcessBatch(const std::string& site,
         // The frozen feature map makes this a read-only pass over the
         // shared model; ExtractFromPages only takes TrainedModel* for the
         // (unused here) training-time interning path.
-        const Clock::time_point inference_start = Clock::now();
+        const obs::TimePoint inference_start = obs::MonotonicNow();
         std::vector<Extraction> extractions = ExtractFromPages(
             pages, page_indices,
             const_cast<TrainedModel*>(&model->model), model->featurizer,
             config_.extraction);
         const std::chrono::microseconds inference_time =
-            Since(inference_start, Clock::now());
+            obs::ElapsedMicros(inference_start, obs::MonotonicNow());
+        if (inference_hist != nullptr) {
+          inference_hist->Record(inference_time.count());
+        }
 
         std::vector<std::vector<Extraction>> per_request(parsed.size());
         for (Extraction& extraction : extractions) {
@@ -311,7 +348,14 @@ void ExtractionService::ProcessBatch(const std::string& site,
 
         batch_ran = true;
         completed = static_cast<int64_t>(parsed.size());
+        if (batch_size_hist != nullptr) batch_size_hist->Record(completed);
+        const obs::TimePoint resolved_at = obs::MonotonicNow();
         for (size_t i = 0; i < parsed.size(); ++i) {
+          if (latency_hist != nullptr) {
+            latency_hist->Record(
+                obs::ElapsedMicros(parsed[i].pending.enqueued, resolved_at)
+                    .count());
+          }
           ServeResult result;
           result.status = Status::Ok();
           result.triples = std::move(per_request[i]);
@@ -340,6 +384,15 @@ void ExtractionService::ProcessBatch(const std::string& site,
       ++stats_.batches;
       stats_.batched_requests += completed;
     }
+  }
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Default();
+    RecordShedMetric(ShedCause::kTimedOutInQueue, timed_out);
+    RecordShedMetric(ShedCause::kParseFailed, parse_failed);
+    RecordShedMetric(ShedCause::kModelLoadFailed, model_load_failed);
+    registry.GetCounter("ceres_serve_completed_total")->Increment(completed);
+    registry.GetCounter("ceres_serve_extractions_total")
+        ->Increment(total_extractions);
   }
   for (size_t i = 0; i < promises.size(); ++i) {
     promises[i].set_value(std::move(outcomes[i]));

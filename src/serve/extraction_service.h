@@ -12,6 +12,7 @@
 
 #include "core/extractor.h"
 #include "dom/html_parser.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/serve_diagnostics.h"
 #include "util/deadline.h"
@@ -101,12 +102,10 @@ class ExtractionService {
   const ExtractionServiceConfig& config() const { return config_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct PendingRequest {
     ServeRequest request;
     std::promise<ServeResult> promise;
-    Clock::time_point enqueued;
+    obs::TimePoint enqueued;
   };
 
   struct SiteQueue {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace ceres::serve {
@@ -11,6 +13,11 @@ namespace {
 /// Approximate heap overhead of one string stored in a node-based
 /// container (node, hash bucket, small-string buffer).
 constexpr size_t kPerStringOverhead = 64;
+
+void BumpRegistryCounter(const char* name, int64_t delta = 1) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Default().GetCounter(name)->Increment(delta);
+}
 
 }  // namespace
 
@@ -52,9 +59,11 @@ Result<std::shared_ptr<const SiteModel>> ModelRegistry::Get(
       lru_.splice(lru_.begin(), lru_, it->second.lru_position);
       ++stats_.hits;
       if (cache_hit != nullptr) *cache_hit = true;
+      BumpRegistryCounter("ceres_registry_hits_total");
       return it->second.model;
     }
     ++stats_.misses;
+    BumpRegistryCounter("ceres_registry_misses_total");
     auto in = inflight_.find(site);
     if (in != inflight_.end()) {
       // Another thread is already loading this site; ride its result.
@@ -71,8 +80,14 @@ Result<std::shared_ptr<const SiteModel>> ModelRegistry::Get(
   // Disk load and featurizer rebuild happen outside the lock, so distinct
   // cold sites load concurrently and warm hits never wait on a load.
   int64_t version = -1;
+  const obs::TimePoint load_start = obs::MonotonicNow();
   Result<TrainedModel> trained =
       LoadLatestModel(config_.root_dir, site, ontology_, &version);
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetHistogram("ceres_registry_load_us")
+        ->Record(obs::ElapsedMicros(load_start, obs::MonotonicNow()).count());
+  }
   Result<std::shared_ptr<const SiteModel>> result =
       Status::Internal("unreachable");
   if (trained.ok()) {
@@ -86,9 +101,11 @@ Result<std::shared_ptr<const SiteModel>> ModelRegistry::Get(
     MutexLock lock(mu_);
     if (result.ok()) {
       ++stats_.loads;
+      BumpRegistryCounter("ceres_registry_loads_total");
       InstallLocked(site, result.value());
     } else {
       ++stats_.load_failures;
+      BumpRegistryCounter("ceres_registry_load_failures_total");
     }
     load->result = result;
     load->finished = true;
@@ -106,7 +123,10 @@ Result<int64_t> ModelRegistry::Publish(const std::string& site,
       StrCat("publishing model ", site));
   auto site_model = std::make_shared<SiteModel>(site, version, model);
   MutexLock lock(mu_);
-  if (cache_.count(site) > 0) ++stats_.hot_swaps;
+  if (cache_.count(site) > 0) {
+    ++stats_.hot_swaps;
+    BumpRegistryCounter("ceres_registry_hot_swaps_total");
+  }
   InstallLocked(site, std::move(site_model));
   return version;
 }
@@ -157,8 +177,16 @@ void ModelRegistry::EvictOverBudgetLocked(const std::string& keep) {
     stats_.bytes_cached -= it->second.model->bytes;
     --stats_.models_cached;
     ++stats_.evictions;
+    BumpRegistryCounter("ceres_registry_evictions_total");
     cache_.erase(it);
     lru_.pop_back();
+  }
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Default();
+    registry.GetGauge("ceres_registry_bytes_cached")
+        ->Set(static_cast<int64_t>(stats_.bytes_cached));
+    registry.GetGauge("ceres_registry_models_cached")
+        ->Set(stats_.models_cached);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "obs/metrics.h"
 #include "text/normalize.h"
 
 namespace ceres {
@@ -53,6 +54,16 @@ std::span<const int64_t> FuzzyMatcher::MatchView(std::string_view text) const {
     if (stripped.size() != scratch.size() && !stripped.empty()) {
       hit = Lookup(stripped);
     }
+  }
+  // Hot path: when metrics are off this whole block is one relaxed load +
+  // branch. The handles are resolved once per process and cached.
+  if (obs::Enabled()) {
+    static obs::Counter* const lookups =
+        obs::MetricsRegistry::Default().GetCounter("ceres_fuzzy_lookups_total");
+    static obs::Counter* const hits =
+        obs::MetricsRegistry::Default().GetCounter("ceres_fuzzy_hits_total");
+    lookups->Increment();
+    if (hit != nullptr) hits->Increment();
   }
   return hit != nullptr ? std::span<const int64_t>(*hit)
                         : std::span<const int64_t>{};

@@ -19,18 +19,17 @@ class MetricsTest : public ::testing::Test {
     pages_.push_back(ParseOrDie(
         "<body><h1>Do the Right Thing</h1><div>Spike Lee</div>"
         "<span>Comedy</span><p>noise</p></body>"));
-    synth::GeneratedPage generated;
-    generated.topic = kb_.right_thing;
-    generated.topic_name = "Do the Right Thing";
-    generated.topic_xpath = "/html/body[1]/h1[1]";
-    generated.facts.push_back(synth::GroundTruthFact{
+    generated_.topic = kb_.right_thing;
+    generated_.topic_name = "Do the Right Thing";
+    generated_.topic_xpath = "/html/body[1]/h1[1]";
+    generated_.facts.push_back(synth::GroundTruthFact{
         "/html/body[1]/h1[1]", kNamePredicate, "Do the Right Thing",
         kb_.right_thing});
-    generated.facts.push_back(synth::GroundTruthFact{
+    generated_.facts.push_back(synth::GroundTruthFact{
         "/html/body[1]/div[1]", kb_.directed, "Spike Lee", kb_.lee});
-    generated.facts.push_back(synth::GroundTruthFact{
+    generated_.facts.push_back(synth::GroundTruthFact{
         "/html/body[1]/span[1]", kb_.genre, "Comedy", kb_.comedy});
-    truth_ = SiteTruth::Build({generated}, pages_);
+    truth_ = SiteTruth::Build({generated_}, pages_);
 
     h1_ = Find("Do the Right Thing");
     lee_node_ = Find("Spike Lee");
@@ -53,6 +52,7 @@ class MetricsTest : public ::testing::Test {
 
   TinyMovieKb kb_;
   std::vector<DomDocument> pages_;
+  synth::GeneratedPage generated_;
   SiteTruth truth_;
   NodeId h1_, lee_node_, comedy_node_, noise_node_;
 };
@@ -191,6 +191,83 @@ TEST_F(MetricsTest, TopicScoring) {
 
   std::vector<EntityId> none{kInvalidEntity};
   prf = ScoreTopics(none, truth_, kb_.kb);
+  EXPECT_EQ(prf.tp, 0);
+  EXPECT_EQ(prf.fp, 0);
+  EXPECT_EQ(prf.fn, 1);
+}
+
+TEST_F(MetricsTest, DuplicateExtractionsCountAsOneTruePositive) {
+  // The extractor can emit the same (page, node, predicate) more than once
+  // (e.g. once per candidate subject mention). Repetition is not new
+  // evidence: one TP, not one per copy.
+  std::vector<Extraction> extractions{
+      Make(lee_node_, kb_.directed, 0.9),
+      Make(lee_node_, kb_.directed, 0.7),
+  };
+  auto by_predicate = ScoreExtractionsByPredicate(extractions, truth_);
+  EXPECT_EQ(by_predicate[kb_.directed].tp, 1);
+  EXPECT_EQ(by_predicate[kb_.directed].fp, 0);
+  EXPECT_EQ(by_predicate[kb_.directed].fn, 0);
+  Prf total = ScoreExtractions(extractions, truth_);
+  EXPECT_EQ(total.tp, 1);
+  EXPECT_EQ(total.fn, 2);  // NAME and genre still missed.
+}
+
+TEST_F(MetricsTest, DuplicateAnnotationsCountAsOneTruePositive) {
+  std::vector<Annotation> annotations{
+      Annotation{0, lee_node_, kb_.directed, kb_.lee},
+      Annotation{0, lee_node_, kb_.directed, kb_.lee},
+  };
+  auto by_predicate =
+      ScoreAnnotationsByPredicate(annotations, truth_, kb_.kb);
+  EXPECT_EQ(by_predicate[kb_.directed].tp, 1);
+  EXPECT_EQ(by_predicate[kb_.directed].fp, 0);
+  EXPECT_EQ(by_predicate[kb_.directed].fn, 0);
+}
+
+TEST_F(MetricsTest, ThresholdKeepsExtractionAtExactBoundary) {
+  // The skip is strict (`confidence < threshold`): an extraction exactly
+  // at the threshold still scores.
+  std::vector<Extraction> extractions{Make(lee_node_, kb_.directed, 0.5)};
+  ScoreOptions options;
+  options.confidence_threshold = 0.5;
+  Prf prf = ScoreExtractions(extractions, truth_, options);
+  EXPECT_EQ(prf.tp, 1);
+  EXPECT_EQ(prf.fp, 0);
+}
+
+TEST_F(MetricsTest, PageFilterRestrictsScoringToListedPages) {
+  // Two identical pages; the only extraction lands on page 1. Filtering to
+  // page 0 must both ignore the extraction and count only page 0's facts
+  // in the recall denominator.
+  std::vector<DomDocument> pages;
+  pages.push_back(ParseOrDie(
+      "<body><h1>Do the Right Thing</h1><div>Spike Lee</div>"
+      "<span>Comedy</span><p>noise</p></body>"));
+  pages.push_back(ParseOrDie(
+      "<body><h1>Do the Right Thing</h1><div>Spike Lee</div>"
+      "<span>Comedy</span><p>noise</p></body>"));
+  SiteTruth truth = SiteTruth::Build({generated_, generated_}, pages);
+  std::vector<Extraction> extractions{
+      Extraction{1, lee_node_, kb_.directed, "Do the Right Thing",
+                 "Spike Lee", 0.9}};
+  ScoreOptions options;
+  options.pages = {0};
+  Prf prf = ScoreExtractions(extractions, truth, options);
+  EXPECT_EQ(prf.tp, 0);
+  EXPECT_EQ(prf.fp, 0);
+  EXPECT_EQ(prf.fn, 3);
+  options.pages = {1};
+  prf = ScoreExtractions(extractions, truth, options);
+  EXPECT_EQ(prf.tp, 1);
+  EXPECT_EQ(prf.fn, 2);
+}
+
+TEST_F(MetricsTest, TopicScoringToleratesShortPredictionVector) {
+  // A prediction vector covering only a prefix of the site (here: no pages
+  // at all) means "no topic identified" for the uncovered pages, not an
+  // out-of-bounds read.
+  Prf prf = ScoreTopics({}, truth_, kb_.kb);
   EXPECT_EQ(prf.tp, 0);
   EXPECT_EQ(prf.fp, 0);
   EXPECT_EQ(prf.fn, 1);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace ceres::fusion {
 namespace {
 
@@ -169,6 +171,97 @@ TEST(BuildKbFromFusedTriplesTest, ScoreFloorAndConflictsRespected) {
   // A floor above every score yields an empty KB.
   KnowledgeBase strict = BuildKbFromFusedTriples(fused, ontology, 0.999);
   EXPECT_EQ(strict.num_triples(), 0);
+}
+
+TEST(KnowledgeFusionTest, DuplicateSiteEntriesReportOneReliabilityRow) {
+  Ontology ontology = MakeOntology();
+  // Two crawl shards of one site plus a distinct second site. The shards'
+  // extractions pool into one per-site support entry, so the reliability
+  // report must carry one a.com row — a row per shard would double-count
+  // its triples in any sum over result.sites.
+  std::vector<SiteExtractions> sites{
+      {"a.com", {Make("Film One", 0, "Director X", 0.9)}},
+      {"a.com", {Make("Film Two", 0, "Director Y", 0.9)}},
+      {"b.com", {Make("Film One", 0, "Director X", 0.8)}},
+  };
+  FusionResult result = FuseExtractions(sites, ontology);
+  EXPECT_EQ(result.triples.size(), 2u);
+  ASSERT_EQ(result.sites.size(), 2u);
+  int64_t total = 0;
+  for (const SiteReliability& site : result.sites) total += site.triples;
+  // a.com supports both triples, b.com supports one.
+  EXPECT_EQ(total, 3);
+}
+
+TEST(KnowledgeFusionTest, ReliabilityConvergesAndRespectsIterationCount) {
+  Ontology ontology = MakeOntology();
+  // Three sites fully corroborate each other: belief per triple exceeds
+  // the ceiling after one update, so reliability clamps there and further
+  // iterations are a fixpoint.
+  auto make_sites = [] {
+    std::vector<SiteExtractions> sites(3);
+    sites[0].site = "a.com";
+    sites[1].site = "b.com";
+    sites[2].site = "c.com";
+    for (int i = 0; i < 10; ++i) {
+      for (auto& site : sites) {
+        site.extractions.push_back(
+            Make("Film " + std::to_string(i), 0,
+                 "Director " + std::to_string(i), 0.9));
+      }
+    }
+    return sites;
+  };
+  FusionConfig config;
+  config.reliability_iterations = 0;  // Disabled: initial value reported.
+  FusionResult initial = FuseExtractions(make_sites(), ontology, config);
+  ASSERT_EQ(initial.sites.size(), 3u);
+  EXPECT_DOUBLE_EQ(initial.sites[0].reliability, 0.8);
+
+  config.reliability_iterations = 1;
+  FusionResult once = FuseExtractions(make_sites(), ontology, config);
+  EXPECT_DOUBLE_EQ(once.sites[0].reliability, 0.95);  // Ceiling.
+
+  config.reliability_iterations = 50;
+  FusionResult many = FuseExtractions(make_sites(), ontology, config);
+  for (size_t i = 0; i < many.sites.size(); ++i) {
+    EXPECT_DOUBLE_EQ(many.sites[i].reliability,
+                     once.sites[i].reliability);
+  }
+}
+
+TEST(KnowledgeFusionTest, LoneSiteReliabilityDecaysToFloor) {
+  Ontology ontology = MakeOntology();
+  // A single site asserting uncorroborated facts: each update multiplies
+  // reliability by the extraction confidence, so it decays geometrically
+  // until the floor clamp catches it.
+  std::vector<SiteExtractions> sites(1);
+  sites[0].site = "lone.com";
+  for (int i = 0; i < 5; ++i) {
+    sites[0].extractions.push_back(Make("Film " + std::to_string(i), 0,
+                                        "Nobody " + std::to_string(i), 0.9));
+  }
+  FusionConfig config;
+  config.reliability_iterations = 50;
+  FusionResult result = FuseExtractions(sites, ontology, config);
+  ASSERT_EQ(result.sites.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.sites[0].reliability, config.reliability_floor);
+}
+
+TEST(BuildKbFromFusedTriplesTest, ScoreExactlyAtFloorIsKept) {
+  Ontology ontology = MakeOntology();
+  std::vector<SiteExtractions> sites{
+      {"a.com", {Make("Film", 0, "Director X", 0.9)}}};
+  FusionResult fused = FuseExtractions(sites, ontology);
+  ASSERT_EQ(fused.triples.size(), 1u);
+  const double score = fused.triples[0].score;
+  // The cutoff is strict (`score < min_score`): equality materializes.
+  EXPECT_EQ(BuildKbFromFusedTriples(fused, ontology, score).num_triples(),
+            1);
+  EXPECT_EQ(BuildKbFromFusedTriples(fused, ontology,
+                                    std::nextafter(score, 1.0))
+                .num_triples(),
+            0);
 }
 
 TEST(KnowledgeFusionTest, EmptyInput) {

@@ -47,6 +47,7 @@ TEST(CeresLintTest, EachKnownBadSnippetFiresExactlyOnce) {
       {"sleep_poll.cc", "src/robustness/sleep_poll.cc", "thread-hygiene"},
       {"raw_parallelism.cc", "src/core/raw_parallelism.cc",
        "raw-parallelism"},
+      {"raw_timing.cc", "src/core/raw_timing.cc", "raw-timing"},
   };
   for (const KnownBad& known : cases) {
     SCOPED_TRACE(known.corpus);
@@ -76,9 +77,10 @@ TEST(CeresLintTest, WholeCorpusTotalsAcrossFiles) {
       {"src/dom/detached_thread.cc", ReadCorpus("detached_thread.cc")},
       {"src/robustness/sleep_poll.cc", ReadCorpus("sleep_poll.cc")},
       {"src/core/raw_parallelism.cc", ReadCorpus("raw_parallelism.cc")},
+      {"src/serve/raw_timing.cc", ReadCorpus("raw_timing.cc")},
       {"src/serve/clean.cc", ReadCorpus("clean.cc")},
   };
-  EXPECT_EQ(Lint(files).size(), 6u);
+  EXPECT_EQ(Lint(files).size(), 7u);
 }
 
 TEST(CeresLintTest, ScopeGatesRules) {
@@ -93,6 +95,10 @@ TEST(CeresLintTest, ScopeGatesRules) {
   // A hard-coded thread count is only policed in the batch-pipeline scope.
   EXPECT_TRUE(
       LintAs("raw_parallelism.cc", "src/serve/raw_parallelism.cc").empty());
+  // Raw steady_clock is only policed in pipeline/serve code, and src/obs/
+  // (the clock wrapper itself) is carved out of that scope.
+  EXPECT_TRUE(LintAs("raw_timing.cc", "src/eval/raw_timing.cc").empty());
+  EXPECT_TRUE(LintAs("raw_timing.cc", "src/obs/raw_timing.cc").empty());
 }
 
 TEST(CeresLintTest, RawParallelismCatchesEachShape) {

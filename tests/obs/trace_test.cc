@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ceres::obs {
+namespace {
+
+TEST(ElapsedMicrosTest, SaturatesAtZero) {
+  const TimePoint now = MonotonicNow();
+  EXPECT_EQ(ElapsedMicros(now, now).count(), 0);
+  // Reversed endpoints clamp instead of going negative.
+  const TimePoint later = now + std::chrono::milliseconds(5);
+  EXPECT_EQ(ElapsedMicros(later, now).count(), 0);
+  EXPECT_EQ(ElapsedMicros(now, later).count(), 5000);
+}
+
+TEST(TraceSpanTest, NullTreeIsANoOp) {
+  TraceSpan span(nullptr, "orphan");
+  EXPECT_FALSE(span.active());
+  // Children of an inactive span are inactive too.
+  TraceSpan child(span, "child");
+  EXPECT_FALSE(child.active());
+  span.End();  // Harmless.
+}
+
+TEST(TraceSpanTest, RecordsOnDestructionOrFirstEnd) {
+  TraceTree tree;
+  {
+    TraceSpan span(&tree, "work");
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_EQ(tree.SpanCount({"work"}), 1);
+
+  TraceSpan span(&tree, "work");
+  span.End();
+  EXPECT_FALSE(span.active());
+  span.End();  // Idempotent: still one record when the span dies.
+  EXPECT_EQ(tree.SpanCount({"work"}), 2);
+}
+
+TEST(TraceTreeTest, SameParentAndNameAggregate) {
+  TraceTree tree;
+  {
+    TraceSpan run(&tree, "pipeline");
+    for (int i = 0; i < 200; ++i) {
+      TraceSpan extract(run, "extract");
+    }
+  }
+  // 200 spans fold into one node, not 200 children.
+  EXPECT_EQ(tree.SpanCount({"pipeline", "extract"}), 200);
+  EXPECT_EQ(tree.SpanCount({"pipeline"}), 1);
+  EXPECT_GE(tree.TotalMicros({"pipeline"}), 0);
+}
+
+TEST(TraceTreeTest, PathLookupsMissGracefully) {
+  TraceTree tree;
+  TraceSpan span(&tree, "stage");
+  span.End();
+  EXPECT_EQ(tree.SpanCount({"stage"}), 1);
+  EXPECT_EQ(tree.SpanCount({"missing"}), 0);
+  EXPECT_EQ(tree.SpanCount({"stage", "missing"}), 0);
+  EXPECT_EQ(tree.TotalMicros({"missing"}), 0);
+  // The empty path names the synthetic root, which records nothing.
+  EXPECT_EQ(tree.SpanCount({}), 0);
+}
+
+TEST(TraceTreeTest, SiblingsWithDistinctNamesStaySeparate) {
+  TraceTree tree;
+  {
+    TraceSpan run(&tree, "cluster");
+    TraceSpan topic(run, "topic");
+    topic.End();
+    TraceSpan train(run, "train");
+    train.End();
+  }
+  EXPECT_EQ(tree.SpanCount({"cluster", "topic"}), 1);
+  EXPECT_EQ(tree.SpanCount({"cluster", "train"}), 1);
+  // The same name under a different parent is a different node.
+  EXPECT_EQ(tree.SpanCount({"topic"}), 0);
+}
+
+TEST(TraceTreeTest, ChildOfEndedSpanIsInactive) {
+  TraceTree tree;
+  TraceSpan run(&tree, "run");
+  run.End();
+  TraceSpan late(run, "late");
+  EXPECT_FALSE(late.active());
+  late.End();
+  EXPECT_EQ(tree.SpanCount({"run", "late"}), 0);
+}
+
+TEST(TraceTreeTest, JsonNestsChildrenUnderParents) {
+  TraceTree tree;
+  {
+    TraceSpan run(&tree, "pipeline");
+    TraceSpan stage(run, "clustering");
+  }
+  const std::string json = tree.ToJson();
+  EXPECT_NE(json.find("\"name\":\"root\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"pipeline\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"clustering\""), std::string::npos) << json;
+  // The child is serialized inside the parent's children array.
+  EXPECT_LT(json.find("\"name\":\"pipeline\""),
+            json.find("\"name\":\"clustering\""));
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+}
+
+TEST(TraceTreeTest, ConcurrentChildSpansFromWorkers) {
+  TraceTree tree;
+  TraceSpan run(&tree, "clusters");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan cluster(run, "cluster");
+        TraceSpan extract(cluster, "extract");
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  run.End();
+  EXPECT_EQ(tree.SpanCount({"clusters", "cluster"}), kThreads * kPerThread);
+  EXPECT_EQ(tree.SpanCount({"clusters", "cluster", "extract"}),
+            kThreads * kPerThread);
+  EXPECT_GE(tree.TotalMicros({"clusters", "cluster"}),
+            tree.TotalMicros({"clusters", "cluster", "extract"}));
+}
+
+}  // namespace
+}  // namespace ceres::obs

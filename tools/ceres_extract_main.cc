@@ -8,12 +8,15 @@
 //   ceres_extract --kb seed.kb --pages ./crawl_dir --out triples.tsv
 //                 [--threshold 0.5] [--no-cluster] [--min-cluster 5]
 //                 [--topic-only] [--save-model model.txt] [--verbose]
-//                 [--model model.txt]
+//                 [--model model.txt] [--trace_json trace.json]
 //
 // Pages are read from every regular file in --pages (sorted by name).
 // With --save-model, the largest cluster's trained model is persisted.
 // With --model, the saved model is applied directly (annotation and
 // training are skipped; the KB is only needed for its ontology).
+// With --trace_json (also accepted as --trace_json=PATH), the run records
+// per-stage TraceSpans plus the obs counters and writes
+// {"trace":...,"metrics":...} JSON to PATH after the pipeline finishes.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,6 +32,8 @@
 #include "core/pipeline.h"
 #include "dom/html_parser.h"
 #include "kb/kb_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace {
@@ -41,6 +46,7 @@ struct Options {
   std::string out_path;
   std::string save_model_path;
   std::string model_path;
+  std::string trace_json_path;
   double threshold = 0.5;
   bool cluster = true;
   size_t min_cluster = 5;
@@ -53,7 +59,8 @@ void PrintUsage() {
       stderr,
       "usage: ceres_extract --kb <kb file> --pages <dir> --out <tsv>\n"
       "  [--threshold 0.5] [--no-cluster] [--min-cluster N]\n"
-      "  [--topic-only] [--save-model <file>] [--verbose]\n");
+      "  [--topic-only] [--save-model <file>] [--trace_json <file>]\n"
+      "  [--verbose]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* options) {
@@ -74,6 +81,11 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       if (!next(&options->save_model_path)) return false;
     } else if (arg == "--model") {
       if (!next(&options->model_path)) return false;
+    } else if (arg == "--trace_json") {
+      if (!next(&options->trace_json_path)) return false;
+    } else if (arg.rfind("--trace_json=", 0) == 0) {
+      options->trace_json_path = arg.substr(std::strlen("--trace_json="));
+      if (options->trace_json_path.empty()) return false;
     } else if (arg == "--threshold") {
       std::string value;
       if (!next(&value)) return false;
@@ -107,6 +119,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (options.verbose) SetLogLevel(LogLevel::kInfo);
+  obs::TraceTree trace;
+  const bool tracing = !options.trace_json_path.empty();
+  if (tracing) obs::SetEnabled(true);
 
   Result<KnowledgeBase> kb = LoadKbFromFile(options.kb_path);
   if (!kb.ok()) {
@@ -182,6 +197,7 @@ int main(int argc, char** argv) {
     config.min_cluster_size = options.min_cluster;
     config.extraction.confidence_threshold = options.threshold;
     config.annotator.use_relation_filtering = !options.topic_only;
+    if (tracing) config.trace = &trace;
     Result<PipelineResult> result = RunPipeline(pages, *kb, config);
     if (!result.ok()) {
       std::fprintf(stderr, "pipeline failed: %s\n",
@@ -227,5 +243,18 @@ int main(int argc, char** argv) {
                "annotated %zu pages, wrote %lld extractions to %s\n",
                annotated_pages, static_cast<long long>(written),
                options.out_path.c_str());
+
+  if (tracing) {
+    std::ofstream trace_out(options.trace_json_path);
+    if (!trace_out.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.trace_json_path.c_str());
+      return 1;
+    }
+    trace_out << "{\"trace\":" << trace.ToJson() << ",\"metrics\":"
+              << obs::MetricsRegistry::Default().ToJson() << "}\n";
+    std::fprintf(stderr, "wrote trace to %s\n",
+                 options.trace_json_path.c_str());
+  }
   return 0;
 }

@@ -9,6 +9,11 @@
 // path, and it sprinkles requests for a site that was never published to
 // show typed load-shedding.
 //
+// Runs with the obs metrics registry enabled: Prometheus-style dumps go
+// to stderr every --metrics-interval seconds (0 = off) and a final dump
+// always prints before exit, so a replay can be diffed against the
+// service/registry counters it claims.
+//
 // Prints per-run QPS, p50/p95/p99 end-to-end latency, shed accounting,
 // and registry cache counters, then verifies the serving invariants:
 //
@@ -25,7 +30,8 @@
 //
 // Usage:
 //   ceres_serve [--sites 3] [--threads 8] [--clients 16] [--repeat 3]
-//               [--scale 0.25] [--seed 100] [--store DIR] [--verbose]
+//               [--scale 0.25] [--seed 100] [--store DIR]
+//               [--metrics-interval SEC] [--verbose]
 
 #include <algorithm>
 #include <atomic>
@@ -40,6 +46,7 @@
 
 #include "core/pipeline.h"
 #include "dom/html_parser.h"
+#include "obs/metrics.h"
 #include "serve/extraction_service.h"
 #include "serve/model_registry.h"
 #include "synth/corpora.h"
@@ -57,6 +64,9 @@ struct Options {
   double scale = 0.25;
   uint64_t seed = 100;
   std::string store;
+  /// Seconds between periodic Prometheus dumps to stderr; 0 disables the
+  /// periodic dumper (the dump-on-exit still prints).
+  double metrics_interval = 0.0;
   bool verbose = false;
 };
 
@@ -64,7 +74,7 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: ceres_serve [--sites N] [--threads N] [--clients N]\n"
                "  [--repeat N] [--scale X] [--seed N] [--store DIR]\n"
-               "  [--verbose]\n");
+               "  [--metrics-interval SEC] [--verbose]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* options) {
@@ -94,6 +104,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (arg == "--store" && next(&value)) {
       options->store = value;
+    } else if (arg == "--metrics-interval" && next(&value)) {
+      options->metrics_interval = std::strtod(value.c_str(), nullptr);
     } else if (arg == "--verbose") {
       options->verbose = true;
     } else {
@@ -131,6 +143,35 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (options.verbose) SetLogLevel(LogLevel::kInfo);
+  obs::SetEnabled(true);
+  // Periodic metrics dumper: blocks on a signaled future (no sleep-poll)
+  // and wakes every interval until shutdown. RAII so every early-return
+  // path in main stops and joins it.
+  struct MetricsDumper {
+    std::promise<void> stop;
+    std::thread thread;
+    void Launch(double interval_seconds) {
+      std::future<void> ready = stop.get_future();
+      thread = std::thread([interval_seconds, ready = std::move(ready)] {
+        const std::chrono::duration<double> interval(interval_seconds);
+        while (ready.wait_for(interval) == std::future_status::timeout) {
+          std::fprintf(stderr, "--- metrics (periodic) ---\n%s",
+                       obs::MetricsRegistry::Default()
+                           .ToPrometheusText()
+                           .c_str());
+        }
+      });
+    }
+    ~MetricsDumper() {
+      if (!thread.joinable()) return;
+      stop.set_value();
+      thread.join();
+    }
+  };
+  MetricsDumper metrics_dumper;
+  if (options.metrics_interval > 0) {
+    metrics_dumper.Launch(options.metrics_interval);
+  }
   if (options.store.empty()) {
     options.store = (std::filesystem::temp_directory_path() /
                      "ceres_serve_store").string();
@@ -364,6 +405,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(registry_stats.loads),
               static_cast<long long>(registry_stats.hot_swaps),
               static_cast<long long>(registry_stats.evictions));
+  std::printf("--- metrics dump ---\n%s",
+              obs::MetricsRegistry::Default().ToPrometheusText().c_str());
 
   // --- Invariants. -------------------------------------------------------
   Require(resolved.load() == stream.size(), "every request resolves");

@@ -1,0 +1,23 @@
+// Corpus: serving/pipeline code timing a stage with a raw steady_clock
+// (the test lints this content under a src/core/ path). Exactly one
+// raw-timing violation — the ad-hoc clock pair; the obs::TraceSpan /
+// obs::MonotonicNow form below is compliant, so the measurement lands in
+// the shared trace and metrics surfaces.
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include <chrono>
+
+#include "obs/trace.h"
+
+namespace ceres {
+
+void TimeStage(obs::TraceTree* tree) {
+  const auto start = std::chrono::steady_clock::now();  // BAD: ad-hoc timer
+  (void)start;
+
+  obs::TraceSpan span(tree, "stage");  // timing lands in the trace tree
+  const obs::TimePoint t0 = obs::MonotonicNow();
+  (void)obs::ElapsedMicros(t0, obs::MonotonicNow());
+}
+
+}  // namespace ceres

@@ -220,6 +220,15 @@ bool IsBatchParallelScope(const std::string& path) {
   return PathContains(path, "src/core/");
 }
 
+/// Timing scope for the raw-timing rule: pipeline and serving code must
+/// time through obs (TraceSpan / MonotonicNow) so measurements land in the
+/// shared trace and metrics surfaces. src/obs/ itself wraps the clock and
+/// stays out of scope.
+bool IsRawTimingScope(const std::string& path) {
+  if (PathContains(path, "src/obs/")) return false;
+  return PathContains(path, "src/core/") || PathContains(path, "src/serve/");
+}
+
 bool Suppressed(const TokenizedFile& file, int line, const std::string& rule) {
   auto it = file.suppressions.find(line);
   if (it == file.suppressions.end()) return false;
@@ -470,6 +479,21 @@ void CheckRawParallelism(const SourceFile& source, const TokenizedFile& file,
   }
 }
 
+void CheckRawTiming(const SourceFile& source, const TokenizedFile& file,
+                    std::vector<Diagnostic>* out) {
+  if (!IsRawTimingScope(source.path)) return;
+  const std::vector<Token>& tokens = file.tokens;
+  for (const Token& token : tokens) {
+    if (token.is_literal || token.text != "steady_clock") continue;
+    if (Suppressed(file, token.line, "raw-timing")) continue;
+    out->push_back(Diagnostic{
+        source.path, token.line, "raw-timing",
+        "raw std::chrono::steady_clock timing in pipeline/serve code; time "
+        "through obs::TraceSpan or obs::MonotonicNow (src/obs/trace.h) so "
+        "measurements land in the shared trace and metrics surfaces"});
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
@@ -487,6 +511,7 @@ std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
     CheckThreadHygiene(files[i], tokenized[i], &diagnostics);
     CheckConfigDeadline(files[i], tokenized[i], &diagnostics);
     CheckRawParallelism(files[i], tokenized[i], &diagnostics);
+    CheckRawTiming(files[i], tokenized[i], &diagnostics);
   }
   std::stable_sort(diagnostics.begin(), diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {

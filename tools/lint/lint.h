@@ -38,6 +38,12 @@
 ///                    through from the caller (or use
 ///                    ParallelConfig::Sequential()) so thread budgets stay
 ///                    a single top-level policy knob.
+///   raw-timing       `std::chrono::steady_clock` named in src/core/ or
+///                    src/serve/ (src/obs/ excluded — it wraps the clock).
+///                    Pipeline and serving code times through
+///                    obs::TraceSpan / obs::MonotonicNow (src/obs/trace.h)
+///                    so every measurement lands in the shared trace and
+///                    metrics surfaces instead of ad-hoc locals.
 ///
 /// Any diagnostic can be suppressed for one line with a trailing comment:
 ///   // ceres-lint: allow(<rule>)    or    // ceres-lint: allow(all)

@@ -66,10 +66,21 @@ echo "== tier1: serve label"
 echo "== tier1: chaos label"
 (cd "$build_dir" && ctest --output-on-failure -L chaos "$@")
 
+# The scoring/fusion regression slice plus the observability instruments:
+# these carry the eval-correctness fixes and the metrics/trace layer, and
+# must never be filtered out of the gate.
+echo "== tier1: eval/fusion/obs labels"
+(cd "$build_dir" && ctest --output-on-failure -L 'eval|fusion|obs' "$@")
+
 # Batch-parallelism gate: thread-count determinism always; the >=1.5x
 # speedup-at-4-threads assertion binds only on hosts with >=4 hardware
 # threads (the bench skips it, with a note, on smaller machines).
 echo "== tier1: pipeline throughput smoke (parallel batch determinism)"
 "$build_dir/bench/pipeline_throughput" --smoke
+
+# Serve-path smoke: exact accounting, per-cell stage timings in the BENCH
+# JSON, and typed shedding under an injected model fault.
+echo "== tier1: serve throughput smoke (stage timings + fault burst)"
+"$build_dir/bench/serve_throughput" --smoke
 
 echo "== tier1: all gates passed"
