@@ -119,4 +119,26 @@ void ForEachSite(const ParsedCorpus& corpus,
   ParallelFor(corpus.sites.size(), ParallelConfig{}, body);
 }
 
+void BenchJson::Emit(const std::string& json_object) {
+  std::printf("BENCH %s\n", json_object.c_str());
+  lines_.push_back(json_object);
+}
+
+bool BenchJson::Persist(const std::string& path) const {
+  const std::string target =
+      path.empty() ? "BENCH_" + name_ + ".json" : path;
+  std::FILE* out = std::fopen(target.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", target.c_str());
+    return false;
+  }
+  for (const std::string& line : lines_) {
+    std::fprintf(out, "%s\n", line.c_str());
+  }
+  std::fclose(out);
+  std::printf("persisted %zu BENCH line(s) to %s\n", lines_.size(),
+              target.c_str());
+  return true;
+}
+
 }  // namespace ceres::bench

@@ -77,6 +77,27 @@ eval::Prf SumPrf(const std::map<PredicateId, eval::Prf>& by_predicate);
 void ForEachSite(const ParsedCorpus& corpus,
                  const std::function<void(size_t)>& body);
 
+/// Sink for the machine-readable BENCH lines a bench prints. Emit() writes
+/// `BENCH <json>` to stdout and remembers the JSON object; Persist() (the
+/// --persist flag) rewrites them to `BENCH_<name>.json` — one object per
+/// line — so each run can leave a committed result trail at the repo root.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// `json_object` is a complete JSON object, no trailing newline.
+  void Emit(const std::string& json_object);
+
+  /// Writes the emitted objects to `path` (empty = "BENCH_<name>.json" in
+  /// the current directory). Returns false (with a message on stderr) when
+  /// the file cannot be written.
+  bool Persist(const std::string& path = "") const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> lines_;
+};
+
 }  // namespace ceres::bench
 
 #endif  // CERES_BENCH_BENCH_COMMON_H_

@@ -19,8 +19,10 @@
 //     SKIPPED otherwise): --smoke requires >= 1.5x at 4 threads; the full
 //     sweep requires >= 3x at 8 threads.
 //
-// Usage: pipeline_throughput [--smoke]
+// Usage: pipeline_throughput [--smoke] [--persist [path]]
 //   --smoke: small corpus + the 4-thread gate; wired into tools/tier1.sh.
+//   --persist: also write the BENCH lines to BENCH_pipeline_throughput.json
+//              (or `path`) for a committed result trail.
 
 #include <algorithm>
 #include <chrono>
@@ -110,8 +112,14 @@ bool SameResult(const PipelineResult& a, const PipelineResult& b) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool persist = false;
+  std::string persist_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--persist") == 0) {
+      persist = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') persist_path = argv[++i];
+    }
   }
 
   // Several distinct-template sites concatenated into one page set: the
@@ -136,6 +144,7 @@ int main(int argc, char** argv) {
   const bench::Split split = bench::HalfSplit(num_pages);
   const unsigned hardware = std::thread::hardware_concurrency();
 
+  bench::BenchJson bench_json("pipeline_throughput");
   PipelineResult serial;
   double serial_seconds = 0;
   const int sweep[] = {1, 2, 4, 8};
@@ -194,13 +203,15 @@ int main(int argc, char** argv) {
         trace.TotalMicros({"pipeline", "clusters", "cluster", "train"});
     const int64_t extract_us =
         trace.TotalMicros({"pipeline", "clusters", "cluster", "extract"});
-    std::printf(
-        "BENCH {\"bench\":\"pipeline_throughput\",\"mode\":\"%s\","
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"pipeline_throughput\",\"mode\":\"%s\","
         "\"threads\":%d,\"pages\":%zu,\"seconds\":%.3f,"
         "\"pages_per_sec\":%.1f,\"speedup\":%.2f,"
         "\"hardware_concurrency\":%u,\"identical_to_serial\":%s,"
         "\"stage_us\":{\"clustering\":%lld,\"topic\":%lld,"
-        "\"annotate\":%lld,\"train\":%lld,\"extract\":%lld}}\n",
+        "\"annotate\":%lld,\"train\":%lld,\"extract\":%lld}}",
         smoke ? "smoke" : "full", threads, num_pages, seconds, pages_per_sec,
         speedup, hardware, identical ? "true" : "false",
         static_cast<long long>(clustering_us),
@@ -208,6 +219,7 @@ int main(int argc, char** argv) {
         static_cast<long long>(annotate_us),
         static_cast<long long>(train_us),
         static_cast<long long>(extract_us));
+    bench_json.Emit(line);
     Require(clustering_us + topic_us + annotate_us + train_us + extract_us > 0,
             "trace recorded no stage timings");
 
@@ -231,6 +243,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (persist && !bench_json.Persist(persist_path)) ++g_violations;
   if (g_violations > 0) {
     std::fprintf(stderr, "pipeline_throughput: %d violation(s)\n",
                  g_violations);

@@ -1,0 +1,777 @@
+#include "dist/coordinator.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "dist/checkpoint.h"
+#include "dist/worker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/string_util.h"
+
+namespace ceres::dist {
+
+namespace {
+
+/// Cached instrument pointers (see obs/metrics.h: cache once, record
+/// lock-free). Recording is gated on obs::Enabled() at the call sites.
+struct DistMetrics {
+  obs::Counter* retries;
+  obs::Counter* worker_restarts;
+  obs::Counter* shards_quarantined;
+  obs::Counter* shards_completed;
+  obs::Counter* checkpoint_bytes;
+  obs::Counter* checkpoint_loads;
+  obs::Histogram* shard_latency_us;
+
+  static const DistMetrics& Get() {
+    static const DistMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Default();
+      DistMetrics m;
+      m.retries = registry.GetCounter("ceres_dist_shard_retries_total");
+      m.worker_restarts =
+          registry.GetCounter("ceres_dist_worker_restarts_total");
+      m.shards_quarantined =
+          registry.GetCounter("ceres_dist_shards_quarantined_total");
+      m.shards_completed =
+          registry.GetCounter("ceres_dist_shards_completed_total");
+      m.checkpoint_bytes =
+          registry.GetCounter("ceres_dist_checkpoint_bytes_total");
+      m.checkpoint_loads =
+          registry.GetCounter("ceres_dist_checkpoint_loads_total");
+      m.shard_latency_us =
+          registry.GetHistogram("ceres_dist_shard_latency_us");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// Ignores SIGPIPE for the scope of a run (a dead worker's pipe must
+/// surface as an EPIPE Status, not kill the coordinator) and restores the
+/// previous disposition after. Forked workers inherit the ignore, which
+/// their frame writes rely on too.
+class SigPipeGuard {
+ public:
+  SigPipeGuard() {
+    struct sigaction ignore;
+    std::memset(&ignore, 0, sizeof(ignore));
+    ignore.sa_handler = SIG_IGN;
+    saved_ok_ = ::sigaction(SIGPIPE, &ignore, &saved_) == 0;
+  }
+  ~SigPipeGuard() {
+    if (saved_ok_) (void)::sigaction(SIGPIPE, &saved_, nullptr);
+  }
+
+ private:
+  struct sigaction saved_ {};
+  bool saved_ok_ = false;
+};
+
+enum class SlotState { kPending, kRunning, kDone, kQuarantined };
+
+struct ShardSlot {
+  int32_t id = 0;
+  /// Indices into the corpus, ascending (= corpus order within the shard).
+  std::vector<size_t> corpus_indices;
+  SlotState state = SlotState::kPending;
+  /// Attempts started (1-based once dispatched).
+  int attempts = 0;
+  /// Earliest re-dispatch time while backing off.
+  obs::TimePoint eligible_at{};
+  bool has_backoff = false;
+  obs::TimePoint started{};
+  Status last_error;
+  ShardResult result;
+  bool from_checkpoint = false;
+};
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int to_fd = -1;
+  int from_fd = -1;
+  FrameBuffer inbound;
+  /// Currently assigned shard, -1 when idle.
+  int32_t shard = -1;
+  obs::TimePoint last_seen{};
+  bool alive = false;
+};
+
+class Coordinator {
+ public:
+  Coordinator(const std::vector<ShardSite>& corpus, const KnowledgeBase& kb,
+              const Ontology& ontology, const DistConfig& config)
+      : corpus_(corpus), kb_(kb), ontology_(ontology), config_(config) {}
+
+  Result<DistResult> Run() {
+    CERES_RETURN_IF_ERROR(Validate());
+    BuildShards();
+    ResumeFromCheckpoints();
+    if (AllSettled()) return Merge();
+    SigPipeGuard guard;
+    Status loop = EventLoop();
+    Shutdown();
+    if (!loop.ok()) return loop;
+    return Merge();
+  }
+
+ private:
+  // -- setup ---------------------------------------------------------------
+
+  Status Validate() {
+    if (config_.num_workers < 1) {
+      return Status::InvalidArgument("num_workers must be >= 1");
+    }
+    if (config_.max_attempts_per_shard < 1) {
+      return Status::InvalidArgument("max_attempts_per_shard must be >= 1");
+    }
+    if (config_.num_shards < 0) {
+      return Status::InvalidArgument("num_shards must be >= 0");
+    }
+    std::unordered_set<std::string_view> names;
+    for (const ShardSite& site : corpus_) {
+      if (!names.insert(site.site).second) {
+        return Status::InvalidArgument(
+            StrCat("duplicate site in corpus: ", site.site));
+      }
+    }
+    if (!config_.checkpoint_dir.empty()) {
+      if (::mkdir(config_.checkpoint_dir.c_str(), 0755) != 0 &&
+          errno != EEXIST) {
+        return Status::Internal(StrCat("cannot create checkpoint dir ",
+                                       config_.checkpoint_dir, ": ",
+                                       std::strerror(errno)));
+      }
+    }
+    return Status::Ok();
+  }
+
+  void BuildShards() {
+    const int32_t num_shards =
+        config_.num_shards > 0 ? config_.num_shards
+                               : static_cast<int32_t>(corpus_.size());
+    slots_.resize(static_cast<size_t>(std::max(num_shards, 0)));
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      slots_[s].id = static_cast<int32_t>(s);
+    }
+    for (size_t i = 0; i < corpus_.size(); ++i) {
+      const int32_t shard = ShardOfSite(corpus_[i].site, num_shards);
+      slots_[static_cast<size_t>(shard)].corpus_indices.push_back(i);
+    }
+    // A shard with no sites has nothing to run (or checkpoint).
+    for (ShardSlot& slot : slots_) {
+      if (slot.corpus_indices.empty()) slot.state = SlotState::kDone;
+    }
+  }
+
+  void ResumeFromCheckpoints() {
+    if (config_.checkpoint_dir.empty()) return;
+    for (ShardSlot& slot : slots_) {
+      if (slot.state != SlotState::kPending) continue;
+      Result<ShardResult> loaded =
+          LoadShardCheckpoint(config_.checkpoint_dir, slot.id);
+      if (!loaded.ok()) {
+        // Missing = first run of this shard; corrupt = treated as absent
+        // but surfaced as an attempt-0 failure so resume tests can see
+        // the validation fire.
+        if (loaded.status().code() != StatusCode::kNotFound) {
+          diagnostics_.failures.push_back(
+              ShardFailure{slot.id, 0, loaded.status()});
+        }
+        continue;
+      }
+      if (!CheckpointMatchesShard(*loaded, slot)) {
+        diagnostics_.failures.push_back(ShardFailure{
+            slot.id, 0,
+            Status::Internal(StrCat("checkpoint for shard ", slot.id,
+                                    " does not match the corpus sharding; "
+                                    "re-running"))});
+        continue;
+      }
+      slot.result = std::move(loaded.value());
+      slot.state = SlotState::kDone;
+      slot.from_checkpoint = true;
+      ++diagnostics_.shards_completed;
+      ++diagnostics_.shards_from_checkpoint;
+      if (obs::Enabled()) {
+        DistMetrics::Get().shards_completed->Increment();
+        DistMetrics::Get().checkpoint_loads->Increment();
+      }
+    }
+  }
+
+  bool CheckpointMatchesShard(const ShardResult& result,
+                              const ShardSlot& slot) const {
+    if (result.sites.size() != slot.corpus_indices.size()) return false;
+    for (size_t i = 0; i < result.sites.size(); ++i) {
+      const ShardSite& expected = corpus_[slot.corpus_indices[i]];
+      if (result.sites[i].site != expected.site) return false;
+      if (result.sites[i].pages !=
+          static_cast<int64_t>(expected.pages.size())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // -- worker lifecycle ----------------------------------------------------
+
+  Status Spawn() {
+    int to_pipe[2] = {-1, -1};
+    int from_pipe[2] = {-1, -1};
+    if (::pipe(to_pipe) != 0) {
+      return Status::ResourceExhausted(
+          StrCat("pipe failed: ", std::strerror(errno)));
+    }
+    if (::pipe(from_pipe) != 0) {
+      const int err = errno;
+      (void)::close(to_pipe[0]);
+      (void)::close(to_pipe[1]);
+      return Status::ResourceExhausted(
+          StrCat("pipe failed: ", std::strerror(err)));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      (void)::close(to_pipe[0]);
+      (void)::close(to_pipe[1]);
+      (void)::close(from_pipe[0]);
+      (void)::close(from_pipe[1]);
+      return Status::ResourceExhausted(
+          StrCat("fork failed: ", std::strerror(err)));
+    }
+    if (pid == 0) {
+      // Child. Close the coordinator ends and every other worker's pipes —
+      // an inherited write end would keep a sibling's pipe from ever
+      // reporting EOF to the coordinator.
+      (void)::close(to_pipe[1]);
+      (void)::close(from_pipe[0]);
+      for (const WorkerProc& other : workers_) {
+        if (other.to_fd >= 0) (void)::close(other.to_fd);
+        if (other.from_fd >= 0) (void)::close(other.from_fd);
+      }
+      if (!config_.worker_command.empty()) {
+        (void)::dup2(to_pipe[0], STDIN_FILENO);
+        (void)::dup2(from_pipe[1], STDOUT_FILENO);
+        (void)::close(to_pipe[0]);
+        (void)::close(from_pipe[1]);
+        std::vector<char*> argv;
+        argv.reserve(config_.worker_command.size() + 1);
+        for (const std::string& arg : config_.worker_command) {
+          argv.push_back(const_cast<char*>(arg.c_str()));
+        }
+        argv.push_back(nullptr);
+        (void)::execvp(argv[0], argv.data());
+        _exit(127);
+      }
+      Status status = RunWorkerLoop(to_pipe[0], from_pipe[1], kb_);
+      _exit(status.ok() ? 0 : 1);
+    }
+    // Parent.
+    (void)::close(to_pipe[0]);
+    (void)::close(from_pipe[1]);
+    const int flags = ::fcntl(from_pipe[0], F_GETFL, 0);
+    (void)::fcntl(from_pipe[0], F_SETFL, flags | O_NONBLOCK);
+    WorkerProc worker;
+    worker.pid = pid;
+    worker.to_fd = to_pipe[1];
+    worker.from_fd = from_pipe[0];
+    worker.alive = true;
+    worker.last_seen = obs::MonotonicNow();
+    workers_.push_back(std::move(worker));
+    return Status::Ok();
+  }
+
+  /// Kills (if needed) and reaps one worker, failing its assigned shard.
+  /// Only unexpected deaths come through here (EOF, corrupt stream,
+  /// watchdog, dispatch failure — never clean shutdown), so this is the
+  /// exact place to count lost-and-replaced workers: a surviving idle
+  /// worker may absorb the retry without a respawn, which would undercount
+  /// if restarts were tallied at Spawn time.
+  void RetireWorker(WorkerProc* worker, const Status& reason) {
+    if (!worker->alive) return;
+    ++diagnostics_.worker_restarts;
+    if (obs::Enabled()) DistMetrics::Get().worker_restarts->Increment();
+    (void)::kill(worker->pid, SIGKILL);
+    int wait_status = 0;
+    (void)::waitpid(worker->pid, &wait_status, 0);
+    (void)::close(worker->to_fd);
+    (void)::close(worker->from_fd);
+    worker->to_fd = -1;
+    worker->from_fd = -1;
+    worker->alive = false;
+    if (worker->shard >= 0) {
+      FailShard(worker->shard, reason);
+      worker->shard = -1;
+    }
+  }
+
+  int LiveWorkers() const {
+    int live = 0;
+    for (const WorkerProc& worker : workers_) {
+      if (worker.alive) ++live;
+    }
+    return live;
+  }
+
+  int UnsettledShards() const {
+    int unsettled = 0;
+    for (const ShardSlot& slot : slots_) {
+      if (slot.state == SlotState::kPending ||
+          slot.state == SlotState::kRunning) {
+        ++unsettled;
+      }
+    }
+    return unsettled;
+  }
+
+  bool AllSettled() const { return UnsettledShards() == 0; }
+
+  // -- shard bookkeeping ---------------------------------------------------
+
+  void FailShard(int32_t shard, const Status& reason) {
+    ShardSlot& slot = slots_[static_cast<size_t>(shard)];
+    diagnostics_.failures.push_back(
+        ShardFailure{shard, static_cast<int32_t>(slot.attempts), reason});
+    slot.last_error = reason;
+    if (slot.attempts >= config_.max_attempts_per_shard) {
+      slot.state = SlotState::kQuarantined;
+      if (obs::Enabled()) DistMetrics::Get().shards_quarantined->Increment();
+      return;
+    }
+    slot.state = SlotState::kPending;
+    auto backoff = config_.retry_backoff_base;
+    for (int i = 1; i < slot.attempts && backoff < config_.retry_backoff_max;
+         ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, config_.retry_backoff_max);
+    slot.eligible_at = obs::MonotonicNow() + backoff;
+    slot.has_backoff = true;
+  }
+
+  void CompleteShard(int32_t shard, ShardResult result) {
+    ShardSlot& slot = slots_[static_cast<size_t>(shard)];
+    slot.result = std::move(result);
+    slot.state = SlotState::kDone;
+    ++diagnostics_.shards_completed;
+    if (obs::Enabled()) {
+      DistMetrics::Get().shards_completed->Increment();
+      DistMetrics::Get().shard_latency_us->Record(
+          obs::ElapsedMicros(slot.started, obs::MonotonicNow()).count());
+    }
+    if (config_.checkpoint_dir.empty()) return;
+    int64_t bytes = 0;
+    Status saved =
+        SaveShardCheckpoint(config_.checkpoint_dir, slot.result, &bytes);
+    if (!saved.ok()) {
+      // A failed checkpoint write degrades resumability, not this run.
+      diagnostics_.failures.push_back(ShardFailure{
+          shard, 0, PrependContext(std::move(saved), "checkpoint write")});
+      return;
+    }
+    diagnostics_.checkpoint_bytes += bytes;
+    if (obs::Enabled()) {
+      DistMetrics::Get().checkpoint_bytes->Increment(bytes);
+    }
+    if (config_.faults.FaultFor(shard, slot.attempts) ==
+        ProcessFaultType::kCorruptCheckpoint) {
+      (void)CorruptShardCheckpoint(config_.checkpoint_dir, shard);
+    }
+  }
+
+  // -- dispatch ------------------------------------------------------------
+
+  ShardSlot* NextEligibleShard(obs::TimePoint now) {
+    for (ShardSlot& slot : slots_) {
+      if (slot.state != SlotState::kPending) continue;
+      if (slot.has_backoff && now < slot.eligible_at) continue;
+      return &slot;
+    }
+    return nullptr;
+  }
+
+  void Dispatch(WorkerProc* worker, ShardSlot* slot) {
+    const obs::TimePoint now = obs::MonotonicNow();
+    ++slot->attempts;
+    if (slot->attempts > 1) {
+      ++diagnostics_.retries;
+      if (obs::Enabled()) DistMetrics::Get().retries->Increment();
+    }
+    ShardTask task;
+    task.shard = slot->id;
+    task.attempt = slot->attempts;
+    const ProcessFaultType fault =
+        config_.faults.FaultFor(slot->id, slot->attempts);
+    // The checkpoint fault is the coordinator's to act (CompleteShard);
+    // everything else is carried to the worker.
+    task.fault = fault == ProcessFaultType::kCorruptCheckpoint
+                     ? ProcessFaultType::kNone
+                     : fault;
+    task.options = config_.pipeline;
+    task.sites.reserve(slot->corpus_indices.size());
+    for (size_t index : slot->corpus_indices) {
+      task.sites.push_back(corpus_[index]);
+    }
+    slot->state = SlotState::kRunning;
+    slot->started = now;
+    slot->has_backoff = false;
+    worker->shard = slot->id;
+    worker->last_seen = now;
+    // Blocking write is safe: the worker is idle, parked in ReadFrame, so
+    // it drains the pipe as fast as we fill it.
+    Status written = WriteFrame(worker->to_fd, FrameType::kAssignShard,
+                                EncodeShardTask(task));
+    if (!written.ok()) {
+      RetireWorker(worker, PrependContext(std::move(written),
+                                          "worker died at dispatch"));
+    }
+  }
+
+  // -- the event loop ------------------------------------------------------
+
+  Status EventLoop() {
+    while (!AllSettled()) {
+      if (config_.deadline.expired()) {
+        diagnostics_.deadline_expired = true;
+        return Status::Ok();
+      }
+      // Keep the pool at strength and hand work to every idle worker.
+      const int target = std::min(config_.num_workers, UnsettledShards());
+      while (LiveWorkers() < target) {
+        CERES_RETURN_IF_ERROR(Spawn());
+      }
+      const obs::TimePoint now = obs::MonotonicNow();
+      for (WorkerProc& worker : workers_) {
+        if (!worker.alive || worker.shard >= 0) continue;
+        ShardSlot* slot = NextEligibleShard(now);
+        if (slot == nullptr) break;
+        Dispatch(&worker, slot);
+      }
+
+      PollWorkers();
+      Watchdog();
+    }
+    return Status::Ok();
+  }
+
+  void PollWorkers() {
+    std::vector<pollfd> fds;
+    std::vector<WorkerProc*> polled;
+    for (WorkerProc& worker : workers_) {
+      if (!worker.alive) continue;
+      fds.push_back(pollfd{worker.from_fd, POLLIN, 0});
+      polled.push_back(&worker);
+    }
+    if (fds.empty()) return;
+    // Short slices keep the watchdog, backoff gates, and run deadline
+    // responsive without any sleeping in the loop.
+    const int timeout_ms = 20;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready <= 0) return;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      DrainWorker(polled[i]);
+    }
+  }
+
+  void DrainWorker(WorkerProc* worker) {
+    bool saw_eof = false;
+    char buffer[65536];
+    for (;;) {
+      const ssize_t r = ::read(worker->from_fd, buffer, sizeof(buffer));
+      if (r > 0) {
+        worker->inbound.Append(buffer, static_cast<size_t>(r));
+        continue;
+      }
+      if (r == 0) {
+        saw_eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      saw_eof = true;  // read error: treat like a dead pipe
+      break;
+    }
+    // Deliver complete frames before acting on EOF — a worker may write
+    // its result and exit in the same scheduling quantum.
+    for (;;) {
+      Frame frame;
+      Status next = worker->inbound.Next(&frame);
+      if (next.code() == StatusCode::kNotFound) break;
+      if (!next.ok()) {
+        RetireWorker(worker,
+                     PrependContext(std::move(next), "worker stream"));
+        return;
+      }
+      HandleFrame(worker, std::move(frame));
+      if (!worker->alive) return;
+    }
+    if (saw_eof) {
+      Status reason = worker->inbound.pending_bytes() > 0
+                          ? Status::Internal(StrCat(
+                                "worker exited mid-frame with ",
+                                worker->inbound.pending_bytes(),
+                                " bytes pending (truncated result)"))
+                          : Status::Internal("worker exited unexpectedly");
+      RetireWorker(worker, reason);
+    }
+  }
+
+  void HandleFrame(WorkerProc* worker, Frame frame) {
+    worker->last_seen = obs::MonotonicNow();
+    switch (frame.type) {
+      case FrameType::kHeartbeat:
+      case FrameType::kProgress:
+        // Liveness is the payload; the decoded contents are advisory.
+        return;
+      case FrameType::kWorkerError: {
+        if (worker->shard >= 0) {
+          const int32_t shard = worker->shard;
+          worker->shard = -1;  // the worker stays alive and idle
+          FailShard(shard, Status::Internal(frame.payload));
+        }
+        return;
+      }
+      case FrameType::kResult: {
+        Result<ShardResult> result = DecodeShardResult(frame.payload);
+        if (!result.ok()) {
+          RetireWorker(worker, PrependContext(result.status(),
+                                              "decoding shard result"));
+          return;
+        }
+        if (result->shard != worker->shard) {
+          RetireWorker(worker,
+                       Status::Internal(StrCat(
+                           "worker answered shard ", result->shard,
+                           " while assigned ", worker->shard)));
+          return;
+        }
+        const int32_t shard = worker->shard;
+        worker->shard = -1;
+        CompleteShard(shard, std::move(result.value()));
+        return;
+      }
+      case FrameType::kAssignShard:
+      case FrameType::kShutdown:
+        RetireWorker(worker, Status::Internal(
+                                 StrCat("unexpected ",
+                                        FrameTypeName(frame.type),
+                                        " frame from worker")));
+        return;
+    }
+  }
+
+  void Watchdog() {
+    const obs::TimePoint now = obs::MonotonicNow();
+    for (WorkerProc& worker : workers_) {
+      if (!worker.alive || worker.shard < 0) continue;
+      if (now - worker.last_seen < config_.worker_liveness_timeout) continue;
+      RetireWorker(
+          &worker,
+          Status::DeadlineExceeded(StrCat(
+              "watchdog: worker ", worker.pid, " silent for ",
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now - worker.last_seen)
+                  .count(),
+              " ms on shard ", worker.shard)));
+    }
+  }
+
+  void Shutdown() {
+    for (WorkerProc& worker : workers_) {
+      if (!worker.alive) continue;
+      (void)WriteFrame(worker.to_fd, FrameType::kShutdown, "");
+      (void)::close(worker.to_fd);
+      worker.to_fd = -1;
+    }
+    // Grace period for clean exits; poll doubles as the wait.
+    const obs::TimePoint grace_end =
+        obs::MonotonicNow() + std::chrono::milliseconds(500);
+    while (obs::MonotonicNow() < grace_end) {
+      bool any_alive = false;
+      for (WorkerProc& worker : workers_) {
+        if (!worker.alive) continue;
+        int wait_status = 0;
+        const pid_t reaped =
+            ::waitpid(worker.pid, &wait_status, WNOHANG);
+        if (reaped == worker.pid) {
+          (void)::close(worker.from_fd);
+          worker.from_fd = -1;
+          worker.alive = false;
+          worker.shard = -1;
+        } else {
+          any_alive = true;
+        }
+      }
+      if (!any_alive) break;
+      pollfd idle{-1, 0, 0};
+      (void)::poll(&idle, 1, 10);  // bounded nap without sleep_for
+    }
+    for (WorkerProc& worker : workers_) {
+      if (!worker.alive) continue;
+      (void)::kill(worker.pid, SIGKILL);
+      int wait_status = 0;
+      (void)::waitpid(worker.pid, &wait_status, 0);
+      (void)::close(worker.from_fd);
+      worker.from_fd = -1;
+      worker.alive = false;
+      worker.shard = -1;
+    }
+  }
+
+  // -- merge ---------------------------------------------------------------
+
+  DistResult Merge() {
+    DistResult out;
+    std::unordered_map<std::string_view, const SiteResult*> by_site;
+    for (ShardSlot& slot : slots_) {
+      switch (slot.state) {
+        case SlotState::kDone:
+          if (!slot.corpus_indices.empty()) {
+            for (const SiteResult& site : slot.result.sites) {
+              by_site.emplace(site.site, &site);
+            }
+            out.shards.push_back(slot.result);
+          }
+          break;
+        case SlotState::kQuarantined: {
+          QuarantinedShard q;
+          q.shard = slot.id;
+          q.attempts = static_cast<int32_t>(slot.attempts);
+          for (size_t index : slot.corpus_indices) {
+            q.sites.push_back(corpus_[index].site);
+          }
+          q.last_error = slot.last_error;
+          diagnostics_.quarantined_shards.push_back(std::move(q));
+          break;
+        }
+        case SlotState::kPending:
+        case SlotState::kRunning:
+          diagnostics_.unfinished_shards.push_back(slot.id);
+          break;
+      }
+    }
+    out.site_extractions.reserve(by_site.size());
+    for (const ShardSite& site : corpus_) {
+      auto it = by_site.find(site.site);
+      if (it == by_site.end()) continue;
+      fusion::SiteExtractions extracted;
+      extracted.site = it->second->site;
+      extracted.extractions = it->second->extractions;
+      out.site_extractions.push_back(std::move(extracted));
+    }
+    fusion::FusionConfig fusion_config = config_.fusion;
+    fusion_config.deadline =
+        fusion_config.deadline.Earlier(config_.deadline);
+    out.fused =
+        fusion::FuseExtractions(out.site_extractions, ontology_, fusion_config);
+    out.diagnostics = std::move(diagnostics_);
+    return out;
+  }
+
+  const std::vector<ShardSite>& corpus_;
+  const KnowledgeBase& kb_;
+  const Ontology& ontology_;
+  const DistConfig& config_;
+  std::vector<ShardSlot> slots_;
+  std::vector<WorkerProc> workers_;
+  DistDiagnostics diagnostics_;
+};
+
+}  // namespace
+
+int32_t ShardOfSite(std::string_view site, int32_t num_shards) {
+  if (num_shards <= 0) return 0;
+  return static_cast<int32_t>(Fnv1a64(site) %
+                              static_cast<uint64_t>(num_shards));
+}
+
+std::string DistDiagnostics::Summary() const {
+  std::string out = StrCat("shards: ", shards_completed, " completed (",
+                           shards_from_checkpoint, " from checkpoint), ",
+                           quarantined_shards.size(), " quarantined, ",
+                           unfinished_shards.size(), " unfinished\n");
+  out += StrCat("retries: ", retries, ", worker restarts: ", worker_restarts,
+                ", checkpoint bytes: ", checkpoint_bytes,
+                deadline_expired ? ", run deadline expired\n" : "\n");
+  for (const ShardFailure& failure : failures) {
+    out += StrCat("  failure: shard ", failure.shard, " attempt ",
+                  failure.attempt, ": ", failure.reason.ToString(), "\n");
+  }
+  for (const QuarantinedShard& q : quarantined_shards) {
+    out += StrCat("  quarantined: shard ", q.shard, " after ", q.attempts,
+                  " attempts (", q.sites.size(),
+                  " sites): ", q.last_error.ToString(), "\n");
+  }
+  return out;
+}
+
+Result<DistResult> RunDistributedExtraction(
+    const std::vector<ShardSite>& corpus, const KnowledgeBase& kb,
+    const Ontology& ontology, const DistConfig& config) {
+  Coordinator coordinator(corpus, kb, ontology, config);
+  return coordinator.Run();
+}
+
+Result<DistResult> RunSingleProcess(const std::vector<ShardSite>& corpus,
+                                    const KnowledgeBase& kb,
+                                    const Ontology& ontology,
+                                    const DistConfig& config) {
+  // Same sharding, same per-site entry point, same merge — no processes.
+  const int32_t num_shards = config.num_shards > 0
+                                 ? config.num_shards
+                                 : static_cast<int32_t>(corpus.size());
+  std::vector<std::vector<size_t>> shard_members(
+      static_cast<size_t>(std::max(num_shards, 0)));
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    shard_members[static_cast<size_t>(ShardOfSite(corpus[i].site, num_shards))]
+        .push_back(i);
+  }
+  DistResult out;
+  std::unordered_map<std::string_view, const SiteResult*> by_site;
+  for (int32_t shard = 0; shard < num_shards; ++shard) {
+    const std::vector<size_t>& members =
+        shard_members[static_cast<size_t>(shard)];
+    if (members.empty()) continue;
+    ShardTask task;
+    task.shard = shard;
+    task.options = config.pipeline;
+    for (size_t index : members) task.sites.push_back(corpus[index]);
+    CERES_ASSIGN_OR_RETURN(ShardResult result, RunShard(task, kb));
+    out.shards.push_back(std::move(result));
+    ++out.diagnostics.shards_completed;
+  }
+  for (const ShardResult& shard : out.shards) {
+    for (const SiteResult& site : shard.sites) {
+      by_site.emplace(site.site, &site);
+    }
+  }
+  for (const ShardSite& site : corpus) {
+    auto it = by_site.find(site.site);
+    if (it == by_site.end()) continue;
+    fusion::SiteExtractions extracted;
+    extracted.site = it->second->site;
+    extracted.extractions = it->second->extractions;
+    out.site_extractions.push_back(std::move(extracted));
+  }
+  fusion::FusionConfig fusion_config = config.fusion;
+  fusion_config.deadline = fusion_config.deadline.Earlier(config.deadline);
+  out.fused =
+      fusion::FuseExtractions(out.site_extractions, ontology, fusion_config);
+  return out;
+}
+
+}  // namespace ceres::dist

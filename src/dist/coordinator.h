@@ -1,0 +1,159 @@
+#ifndef CERES_DIST_COORDINATOR_H_
+#define CERES_DIST_COORDINATOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/wire.h"
+#include "fusion/knowledge_fusion.h"
+#include "kb/knowledge_base.h"
+#include "kb/ontology.h"
+#include "robustness/fault_injector.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+/// The coordinator side of distributed batch extraction (see DESIGN.md
+/// "Distributed batch extraction").
+///
+/// The coordinator shards a corpus by site hash, runs shards on a pool of
+/// worker processes over pipes (wire.h protocol), and survives worker
+/// crashes, hangs, and torn frames: a deadline-based watchdog reclaims
+/// silent workers, failed shards retry under exponential backoff with a
+/// per-shard attempt budget, exhausted shards land in quarantine, and
+/// per-shard checkpoints make a restarted run skip completed work. The
+/// surviving shards merge through fusion::FuseExtractions byte-identical
+/// to a single-process run over the same corpus.
+namespace ceres::dist {
+
+/// Configuration of RunDistributedExtraction.
+struct DistConfig {
+  /// Worker processes to keep alive while shards remain.
+  int num_workers = 2;
+  /// Shard count; 0 = one shard per distinct site. Sites map to shards by
+  /// ShardOfSite (stable FNV-1a hash), so the sharding — and therefore the
+  /// checkpoint layout — is reproducible across runs and processes.
+  int num_shards = 0;
+  /// A shard is quarantined after this many failed attempts.
+  int max_attempts_per_shard = 3;
+  /// Watchdog: a worker with an assigned shard that has sent no frame for
+  /// this long is presumed hung, killed, and its shard retried.
+  std::chrono::milliseconds worker_liveness_timeout{2000};
+  /// Exponential retry backoff: attempt n re-dispatches no sooner than
+  /// base * 2^(n-1) after the failure, capped at `retry_backoff_max`.
+  std::chrono::milliseconds retry_backoff_base{10};
+  std::chrono::milliseconds retry_backoff_max{500};
+  /// Directory for per-shard checkpoints (created if missing); empty
+  /// disables checkpointing. A rerun with the same corpus, sharding, and
+  /// directory loads completed shards instead of re-running them.
+  std::string checkpoint_dir;
+  /// Pipeline knobs applied by every worker to every site; the single
+  /// source the single-process reference path also uses (worker.h).
+  WorkerPipelineOptions pipeline;
+  /// Fusion pass over the merged per-site extractions. Its deadline is
+  /// tightened to the run deadline automatically.
+  fusion::FusionConfig fusion;
+  /// Planned process faults for chaos tests and bench/dist_recovery.
+  /// Worker-acted faults travel inside the assign-shard frame; the
+  /// checkpoint fault is acted by the coordinator itself.
+  ProcessFaultPlan faults;
+  /// Whole-run budget. On expiry the run degrades gracefully: workers are
+  /// stopped, unfinished shards are recorded, completed shards still merge.
+  Deadline deadline;
+  /// Non-empty = spawn workers by fork+exec of this argv (a `ceres_dist
+  /// --worker` style command reading frames on stdin, writing frames on
+  /// stdout, with its own KB). Empty = fork only: the child runs
+  /// RunWorkerLoop in-process on a copy-on-write view of the caller's KB.
+  std::vector<std::string> worker_command;
+};
+
+/// One failed shard attempt, in failure order.
+struct ShardFailure {
+  int32_t shard = -1;
+  /// 1-based attempt number that failed.
+  int32_t attempt = 0;
+  Status reason;
+};
+
+/// A shard that exhausted its attempt budget.
+struct QuarantinedShard {
+  int32_t shard = -1;
+  int32_t attempts = 0;
+  /// Sites lost with the shard, in corpus order.
+  std::vector<std::string> sites;
+  Status last_error;
+};
+
+/// Everything a distributed run dropped, retried, or recovered — the
+/// process-level analogue of PipelineDiagnostics.
+struct DistDiagnostics {
+  /// Every failed attempt, typed (worker death, watchdog kill, torn
+  /// frame, worker-reported pipeline error), in failure order.
+  std::vector<ShardFailure> failures;
+  /// Shards that exhausted max_attempts_per_shard, shard-id order.
+  std::vector<QuarantinedShard> quarantined_shards;
+  /// Shards still pending or running when the run deadline expired,
+  /// shard-id order.
+  std::vector<int32_t> unfinished_shards;
+  /// Re-dispatches after a failed attempt (first attempts not counted).
+  int64_t retries = 0;
+  /// Worker processes lost to a crash, corrupt stream, or watchdog kill
+  /// and replaced (a surviving idle worker may absorb the retried shard,
+  /// so this counts deaths, not literal respawns).
+  int64_t worker_restarts = 0;
+  /// Shards that produced a merged result this run (checkpoint loads
+  /// included).
+  int64_t shards_completed = 0;
+  /// Completed shards satisfied from a valid checkpoint instead of work.
+  int64_t shards_from_checkpoint = 0;
+  /// Bytes of checkpoint data written this run.
+  int64_t checkpoint_bytes = 0;
+  /// True when the run deadline expired before all shards finished.
+  bool deadline_expired = false;
+
+  /// Multi-line human-readable rendering for logs and CLI tools.
+  std::string Summary() const;
+};
+
+/// Result of a distributed (or single-process reference) run.
+struct DistResult {
+  /// Completed shards, shard-id order.
+  std::vector<ShardResult> shards;
+  /// Per-site extractions of completed shards, corpus order — the fusion
+  /// input, exposed for byte-identical comparison in tests.
+  std::vector<fusion::SiteExtractions> site_extractions;
+  /// Cross-site fusion over `site_extractions`.
+  fusion::FusionResult fused;
+  DistDiagnostics diagnostics;
+};
+
+/// The shard a site belongs to: stable FNV-1a hash of the site name modulo
+/// `num_shards`. Agreeing across processes and runs is what makes
+/// checkpoints resumable, so this must never depend on std::hash.
+int32_t ShardOfSite(std::string_view site, int32_t num_shards);
+
+/// Runs distributed extraction over `corpus` (one entry per site; pages
+/// are raw HTML, parsed worker-side by the resilient loader).
+///
+/// Degrades, not fails: worker faults become retries, quarantined shards,
+/// or unfinished shards in the diagnostics, and the merge covers whatever
+/// completed. Returns an error Status only for malformed configuration or
+/// an unusable checkpoint directory.
+Result<DistResult> RunDistributedExtraction(
+    const std::vector<ShardSite>& corpus, const KnowledgeBase& kb,
+    const Ontology& ontology, const DistConfig& config = {});
+
+/// The single-process reference: identical sharding, per-site pipeline,
+/// and merge, with no processes, faults, or checkpoints. A fault-free
+/// distributed run must match this byte for byte (site_extractions and
+/// fused alike); chaos tests compare against it after recovery.
+Result<DistResult> RunSingleProcess(const std::vector<ShardSite>& corpus,
+                                    const KnowledgeBase& kb,
+                                    const Ontology& ontology,
+                                    const DistConfig& config = {});
+
+}  // namespace ceres::dist
+
+#endif  // CERES_DIST_COORDINATOR_H_

@@ -1,0 +1,177 @@
+#include "dist/worker.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "robustness/resilient_loader.h"
+#include "util/string_util.h"
+
+namespace ceres::dist {
+
+namespace {
+
+/// Writes the first `n` bytes of `bytes` to `fd`, best-effort — the
+/// kTruncatedResult fault wants exactly a torn frame on the wire, so write
+/// errors are deliberately swallowed (the process is about to _exit).
+void WritePrefix(int fd, const std::string& bytes, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, bytes.data() + off, n - off);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(w);
+  }
+}
+
+Deadline ShardDeadline(const WorkerPipelineOptions& options) {
+  if (options.shard_time_budget_ms <= 0) return Deadline::Infinite();
+  return Deadline::After(
+      std::chrono::milliseconds(options.shard_time_budget_ms));
+}
+
+/// Acts out `fault` at its trigger point inside the site loop. Never
+/// returns for a firing fault: the worker process ends (or blocks forever,
+/// for the watchdog to reap). `sites_done` is the number of fully
+/// processed sites; faults fire halfway through the shard so the
+/// coordinator has seen real heartbeats and progress first.
+void MaybeActFault(ProcessFaultType fault, size_t sites_done,
+                   size_t sites_total) {
+  const size_t halfway = sites_total / 2;
+  if (sites_done != halfway) return;
+  switch (fault) {
+    case ProcessFaultType::kWorkerCrash:
+      _exit(3);
+    case ProcessFaultType::kWorkerHang:
+      // Silent forever: no heartbeats, no exit. pause() returns only on a
+      // signal; SIGKILL from the watchdog is the one way out.
+      for (;;) ::pause();
+    case ProcessFaultType::kNone:
+    case ProcessFaultType::kTruncatedResult:   // acts at result-write time
+    case ProcessFaultType::kCorruptCheckpoint:  // coordinator-side fault
+      break;
+  }
+}
+
+}  // namespace
+
+PipelineConfig MakeDistPipelineConfig(const WorkerPipelineOptions& options) {
+  PipelineConfig config;
+  config.cluster_pages = options.cluster_pages;
+  config.min_cluster_size = options.min_cluster_size;
+  return config;
+}
+
+Result<SiteResult> RunSiteForDist(const ShardSite& site,
+                                  const KnowledgeBase& kb,
+                                  const WorkerPipelineOptions& options,
+                                  const Deadline& deadline) {
+  PipelineConfig config = MakeDistPipelineConfig(options);
+  config.deadline = deadline;
+  ResilientLoadOptions load;
+  load.max_quarantine_fraction = options.max_quarantine_fraction;
+  CERES_ASSIGN_OR_RETURN(PipelineResult pipeline,
+                         RunPipelineResilient(site.pages, kb, config, load),
+                         StrCat("site ", site.site));
+  SiteResult result;
+  result.site = site.site;
+  result.extractions = std::move(pipeline.extractions);
+  result.pages = static_cast<int64_t>(site.pages.size());
+  result.quarantined_pages =
+      static_cast<int64_t>(pipeline.diagnostics.quarantined_pages.size());
+  result.skipped_clusters =
+      static_cast<int64_t>(pipeline.diagnostics.skipped_clusters.size());
+  return result;
+}
+
+Result<ShardResult> RunShard(const ShardTask& task, const KnowledgeBase& kb) {
+  const Deadline deadline = ShardDeadline(task.options);
+  ShardResult result;
+  result.shard = task.shard;
+  result.sites.reserve(task.sites.size());
+  for (const ShardSite& site : task.sites) {
+    CERES_ASSIGN_OR_RETURN(
+        SiteResult site_result,
+        RunSiteForDist(site, kb, task.options, deadline),
+        StrCat("shard ", task.shard));
+    result.sites.push_back(std::move(site_result));
+  }
+  return result;
+}
+
+Status RunWorkerLoop(int in_fd, int out_fd, const KnowledgeBase& kb) {
+  int64_t heartbeat_seq = 0;
+  for (;;) {
+    Result<Frame> frame = ReadFrame(in_fd);
+    if (!frame.ok()) {
+      // Clean EOF = the coordinator is gone; that is a normal way to stop.
+      if (frame.status().code() == StatusCode::kNotFound) return Status::Ok();
+      return PrependContext(frame.status(), "worker inbound");
+    }
+    if (frame->type == FrameType::kShutdown) return Status::Ok();
+    if (frame->type != FrameType::kAssignShard) {
+      return Status::Internal(StrCat("worker got unexpected ",
+                                     FrameTypeName(frame->type), " frame"));
+    }
+
+    Result<ShardTask> task = DecodeShardTask(frame->payload);
+    if (!task.ok()) {
+      CERES_RETURN_IF_ERROR(WriteFrame(out_fd, FrameType::kWorkerError,
+                                       task.status().ToString()));
+      return PrependContext(task.status(), "decoding shard task");
+    }
+
+    HeartbeatMsg heartbeat;
+    heartbeat.shard = task->shard;
+    heartbeat.seq = heartbeat_seq++;
+    CERES_RETURN_IF_ERROR(WriteFrame(out_fd, FrameType::kHeartbeat,
+                                     EncodeHeartbeat(heartbeat)));
+
+    const Deadline deadline = ShardDeadline(task->options);
+    ShardResult result;
+    result.shard = task->shard;
+    result.sites.reserve(task->sites.size());
+    bool shard_failed = false;
+    for (size_t i = 0; i < task->sites.size(); ++i) {
+      MaybeActFault(task->fault, i, task->sites.size());
+      Result<SiteResult> site_result =
+          RunSiteForDist(task->sites[i], kb, task->options, deadline);
+      if (!site_result.ok()) {
+        CERES_RETURN_IF_ERROR(
+            WriteFrame(out_fd, FrameType::kWorkerError,
+                       PrependContext(site_result.status(),
+                                      StrCat("shard ", task->shard))
+                           .ToString()));
+        shard_failed = true;
+        break;
+      }
+      result.sites.push_back(std::move(site_result.value()));
+      ProgressMsg progress;
+      progress.shard = task->shard;
+      progress.sites_done = static_cast<int32_t>(i + 1);
+      progress.sites_total = static_cast<int32_t>(task->sites.size());
+      progress.site = task->sites[i].site;
+      CERES_RETURN_IF_ERROR(WriteFrame(out_fd, FrameType::kProgress,
+                                       EncodeProgress(progress)));
+    }
+    if (shard_failed) continue;  // the coordinator retries per its budget
+    MaybeActFault(task->fault, task->sites.size(), task->sites.size());
+
+    const std::string payload = EncodeShardResult(result);
+    if (task->fault == ProcessFaultType::kTruncatedResult) {
+      // The interrupted-pipe-write fault: half the encoded frame, then
+      // gone. The coordinator's FrameBuffer must flag the torn stream.
+      const std::string encoded = EncodeFrame(FrameType::kResult, payload);
+      WritePrefix(out_fd, encoded, encoded.size() / 2);
+      _exit(4);
+    }
+    CERES_RETURN_IF_ERROR(WriteFrame(out_fd, FrameType::kResult, payload));
+  }
+}
+
+}  // namespace ceres::dist

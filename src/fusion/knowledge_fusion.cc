@@ -45,10 +45,18 @@ double Belief(const Support& support,
 FusionResult FuseExtractions(const std::vector<SiteExtractions>& sites,
                              const Ontology& ontology,
                              const FusionConfig& config) {
-  // 1. Normalize and collect support.
+  FusionResult result;
+
+  // 1. Normalize and collect support. The deadline is observed at site
+  // granularity: an expired budget stops further ingestion but everything
+  // already collected still flows through scoring below.
   std::map<TripleKey, Support> support;
   std::unordered_map<std::string, double> reliability;
   for (const SiteExtractions& site : sites) {
+    if (config.deadline.expired()) {
+      result.deadline_expired = true;
+      break;
+    }
     reliability.emplace(site.site, config.initial_site_reliability);
     for (const Extraction& extraction : site.extractions) {
       if (extraction.predicate == kNamePredicate) continue;
@@ -62,9 +70,15 @@ FusionResult FuseExtractions(const std::vector<SiteExtractions>& sites,
     }
   }
 
-  // 2. Alternate triple-belief and site-reliability updates.
+  // 2. Alternate triple-belief and site-reliability updates. Each
+  // iteration refines the estimate; stopping early under an expired
+  // deadline degrades smoothly toward the initial-reliability prior.
   for (int iteration = 0; iteration < config.reliability_iterations;
        ++iteration) {
+    if (config.deadline.expired()) {
+      result.deadline_expired = true;
+      break;
+    }
     std::unordered_map<std::string, double> belief_sum;
     std::unordered_map<std::string, int64_t> belief_count;
     for (const auto& [key, sup] : support) {
@@ -84,7 +98,6 @@ FusionResult FuseExtractions(const std::vector<SiteExtractions>& sites,
   }
 
   // 3. Score triples.
-  FusionResult result;
   result.triples.reserve(support.size());
   for (const auto& [key, sup] : support) {
     FusedTriple triple;
@@ -142,9 +155,13 @@ FusionResult FuseExtractions(const std::vector<SiteExtractions>& sites,
   // in any sum over result.sites.
   std::set<std::string> reported;
   for (const SiteExtractions& site : sites) {
+    // Sites never ingested (deadline expired first) have no estimate and
+    // get no row, rather than a misleading reliability of zero.
+    auto it = reliability.find(site.site);
+    if (it == reliability.end()) continue;
     if (!reported.insert(site.site).second) continue;
-    result.sites.push_back(SiteReliability{
-        site.site, reliability[site.site], triple_counts[site.site]});
+    result.sites.push_back(
+        SiteReliability{site.site, it->second, triple_counts[site.site]});
   }
   return result;
 }

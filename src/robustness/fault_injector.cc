@@ -1,6 +1,7 @@
 #include "robustness/fault_injector.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/string_util.h"
@@ -44,6 +45,71 @@ std::vector<PageIndex> FaultReport::PagesWith(FaultType fault) const {
   }
   std::sort(pages.begin(), pages.end());
   return pages;
+}
+
+const char* ProcessFaultTypeName(ProcessFaultType fault) {
+  switch (fault) {
+    case ProcessFaultType::kNone:
+      return "none";
+    case ProcessFaultType::kWorkerCrash:
+      return "worker-crash";
+    case ProcessFaultType::kWorkerHang:
+      return "worker-hang";
+    case ProcessFaultType::kTruncatedResult:
+      return "truncated-result";
+    case ProcessFaultType::kCorruptCheckpoint:
+      return "corrupt-checkpoint";
+  }
+  return "unknown";
+}
+
+ProcessFaultType ProcessFaultPlan::FaultFor(int shard, int attempt) const {
+  for (const ProcessFault& fault : faults) {
+    if (fault.shard != shard || fault.fault == ProcessFaultType::kNone) {
+      continue;
+    }
+    if (attempt <= fault.attempts) return fault.fault;
+  }
+  return ProcessFaultType::kNone;
+}
+
+std::vector<int> ProcessFaultPlan::ShardsWith(ProcessFaultType fault) const {
+  std::vector<int> shards;
+  for (const ProcessFault& planned : faults) {
+    if (planned.fault == fault) shards.push_back(planned.shard);
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+ProcessFaultPlan MakeProcessFaultPlan(int num_shards, double fault_fraction,
+                                      uint64_t seed, ProcessFaultType fault,
+                                      int attempts) {
+  ProcessFaultPlan plan;
+  if (num_shards <= 0 || fault_fraction <= 0.0 ||
+      fault == ProcessFaultType::kNone) {
+    return plan;
+  }
+  const double clamped = std::clamp(fault_fraction, 0.0, 1.0);
+  const int hit = std::min(
+      num_shards,
+      static_cast<int>(
+          std::ceil(clamped * static_cast<double>(num_shards))));
+  std::vector<int> shards(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) shards[static_cast<size_t>(i)] = i;
+  Rng rng(seed);
+  rng.Shuffle(&shards);
+  plan.faults.reserve(static_cast<size_t>(hit));
+  for (int i = 0; i < hit; ++i) {
+    plan.faults.push_back(
+        ProcessFault{shards[static_cast<size_t>(i)], fault, attempts});
+  }
+  std::sort(plan.faults.begin(), plan.faults.end(),
+            [](const ProcessFault& a, const ProcessFault& b) {
+              return a.shard < b.shard;
+            });
+  return plan;
 }
 
 namespace {

@@ -96,6 +96,64 @@ std::vector<RawPage> InjectFaults(const std::vector<RawPage>& pages,
                                   const FaultInjectionConfig& config,
                                   FaultReport* report = nullptr);
 
+/// Process-level fault kinds for the distributed coordinator/worker
+/// harness (src/dist/). The first three are acted out by the worker
+/// process itself mid-shard; the last corrupts the coordinator's on-disk
+/// checkpoint after it is written, so restart-time validation is testable.
+enum class ProcessFaultType {
+  kNone = 0,
+  /// Worker _exit()s abruptly halfway through its assigned shard.
+  kWorkerCrash,
+  /// Worker stops heartbeating and blocks forever; only the coordinator's
+  /// watchdog (deadline-based liveness) can reclaim the shard.
+  kWorkerHang,
+  /// Worker computes the full result but writes only a prefix of the
+  /// result frame before exiting (interrupted pipe write).
+  kTruncatedResult,
+  /// Coordinator-side: the shard's checkpoint file is corrupted in place
+  /// after the atomic write-rename, as if by partial storage failure.
+  kCorruptCheckpoint,
+};
+inline constexpr int kNumProcessFaultTypes = 5;
+
+/// Human-readable process-fault name ("worker-crash", ...).
+const char* ProcessFaultTypeName(ProcessFaultType fault);
+
+/// One planned process fault: `fault` fires whenever `shard` runs with an
+/// attempt number <= `attempts` (1-based), then stops — so a shard crashed
+/// on its first attempt succeeds on retry, and a shard with
+/// `attempts >= max_attempts_per_shard` exhausts its budget and lands in
+/// quarantine. Deterministic by construction: no randomness at fire time.
+struct ProcessFault {
+  int shard = 0;
+  ProcessFaultType fault = ProcessFaultType::kNone;
+  int attempts = 1;
+};
+
+/// A deterministic schedule of process-level faults, keyed by shard id and
+/// attempt number. The plan travels from the coordinator to workers inside
+/// the assign-shard frame, so a forked or exec'd worker misbehaves
+/// identically across runs.
+struct ProcessFaultPlan {
+  std::vector<ProcessFault> faults;
+
+  /// The fault to act out for this (shard, attempt), kNone when the shard
+  /// has no planned fault or its fault budget is spent. `attempt` is
+  /// 1-based.
+  ProcessFaultType FaultFor(int shard, int attempt) const;
+  /// Shards planned to receive `fault` (on any attempt), ascending.
+  std::vector<int> ShardsWith(ProcessFaultType fault) const;
+};
+
+/// Builds a plan that applies `fault` to ceil(fault_fraction * num_shards)
+/// shards, chosen by seeded shuffle, on their first `attempts` attempt(s).
+/// The workhorse of the dist chaos tests and bench/dist_recovery.
+ProcessFaultPlan MakeProcessFaultPlan(int num_shards, double fault_fraction,
+                                      uint64_t seed,
+                                      ProcessFaultType fault =
+                                          ProcessFaultType::kWorkerCrash,
+                                      int attempts = 1);
+
 /// Corrupts a serialized knowledge base (kb_io.h format): each fact line
 /// (#triples section) is mangled into a malformed record with probability
 /// `line_fault_rate`. Schema and entity lines are left alone — nothing

@@ -25,15 +25,15 @@ Result<LoadedCrawl> LoadCrawl(const std::vector<RawPage>& raw,
     crawl.source_index.push_back(static_cast<PageIndex>(i));
     crawl.pages.push_back(std::move(parsed).value());
   }
-  if (!raw.empty()) {
-    const double fraction = static_cast<double>(crawl.quarantined.size()) /
-                            static_cast<double>(raw.size());
-    if (fraction > options.max_quarantine_fraction) {
-      return Status::ResourceExhausted(
-          StrCat("quarantined ", crawl.quarantined.size(), " of ", raw.size(),
-                 " pages, over the budget of ",
-                 options.max_quarantine_fraction));
-    }
+  // Division-free budget check (quarantined > budget * total): an empty
+  // batch can never divide by zero or spuriously trip the budget — zero
+  // quarantined pages always passes, whatever the batch size.
+  if (static_cast<double>(crawl.quarantined.size()) >
+      options.max_quarantine_fraction * static_cast<double>(raw.size())) {
+    return Status::ResourceExhausted(
+        StrCat("quarantined ", crawl.quarantined.size(), " of ", raw.size(),
+               " pages, over the budget of ",
+               options.max_quarantine_fraction));
   }
   if (!crawl.quarantined.empty()) {
     LogInfo(StrCat("resilient load: quarantined ", crawl.quarantined.size(),
@@ -83,6 +83,21 @@ Result<PipelineResult> RunPipelineResilient(
     const PipelineConfig& config, const ResilientLoadOptions& load_options) {
   CERES_ASSIGN_OR_RETURN(LoadedCrawl crawl, LoadCrawl(raw, load_options),
                          "resilient load");
+
+  // An empty surviving batch — an empty input crawl, or one whose pages all
+  // quarantined under a permissive budget — degrades to an empty result
+  // with exact diagnostics. Handing RunPipeline zero pages would turn a
+  // data condition into a spurious InvalidArgument, which matters once
+  // batches arrive as corpus shards: an emptied shard must cost nothing,
+  // not fail its worker.
+  if (crawl.pages.empty()) {
+    PipelineResult empty;
+    empty.cluster_of_page.assign(raw.size(), -1);
+    empty.topic_of_page.assign(raw.size(), kInvalidEntity);
+    empty.topic_node_of_page.assign(raw.size(), kInvalidNode);
+    empty.diagnostics.quarantined_pages = std::move(crawl.quarantined);
+    return empty;
+  }
 
   PipelineConfig inner_config = config;
   CERES_ASSIGN_OR_RETURN(

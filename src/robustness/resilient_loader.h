@@ -58,6 +58,10 @@ Result<LoadedCrawl> LoadCrawl(const std::vector<RawPage>& raw,
 /// index in the returned PipelineResult use the caller's raw-crawl
 /// indexing; quarantined pages simply drop out (cluster -1, no topic, no
 /// extractions) and appear in `result.diagnostics.quarantined_pages`.
+///
+/// An empty batch — no raw pages, or every page quarantined within the
+/// budget — returns an empty OK result (with the quarantine diagnostics),
+/// not an error: an emptied corpus shard costs nothing downstream.
 Result<PipelineResult> RunPipelineResilient(
     const std::vector<RawPage>& raw, const KnowledgeBase& kb,
     const PipelineConfig& config = {},

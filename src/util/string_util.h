@@ -1,12 +1,26 @@
 #ifndef CERES_UTIL_STRING_UTIL_H_
 #define CERES_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace ceres {
+
+/// FNV-1a 64-bit hash. Unlike std::hash, the value is pinned by this
+/// definition, so it is stable across processes and runs — required wherever
+/// a hash is persisted or must agree between coordinator and worker
+/// processes (shard assignment by site hash, frame/checkpoint checksums).
+constexpr uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
 
 /// Splits `input` on the single character `sep`. Empty fields are kept, so
 /// Split("a//b", '/') yields {"a", "", "b"}; Split("", '/') yields {""}.

@@ -1,0 +1,261 @@
+// Wire protocol unit tests: frame encode/decode through fds and the
+// incremental FrameBuffer, corruption detection, and byte-exact payload
+// codec roundtrips (doubles must survive bit-for-bit — the byte-identical
+// merge guarantee rests on it).
+
+#include "dist/wire.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace ceres::dist {
+namespace {
+
+TEST(Fnv1a64Test, PinnedReferenceValues) {
+  // FNV-1a 64 reference vectors; pinned because checkpoints and shard
+  // assignment persist these values across processes.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(FrameTest, RoundTripThroughPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(WriteFrame(fds[1], FrameType::kProgress, "hello").ok());
+  Result<Frame> frame = ReadFrame(fds[0]);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kProgress);
+  EXPECT_EQ(frame->payload, "hello");
+  ::close(fds[1]);
+  // Clean EOF at a frame boundary is kNotFound, not an error.
+  Result<Frame> eof = ReadFrame(fds[0]);
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);
+  ::close(fds[0]);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(WriteFrame(fds[1], FrameType::kShutdown, "").ok());
+  Result<Frame> frame = ReadFrame(fds[0]);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kShutdown);
+  EXPECT_TRUE(frame->payload.empty());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FrameTest, TruncatedFrameIsInternal) {
+  const std::string encoded = EncodeFrame(FrameType::kResult, "payload");
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Half the frame, then EOF: a worker that died mid-write.
+  ASSERT_EQ(::write(fds[1], encoded.data(), encoded.size() / 2),
+            static_cast<ssize_t>(encoded.size() / 2));
+  ::close(fds[1]);
+  Result<Frame> frame = ReadFrame(fds[0]);
+  EXPECT_EQ(frame.status().code(), StatusCode::kInternal);
+  ::close(fds[0]);
+}
+
+TEST(FrameTest, FlippedPayloadByteFailsChecksum) {
+  std::string encoded = EncodeFrame(FrameType::kResult, "payload");
+  encoded[7] = static_cast<char>(~encoded[7]);  // inside the payload
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], encoded.data(), encoded.size()),
+            static_cast<ssize_t>(encoded.size()));
+  ::close(fds[1]);
+  Result<Frame> frame = ReadFrame(fds[0]);
+  ASSERT_EQ(frame.status().code(), StatusCode::kInternal);
+  EXPECT_NE(frame.status().message().find("checksum"), std::string::npos);
+  ::close(fds[0]);
+}
+
+TEST(FrameTest, BadMagicIsInternal) {
+  std::string encoded = EncodeFrame(FrameType::kHeartbeat, "x");
+  encoded[0] = 'Z';
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], encoded.data(), encoded.size()),
+            static_cast<ssize_t>(encoded.size()));
+  ::close(fds[1]);
+  EXPECT_EQ(ReadFrame(fds[0]).status().code(), StatusCode::kInternal);
+  ::close(fds[0]);
+}
+
+TEST(FrameBufferTest, DeliversFramesAcrossArbitraryChunks) {
+  const std::string a = EncodeFrame(FrameType::kHeartbeat, "one");
+  const std::string b = EncodeFrame(FrameType::kResult, "two");
+  const std::string stream = a + b;
+  // Feed one byte at a time: every prefix must yield kNotFound until the
+  // frame completes.
+  FrameBuffer buffer;
+  std::vector<Frame> frames;
+  for (char c : stream) {
+    buffer.Append(&c, 1);
+    Frame frame;
+    Status next = buffer.Next(&frame);
+    if (next.ok()) {
+      frames.push_back(std::move(frame));
+    } else {
+      ASSERT_EQ(next.code(), StatusCode::kNotFound);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kHeartbeat);
+  EXPECT_EQ(frames[0].payload, "one");
+  EXPECT_EQ(frames[1].type, FrameType::kResult);
+  EXPECT_EQ(frames[1].payload, "two");
+  EXPECT_EQ(buffer.pending_bytes(), 0u);
+}
+
+TEST(FrameBufferTest, CorruptStreamIsInternal) {
+  std::string encoded = EncodeFrame(FrameType::kResult, "data");
+  encoded[encoded.size() - 1] ^= 0x01;  // corrupt the checksum itself
+  FrameBuffer buffer;
+  buffer.Append(encoded.data(), encoded.size());
+  Frame frame;
+  EXPECT_EQ(buffer.Next(&frame).code(), StatusCode::kInternal);
+}
+
+TEST(FrameBufferTest, OversizedLengthRejectedBeforeAllocation) {
+  std::string header;
+  header.push_back(static_cast<char>(0xCE));
+  header.push_back(static_cast<char>(FrameType::kResult));
+  const uint32_t huge = kMaxFramePayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  }
+  FrameBuffer buffer;
+  buffer.Append(header.data(), header.size());
+  Frame frame;
+  EXPECT_EQ(buffer.Next(&frame).code(), StatusCode::kInternal);
+}
+
+ShardTask MakeTask() {
+  ShardTask task;
+  task.shard = 7;
+  task.attempt = 2;
+  task.fault = ProcessFaultType::kWorkerCrash;
+  task.options.cluster_pages = false;
+  task.options.min_cluster_size = 9;
+  task.options.max_quarantine_fraction = 0.25;
+  task.options.shard_time_budget_ms = 1234;
+  task.sites.push_back(
+      ShardSite{"a.example",
+                {RawPage{"http://a/1", "<html>1</html>"},
+                 RawPage{"http://a/2", "<html>2</html>"}}});
+  task.sites.push_back(ShardSite{"b.example", {}});
+  return task;
+}
+
+TEST(PayloadTest, ShardTaskRoundTrips) {
+  const ShardTask task = MakeTask();
+  Result<ShardTask> decoded = DecodeShardTask(EncodeShardTask(task));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->shard, 7);
+  EXPECT_EQ(decoded->attempt, 2);
+  EXPECT_EQ(decoded->fault, ProcessFaultType::kWorkerCrash);
+  EXPECT_FALSE(decoded->options.cluster_pages);
+  EXPECT_EQ(decoded->options.min_cluster_size, 9u);
+  EXPECT_EQ(decoded->options.max_quarantine_fraction, 0.25);
+  EXPECT_EQ(decoded->options.shard_time_budget_ms, 1234);
+  ASSERT_EQ(decoded->sites.size(), 2u);
+  EXPECT_EQ(decoded->sites[0].site, "a.example");
+  ASSERT_EQ(decoded->sites[0].pages.size(), 2u);
+  EXPECT_EQ(decoded->sites[0].pages[1].url, "http://a/2");
+  EXPECT_EQ(decoded->sites[0].pages[1].html, "<html>2</html>");
+  EXPECT_TRUE(decoded->sites[1].pages.empty());
+}
+
+TEST(PayloadTest, TruncatedShardTaskIsUnderrun) {
+  const std::string encoded = EncodeShardTask(MakeTask());
+  for (size_t cut : {size_t{0}, size_t{3}, encoded.size() / 2,
+                     encoded.size() - 1}) {
+    Result<ShardTask> decoded =
+        DecodeShardTask(std::string_view(encoded).substr(0, cut));
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInternal)
+        << "cut at " << cut;
+  }
+}
+
+TEST(PayloadTest, ShardResultRoundTripsDoublesExactly) {
+  ShardResult result;
+  result.shard = 3;
+  SiteResult site;
+  site.site = "exact.example";
+  site.pages = 5;
+  site.quarantined_pages = 1;
+  site.skipped_clusters = 2;
+  // Confidences chosen to break any text round trip: only a bit-pattern
+  // encoding reproduces them exactly.
+  const double values[] = {0.1, 1.0 / 3.0, 0.7000000000000001,
+                           std::nextafter(0.5, 1.0),
+                           std::numeric_limits<double>::min(),
+                           1e-300};
+  for (double v : values) {
+    Extraction e;
+    e.page = 1;
+    e.node = 2;
+    e.predicate = 3;
+    e.subject = "s";
+    e.object = "o";
+    e.confidence = v;
+    site.extractions.push_back(e);
+  }
+  result.sites.push_back(site);
+
+  Result<ShardResult> decoded = DecodeShardResult(EncodeShardResult(result));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->sites.size(), 1u);
+  const SiteResult& got = decoded->sites[0];
+  EXPECT_EQ(got.site, "exact.example");
+  EXPECT_EQ(got.pages, 5);
+  EXPECT_EQ(got.quarantined_pages, 1);
+  EXPECT_EQ(got.skipped_clusters, 2);
+  ASSERT_EQ(got.extractions.size(), std::size(values));
+  for (size_t i = 0; i < std::size(values); ++i) {
+    // Exact bit equality, not EXPECT_DOUBLE_EQ.
+    EXPECT_EQ(got.extractions[i].confidence, values[i]) << i;
+  }
+}
+
+TEST(PayloadTest, HeartbeatAndProgressRoundTrip) {
+  HeartbeatMsg heartbeat;
+  heartbeat.shard = 4;
+  heartbeat.seq = 99;
+  Result<HeartbeatMsg> h = DecodeHeartbeat(EncodeHeartbeat(heartbeat));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->shard, 4);
+  EXPECT_EQ(h->seq, 99);
+
+  ProgressMsg progress;
+  progress.shard = 4;
+  progress.sites_done = 2;
+  progress.sites_total = 8;
+  progress.site = "p.example";
+  Result<ProgressMsg> p = DecodeProgress(EncodeProgress(progress));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->sites_done, 2);
+  EXPECT_EQ(p->sites_total, 8);
+  EXPECT_EQ(p->site, "p.example");
+}
+
+TEST(PayloadTest, TrailingBytesRejected) {
+  std::string encoded = EncodeHeartbeat(HeartbeatMsg{1, 2});
+  encoded.push_back('x');
+  EXPECT_EQ(DecodeHeartbeat(encoded).status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace ceres::dist

@@ -48,6 +48,7 @@ TEST(CeresLintTest, EachKnownBadSnippetFiresExactlyOnce) {
       {"raw_parallelism.cc", "src/core/raw_parallelism.cc",
        "raw-parallelism"},
       {"raw_timing.cc", "src/core/raw_timing.cc", "raw-timing"},
+      {"raw_process.cc", "src/serve/raw_process.cc", "raw-process"},
   };
   for (const KnownBad& known : cases) {
     SCOPED_TRACE(known.corpus);
@@ -78,9 +79,10 @@ TEST(CeresLintTest, WholeCorpusTotalsAcrossFiles) {
       {"src/robustness/sleep_poll.cc", ReadCorpus("sleep_poll.cc")},
       {"src/core/raw_parallelism.cc", ReadCorpus("raw_parallelism.cc")},
       {"src/serve/raw_timing.cc", ReadCorpus("raw_timing.cc")},
+      {"src/eval/raw_process.cc", ReadCorpus("raw_process.cc")},
       {"src/serve/clean.cc", ReadCorpus("clean.cc")},
   };
-  EXPECT_EQ(Lint(files).size(), 7u);
+  EXPECT_EQ(Lint(files).size(), 8u);
 }
 
 TEST(CeresLintTest, ScopeGatesRules) {
@@ -99,6 +101,47 @@ TEST(CeresLintTest, ScopeGatesRules) {
   // (the clock wrapper itself) is carved out of that scope.
   EXPECT_TRUE(LintAs("raw_timing.cc", "src/eval/raw_timing.cc").empty());
   EXPECT_TRUE(LintAs("raw_timing.cc", "src/obs/raw_timing.cc").empty());
+  // Process-control calls are the dist layer's business — the same content
+  // inside src/dist/ or a test file is silent.
+  EXPECT_TRUE(LintAs("raw_process.cc", "src/dist/raw_process.cc").empty());
+  EXPECT_TRUE(
+      LintAs("raw_process.cc", "tests/dist/raw_process_test.cc").empty());
+}
+
+TEST(CeresLintTest, ConfigDeadlineCoversFusionScope) {
+  // FusionConfig carries a Deadline since the dist coordinator threads its
+  // run deadline through fusion; the rule now polices src/fusion/ so that
+  // stays true.
+  const std::string content =
+      "namespace ceres::fusion {\n"
+      "struct RerankConfig {\n"
+      "  int iterations = 3;\n"
+      "};\n"
+      "}  // namespace ceres::fusion\n";
+  const std::vector<Diagnostic> diagnostics =
+      Lint({SourceFile{"src/fusion/rerank.h", content}});
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "config-deadline");
+  EXPECT_TRUE(Lint({SourceFile{"src/eval/rerank.h", content}}).empty());
+}
+
+TEST(CeresLintTest, RawProcessDistinguishesCallsFromNames) {
+  const std::string content =
+      "namespace ceres {\n"
+      "void Reap(int pid) {\n"
+      "  int status = 0;\n"
+      "  waitpid(pid, &status, 0);\n"
+      "  (void)::kill(pid, 9);\n"
+      "}\n"
+      "int fork_count = 0;\n"
+      "void HandleKill(int kill) { (void)kill; }\n"
+      "}  // namespace ceres\n";
+  const std::vector<Diagnostic> diagnostics =
+      Lint({SourceFile{"src/robustness/reap.cc", content}});
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].rule, "raw-process");
+  EXPECT_EQ(diagnostics[0].line, 4);
+  EXPECT_EQ(diagnostics[1].line, 5);
 }
 
 TEST(CeresLintTest, RawParallelismCatchesEachShape) {

@@ -82,5 +82,32 @@ TEST(ResilientLoaderTest, EmptyCrawlLoadsEmpty) {
   EXPECT_TRUE(crawl->pages.empty());
 }
 
+TEST(ResilientLoaderTest, EmptyBatchRunsPipelineToEmptyOkResult) {
+  // Regression: an empty raw batch used to surface RunPipeline's
+  // kInvalidArgument instead of the documented empty OK result.
+  KnowledgeBase kb((Ontology()));
+  Result<PipelineResult> result = RunPipelineResilient({}, kb);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->extractions.empty());
+  EXPECT_TRUE(result->cluster_of_page.empty());
+  EXPECT_TRUE(result->diagnostics.quarantined_pages.empty());
+}
+
+TEST(ResilientLoaderTest, FullyQuarantinedBatchWithinBudgetIsEmptyOk) {
+  // Every page quarantines but the budget (1.0) allows it: the shard
+  // degrades to an empty result that still accounts for each lost page.
+  KnowledgeBase kb((Ontology()));
+  ResilientLoadOptions options = TightOptions();
+  options.max_quarantine_fraction = 1.0;
+  std::vector<RawPage> raw = {BombPage(0), BombPage(1)};
+  Result<PipelineResult> result =
+      RunPipelineResilient(raw, kb, PipelineConfig{}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->extractions.empty());
+  ASSERT_EQ(result->diagnostics.quarantined_pages.size(), 2u);
+  EXPECT_EQ(result->diagnostics.quarantined_pages[0].page, 0);
+  EXPECT_EQ(result->diagnostics.quarantined_pages[1].page, 1);
+}
+
 }  // namespace
 }  // namespace ceres

@@ -1,0 +1,27 @@
+// Corpus: non-dist code spawning and reaping its own child process (the
+// test lints this content under a src/serve/ path). Exactly one
+// raw-process violation — the bare ::fork(); the member call, the
+// class-qualified name, and the suppressed kill below are all compliant
+// shapes the rule must not confuse with the raw syscalls.
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace ceres {
+
+struct ProcessHandle {
+  void kill();
+  static int waitpid(int pid);
+};
+
+void SpawnHelper(ProcessHandle* handle) {
+  const int pid = ::fork();  // BAD: process lifecycle outside src/dist/
+  (void)pid;
+
+  handle->kill();                    // member call, not the syscall
+  (void)ProcessHandle::waitpid(1);   // class-qualified, not the syscall
+  ::kill(0, 0);  // ceres-lint: allow(raw-process)
+}
+
+}  // namespace ceres

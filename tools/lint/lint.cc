@@ -210,8 +210,19 @@ bool IsCheckedSyncScope(const std::string& path) {
 }
 
 /// Pipeline-stage configuration scope for the config-deadline rule.
+/// src/fusion/ is included: fusion is the last pipeline stage and its
+/// config must be interruptible like any other (FusionConfig::deadline).
 bool IsStageConfigScope(const std::string& path) {
-  return PathContains(path, "src/core/") || PathContains(path, "src/cluster/");
+  return PathContains(path, "src/core/") ||
+         PathContains(path, "src/cluster/") ||
+         PathContains(path, "src/fusion/");
+}
+
+/// Process-lifecycle scope for the raw-process rule: src/dist/ owns every
+/// fork/exec/kill/waitpid in the tree, so worker lifetimes always flow
+/// through the coordinator's watchdog, reaping, and restart accounting.
+bool IsRawProcessScope(const std::string& path) {
+  return !PathContains(path, "src/dist/");
 }
 
 /// Batch-pipeline scope for the raw-parallelism rule: stage code receives
@@ -494,6 +505,42 @@ void CheckRawTiming(const SourceFile& source, const TokenizedFile& file,
   }
 }
 
+void CheckRawProcess(const SourceFile& source, const TokenizedFile& file,
+                     std::vector<Diagnostic>* out) {
+  if (!IsRawProcessScope(source.path) || IsTestFile(source.path)) return;
+  static const std::unordered_set<std::string> kProcessCalls = {
+      "fork", "vfork", "execv", "execvp", "execve", "waitpid", "kill",
+      "_exit"};
+  const std::vector<Token>& tokens = file.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsIdent(tokens[i]) || kProcessCalls.count(tokens[i].text) == 0) {
+      continue;
+    }
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
+    if (i > 0) {
+      const std::string& before = tokens[i - 1].text;
+      // Member calls (handle.kill()) and class-qualified names
+      // (Proc::kill()) are someone else's API; a bare `::` global-scope
+      // qualifier is still the raw syscall.
+      if (!tokens[i - 1].is_literal && (before == "." || before == "->")) {
+        continue;
+      }
+      if (before == "::" && i >= 2 && IsIdent(tokens[i - 2])) continue;
+      // A preceding identifier is a declaration (`void kill();`), not a
+      // call — except `return kill(...)`.
+      if (IsIdent(tokens[i - 1]) && before != "return") continue;
+    }
+    const int line = tokens[i].line;
+    if (Suppressed(file, line, "raw-process")) continue;
+    out->push_back(Diagnostic{
+        source.path, line, "raw-process",
+        "raw process-control call '" + tokens[i].text +
+            "' outside src/dist/; process lifecycle belongs to the dist "
+            "coordinator/worker layer (watchdog, reaping, restart "
+            "accounting)"});
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
@@ -512,6 +559,7 @@ std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
     CheckConfigDeadline(files[i], tokenized[i], &diagnostics);
     CheckRawParallelism(files[i], tokenized[i], &diagnostics);
     CheckRawTiming(files[i], tokenized[i], &diagnostics);
+    CheckRawProcess(files[i], tokenized[i], &diagnostics);
   }
   std::stable_sort(diagnostics.begin(), diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {

@@ -28,10 +28,10 @@
 ///                    polling in non-test code. Detached threads outlive
 ///                    their owners' invariants; sleep-polling hides
 ///                    missing condition-variable signalling.
-///   config-deadline  A `*Config` struct in src/core/ or src/cluster/
-///                    without a `Deadline` member. Every pipeline-stage
-///                    config must carry the cooperative deadline so no
-///                    stage is uninterruptible.
+///   config-deadline  A `*Config` struct in src/core/, src/cluster/, or
+///                    src/fusion/ without a `Deadline` member. Every
+///                    pipeline-stage config must carry the cooperative
+///                    deadline so no stage is uninterruptible.
 ///   raw-parallelism  Raw `std::thread`, a `ParallelFor` call with a bare
 ///                    numeric thread count, or `ParallelConfig{<number>}`
 ///                    in src/core/. Batch code must thread ParallelConfig
@@ -44,6 +44,11 @@
 ///                    obs::TraceSpan / obs::MonotonicNow (src/obs/trace.h)
 ///                    so every measurement lands in the shared trace and
 ///                    metrics surfaces instead of ad-hoc locals.
+///   raw-process      `fork` / `vfork` / `exec*` / `waitpid` / `kill` /
+///                    `_exit` called outside src/dist/ (tests exempt).
+///                    src/dist/ owns process lifecycle: a stray fork or
+///                    kill elsewhere bypasses the coordinator's watchdog,
+///                    reaping, and restart accounting.
 ///
 /// Any diagnostic can be suppressed for one line with a trailing comment:
 ///   // ceres-lint: allow(<rule>)    or    // ceres-lint: allow(all)

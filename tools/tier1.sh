@@ -53,6 +53,11 @@ if [ "$mode" = "thread" ]; then
   echo "== tier1: serve label (ThreadSanitizer)"
   (cd "$build_dir" && ctest --output-on-failure -L serve "$@")
 
+  # The coordinator forks workers and polls their pipes; the sanitized
+  # bench proves the event loop and recovery path are race-free.
+  echo "== tier1: dist recovery smoke (ThreadSanitizer)"
+  "$build_dir/bench/dist_recovery" --smoke
+
   echo "== tier1: tsan gates passed"
   exit 0
 fi
@@ -65,6 +70,11 @@ echo "== tier1: serve label"
 
 echo "== tier1: chaos label"
 (cd "$build_dir" && ctest --output-on-failure -L chaos "$@")
+
+# Multi-process slice: wire protocol, checkpoints, and the coordinator's
+# crash/hang/torn-frame recovery, merged byte-identical to single-process.
+echo "== tier1: dist label"
+(cd "$build_dir" && ctest --output-on-failure -L dist "$@")
 
 # The scoring/fusion regression slice plus the observability instruments:
 # these carry the eval-correctness fixes and the metrics/trace layer, and
@@ -82,5 +92,10 @@ echo "== tier1: pipeline throughput smoke (parallel batch determinism)"
 # JSON, and typed shedding under an injected model fault.
 echo "== tier1: serve throughput smoke (stage timings + fault burst)"
 "$build_dir/bench/serve_throughput" --smoke
+
+# Distributed-recovery smoke: crashed workers respawn, shards retry, and
+# the merge stays byte-identical to the single-process reference.
+echo "== tier1: dist recovery smoke (crash retry + checkpointing)"
+"$build_dir/bench/dist_recovery" --smoke
 
 echo "== tier1: all gates passed"
