@@ -1,0 +1,407 @@
+// serve_qps — end-to-end QPS/latency of the network serving front-end.
+//
+// Stands up the full serving stack in one process — the sharded
+// ExtractionService tier behind the epoll HTTP server, fronted by the
+// simhash near-duplicate page cache — and drives it over loopback with
+// closed-loop HttpClient pools, one phase per serving regime:
+//
+//   cold:             first pass over the crawl on keep-alive
+//                     connections; pages miss the cache and pay the
+//                     full parse+inference path (template near-dups may
+//                     still hit — the observed hit rate is reported);
+//   warm_keepalive:   the identical byte stream replayed on keep-alive
+//                     connections; every page is an exact-fingerprint
+//                     near-dup hit and skips parse+inference entirely;
+//   warm_per_request: the same warm stream, but the client closes and
+//                     reconnects around every request — isolating the
+//                     keep-alive win at equal server work;
+//   ratelimited:      a burst against a second front-end with a tight
+//                     token bucket; excess requests shed with 429.
+//
+// Each phase emits one machine-readable line, with latency percentiles
+// read from the server-side obs histogram (ceres_net_request_us, reset
+// per phase) and cache hit rates from the shared NearDupCache:
+//
+//   BENCH {"bench":"serve_qps","phase":"cold","qps":...,"p50_us":...,
+//          "cache_hit_rate":...,"status_200":...,"shed_rate_limited":0}
+//
+// Invariants (exit 1 on violation):
+//   * every serving-phase request gets HTTP 200, with zero transport
+//     errors, and the socket edge accounts exactly (requests ==
+//     responses, nothing dropped) after the drain;
+//   * the warm replay is all cache hits (exact fingerprints) and beats
+//     the cold pass's QPS — the near-dup cache earns the skipped
+//     parse+inference;
+//   * keep-alive beats connection-per-request QPS at equal server work;
+//   * the rate-limited burst sheds at least one request, and the
+//     server's rate_limited counter equals the client-observed 429s.
+//
+// Usage: serve_qps [--smoke] [--persist]
+//   --smoke:   reduced corpus scale and request counts; wired into
+//              tools/tier1.sh.
+//   --persist: rewrite the BENCH lines to BENCH_serve_qps.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/pipeline.h"
+#include "dom/html_parser.h"
+#include "net/http_client.h"
+#include "obs/metrics.h"
+#include "serve/http_frontend.h"
+#include "serve/sharded_service.h"
+#include "synth/corpora.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ceres;  // NOLINT(build/namespaces)
+
+int g_violations = 0;
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", what);
+    ++g_violations;
+  }
+}
+
+/// One request of the replay stream: a site and a page body.
+struct Work {
+  const std::string* site;
+  const std::string* html;
+};
+
+struct PhaseOutcome {
+  double qps = 0;
+  double wall_seconds = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  int64_t samples = 0;
+  std::map<int, int64_t> statuses;
+  int64_t transport_errors = 0;
+  int64_t cache_hits = 0, cache_misses = 0;
+  double cache_hit_rate = 0;
+};
+
+/// Drives `requests` closed-loop requests (wrapping over `stream`)
+/// through `clients` connections against the front-end on `port`. The
+/// obs registry is reset on entry so the latency percentiles read back
+/// describe only this phase; cache hit/miss deltas come from the
+/// service's own stats.
+PhaseOutcome RunPhase(uint16_t port, const std::vector<Work>& stream,
+                      int clients, int requests, bool per_request,
+                      serve::ShardedExtractionService* service) {
+  obs::MetricsRegistry::Default().Reset();
+  const serve::ShardedServiceStats before = service->stats();
+
+  std::atomic<int> next{0};
+  std::atomic<int64_t> transport_errors{0};
+  std::vector<std::map<int, int64_t>> status_counts(
+      static_cast<size_t>(clients));
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> pool;
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      net::HttpClient client("127.0.0.1", port);
+      for (;;) {
+        const int index = next.fetch_add(1);
+        if (index >= requests) break;
+        const Work& work =
+            stream[static_cast<size_t>(index) % stream.size()];
+        net::HttpRequest request;
+        request.method = "POST";
+        request.target = StrCat("/extract?site=", *work.site);
+        request.version = "HTTP/1.1";
+        request.body = *work.html;
+        Result<net::HttpResponse> response = client.Roundtrip(request);
+        if (!response.ok()) {
+          transport_errors.fetch_add(1);
+          client.Close();
+          continue;
+        }
+        ++status_counts[static_cast<size_t>(c)][response->status];
+        if (per_request) client.Close();
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          Clock::now() - t0)
+          .count();
+
+  PhaseOutcome outcome;
+  outcome.wall_seconds = wall;
+  outcome.qps = static_cast<double>(requests) / wall;
+  obs::Histogram* request_us =
+      obs::MetricsRegistry::Default().GetHistogram("ceres_net_request_us");
+  outcome.p50 = request_us->Percentile(0.50);
+  outcome.p95 = request_us->Percentile(0.95);
+  outcome.p99 = request_us->Percentile(0.99);
+  outcome.samples = request_us->Count();
+  for (const std::map<int, int64_t>& per_client : status_counts) {
+    for (const auto& [status, count] : per_client) {
+      outcome.statuses[status] += count;
+    }
+  }
+  outcome.transport_errors = transport_errors.load();
+  const serve::ShardedServiceStats after = service->stats();
+  outcome.cache_hits = after.cache.hits - before.cache.hits;
+  outcome.cache_misses = after.cache.misses - before.cache.misses;
+  const int64_t lookups = outcome.cache_hits + outcome.cache_misses;
+  outcome.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(outcome.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  return outcome;
+}
+
+void EmitPhase(bench::BenchJson* bench, const char* mode, const char* phase,
+               int clients, int requests, const PhaseOutcome& outcome,
+               int64_t shed_rate_limited) {
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"serve_qps\",\"mode\":\"%s\",\"phase\":\"%s\","
+      "\"clients\":%d,\"requests\":%d,\"qps\":%.1f,"
+      "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,\"samples\":%lld,"
+      "\"cache_hits\":%lld,\"cache_misses\":%lld,\"cache_hit_rate\":%.3f,"
+      "\"status_200\":%lld,\"status_429\":%lld,\"shed_rate_limited\":%lld}",
+      mode, phase, clients, requests, outcome.qps, outcome.p50, outcome.p95,
+      outcome.p99, static_cast<long long>(outcome.samples),
+      static_cast<long long>(outcome.cache_hits),
+      static_cast<long long>(outcome.cache_misses), outcome.cache_hit_rate,
+      static_cast<long long>(
+          outcome.statuses.count(200) ? outcome.statuses.at(200) : 0),
+      static_cast<long long>(
+          outcome.statuses.count(429) ? outcome.statuses.at(429) : 0),
+      static_cast<long long>(shed_rate_limited));
+  bench->Emit(line);
+  std::printf("%-17s qps %-9.1f p50 %-8.1f p95 %-8.1f hit_rate %.3f\n",
+              phase, outcome.qps, outcome.p50, outcome.p95,
+              outcome.cache_hit_rate);
+}
+
+/// All responses are 200 and nothing failed at the transport layer.
+void RequireAllOk(const PhaseOutcome& outcome, int requests,
+                  const char* phase) {
+  if (outcome.transport_errors != 0 ||
+      outcome.statuses.size() != 1 ||
+      outcome.statuses.count(200) == 0 ||
+      outcome.statuses.at(200) != requests) {
+    std::fprintf(stderr, "phase %s: unexpected outcomes:", phase);
+    for (const auto& [status, count] : outcome.statuses) {
+      std::fprintf(stderr, " %d=%lld", status,
+                   static_cast<long long>(count));
+    }
+    std::fprintf(stderr, " transport_errors=%lld\n",
+                 static_cast<long long>(outcome.transport_errors));
+    ++g_violations;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool persist = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--persist") == 0) persist = true;
+  }
+  // Latency percentiles are read from the server-side obs histograms.
+  obs::SetEnabled(true);
+
+  const std::string store =
+      (std::filesystem::temp_directory_path() / "serve_qps_store").string();
+  std::filesystem::remove_all(store);
+
+  // --- Offline: corpus, per-site training, publish into shards. ----------
+  synth::Corpus corpus = synth::MakeSwdeCorpus(synth::SwdeVertical::kMovie,
+                                               smoke ? 0.25 : 0.4, 100);
+  const size_t kNumSites = smoke ? 2 : 3;
+
+  serve::ShardedServiceConfig config;
+  config.num_shards = 2;
+  config.service.worker_threads = 2;
+  config.registry.root_dir = store;
+  serve::ShardedExtractionService service(corpus.seed_kb.ontology(),
+                                          config);
+
+  std::vector<std::string> site_names;
+  std::vector<std::vector<std::string>> site_pages;
+  for (size_t s = 0;
+       s < std::min(kNumSites, corpus.sites.size()); ++s) {
+    const synth::SyntheticSite& site = corpus.sites[s];
+    std::vector<DomDocument> pages;
+    for (const synth::GeneratedPage& page : site.pages) {
+      Result<DomDocument> doc = ParseHtml(page.html);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "unparseable generated page: %s\n",
+                     doc.status().ToString().c_str());
+        return 1;
+      }
+      pages.push_back(std::move(doc).value());
+    }
+    PipelineConfig train_config;
+    for (size_t i = 0; i < pages.size(); i += 2) {
+      train_config.annotation_pages.push_back(static_cast<PageIndex>(i));
+    }
+    train_config.extraction_pages = train_config.annotation_pages;
+    Result<PipelineResult> trained =
+        RunPipeline(pages, corpus.seed_kb, train_config);
+    if (!trained.ok() || trained->models.empty()) {
+      std::fprintf(stderr, "site %s trained no model; skipping\n",
+                   site.name.c_str());
+      continue;
+    }
+    Result<int64_t> version =
+        service.Publish(site.name, trained->models.front().model);
+    if (!version.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   version.status().ToString().c_str());
+      return 1;
+    }
+    site_names.push_back(site.name);
+    std::vector<std::string> crawl;
+    for (size_t i = 1; i < site.pages.size(); i += 2) {
+      crawl.push_back(site.pages[i].html);
+    }
+    site_pages.push_back(std::move(crawl));
+  }
+  if (site_names.size() < 2) {
+    std::fprintf(stderr, "need at least two trained sites\n");
+    return 1;
+  }
+
+  // Interleave sites so consecutive requests alternate shards.
+  std::vector<Work> stream;
+  size_t max_pages = 0;
+  for (const std::vector<std::string>& crawl : site_pages) {
+    max_pages = std::max(max_pages, crawl.size());
+  }
+  for (size_t i = 0; i < max_pages; ++i) {
+    for (size_t s = 0; s < site_names.size(); ++s) {
+      if (i < site_pages[s].size()) {
+        stream.push_back(Work{&site_names[s], &site_pages[s][i]});
+      }
+    }
+  }
+
+  Status started = service.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "service start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  bench::BenchJson bench_json("serve_qps");
+  const char* mode = smoke ? "smoke" : "full";
+  const int kClients = 4;
+  const int cold_requests = static_cast<int>(stream.size());
+  const int warm_requests = smoke ? 200 : 1000;
+
+  // --- Serving phases against an unlimited front-end. --------------------
+  {
+    serve::ExtractionFrontend frontend(&service);
+    started = frontend.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "frontend start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    const uint16_t port = frontend.port();
+
+    PhaseOutcome cold = RunPhase(port, stream, kClients, cold_requests,
+                                 /*per_request=*/false, &service);
+    EmitPhase(&bench_json, mode, "cold", kClients, cold_requests, cold, 0);
+    RequireAllOk(cold, cold_requests, "cold");
+    Require(cold.samples == cold_requests,
+            "cold: the obs request histogram saw every request");
+
+    PhaseOutcome warm = RunPhase(port, stream, kClients, warm_requests,
+                                 /*per_request=*/false, &service);
+    EmitPhase(&bench_json, mode, "warm_keepalive", kClients, warm_requests,
+              warm, 0);
+    RequireAllOk(warm, warm_requests, "warm_keepalive");
+    Require(warm.cache_hits == warm_requests,
+            "warm replay is served entirely from the near-dup cache");
+    Require(warm.qps > cold.qps,
+            "near-dup hits beat the cold parse+inference path");
+
+    PhaseOutcome per_request =
+        RunPhase(port, stream, kClients, warm_requests,
+                 /*per_request=*/true, &service);
+    EmitPhase(&bench_json, mode, "warm_per_request", kClients,
+              warm_requests, per_request, 0);
+    RequireAllOk(per_request, warm_requests, "warm_per_request");
+    Require(per_request.cache_hits == warm_requests,
+            "per-request replay is served entirely from the cache");
+    Require(warm.qps > per_request.qps,
+            "keep-alive beats connection-per-request at equal work");
+
+    Status drained =
+        frontend.Drain(Deadline::After(std::chrono::seconds(10)));
+    Require(drained.ok(), "unlimited front-end drains cleanly");
+    const net::HttpServerStats http = frontend.server_stats();
+    frontend.Stop();
+    Require(http.requests == http.responses && http.responses_dropped == 0,
+            "socket edge accounts exactly (requests == responses)");
+  }
+
+  // --- Rate-limited burst against a second front-end. --------------------
+  {
+    serve::FrontendConfig limited;
+    limited.http.rate_limit.tokens_per_second = 200;
+    limited.http.rate_limit.burst = 16;
+    serve::ExtractionFrontend frontend(&service, limited);
+    started = frontend.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "rate-limited frontend start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    const int burst_requests = smoke ? 200 : 500;
+    PhaseOutcome burst =
+        RunPhase(frontend.port(), stream, kClients, burst_requests,
+                 /*per_request=*/false, &service);
+    Status drained =
+        frontend.Drain(Deadline::After(std::chrono::seconds(10)));
+    Require(drained.ok(), "rate-limited front-end drains cleanly");
+    const net::HttpServerStats http = frontend.server_stats();
+    frontend.Stop();
+
+    EmitPhase(&bench_json, mode, "ratelimited", kClients, burst_requests,
+              burst, http.rate_limited);
+    const int64_t observed_429 =
+        burst.statuses.count(429) ? burst.statuses.at(429) : 0;
+    const int64_t observed_200 =
+        burst.statuses.count(200) ? burst.statuses.at(200) : 0;
+    Require(burst.transport_errors == 0,
+            "rate-limited burst has no transport errors");
+    Require(observed_429 > 0, "a tight token bucket sheds with 429");
+    Require(observed_429 == http.rate_limited,
+            "server rate_limited counter equals client-observed 429s");
+    Require(observed_200 + observed_429 == burst_requests,
+            "every burst request is either served or shed");
+  }
+
+  service.Stop();
+  if (persist && !bench_json.Persist()) return 1;
+
+  if (g_violations > 0) {
+    std::fprintf(stderr, "%d invariant(s) violated\n", g_violations);
+    return 1;
+  }
+  std::fprintf(stderr, "all serve_qps invariants hold\n");
+  return 0;
+}

@@ -31,9 +31,10 @@
 //   * an injected model-load fault degrades into kModelLoadFailed sheds
 //     for that site only — other sites keep serving, nothing crashes.
 //
-// Usage: serve_throughput [--smoke]
+// Usage: serve_throughput [--smoke] [--persist]
 //   --smoke: 2 sites at reduced scale, 1/4 threads, one round, no QPS
 //   ratio gate; wired into tools/tier1.sh.
+//   --persist: rewrite the BENCH lines to BENCH_serve_throughput.json.
 
 #include <algorithm>
 #include <atomic>
@@ -46,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/pipeline.h"
 #include "dom/html_parser.h"
 #include "obs/metrics.h"
@@ -214,9 +216,12 @@ RunResult Replay(serve::ModelRegistry* registry,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool persist = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--persist") == 0) persist = true;
   }
+  bench::BenchJson bench_json("serve_throughput");
   // The service records its stage histograms only when obs is on.
   obs::SetEnabled(true);
 
@@ -318,14 +323,16 @@ int main(int argc, char** argv) {
                   static_cast<long long>(run.p95),
                   static_cast<long long>(run.p99),
                   static_cast<long long>(run.stats.total_shed()));
-      std::printf(
-          "BENCH {\"bench\":\"serve_throughput\",\"mode\":\"%s\","
+      char line[512];
+      std::snprintf(
+          line, sizeof(line),
+          "{\"bench\":\"serve_throughput\",\"mode\":\"%s\","
           "\"cache\":\"%s\",\"threads\":%d,\"requests\":%lld,"
           "\"qps\":%.1f,\"p50_us\":%lld,\"p95_us\":%lld,\"p99_us\":%lld,"
           "\"shed\":%lld,\"batch_size_mean\":%.2f,"
           "\"stage_us\":{\"queue_wait_p50\":%.1f,\"queue_wait_p95\":%.1f,"
           "\"parse_p50\":%.1f,\"parse_p95\":%.1f,"
-          "\"inference_p50\":%.1f,\"inference_p95\":%.1f}}\n",
+          "\"inference_p50\":%.1f,\"inference_p95\":%.1f}}",
           smoke ? "smoke" : "full", warm ? "warm" : "cold", threads,
           static_cast<long long>(run.stats.submitted), run.qps,
           static_cast<long long>(run.p50), static_cast<long long>(run.p95),
@@ -335,6 +342,7 @@ int main(int argc, char** argv) {
           run.stages.queue_wait_p95, run.stages.parse_p50,
           run.stages.parse_p95, run.stages.inference_p50,
           run.stages.inference_p95);
+      bench_json.Emit(line);
       Require(run.stages.samples == run.stats.completed,
               "stage histograms saw every completed request");
       if (threads == max_threads) {
@@ -388,6 +396,7 @@ int main(int argc, char** argv) {
               faulted.stats.submitted - load_sheds,
           "non-victim sites keep serving through the fault");
 
+  if (persist && !bench_json.Persist()) return 1;
   if (g_violations > 0) {
     std::fprintf(stderr, "%d invariant(s) violated\n", g_violations);
     return 1;

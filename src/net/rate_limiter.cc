@@ -1,0 +1,51 @@
+#include "net/rate_limiter.h"
+
+#include <algorithm>
+
+namespace ceres::net {
+
+bool RateLimiter::Admit(const std::string& key, int64_t now_us) {
+  if (config_.tokens_per_second <= 0.0) return true;
+  const double burst = std::max(config_.burst, 1.0);
+  MutexLock lock(mu_);
+  auto [it, inserted] = buckets_.try_emplace(key);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = burst;
+    bucket.last_us = now_us;
+  } else {
+    const double elapsed_s =
+        static_cast<double>(std::max<int64_t>(0, now_us - bucket.last_us)) /
+        1e6;
+    bucket.tokens = std::min(
+        burst, bucket.tokens + elapsed_s * config_.tokens_per_second);
+    bucket.last_us = std::max(bucket.last_us, now_us);
+  }
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  if (buckets_.size() > kSweepAt) {
+    // Bound the table: a bucket whose refill has already topped it back up
+    // carries no admission state (it reconstructs exactly on next sight),
+    // so it is safe to drop.
+    for (auto sweep = buckets_.begin(); sweep != buckets_.end();) {
+      const Bucket& b = sweep->second;
+      const double refilled =
+          b.tokens +
+          static_cast<double>(std::max<int64_t>(0, now_us - b.last_us)) /
+              1e6 * config_.tokens_per_second;
+      if (sweep->first != key && refilled >= burst - 1e-9) {
+        sweep = buckets_.erase(sweep);
+      } else {
+        ++sweep;
+      }
+    }
+  }
+  return true;
+}
+
+size_t RateLimiter::tracked_keys() const {
+  MutexLock lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace ceres::net

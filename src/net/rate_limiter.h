@@ -1,0 +1,55 @@
+#ifndef CERES_NET_RATE_LIMITER_H_
+#define CERES_NET_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "util/sync.h"
+
+namespace ceres::net {
+
+/// Token-bucket admission policy for the HTTP front-end, keyed per client
+/// (the server keys by peer address). A request spends one token; tokens
+/// refill continuously at `tokens_per_second` up to `burst`. A zero or
+/// negative rate disables limiting (every request admitted).
+struct TokenBucketConfig {
+  double tokens_per_second = 0.0;
+  double burst = 16.0;
+};
+
+/// Thread-safe keyed token buckets. Time is injected (microseconds from
+/// any monotonic origin) so tests can drive refill deterministically and
+/// the server can reuse its event-loop clock reads.
+class RateLimiter {
+ public:
+  explicit RateLimiter(TokenBucketConfig config) : config_(config) {}
+
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  /// True when `key` may proceed at `now_us`; false means shed (429).
+  bool Admit(const std::string& key, int64_t now_us);
+
+  /// Buckets currently tracked (bounded; stale full buckets are swept).
+  size_t tracked_keys() const;
+
+ private:
+  /// Sweep threshold: when the table grows past this, full buckets are
+  /// dropped (a full bucket reconstructs exactly on next sight, so
+  /// dropping it never changes admission decisions).
+  static constexpr size_t kSweepAt = 4096;
+
+  struct Bucket {
+    double tokens = 0.0;
+    int64_t last_us = 0;
+  };
+
+  const TokenBucketConfig config_;
+  mutable CheckedMutex mu_{"RateLimiter.mu"};
+  std::unordered_map<std::string, Bucket> buckets_ CERES_GUARDED_BY(mu_);
+};
+
+}  // namespace ceres::net
+
+#endif  // CERES_NET_RATE_LIMITER_H_

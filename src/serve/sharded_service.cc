@@ -1,0 +1,111 @@
+#include "serve/sharded_service.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ceres::serve {
+
+ShardedExtractionService::ShardedExtractionService(Ontology ontology,
+                                                   ShardedServiceConfig config)
+    : config_(std::move(config)), cache_(config_.cache) {
+  CERES_CHECK_MSG(config_.num_shards >= 1, "num_shards must be >= 1");
+  shards_.reserve(static_cast<size_t>(config_.num_shards));
+  for (int i = 0; i < config_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    ModelRegistryConfig registry_config = config_.registry;
+    registry_config.root_dir =
+        StrCat(config_.registry.root_dir, "/shard-", i);
+    shard->registry =
+        std::make_unique<ModelRegistry>(ontology, registry_config);
+    shard->service = std::make_unique<ExtractionService>(
+        shard->registry.get(), config_.service);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedExtractionService::~ShardedExtractionService() { Stop(); }
+
+Status ShardedExtractionService::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  for (auto& shard : shards_) {
+    CERES_RETURN_IF_ERROR(shard->service->Start());
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void ShardedExtractionService::Stop() {
+  for (auto& shard : shards_) shard->service->Stop();
+  started_ = false;
+}
+
+size_t ShardedExtractionService::ShardOf(std::string_view site) const {
+  // Must agree with dist::ShardOfSite — stable FNV-1a, never std::hash.
+  return static_cast<size_t>(
+      Fnv1a64(site) % static_cast<uint64_t>(config_.num_shards));
+}
+
+std::future<ServeResult> ShardedExtractionService::Submit(
+    ServeRequest request) {
+  const std::string site = request.site;
+  const uint64_t fingerprint = cache_.Fingerprint(request.html);
+  CachedExtraction cached;
+  if (cache_.Lookup(site, fingerprint, &cached)) {
+    ServeResult result;
+    result.status = Status::Ok();
+    result.triples = std::move(cached.triples);
+    result.diagnostics = cached.diagnostics;
+    result.diagnostics.near_dup_hit = true;
+    std::promise<ServeResult> promise;
+    promise.set_value(std::move(result));
+    return promise.get_future();
+  }
+  std::future<ServeResult> inner =
+      shards_[ShardOf(site)]->service->Submit(std::move(request));
+  // Deferred continuation: the caller's .get() performs the underlying
+  // wait and then populates the cache — no extra thread, and the cache
+  // insert happens exactly once per consumed result.
+  return std::async(
+      std::launch::deferred,
+      [this, site, fingerprint,
+       inner = std::move(inner)]() mutable -> ServeResult {
+        ServeResult result = inner.get();
+        if (result.status.ok() && !result.diagnostics.near_dup_hit) {
+          CachedExtraction entry;
+          entry.triples = result.triples;
+          entry.diagnostics = result.diagnostics;
+          cache_.Insert(site, fingerprint, std::move(entry));
+        }
+        return result;
+      });
+}
+
+Result<int64_t> ShardedExtractionService::Publish(const std::string& site,
+                                                  const TrainedModel& model) {
+  Result<int64_t> version =
+      shards_[ShardOf(site)]->registry->Publish(site, model);
+  // Even a failed publish may have changed the store; dropping cached
+  // extractions is always safe, serving stale ones is not.
+  cache_.InvalidateSite(site);
+  return version;
+}
+
+void ShardedExtractionService::Invalidate(const std::string& site) {
+  shards_[ShardOf(site)]->registry->Invalidate(site);
+  cache_.InvalidateSite(site);
+}
+
+ShardedServiceStats ShardedExtractionService::stats() const {
+  ShardedServiceStats out;
+  out.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.per_shard.push_back(shard->service->stats());
+  }
+  out.cache = cache_.stats();
+  out.near_dup_served = out.cache.hits;
+  return out;
+}
+
+}  // namespace ceres::serve

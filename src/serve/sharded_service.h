@@ -1,0 +1,111 @@
+#ifndef CERES_SERVE_SHARDED_SERVICE_H_
+#define CERES_SERVE_SHARDED_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kb/ontology.h"
+#include "serve/extraction_service.h"
+#include "serve/model_registry.h"
+#include "serve/page_cache.h"
+#include "util/status.h"
+
+namespace ceres::serve {
+
+struct ShardedServiceConfig {
+  /// Shard count; each shard is an independent ModelRegistry +
+  /// ExtractionService pair. Must be >= 1.
+  int num_shards = 2;
+  /// Per-shard service configuration (worker pool, queue bounds, batching).
+  ExtractionServiceConfig service;
+  /// Per-shard model registry configuration. `root_dir` is the base path;
+  /// shard i stores models under `<root_dir>/shard-<i>`.
+  ModelRegistryConfig registry;
+  /// The near-duplicate page cache fronting all shards.
+  PageCacheConfig cache;
+};
+
+/// Aggregated view across shards, plus the shared page cache.
+struct ShardedServiceStats {
+  std::vector<ServiceStats> per_shard;
+  PageCacheStats cache;
+  /// Requests answered from the near-duplicate cache (never reached a
+  /// shard). Equals cache.hits; surfaced here for one-stop reporting.
+  int64_t near_dup_served = 0;
+};
+
+/// The service tier behind the HTTP front-end: N independent
+/// ModelRegistry + ExtractionService pairs, partitioned by site.
+///
+/// Partitioning uses the same stable site hash as the offline distributed
+/// runner (`dist::ShardOfSite`: FNV-1a of the site name modulo shard
+/// count — reimplemented here so the serving tier does not link the
+/// process-spawning dist library). All requests for one site land on one
+/// shard, so each shard's registry warms exactly the models its sites
+/// need and per-site batching keeps its locality; distinct shards share
+/// nothing and never contend.
+///
+/// In front of the shards sits a NearDupCache: Submit fingerprints the
+/// page and a near-duplicate hit resolves immediately with the cached
+/// triples (`diagnostics.near_dup_hit`), skipping parse and inference.
+/// Misses are forwarded to the owning shard; the completed result is
+/// inserted into the cache on the caller's `.get()` (deferred
+/// continuation — no extra threads). Publishing or invalidating a site's
+/// model drops the site's cached extractions in the same call, so a
+/// hot-swap is never served stale results.
+class ShardedExtractionService {
+ public:
+  ShardedExtractionService(Ontology ontology, ShardedServiceConfig config);
+  ~ShardedExtractionService();
+
+  ShardedExtractionService(const ShardedExtractionService&) = delete;
+  ShardedExtractionService& operator=(const ShardedExtractionService&) =
+      delete;
+
+  /// Starts every shard's worker pool.
+  Status Start();
+  /// Stops every shard (queued work is shed with kShutdown).
+  void Stop();
+
+  /// The shard owning `site`: Fnv1a64(site) % num_shards, stable across
+  /// runs and processes (matches dist::ShardOfSite).
+  size_t ShardOf(std::string_view site) const;
+
+  /// Cache-fronted submit. The returned future resolves immediately for a
+  /// near-duplicate hit; otherwise it is the shard's future wrapped with
+  /// a cache-insert continuation (runs on the caller's .get()).
+  std::future<ServeResult> Submit(ServeRequest request);
+
+  /// Publishes `model` as the next version for `site` on its owning
+  /// shard's registry and invalidates the site's cached extractions.
+  Result<int64_t> Publish(const std::string& site,
+                          const TrainedModel& model);
+
+  /// Drops the site's warm model and cached extractions; the next request
+  /// reloads from the store.
+  void Invalidate(const std::string& site);
+
+  int num_shards() const { return config_.num_shards; }
+  ModelRegistry* registry(size_t shard) { return shards_[shard]->registry.get(); }
+  NearDupCache& cache() { return cache_; }
+
+  ShardedServiceStats stats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<ModelRegistry> registry;
+    std::unique_ptr<ExtractionService> service;
+  };
+
+  const ShardedServiceConfig config_;
+  NearDupCache cache_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool started_ = false;
+};
+
+}  // namespace ceres::serve
+
+#endif  // CERES_SERVE_SHARDED_SERVICE_H_

@@ -49,6 +49,7 @@ TEST(CeresLintTest, EachKnownBadSnippetFiresExactlyOnce) {
        "raw-parallelism"},
       {"raw_timing.cc", "src/core/raw_timing.cc", "raw-timing"},
       {"raw_process.cc", "src/serve/raw_process.cc", "raw-process"},
+      {"raw_socket.cc", "src/serve/raw_socket.cc", "raw-socket"},
   };
   for (const KnownBad& known : cases) {
     SCOPED_TRACE(known.corpus);
@@ -80,9 +81,10 @@ TEST(CeresLintTest, WholeCorpusTotalsAcrossFiles) {
       {"src/core/raw_parallelism.cc", ReadCorpus("raw_parallelism.cc")},
       {"src/serve/raw_timing.cc", ReadCorpus("raw_timing.cc")},
       {"src/eval/raw_process.cc", ReadCorpus("raw_process.cc")},
+      {"src/eval/raw_socket.cc", ReadCorpus("raw_socket.cc")},
       {"src/serve/clean.cc", ReadCorpus("clean.cc")},
   };
-  EXPECT_EQ(Lint(files).size(), 8u);
+  EXPECT_EQ(Lint(files).size(), 9u);
 }
 
 TEST(CeresLintTest, ScopeGatesRules) {
@@ -106,6 +108,41 @@ TEST(CeresLintTest, ScopeGatesRules) {
   EXPECT_TRUE(LintAs("raw_process.cc", "src/dist/raw_process.cc").empty());
   EXPECT_TRUE(
       LintAs("raw_process.cc", "tests/dist/raw_process_test.cc").empty());
+  // Socket/epoll calls are the net layer's business — the same content
+  // inside src/net/ or a test file is silent.
+  EXPECT_TRUE(LintAs("raw_socket.cc", "src/net/raw_socket.cc").empty());
+  EXPECT_TRUE(
+      LintAs("raw_socket.cc", "tests/net/raw_socket_test.cc").empty());
+}
+
+TEST(CeresLintTest, NakedSyncCoversNetScope) {
+  // src/net/ joined the lock-order-checked scope with the HTTP server:
+  // the event loop's responder inbox and drain signal must use the
+  // sync.h wrappers.
+  const std::vector<Diagnostic> diagnostics =
+      LintAs("naked_mutex.cc", "src/net/naked_mutex.cc");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "naked-sync");
+}
+
+TEST(CeresLintTest, RawSocketBansDescriptorCallsButNotPoll) {
+  // socket() and epoll_ctl() are flagged outside src/net/; poll() is not
+  // (the dist coordinator waits on worker pipes with it).
+  const std::string content =
+      "namespace ceres {\n"
+      "void Wait(int fd) {\n"
+      "  int listener = socket(2, 1, 0);\n"
+      "  epoll_ctl(listener, 1, fd, nullptr);\n"
+      "  poll(nullptr, 0, 50);\n"
+      "}\n"
+      "}  // namespace ceres\n";
+  const std::vector<Diagnostic> diagnostics =
+      Lint({SourceFile{"src/dist/wait.cc", content}});
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].rule, "raw-socket");
+  EXPECT_EQ(diagnostics[0].line, 3);
+  EXPECT_EQ(diagnostics[1].rule, "raw-socket");
+  EXPECT_EQ(diagnostics[1].line, 4);
 }
 
 TEST(CeresLintTest, ConfigDeadlineCoversFusionScope) {

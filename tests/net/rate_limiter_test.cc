@@ -1,0 +1,94 @@
+#include "net/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ceres::net {
+namespace {
+
+constexpr int64_t kSecond = 1'000'000;  // injected clock is microseconds
+
+TEST(RateLimiterTest, ZeroRateAdmitsEverythingWithoutTracking) {
+  RateLimiter limiter(TokenBucketConfig{0.0, 16.0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(limiter.Admit("client", i));
+  }
+  // Disabled limiting keeps no per-key state at all.
+  EXPECT_EQ(limiter.tracked_keys(), 0u);
+}
+
+TEST(RateLimiterTest, AdmitsBurstThenSheds) {
+  RateLimiter limiter(TokenBucketConfig{1.0, 4.0});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(limiter.Admit("client", 0)) << "burst token " << i;
+  }
+  EXPECT_FALSE(limiter.Admit("client", 0));
+}
+
+TEST(RateLimiterTest, RefillRestoresTokensAtConfiguredRate) {
+  RateLimiter limiter(TokenBucketConfig{1.0, 2.0});
+  EXPECT_TRUE(limiter.Admit("client", 0));
+  EXPECT_TRUE(limiter.Admit("client", 0));
+  EXPECT_FALSE(limiter.Admit("client", 0));
+  // Half a second refills half a token — still shed.
+  EXPECT_FALSE(limiter.Admit("client", kSecond / 2));
+  // By 1.6s total a full token has accrued (the failed probes spend none).
+  EXPECT_TRUE(limiter.Admit("client", (kSecond * 16) / 10));
+  EXPECT_FALSE(limiter.Admit("client", (kSecond * 16) / 10));
+}
+
+TEST(RateLimiterTest, RefillIsCappedAtBurst) {
+  RateLimiter limiter(TokenBucketConfig{1.0, 4.0});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(limiter.Admit("client", 0));
+  }
+  // A long idle stretch refills to burst, never beyond it.
+  const int64_t later = 100 * kSecond;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(limiter.Admit("client", later)) << "refilled token " << i;
+  }
+  EXPECT_FALSE(limiter.Admit("client", later));
+}
+
+TEST(RateLimiterTest, KeysAreIndependent) {
+  RateLimiter limiter(TokenBucketConfig{1.0, 1.0});
+  EXPECT_TRUE(limiter.Admit("a", 0));
+  EXPECT_FALSE(limiter.Admit("a", 0));
+  EXPECT_TRUE(limiter.Admit("b", 0));
+  EXPECT_EQ(limiter.tracked_keys(), 2u);
+}
+
+TEST(RateLimiterTest, BurstHasAFloorOfOneToken) {
+  // A sub-1 burst would admit nothing ever; the limiter clamps to one.
+  RateLimiter limiter(TokenBucketConfig{1.0, 0.25});
+  EXPECT_TRUE(limiter.Admit("client", 0));
+  EXPECT_FALSE(limiter.Admit("client", 0));
+}
+
+TEST(RateLimiterTest, TimeGoingBackwardNeverMintsTokens) {
+  RateLimiter limiter(TokenBucketConfig{1.0, 1.0});
+  EXPECT_TRUE(limiter.Admit("client", 10 * kSecond));
+  EXPECT_FALSE(limiter.Admit("client", 10 * kSecond));
+  // A clock step backwards must not be read as negative elapsed time.
+  EXPECT_FALSE(limiter.Admit("client", 0));
+}
+
+TEST(RateLimiterTest, SweepDropsIdleFullBucketsAndKeepsLiveState) {
+  // 4097 one-shot clients at t=0 push the table past the sweep threshold.
+  RateLimiter limiter(TokenBucketConfig{1000.0, 1.0});
+  for (int i = 0; i <= 4096; ++i) {
+    ASSERT_TRUE(limiter.Admit("client-" + std::to_string(i), 0));
+  }
+  EXPECT_EQ(limiter.tracked_keys(), 4097u);
+  // One second later every idle bucket has refilled to burst — it carries
+  // no admission state, so the next successful admit sweeps them all.
+  EXPECT_TRUE(limiter.Admit("hot", kSecond));
+  EXPECT_EQ(limiter.tracked_keys(), 1u);
+  // The surviving bucket kept its spent-token state: a reconstructed
+  // bucket would admit at full burst, the real one must shed.
+  EXPECT_FALSE(limiter.Admit("hot", kSecond));
+}
+
+}  // namespace
+}  // namespace ceres::net

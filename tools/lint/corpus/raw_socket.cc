@@ -1,0 +1,27 @@
+// Corpus: non-net code opening its own socket edge (the test lints this
+// content under a src/serve/ path). Exactly one raw-socket violation —
+// the bare ::socket; the member call, the class-qualified name, the
+// pipe-fd poll, and the suppressed listen below are all compliant shapes
+// the rule must not confuse with the raw syscalls.
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace ceres {
+
+struct Channel {
+  void connect();
+  static int accept(int fd);
+};
+
+void OpenEdge(Channel* channel) {
+  const int fd = ::socket(2, 1, 0);  // BAD: socket edge outside src/net/
+
+  channel->connect();            // member call, not the syscall
+  (void)Channel::accept(3);      // class-qualified, not the syscall
+  (void)poll(nullptr, 0, 50);    // poll is the dist layer's pipe wait
+  ::listen(fd, 8);  // ceres-lint: allow(raw-socket)
+}
+
+}  // namespace ceres

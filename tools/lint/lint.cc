@@ -202,11 +202,15 @@ bool IsTestFile(const std::string& path) {
 }
 
 /// The concurrency-critical scope that must use util/sync.h wrappers.
+/// src/net/ is included: the HTTP server's event loop and responder inbox
+/// coordinate with handler threads, so their locks must participate in
+/// lock-order deadlock detection too.
 bool IsCheckedSyncScope(const std::string& path) {
   if (EndsWith(path, "util/sync.h") || EndsWith(path, "util/sync.cc")) {
     return false;  // the wrappers themselves wrap std primitives
   }
-  return PathContains(path, "src/serve/") || EndsWith(path, "util/parallel.h");
+  return PathContains(path, "src/serve/") || PathContains(path, "src/net/") ||
+         EndsWith(path, "util/parallel.h");
 }
 
 /// Pipeline-stage configuration scope for the config-deadline rule.
@@ -223,6 +227,15 @@ bool IsStageConfigScope(const std::string& path) {
 /// through the coordinator's watchdog, reaping, and restart accounting.
 bool IsRawProcessScope(const std::string& path) {
   return !PathContains(path, "src/dist/");
+}
+
+/// Socket-edge scope for the raw-socket rule: src/net/ owns every socket
+/// and epoll descriptor in the tree, so connection lifecycle, non-blocking
+/// setup, and event-loop registration stay behind one audited boundary.
+/// (`poll` itself stays unpoliced: src/dist/ waits on worker pipes with
+/// it, which is not a socket edge.)
+bool IsRawSocketScope(const std::string& path) {
+  return !PathContains(path, "src/net/");
 }
 
 /// Batch-pipeline scope for the raw-parallelism rule: stage code receives
@@ -541,6 +554,43 @@ void CheckRawProcess(const SourceFile& source, const TokenizedFile& file,
   }
 }
 
+void CheckRawSocket(const SourceFile& source, const TokenizedFile& file,
+                    std::vector<Diagnostic>* out) {
+  if (!IsRawSocketScope(source.path) || IsTestFile(source.path)) return;
+  static const std::unordered_set<std::string> kSocketCalls = {
+      "socket",       "bind",          "listen",    "accept",     "accept4",
+      "connect",      "epoll_create",  "epoll_create1",
+      "epoll_ctl",    "epoll_wait"};
+  const std::vector<Token>& tokens = file.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsIdent(tokens[i]) || kSocketCalls.count(tokens[i].text) == 0) {
+      continue;
+    }
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
+    if (i > 0) {
+      const std::string& before = tokens[i - 1].text;
+      // Member calls (channel.connect()) and class-qualified names
+      // (Transport::bind()) are someone else's API; a bare `::`
+      // global-scope qualifier is still the raw syscall.
+      if (!tokens[i - 1].is_literal && (before == "." || before == "->")) {
+        continue;
+      }
+      if (before == "::" && i >= 2 && IsIdent(tokens[i - 2])) continue;
+      // A preceding identifier is a declaration (`int accept();`), not a
+      // call — except `return accept(...)`.
+      if (IsIdent(tokens[i - 1]) && before != "return") continue;
+    }
+    const int line = tokens[i].line;
+    if (Suppressed(file, line, "raw-socket")) continue;
+    out->push_back(Diagnostic{
+        source.path, line, "raw-socket",
+        "raw socket/epoll call '" + tokens[i].text +
+            "' outside src/net/; the socket edge belongs to the net layer "
+            "(non-blocking setup, event-loop registration, connection "
+            "lifecycle) — serve it through HttpServer/HttpClient"});
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
@@ -560,6 +610,7 @@ std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
     CheckRawParallelism(files[i], tokenized[i], &diagnostics);
     CheckRawTiming(files[i], tokenized[i], &diagnostics);
     CheckRawProcess(files[i], tokenized[i], &diagnostics);
+    CheckRawSocket(files[i], tokenized[i], &diagnostics);
   }
   std::stable_sort(diagnostics.begin(), diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {

@@ -20,7 +20,7 @@
 ///                    with `(void)Call();`.
 ///   naked-sync       `std::mutex` / `std::lock_guard` / `std::unique_lock`
 ///                    / `std::condition_variable` (and friends) named in
-///                    the concurrency-critical scope (src/serve/,
+///                    the concurrency-critical scope (src/serve/, src/net/,
 ///                    src/util/parallel.h). That scope must use the
 ///                    checked wrappers from util/sync.h so every lock
 ///                    participates in lock-order deadlock detection.
@@ -49,6 +49,13 @@
 ///                    src/dist/ owns process lifecycle: a stray fork or
 ///                    kill elsewhere bypasses the coordinator's watchdog,
 ///                    reaping, and restart accounting.
+///   raw-socket       `socket` / `bind` / `listen` / `accept` / `accept4`
+///                    / `connect` / `epoll_*` called outside src/net/
+///                    (tests exempt). src/net/ owns the socket edge: a
+///                    stray socket elsewhere bypasses the server's
+///                    non-blocking setup, backpressure, rate limiting, and
+///                    drain accounting. `poll` is deliberately not policed
+///                    — src/dist/ waits on worker pipes with it.
 ///
 /// Any diagnostic can be suppressed for one line with a trailing comment:
 ///   // ceres-lint: allow(<rule>)    or    // ceres-lint: allow(all)

@@ -53,6 +53,11 @@ if [ "$mode" = "thread" ]; then
   echo "== tier1: serve label (ThreadSanitizer)"
   (cd "$build_dir" && ctest --output-on-failure -L serve "$@")
 
+  # The socket edge under TSan: event loop vs. responder sends vs. client
+  # threads vs. drain — the loopback e2e suite races all four.
+  echo "== tier1: net label (ThreadSanitizer)"
+  (cd "$build_dir" && ctest --output-on-failure -L net "$@")
+
   # The coordinator forks workers and polls their pipes; the sanitized
   # bench proves the event loop and recovery path are race-free.
   echo "== tier1: dist recovery smoke (ThreadSanitizer)"
@@ -70,6 +75,11 @@ echo "== tier1: serve label"
 
 echo "== tier1: chaos label"
 (cd "$build_dir" && ctest --output-on-failure -L chaos "$@")
+
+# HTTP front-end slice: the parser trust boundary, per-client admission,
+# the near-dup page cache, and the loopback end-to-end drain guarantees.
+echo "== tier1: net label"
+(cd "$build_dir" && ctest --output-on-failure -L net "$@")
 
 # Multi-process slice: wire protocol, checkpoints, and the coordinator's
 # crash/hang/torn-frame recovery, merged byte-identical to single-process.
@@ -97,5 +107,11 @@ echo "== tier1: serve throughput smoke (stage timings + fault burst)"
 # the merge stays byte-identical to the single-process reference.
 echo "== tier1: dist recovery smoke (crash retry + checkpointing)"
 "$build_dir/bench/dist_recovery" --smoke
+
+# Network serving smoke: loopback HTTP over the sharded service — warm
+# near-dup stream must hit the cache and beat the cold pass, drain must
+# account for every request, and 429 shedding must balance exactly.
+echo "== tier1: serve qps smoke (HTTP front-end + page cache)"
+"$build_dir/bench/serve_qps" --smoke
 
 echo "== tier1: all gates passed"
