@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "dom/html_parser.h"
+#include "synth/truth.h"
 #include "util/parallel.h"
 #include "util/logging.h"
 
@@ -22,7 +23,7 @@ ParsedCorpus ParseCorpus(synth::Corpus corpus) {
       doc->set_url(page.url);
       out.pages.push_back(std::move(doc).value());
     }
-    out.truth = eval::SiteTruth::Build(site.pages, out.pages);
+    out.truth = synth::BuildSiteTruth(site.pages, out.pages);
     CERES_CHECK_MSG(out.truth.unresolved == 0,
                     out.truth.unresolved
                         << " unresolved ground-truth XPaths on "

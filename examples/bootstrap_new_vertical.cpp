@@ -20,6 +20,7 @@
 #include "eval/report.h"
 #include "fusion/knowledge_fusion.h"
 #include "synth/corpora.h"
+#include "synth/truth.h"
 
 int main() {
   using namespace ceres;  // NOLINT(build/namespaces)
@@ -39,7 +40,7 @@ int main() {
     for (const synth::GeneratedPage& page : generated.pages) {
       site.pages.push_back(std::move(ParseHtml(page.html)).value());
     }
-    site.truth = eval::SiteTruth::Build(generated.pages, site.pages);
+    site.truth = synth::BuildSiteTruth(generated.pages, site.pages);
     sites.push_back(std::move(site));
   }
 

@@ -12,6 +12,7 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "synth/corpora.h"
+#include "synth/truth.h"
 
 int main() {
   using namespace ceres;  // NOLINT(build/namespaces)
@@ -30,7 +31,7 @@ int main() {
     }
     pages.push_back(std::move(parsed).value());
   }
-  eval::SiteTruth truth = eval::SiteTruth::Build(site.pages, pages);
+  eval::SiteTruth truth = synth::BuildSiteTruth(site.pages, pages);
   std::printf("%zu pages (films, people, and TV episodes mixed).\n\n",
               pages.size());
 

@@ -12,6 +12,7 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "synth/corpora.h"
+#include "synth/truth.h"
 #include "text/normalize.h"
 
 int main() {
@@ -35,7 +36,7 @@ int main() {
     for (const synth::GeneratedPage& page : site.pages) {
       pages.push_back(std::move(ParseHtml(page.html)).value());
     }
-    eval::SiteTruth truth = eval::SiteTruth::Build(site.pages, pages);
+    eval::SiteTruth truth = synth::BuildSiteTruth(site.pages, pages);
 
     PipelineConfig config;
     Result<PipelineResult> result =

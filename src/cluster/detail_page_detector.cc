@@ -49,13 +49,16 @@ DetailPageSignals ComputeDetailPageSignals(
   DetailPageSignals signals;
   if (pages.empty()) return signals;
 
-  // Page counts per normalized string.
+  // Page counts per normalized string. `on_page` is hoisted out of the
+  // per-page loop and cleared between pages so its buckets (and most of
+  // its string nodes' heap churn) are reused across the site.
   std::unordered_map<std::string, size_t> page_counts;
+  std::unordered_set<std::string> on_page;
   int64_t total_fields = 0;
   int64_t numeric_fields = 0;
   for (const DomDocument* page : pages) {
     if (config.deadline.expired()) break;
-    std::unordered_set<std::string> on_page;
+    on_page.clear();
     for (NodeId id : page->TextFields()) {
       const std::string& raw = page->node(id).text;
       ++total_fields;

@@ -23,17 +23,23 @@ std::unordered_set<uint64_t> PageSignature(const DomDocument& page,
                                            size_t max_size) {
   std::unordered_set<uint64_t> signature;
   // Tag path per node, built incrementally: path(node) = path(parent)/tag.
+  // Each path is sized exactly and appended into, so the per-node cost is
+  // one allocation (no operator+ temporaries).
   std::vector<std::string> paths(static_cast<size_t>(page.size()));
   for (NodeId id = 0; id < page.size(); ++id) {
     const DomNode& node = page.node(id);
+    std::string& path = paths[static_cast<size_t>(id)];
     if (node.parent == kInvalidNode) {
-      paths[static_cast<size_t>(id)] = node.tag;
+      path = node.tag;
     } else {
-      paths[static_cast<size_t>(id)] =
-          paths[static_cast<size_t>(node.parent)] + "/" + node.tag;
+      const std::string& parent = paths[static_cast<size_t>(node.parent)];
+      path.reserve(parent.size() + 1 + node.tag.size());
+      path.append(parent);
+      path.push_back('/');
+      path.append(node.tag);
     }
     if (signature.size() < max_size) {
-      signature.insert(HashString(paths[static_cast<size_t>(id)]));
+      signature.insert(HashString(path));
     }
   }
   return signature;

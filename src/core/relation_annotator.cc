@@ -5,6 +5,8 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
+#include <tuple>
 
 #include "dom/dom_utils.h"
 #include "dom/xpath.h"
@@ -212,24 +214,37 @@ AnnotationResult AnnotateRelations(
       bool clusters_ready = false;
       auto ensure_clusters = [&]() {
         if (clusters_ready) return;
-        std::map<std::string, std::pair<XPath, int64_t>> occurrence;
+        // Count path-string occurrences without a string-keyed map: the
+        // cached PathString references are stable for the caches'
+        // lifetime, so string_views into them can be stable_sorted and
+        // run-length counted. Output order (key-sorted) and the
+        // representative XPath per key (first mention encountered) match
+        // the std::map formulation exactly, so clustering stays
+        // deterministic.
+        std::vector<std::tuple<std::string_view, PageIndex, NodeId>> mentions;
         for (size_t index : task_indices) {
           const Task& task = tasks[index];
-          XPathStringCache& paths = paths_for(task.page);
+          XPathStringCache& page_paths = paths_for(task.page);
           for (NodeId node : task.mentions) {
-            const std::string& key = paths.PathString(node);
-            auto it = occurrence.find(key);
-            if (it == occurrence.end()) {
-              occurrence.emplace(key, std::make_pair(paths.Path(node), 1));
-            } else {
-              ++it->second.second;
-            }
+            mentions.emplace_back(page_paths.PathString(node), task.page,
+                                  node);
           }
         }
+        std::stable_sort(mentions.begin(), mentions.end(),
+                         [](const auto& a, const auto& b) {
+                           return std::get<0>(a) < std::get<0>(b);
+                         });
         std::vector<std::pair<XPath, int64_t>> paths;
-        paths.reserve(occurrence.size());
-        for (auto& [key, value] : occurrence) {
-          paths.push_back(std::move(value));
+        for (size_t i = 0; i < mentions.size();) {
+          size_t j = i + 1;
+          while (j < mentions.size() &&
+                 std::get<0>(mentions[j]) == std::get<0>(mentions[i])) {
+            ++j;
+          }
+          const auto& [key, page, node] = mentions[i];
+          paths.emplace_back(paths_for(page).Path(node),
+                             static_cast<int64_t>(j - i));
+          i = j;
         }
         clusters = ClusterPredicatePaths(paths, max_mentions_per_object,
                                          config.max_cluster_paths);

@@ -4,10 +4,8 @@
 #include <set>
 #include <unordered_set>
 
-#include "dom/xpath.h"
 #include "text/fuzzy_matcher.h"
 #include "text/normalize.h"
-#include "util/logging.h"
 
 namespace ceres::eval {
 
@@ -60,33 +58,6 @@ bool PageTruth::Asserts(NodeId node, PredicateId predicate) const {
   return false;
 }
 
-SiteTruth SiteTruth::Build(const std::vector<synth::GeneratedPage>& generated,
-                           const std::vector<DomDocument>& parsed) {
-  CERES_CHECK(generated.size() == parsed.size());
-  SiteTruth truth;
-  truth.pages.resize(generated.size());
-  for (size_t i = 0; i < generated.size(); ++i) {
-    PageTruth& page = truth.pages[i];
-    page.topic = generated[i].topic;
-    page.topic_name = generated[i].topic_name;
-    for (const synth::GroundTruthFact& fact : generated[i].facts) {
-      Result<XPath> path = XPath::Parse(fact.xpath);
-      if (!path.ok()) {
-        ++truth.unresolved;
-        continue;
-      }
-      NodeId node = path->Resolve(parsed[i]);
-      if (node == kInvalidNode) {
-        ++truth.unresolved;
-        continue;
-      }
-      if (fact.predicate == kNamePredicate) page.topic_node = node;
-      page.facts.push_back(
-          PageTruth::Fact{node, fact.predicate, fact.object_text});
-    }
-  }
-  return truth;
-}
 
 std::map<PredicateId, Prf> ScoreExtractionsByPredicate(
     const std::vector<Extraction>& extractions, const SiteTruth& truth,

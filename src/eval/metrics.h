@@ -8,7 +8,6 @@
 #include "core/types.h"
 #include "dom/dom_tree.h"
 #include "kb/knowledge_base.h"
-#include "synth/site_generator.h"
 
 namespace ceres::eval {
 
@@ -30,15 +29,16 @@ struct PageTruth {
 };
 
 /// Ground truth for a whole site, parallel to the parsed page vector.
+/// eval/ only consumes this structure; producing one from a labeled
+/// source is the producer's job (synth::BuildSiteTruth resolves generator
+/// XPath labels against parsed DOMs — the scoring layer stays independent
+/// of where truth comes from, so real hand-labeled corpora can feed the
+/// same metrics).
 struct SiteTruth {
   std::vector<PageTruth> pages;
 
-  /// Resolves generator ground truth against the parsed documents. XPaths
-  /// that fail to resolve (should not happen given the serializer
-  /// round-trip guarantee) are dropped with a count in `unresolved`.
-  static SiteTruth Build(const std::vector<synth::GeneratedPage>& generated,
-                         const std::vector<DomDocument>& parsed);
-
+  /// Labels whose XPaths failed to resolve against the parsed DOM (the
+  /// producer drops them but counts them here).
   int64_t unresolved = 0;
 };
 

@@ -1,0 +1,36 @@
+#include "synth/truth.h"
+
+#include "dom/xpath.h"
+#include "util/logging.h"
+
+namespace ceres::synth {
+
+eval::SiteTruth BuildSiteTruth(const std::vector<GeneratedPage>& generated,
+                               const std::vector<DomDocument>& parsed) {
+  CERES_CHECK(generated.size() == parsed.size());
+  eval::SiteTruth truth;
+  truth.pages.resize(generated.size());
+  for (size_t i = 0; i < generated.size(); ++i) {
+    eval::PageTruth& page = truth.pages[i];
+    page.topic = generated[i].topic;
+    page.topic_name = generated[i].topic_name;
+    for (const GroundTruthFact& fact : generated[i].facts) {
+      Result<XPath> path = XPath::Parse(fact.xpath);
+      if (!path.ok()) {
+        ++truth.unresolved;
+        continue;
+      }
+      NodeId node = path->Resolve(parsed[i]);
+      if (node == kInvalidNode) {
+        ++truth.unresolved;
+        continue;
+      }
+      if (fact.predicate == kNamePredicate) page.topic_node = node;
+      page.facts.push_back(
+          eval::PageTruth::Fact{node, fact.predicate, fact.object_text});
+    }
+  }
+  return truth;
+}
+
+}  // namespace ceres::synth

@@ -1,0 +1,27 @@
+#ifndef CERES_SYNTH_TRUTH_H_
+#define CERES_SYNTH_TRUTH_H_
+
+#include <vector>
+
+#include "dom/dom_tree.h"
+#include "eval/metrics.h"
+#include "synth/site_generator.h"
+
+namespace ceres::synth {
+
+/// Resolves the generator's XPath ground-truth labels against the parsed
+/// documents, producing the node-level eval::SiteTruth the scoring layer
+/// consumes. XPaths that fail to resolve (should not happen given the
+/// serializer round-trip guarantee) are dropped and counted in
+/// `SiteTruth::unresolved`.
+///
+/// This adapter lives in synth/ — not eval/ — on purpose: eval scores
+/// against SiteTruth without knowing where truth comes from, so a real
+/// hand-labeled corpus can feed the same metrics without dragging the
+/// synthetic generator into the scoring layer.
+eval::SiteTruth BuildSiteTruth(const std::vector<GeneratedPage>& generated,
+                               const std::vector<DomDocument>& parsed);
+
+}  // namespace ceres::synth
+
+#endif  // CERES_SYNTH_TRUTH_H_

@@ -9,6 +9,7 @@
 #include "eval/metrics.h"
 #include "synth/corpora.h"
 #include "synth/kb_builder.h"
+#include "synth/truth.h"
 
 namespace ceres {
 namespace {
@@ -25,7 +26,7 @@ ParsedSiteFixture ParseSite(const std::vector<synth::GeneratedPage>& pages) {
     EXPECT_TRUE(parsed.ok());
     out.pages.push_back(std::move(parsed).value());
   }
-  out.truth = eval::SiteTruth::Build(pages, out.pages);
+  out.truth = synth::BuildSiteTruth(pages, out.pages);
   return out;
 }
 

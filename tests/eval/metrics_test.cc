@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dom/html_parser.h"
+#include "synth/truth.h"
 #include "testing/fixtures.h"
 
 namespace ceres::eval {
@@ -29,7 +30,7 @@ class MetricsTest : public ::testing::Test {
         "/html/body[1]/div[1]", kb_.directed, "Spike Lee", kb_.lee});
     generated_.facts.push_back(synth::GroundTruthFact{
         "/html/body[1]/span[1]", kb_.genre, "Comedy", kb_.comedy});
-    truth_ = SiteTruth::Build({generated_}, pages_);
+    truth_ = synth::BuildSiteTruth({generated_}, pages_);
 
     h1_ = Find("Do the Right Thing");
     lee_node_ = Find("Spike Lee");
@@ -247,7 +248,7 @@ TEST_F(MetricsTest, PageFilterRestrictsScoringToListedPages) {
   pages.push_back(ParseOrDie(
       "<body><h1>Do the Right Thing</h1><div>Spike Lee</div>"
       "<span>Comedy</span><p>noise</p></body>"));
-  SiteTruth truth = SiteTruth::Build({generated_, generated_}, pages);
+  SiteTruth truth = synth::BuildSiteTruth({generated_, generated_}, pages);
   std::vector<Extraction> extractions{
       Extraction{1, lee_node_, kb_.directed, "Do the Right Thing",
                  "Spike Lee", 0.9}};

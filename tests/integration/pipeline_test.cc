@@ -9,6 +9,7 @@
 #include "eval/metrics.h"
 #include "synth/corpora.h"
 #include "synth/kb_builder.h"
+#include "synth/truth.h"
 
 namespace ceres {
 namespace {
@@ -25,7 +26,7 @@ ParsedSite ParseSite(const std::vector<synth::GeneratedPage>& generated) {
     EXPECT_TRUE(parsed.ok());
     site.pages.push_back(std::move(parsed).value());
   }
-  site.truth = eval::SiteTruth::Build(generated, site.pages);
+  site.truth = synth::BuildSiteTruth(generated, site.pages);
   EXPECT_EQ(site.truth.unresolved, 0);
   return site;
 }

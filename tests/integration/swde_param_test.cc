@@ -12,6 +12,7 @@
 #include "dom/html_parser.h"
 #include "eval/metrics.h"
 #include "synth/corpora.h"
+#include "synth/truth.h"
 
 namespace ceres {
 namespace {
@@ -52,7 +53,7 @@ class SwdeVerticalTest : public ::testing::TestWithParam<VerticalCase> {
         EXPECT_TRUE(parsed.ok());
         run.pages.push_back(std::move(parsed).value());
       }
-      run.truth = eval::SiteTruth::Build(corpus.sites[s].pages, run.pages);
+      run.truth = synth::BuildSiteTruth(corpus.sites[s].pages, run.pages);
       EXPECT_EQ(run.truth.unresolved, 0) << corpus.sites[s].name;
       PipelineConfig config;
       for (size_t i = 0; i < run.pages.size(); ++i) {

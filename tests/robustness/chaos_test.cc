@@ -19,6 +19,7 @@
 #include "robustness/resilient_loader.h"
 #include "synth/corpora.h"
 #include "synth/kb_builder.h"
+#include "synth/truth.h"
 
 namespace ceres {
 namespace {
@@ -84,7 +85,7 @@ class ChaosTest : public ::testing::Test {
       EXPECT_TRUE(doc.ok());
       parsed.push_back(std::move(doc).value());
     }
-    return eval::SiteTruth::Build(*generated_, parsed);
+    return synth::BuildSiteTruth(*generated_, parsed);
   }
 
   // In-place faults only: crawl shape (page count and order) is preserved,

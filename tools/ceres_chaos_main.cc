@@ -33,6 +33,7 @@
 #include "robustness/resilient_loader.h"
 #include "synth/corpora.h"
 #include "synth/kb_builder.h"
+#include "synth/truth.h"
 #include "util/logging.h"
 
 namespace {
@@ -161,7 +162,7 @@ int main(int argc, char** argv) {
     }
     clean_parsed.push_back(std::move(doc).value());
   }
-  eval::SiteTruth truth = eval::SiteTruth::Build(generated, clean_parsed);
+  eval::SiteTruth truth = synth::BuildSiteTruth(generated, clean_parsed);
 
   // Load budget: real pages sit far below it, node bombs blow it.
   ResilientLoadOptions load_options;

@@ -1,39 +1,25 @@
 // ceres_lint — project static analyzer. See tools/lint/lint.h for the rule
 // set. Usage:
 //
-//   ceres_lint <path> [path...]     # each path a file or directory
+//   ceres_lint [--layers=FILE] [--json[=FILE]] <path> [path...]
 //
-// Exits 0 when clean, 1 on any violation, 2 on usage/IO errors. Wired up
-// as the `lint` CMake target over src/, tools/, and bench/.
+// Each path is a file or directory. --layers enables the layer-violation
+// module-DAG check against the declared graph; --json emits the machine-
+// readable report to stdout (or FILE). Exits 0 when clean, 1 on any
+// violation, 2 on usage/IO errors. Wired up as the `lint` CMake target
+// over src/, tools/, and bench/.
 
 #include <cstdio>
 
 #include "lint/lint.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file-or-dir> [file-or-dir...]\n",
-                 argv[0]);
-    return 2;
-  }
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) paths.emplace_back(argv[i]);
-
-  std::string error;
-  const std::vector<ceres::lint::SourceFile> sources =
-      ceres::lint::CollectSources(paths, &error);
-  if (!error.empty()) {
-    std::fprintf(stderr, "ceres_lint: %s\n", error.c_str());
-    return 2;
-  }
-
-  const std::vector<ceres::lint::Diagnostic> diagnostics =
-      ceres::lint::Lint(sources);
-  for (const ceres::lint::Diagnostic& diagnostic : diagnostics) {
-    std::fprintf(stderr, "%s\n",
-                 ceres::lint::FormatDiagnostic(diagnostic).c_str());
-  }
-  std::fprintf(stderr, "ceres_lint: scanned %zu file(s), %zu violation(s)\n",
-               sources.size(), diagnostics.size());
-  return diagnostics.empty() ? 0 : 1;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  std::string out;
+  std::string err;
+  const int code = ceres::lint::RunLintCli(args, &out, &err);
+  if (!err.empty()) std::fputs(err.c_str(), stderr);
+  if (!out.empty()) std::fputs(out.c_str(), stdout);
+  return code;
 }

@@ -1,0 +1,27 @@
+// Corpus: blocking work on the event-loop thread (the test lints this
+// content under a src/net/ path). Exactly one blocking-in-loop violation
+// — the std::ifstream constructed in loop scope; the guarded ::read, the
+// (void)-discarded ::write, and the socket recv/send calls are all
+// compliant shapes the loop legitimately performs on non-blocking fds.
+// Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include <fstream>
+#include <string>
+
+namespace ceres {
+
+void PumpEvents(int wake_fd, int client_fd) {
+  char scratch[64];
+  while (::read(wake_fd, scratch, sizeof(scratch)) > 0) {  // guarded: checked
+  }
+  const char byte = 1;
+  (void)!::write(wake_fd, &byte, 1);  // discarded deliberately with (void)
+
+  std::ifstream config("limits.conf");  // BAD: file I/O stalls the loop
+  std::string line;
+
+  (void)::recv(client_fd, scratch, sizeof(scratch), 0);
+  (void)::send(client_fd, scratch, sizeof(scratch), 0);
+}
+
+}  // namespace ceres

@@ -1,0 +1,35 @@
+// Corpus: allocation churn inside a per-node loop (the test lints this
+// content under a src/dom/ path). Exactly one hot-alloc violation — the
+// string-keyed map constructed inside the loop body; the hoisted map, the
+// static table, the reference binding, and the out-of-loop construction
+// are all compliant shapes the rule must not confuse with per-iteration
+// churn. Never compiled — linted by tests/lint/ceres_lint_test.cc.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ceres {
+
+struct Node {
+  std::string tag;
+};
+
+int CountTags(const std::vector<Node>& nodes,
+              std::map<std::string, int>& reusable) {
+  std::map<std::string, int> hoisted;  // constructed once, outside the loop
+  int total = 0;
+  for (const Node& node : nodes) {
+    std::map<std::string, int> per_node;  // BAD: constructed per iteration
+    static const std::map<std::string, int> kWeights = {{"div", 2}};
+    std::map<std::string, int>& bound = reusable;  // reference, no build
+    per_node[node.tag] = 1;
+    hoisted[node.tag] += 1;
+    auto it = kWeights.find(node.tag);
+    if (it != kWeights.end()) total += it->second;
+    total += static_cast<int>(bound.size() + per_node.size());
+  }
+  return total;
+}
+
+}  // namespace ceres

@@ -1,0 +1,14 @@
+// Corpus: half of a deliberate two-file include cycle (the test lints
+// both halves together under src/dom/ paths; the cycle detector must
+// report the full a -> b -> a path once). Never compiled — linted by
+// tests/lint/ceres_lint_test.cc.
+#ifndef CERES_LINT_CORPUS_INCLUDE_CYCLE_A_H_
+#define CERES_LINT_CORPUS_INCLUDE_CYCLE_A_H_
+
+#include "dom/include_cycle_b.h"
+
+namespace ceres {
+struct CycleA {};
+}  // namespace ceres
+
+#endif  // CERES_LINT_CORPUS_INCLUDE_CYCLE_A_H_

@@ -1,0 +1,13 @@
+// Corpus: the other half of the deliberate include cycle — see
+// include_cycle_a.h. Never compiled — linted by
+// tests/lint/ceres_lint_test.cc.
+#ifndef CERES_LINT_CORPUS_INCLUDE_CYCLE_B_H_
+#define CERES_LINT_CORPUS_INCLUDE_CYCLE_B_H_
+
+#include "dom/include_cycle_a.h"
+
+namespace ceres {
+struct CycleB {};
+}  // namespace ceres
+
+#endif  // CERES_LINT_CORPUS_INCLUDE_CYCLE_B_H_

@@ -1,0 +1,15 @@
+// Corpus: a leaf module reaching up the stack (the test lints this
+// content under a src/dom/ path with the layer graph enabled). Exactly
+// one layer-violation — the dom -> net include; the same-module include
+// and the declared dom -> util edge are compliant. Never compiled —
+// linted by tests/lint/ceres_lint_test.cc.
+
+#include "dom/dom_tree.h"        // same module: always allowed
+#include "net/http_server.h"     // BAD: dom may not depend on net
+#include "util/status.h"         // declared edge dom -> util
+
+namespace ceres {
+
+void Render() {}
+
+}  // namespace ceres

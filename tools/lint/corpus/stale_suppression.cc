@@ -1,0 +1,15 @@
+// Corpus: an allow-comment that pays for nothing (linted under any
+// path). Exactly one stale-suppression violation — the allow on a line
+// where no ignored-status diagnostic fires; the void function's bare call
+// is not a Status call, so the suppression is dead weight. Never
+// compiled — linted by tests/lint/ceres_lint_test.cc.
+
+namespace ceres {
+
+void Fine();
+
+void Caller() {
+  Fine();  // ceres-lint: allow(ignored-status)
+}
+
+}  // namespace ceres

@@ -15,6 +15,12 @@
 #                                      # ./build-tsan; runs the serve +
 #                                      # tsan test labels (the concurrent
 #                                      # slice) and fails on any data race
+#   CERES_SANITIZE=undefined tools/tier1.sh
+#                                      # UBSan-only build in ./build-ubsan;
+#                                      # runs the full suite — cheaper than
+#                                      # the ASan tier, catches signed
+#                                      # overflow / bad shifts / misaligned
+#                                      # access on the hot paths
 #
 # Any extra arguments are passed to every ctest invocation, e.g.
 #   tools/tier1.sh -j4
@@ -29,6 +35,9 @@ if [ "$mode" = "ON" ]; then
 elif [ "$mode" = "thread" ]; then
   build_dir="$repo_root/build-tsan"
   sanitize_flags='-DCERES_SANITIZE=thread'
+elif [ "$mode" = "undefined" ]; then
+  build_dir="$repo_root/build-ubsan"
+  sanitize_flags='-DCERES_SANITIZE=undefined'
 else
   build_dir="$repo_root/build"
   sanitize_flags=''
@@ -41,6 +50,9 @@ cmake -B "$build_dir" -S "$repo_root" -DCERES_WERROR=ON $sanitize_flags
 echo "== tier1: build"
 cmake --build "$build_dir" -j
 
+# The lint target runs the whole-program pass (layer DAG from
+# tools/lint/layers.txt) and persists the machine-readable report as
+# LINT_report.json at the repo root.
 echo "== tier1: lint gate (ceres_lint over src/ tools/ bench/)"
 cmake --build "$build_dir" --target lint
 
@@ -64,6 +76,21 @@ if [ "$mode" = "thread" ]; then
   "$build_dir/bench/dist_recovery" --smoke
 
   echo "== tier1: tsan gates passed"
+  exit 0
+fi
+
+if [ "$mode" = "undefined" ]; then
+  # The UBSan slice: the whole suite under -fsanitize=undefined. Signed
+  # overflow, invalid shifts, and misaligned loads on the parse/feature
+  # hot paths become hard failures here; the heavier per-label and bench
+  # smoke passes stay with the default and ASan tiers.
+  echo "== tier1: full test suite (UBSan)"
+  (cd "$build_dir" && ctest --output-on-failure -j "$@")
+
+  echo "== tier1: pipeline throughput smoke (UBSan)"
+  "$build_dir/bench/pipeline_throughput" --smoke
+
+  echo "== tier1: ubsan gates passed"
   exit 0
 fi
 
