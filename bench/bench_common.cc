@@ -10,14 +10,19 @@
 
 namespace ceres::bench {
 
-ParsedCorpus ParseCorpus(synth::Corpus corpus) {
+ParsedCorpus ParseCorpus(synth::Corpus corpus,
+                         uint64_t (*alloc_counter)()) {
   ParsedCorpus parsed(std::move(corpus));
   for (const synth::SyntheticSite& site : parsed.corpus.sites) {
     ParsedSite out;
     out.name = site.name;
     out.focus = site.focus;
     for (const synth::GeneratedPage& page : site.pages) {
+      const uint64_t before = alloc_counter != nullptr ? alloc_counter() : 0;
       Result<DomDocument> doc = ParseHtml(page.html);
+      if (alloc_counter != nullptr) {
+        parsed.parse_allocs += alloc_counter() - before;
+      }
       CERES_CHECK_MSG(doc.ok(), "parse failed for " << page.url << ": "
                                                     << doc.status().ToString());
       doc->set_url(page.url);

@@ -1,6 +1,7 @@
 #ifndef CERES_BENCH_BENCH_COMMON_H_
 #define CERES_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,11 +29,19 @@ struct ParsedCorpus {
       : corpus(std::move(corpus_in)) {}
   synth::Corpus corpus;
   std::vector<ParsedSite> sites;
+  /// Heap allocations performed by the ParseHtml calls alone (excludes
+  /// ground-truth resolution); 0 when allocation counting is compiled out.
+  uint64_t parse_allocs = 0;
 };
 
 /// Parses every page of every site and resolves ground truth. Aborts on
-/// parse failures (generator output is trusted).
-ParsedCorpus ParseCorpus(synth::Corpus corpus);
+/// parse failures (generator output is trusted). `alloc_counter`, when
+/// non-null, is read around each ParseHtml call to fill parse_allocs —
+/// binaries that gate on allocation counts pass util::AllocationCount
+/// (only they link ceres_alloc_count, so the symbol cannot be referenced
+/// here unconditionally).
+ParsedCorpus ParseCorpus(synth::Corpus corpus,
+                         uint64_t (*alloc_counter)() = nullptr);
 
 /// The paper's 50/50 annotation/evaluation split (§5.1.1): even page
 /// indices train, odd evaluate.

@@ -28,7 +28,7 @@ using ProbabilityFn =
 std::vector<Extraction> ExtractWith(
     const std::vector<const DomDocument*>& pages,
     const std::vector<PageIndex>& indices, const FeatureExtractor& featurizer,
-    FeatureMap* feature_map, const ClassMap& classes,
+    HashedFeatureMap* feature_map, const ClassMap& classes,
     const ProbabilityFn& probabilities) {
   std::vector<Extraction> out;
   for (size_t p = 0; p < pages.size(); ++p) {
@@ -49,7 +49,7 @@ std::vector<Extraction> ExtractWith(
       }
     }
     if (name_prob < 0.5) continue;
-    const std::string& subject = doc.node(fields[name_field]).text;
+    const std::string subject(doc.node(fields[name_field]).text);
     for (size_t f = 0; f < fields.size(); ++f) {
       if (f == name_field) continue;
       auto it = std::max_element(probs[f].begin(), probs[f].end());
@@ -60,7 +60,7 @@ std::vector<Extraction> ExtractWith(
       }
       out.push_back(Extraction{indices[p], fields[f],
                                classes.PredicateOf(cls), subject,
-                               doc.node(fields[f]).text, *it});
+                               std::string(doc.node(fields[f]).text), *it});
     }
   }
   return out;
@@ -97,7 +97,7 @@ int main() {
 
   // Shared feature extraction.
   FeatureExtractor featurizer(train_docs, FeatureConfig{});
-  FeatureMap feature_map;
+  HashedFeatureMap feature_map;
   ClassMap classes(kb.ontology());
   std::vector<LabeledExample> examples;
   {

@@ -1,11 +1,28 @@
 // Micro benchmarks (google-benchmark) for the pipeline's component costs:
 // HTML parsing, entity matching, topic identification, relation
-// annotation, feature extraction, training, and extraction. Not a paper
-// table; used to watch for performance regressions.
+// annotation, feature extraction (with its interning / hashing
+// sub-phases), training, and extraction. Not a paper table; used to watch
+// for performance regressions.
+//
+// Usage: micro_components [--persist [path]] [google-benchmark flags]
+//   --persist: also write one JSON line per benchmark (ns per op) to
+//     BENCH_micro_components.json (or the given path).
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstring>
 #include <memory>
+#include <random>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "ml/feature_id.h"
+#include "ml/hashed_feature_map.h"
+#include "util/arena.h"
+#include "util/string_pool.h"
 
 #include "core/entity_matcher.h"
 #include "core/extractor.h"
@@ -145,6 +162,95 @@ void BM_FeatureExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_FeatureExtraction);
 
+// --- Interning / hashing sub-phases of the parse->feature hot path ------
+
+void BM_StringPoolIntern(benchmark::State& state) {
+  // Steady-state interning: every name is already pooled (the parser's
+  // situation after the first few pages of a site).
+  static constexpr std::array<std::string_view, 8> kNames = {
+      "div", "span", "class", "id", "itemprop", "td", "tr", "h4"};
+  for (std::string_view name : kNames) {
+    util::StringPool::Global().Intern(name);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string_view pooled =
+        util::StringPool::Global().Intern(kNames[i++ & 7]);
+    benchmark::DoNotOptimize(pooled);
+  }
+}
+BENCHMARK(BM_StringPoolIntern);
+
+void BM_ArenaAppend(benchmark::State& state) {
+  // One document-sized arena per iteration: 64 text segments, as a parsed
+  // page would append.
+  constexpr std::string_view kSegment =
+      "Directed by a celebrated director and starring a large cast";
+  for (auto _ : state) {
+    util::TextArena arena;
+    for (int seg = 0; seg < 64; ++seg) {
+      std::string_view stored = arena.Append(kSegment);
+      benchmark::DoNotOptimize(stored);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ArenaAppend);
+
+void BM_AttributeLookup(benchmark::State& state) {
+  // Pooled-name attribute probes over a real parsed page (pointer-compare
+  // fast path; zero allocations — see tests/dom/attribute_alloc_test.cc).
+  MicroFixture& fixture = Fixture();
+  const DomDocument& doc = fixture.pages[0];
+  const std::string_view itemprop =
+      util::StringPool::Global().Intern("itemprop");
+  const std::string_view cls = util::StringPool::Global().Intern("class");
+  NodeId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc.Attribute(id, itemprop));
+    benchmark::DoNotOptimize(doc.Attribute(id, cls));
+    id = (id + 1) % doc.size();
+  }
+}
+BENCHMARK(BM_AttributeLookup);
+
+void BM_FeatureIdHashing(benchmark::State& state) {
+  // Composing one structural feature id from tuple components (no
+  // intermediate name string): the per-emission cost inside the
+  // featurizer.
+  constexpr std::string_view kValue = "cast-row";
+  for (auto _ : state) {
+    FeatureIdBuilder stem;
+    stem.Add("S|l=").AddInt(2).Add("|s=").AddInt(-1).Add('|');
+    FeatureIdBuilder feature = stem.WithSink(nullptr);
+    feature.Add("class=").Add(kValue);
+    benchmark::DoNotOptimize(feature.id());
+  }
+}
+BENCHMARK(BM_FeatureIdHashing);
+
+void BM_HashedFeatureMapLookup(benchmark::State& state) {
+  // Hit-path id -> dense-index resolution against a trained-model-sized
+  // dictionary.
+  static const auto* data = [] {
+    auto* out =
+        new std::pair<HashedFeatureMap, std::vector<uint64_t>>();
+    std::mt19937_64 rng(7);
+    out->second.resize(50000);
+    for (uint64_t& id : out->second) {
+      id = rng();
+      out->first.GetOrAdd(id);
+    }
+    return out;
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        data->first.Get(data->second[i++ % data->second.size()]));
+  }
+}
+BENCHMARK(BM_HashedFeatureMapLookup);
+
 void BM_Training(benchmark::State& state) {
   MicroFixture& fixture = Fixture();
   for (auto _ : state) {
@@ -183,7 +289,60 @@ void BM_FullPipeline40Pages(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline40Pages)->Unit(benchmark::kMillisecond);
 
+// Captures per-benchmark timings for --persist while still printing the
+// normal console report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.iterations == 0) {
+        continue;
+      }
+      results.emplace_back(run.benchmark_name(),
+                           run.real_accumulated_time /
+                               static_cast<double>(run.iterations) * 1e9);
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<std::pair<std::string, double>> results;  // name, ns per op
+};
+
 }  // namespace
 }  // namespace ceres
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool persist = false;
+  std::string persist_path;
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--persist") == 0) {
+      persist = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') persist_path = argv[++i];
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  ceres::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (persist) {
+    ceres::bench::BenchJson bench_json("micro_components");
+    for (const auto& [name, ns_per_op] : reporter.results) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"micro_components\",\"name\":\"%s\","
+                    "\"ns_per_op\":%.1f}",
+                    name.c_str(), ns_per_op);
+      bench_json.Emit(line);
+    }
+    if (!bench_json.Persist(persist_path)) return 1;
+  }
+  return 0;
+}

@@ -36,12 +36,22 @@
 #include "core/pipeline.h"
 #include "obs/trace.h"
 #include "synth/corpora.h"
+#include "util/alloc_counter.h"
 
 namespace {
 
 using namespace ceres;  // NOLINT(build/namespaces)
 
 int g_violations = 0;
+
+// Allocation-count ceilings for the serial smoke/full runs, per page.
+// Measured after the arena-DOM / interned-string / hashed-feature-ID layout
+// landed (see EXPERIMENTS.md for the before/after table): ParseHtml runs at
+// ~11 allocations per page and the full pipeline at ~510. The pre-refactor
+// layout ran at 194 / 4888, so a regression to per-string allocation trips
+// the gate immediately.
+constexpr double kMaxParseAllocsPerPage = 35.0;
+constexpr double kMaxPipelineAllocsPerPage = 900.0;
 
 void Require(bool ok, const char* what) {
   if (!ok) {
@@ -129,7 +139,24 @@ int main(int argc, char** argv) {
   const size_t num_sites = smoke ? 3 : 4;
   synth::Corpus corpus =
       synth::MakeSwdeCorpus(synth::SwdeVertical::kMovie, scale, /*seed=*/42);
-  bench::ParsedCorpus parsed = bench::ParseCorpus(std::move(corpus));
+  // Allocation accounting for the parse half of the parse->feature path:
+  // ParseCorpus reads the counter around each ParseHtml call, so the
+  // number excludes synthetic ground-truth resolution. Counters read zero
+  // under sanitizer builds (replacement compiled out); the gate below only
+  // binds when counting is live.
+  bench::ParsedCorpus parsed =
+      bench::ParseCorpus(std::move(corpus), &util::AllocationCount);
+  const uint64_t parse_allocs = parsed.parse_allocs;
+  // Zero total allocations this deep into main() means the counting
+  // operator-new replacement is compiled out (sanitizer build).
+  const bool alloc_counting_live = util::AllocationCount() != 0;
+
+  size_t parsed_pages = 0;
+  for (const bench::ParsedSite& site : parsed.sites) {
+    parsed_pages += site.pages.size();
+  }
+  const double parse_allocs_per_page =
+      parsed_pages > 0 ? static_cast<double>(parse_allocs) / parsed_pages : 0;
 
   std::vector<DomDocument> pages;
   for (size_t s = 0; s < parsed.sites.size() && s < num_sites; ++s) {
@@ -157,9 +184,11 @@ int main(int argc, char** argv) {
     // and the sweep measures the same code the no-observability run does.
     obs::TraceTree trace;
     config.trace = &trace;
+    const uint64_t allocs_before_run = util::AllocationCount();
     const auto start = std::chrono::steady_clock::now();
     Result<PipelineResult> run =
         RunPipeline(pages, parsed.corpus.seed_kb, config);
+    const uint64_t run_allocs = util::AllocationCount() - allocs_before_run;
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -203,7 +232,9 @@ int main(int argc, char** argv) {
         trace.TotalMicros({"pipeline", "clusters", "cluster", "train"});
     const int64_t extract_us =
         trace.TotalMicros({"pipeline", "clusters", "cluster", "extract"});
-    char line[512];
+    const double run_allocs_per_page =
+        num_pages > 0 ? static_cast<double>(run_allocs) / num_pages : 0;
+    char line[640];
     std::snprintf(
         line, sizeof(line),
         "{\"bench\":\"pipeline_throughput\",\"mode\":\"%s\","
@@ -211,17 +242,34 @@ int main(int argc, char** argv) {
         "\"pages_per_sec\":%.1f,\"speedup\":%.2f,"
         "\"hardware_concurrency\":%u,\"identical_to_serial\":%s,"
         "\"stage_us\":{\"clustering\":%lld,\"topic\":%lld,"
-        "\"annotate\":%lld,\"train\":%lld,\"extract\":%lld}}",
+        "\"annotate\":%lld,\"train\":%lld,\"extract\":%lld},"
+        "\"allocs\":{\"counting\":%s,\"parse_per_page\":%.0f,"
+        "\"pipeline_per_page\":%.0f}}",
         smoke ? "smoke" : "full", threads, num_pages, seconds, pages_per_sec,
         speedup, hardware, identical ? "true" : "false",
         static_cast<long long>(clustering_us),
         static_cast<long long>(topic_us),
         static_cast<long long>(annotate_us),
         static_cast<long long>(train_us),
-        static_cast<long long>(extract_us));
+        static_cast<long long>(extract_us),
+        alloc_counting_live ? "true" : "false", parse_allocs_per_page,
+        run_allocs_per_page);
     bench_json.Emit(line);
     Require(clustering_us + topic_us + annotate_us + train_us + extract_us > 0,
             "trace recorded no stage timings");
+
+    // Allocation gate: checkable even on a 1-core host, where the speedup
+    // gates are skipped. The ceilings hold the arena-DOM + hashed-feature-ID
+    // layout's win (the string-heavy layout measured ~5-10x above them; see
+    // EXPERIMENTS.md). Only the serial run is gated — worker pools add a
+    // small per-thread constant — and only when counting is live (the
+    // operator-new replacement is compiled out under sanitizers).
+    if (threads == 1 && alloc_counting_live) {
+      Require(parse_allocs_per_page <= kMaxParseAllocsPerPage,
+              "parse allocations per page above ceiling");
+      Require(run_allocs_per_page <= kMaxPipelineAllocsPerPage,
+              "pipeline allocations per page above ceiling");
+    }
 
     // Speedup gates only bind when the host can actually run that many
     // workers; a 1-core CI box still checks determinism above.

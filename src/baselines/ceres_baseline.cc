@@ -35,7 +35,7 @@ Result<PairBaselineResult> RunPairBaseline(
   all_docs.reserve(pages.size());
   for (const DomDocument& page : pages) all_docs.push_back(&page);
   FeatureExtractor featurizer(all_docs, FeatureConfig{});
-  FeatureMap feature_map;
+  HashedFeatureMap feature_map;
   ClassMap classes(kb.ontology());
   Rng rng(config.seed);
 
@@ -160,8 +160,9 @@ Result<PairBaselineResult> RunPairBaseline(
         if (confidence < config.confidence_threshold) continue;
         result.extractions.push_back(
             Extraction{page, mentions.fields[f2], classes.PredicateOf(cls),
-                       doc.node(mentions.fields[f1]).text,
-                       doc.node(mentions.fields[f2]).text, confidence});
+                       std::string(doc.node(mentions.fields[f1]).text),
+                       std::string(doc.node(mentions.fields[f2]).text),
+                       confidence});
       }
     }
   }

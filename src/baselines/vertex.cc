@@ -30,7 +30,7 @@ std::vector<VertexRule::Anchor> AnchorsOf(const DomDocument& doc, NodeId node,
   NodeId cur = node;
   for (int level = 0; level <= max_level && cur != kInvalidNode; ++level) {
     for (const char* attr : kAttrs) {
-      std::string_view value = doc.node(cur).Attribute(attr);
+      std::string_view value = doc.Attribute(cur, attr);
       if (!value.empty()) {
         anchors.push_back(
             VertexRule::Anchor{level, attr, std::string(value)});
@@ -45,12 +45,7 @@ std::vector<VertexRule::Anchor> AnchorsOf(const DomDocument& doc, NodeId node,
 // for the slot encoding); empty when the slot does not exist.
 std::string SlotText(const DomDocument& doc, NodeId node, int slot) {
   auto prev_sibling = [&](NodeId id) -> NodeId {
-    const DomNode& record = doc.node(id);
-    if (record.parent == kInvalidNode || record.child_position == 0) {
-      return kInvalidNode;
-    }
-    return doc.node(record.parent)
-        .children[static_cast<size_t>(record.child_position - 1)];
+    return doc.node(id).prev_sibling;
   };
   NodeId target = kInvalidNode;
   switch (slot) {
@@ -65,8 +60,8 @@ std::string SlotText(const DomDocument& doc, NodeId node, int slot) {
       if (uncle == kInvalidNode) return {};
       if (slot == 1) {
         target = uncle;
-      } else if (!doc.node(uncle).children.empty()) {
-        target = doc.node(uncle).children.front();
+      } else if (doc.node(uncle).first_child != kInvalidNode) {
+        target = doc.node(uncle).first_child;
       }
       break;
     }
@@ -85,7 +80,7 @@ bool AnchorHolds(const DomDocument& doc, NodeId node,
     cur = doc.node(cur).parent;
   }
   if (cur == kInvalidNode) return false;
-  return doc.node(cur).Attribute(anchor.attribute) == anchor.value;
+  return doc.Attribute(cur, anchor.attribute) == anchor.value;
 }
 
 // All nodes of `doc` matching the generalized path of `rule`.
@@ -107,7 +102,7 @@ std::vector<NodeId> MatchRulePath(const DomDocument& doc,
       continue;
     }
     const XPathStep& step = rule.steps[depth];
-    for (NodeId child : doc.node(node).children) {
+    for (NodeId child : doc.children(node)) {
       const DomNode& child_node = doc.node(child);
       if (child_node.tag != step.tag) continue;
       if (step.index != -1 && child_node.sibling_index != step.index) {
@@ -257,7 +252,7 @@ std::vector<Extraction> VertexWrapper::Extract(
       std::vector<NodeId> nodes = matches_of(rule);
       if (!nodes.empty()) {
         subject_node = nodes.front();
-        subject = doc.node(subject_node).text;
+        subject = std::string(doc.node(subject_node).text);
         break;
       }
     }
@@ -272,7 +267,7 @@ std::vector<Extraction> VertexWrapper::Extract(
         if (node == subject_node) continue;
         if (!seen.emplace(rule.predicate, node).second) continue;
         out.push_back(Extraction{page, node, rule.predicate, subject,
-                                 doc.node(node).text, 1.0});
+                                 std::string(doc.node(node).text), 1.0});
       }
     }
   }

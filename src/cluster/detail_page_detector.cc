@@ -1,6 +1,7 @@
 #include "cluster/detail_page_detector.h"
 
 #include <cctype>
+#include <string_view>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -13,7 +14,7 @@ namespace {
 
 // True for values that are numbers, dates, money, or similar data-series
 // content: a majority of their alphanumeric characters are digits.
-bool IsNumericLike(const std::string& text) {
+bool IsNumericLike(std::string_view text) {
   int digits = 0;
   int letters = 0;
   for (char c : text) {
@@ -60,7 +61,7 @@ DetailPageSignals ComputeDetailPageSignals(
     if (config.deadline.expired()) break;
     on_page.clear();
     for (NodeId id : page->TextFields()) {
-      const std::string& raw = page->node(id).text;
+      const std::string_view raw = page->node(id).text;
       ++total_fields;
       if (IsNumericLike(raw)) ++numeric_fields;
       std::string norm = NormalizeText(raw);

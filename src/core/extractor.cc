@@ -10,7 +10,7 @@ namespace ceres {
 namespace {
 
 // Extraction pass over one page, appending to `out`. Runs concurrently for
-// distinct pages: the model is only read (the FeatureMap is frozen, so
+// distinct pages: the model is only read (the HashedFeatureMap is frozen, so
 // featurization interns nothing), and each worker owns its output slot.
 void ExtractFromPage(const DomDocument& doc, PageIndex page,
                      TrainedModel* model, const FeatureExtractor& featurizer,
@@ -40,7 +40,7 @@ void ExtractFromPage(const DomDocument& doc, PageIndex page,
     }
   }
   if (name_prob < config.name_threshold) return;
-  const std::string& subject = doc.node(fields[name_field]).text;
+  const std::string subject(doc.node(fields[name_field]).text);
   out->push_back(Extraction{page, fields[name_field], kNamePredicate,
                             subject, subject, name_prob});
 
@@ -55,7 +55,7 @@ void ExtractFromPage(const DomDocument& doc, PageIndex page,
     if (*it < config.confidence_threshold) continue;
     out->push_back(Extraction{page, fields[f],
                               model->classes.PredicateOf(cls), subject,
-                              doc.node(fields[f]).text, *it});
+                              std::string(doc.node(fields[f]).text), *it});
   }
 }
 

@@ -40,7 +40,7 @@ struct ExtractionConfig {
 /// (predicate == kNamePredicate) so name accuracy can be scored.
 ///
 /// `model` is passed mutably because featurization interns through its
-/// FeatureMap; the map must already be frozen, so no state actually changes.
+/// HashedFeatureMap; the map must already be frozen, so no state actually changes.
 std::vector<Extraction> ExtractFromPages(
     const std::vector<const DomDocument*>& pages,
     const std::vector<PageIndex>& page_indices, TrainedModel* model,

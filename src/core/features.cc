@@ -1,36 +1,69 @@
 #include "core/features.h"
 
 #include <algorithm>
+#include <array>
 #include <unordered_map>
 
 #include "dom/dom_utils.h"
 #include "text/normalize.h"
-#include "util/string_util.h"
+#include "util/string_pool.h"
 
 namespace ceres {
 
 namespace {
 
-constexpr const char* kTrackedAttributes[] = {"class", "id", "itemprop",
-                                              "itemtype", "property"};
+// Tracked attribute names, pre-interned so DomDocument::Attribute resolves
+// them by pointer comparison against the parser-interned names.
+const std::array<std::string_view, 5>& TrackedAttributes() {
+  static const auto* kAttrs = [] {
+    util::StringPool& pool = util::StringPool::Global();
+    return new std::array<std::string_view, 5>{
+        pool.Intern("class"), pool.Intern("id"), pool.Intern("itemprop"),
+        pool.Intern("itemtype"), pool.Intern("property")};
+  }();
+  return *kAttrs;
+}
 
-void AddFeature(std::string_view prefix, const std::string& name,
-                FeatureMap* map, SparseVector* out) {
-  int32_t index = map->GetOrAdd(prefix.empty() ? name : StrCat(prefix, name));
+void EmitFeature(const FeatureIdBuilder& feature, const std::string& name,
+                 FeatureNameTrace* trace, HashedFeatureMap* map,
+                 SparseVector* out) {
+  const int32_t index = map->GetOrAdd(feature.id());
   if (index >= 0) out->Add(index, 1.0);
+  if (trace != nullptr) trace->Record(feature.id(), name);
 }
 
 // Emits the (attribute, value, level, sibling) tuples of one examined node.
-void EmitNodeTuples(const DomNode& node, int level, int sibling_offset,
-                    std::string_view prefix, FeatureMap* map,
-                    SparseVector* out) {
-  const std::string stem = StrCat("S|l=", level, "|s=", sibling_offset, "|");
-  AddFeature(prefix, StrCat(stem, "tag=", node.tag), map, out);
-  for (const char* attr : kTrackedAttributes) {
-    std::string_view value = node.Attribute(attr);
-    if (!value.empty()) {
-      AddFeature(prefix, StrCat(stem, attr, "=", value), map, out);
-    }
+// The legacy names were "<prefix>S|l=<level>|s=<offset>|tag=<tag>" and
+// "<prefix>S|l=<level>|s=<offset>|<attr>=<value>"; the shared stem is hashed
+// once per examined node and forked per emission.
+void EmitNodeTuples(const DomDocument& doc, NodeId id, int level,
+                    int sibling_offset, std::string_view prefix,
+                    HashedFeatureMap* map, SparseVector* out,
+                    FeatureNameTrace* trace) {
+  const bool tracing = trace != nullptr;
+  std::string stem_name;
+  std::string name;
+  FeatureIdBuilder stem(tracing ? &stem_name : nullptr);
+  stem.Add(prefix)
+      .Add("S|l=")
+      .AddInt(level)
+      .Add("|s=")
+      .AddInt(sibling_offset)
+      .Add('|');
+  const DomNode& node = doc.node(id);
+  {
+    if (tracing) name.assign(stem_name);
+    FeatureIdBuilder feature = stem.WithSink(tracing ? &name : nullptr);
+    feature.Add("tag=").Add(node.tag);
+    EmitFeature(feature, name, trace, map, out);
+  }
+  for (std::string_view attr : TrackedAttributes()) {
+    std::string_view value = doc.Attribute(id, attr);
+    if (value.empty()) continue;
+    if (tracing) name.assign(stem_name);
+    FeatureIdBuilder feature = stem.WithSink(tracing ? &name : nullptr);
+    feature.Add(attr).Add('=').Add(value);
+    EmitFeature(feature, name, trace, map, out);
   }
 }
 
@@ -90,42 +123,56 @@ FeatureExtractor::FeatureExtractor(
 
 void FeatureExtractor::AddStructural(const DomDocument& doc, NodeId node,
                                      std::string_view prefix,
-                                     FeatureMap* map,
-                                     SparseVector* out) const {
+                                     HashedFeatureMap* map, SparseVector* out,
+                                     FeatureNameTrace* trace) const {
   // The node itself (level 0, sibling 0), its ancestors (level k, sibling
   // 0), and each examined node's siblings within the window.
   int level = 0;
   NodeId cur = node;
   while (cur != kInvalidNode) {
-    EmitNodeTuples(doc.node(cur), level, 0, prefix, map, out);
-    for (NodeId sibling : SiblingWindow(doc, cur, config_.sibling_window)) {
-      int offset = doc.node(sibling).child_position -
-                   doc.node(cur).child_position;
-      EmitNodeTuples(doc.node(sibling), level, offset, prefix, map, out);
-    }
+    EmitNodeTuples(doc, cur, level, 0, prefix, map, out, trace);
+    ForEachSiblingInWindow(
+        doc, cur, config_.sibling_window, [&](NodeId sibling) {
+          int offset = doc.node(sibling).child_position -
+                       doc.node(cur).child_position;
+          EmitNodeTuples(doc, sibling, level, offset, prefix, map, out, trace);
+        });
     cur = doc.node(cur).parent;
     ++level;
   }
 }
 
 void FeatureExtractor::AddText(const DomDocument& doc, NodeId node,
-                               std::string_view prefix, FeatureMap* map,
+                               std::string_view prefix, HashedFeatureMap* map,
                                SparseVector* out,
-                               NormalizedTextCache* text_cache) const {
+                               NormalizedTextCache* text_cache,
+                               FeatureNameTrace* trace) const {
+  const bool tracing = trace != nullptr;
   // Scratch used only on the cache-less path; with a cache the normalized
   // strings are computed once per document, not once per featurized field.
   std::string scratch;
+  std::string name;
   auto normalized = [&](NodeId id) -> const std::string& {
     if (text_cache != nullptr) return text_cache->Normalized(id);
     NormalizeTextInto(doc.node(id).text, &scratch);
     return scratch;
   };
-  auto consider = [&](NodeId nearby, const std::string& relation) {
+  // Legacy names were "<prefix>T|<relation>|<norm>"; `compose_relation`
+  // feeds the relation bytes ("self", "l2", "l1s-3", "l1s-3c").
+  auto emit_text = [&](const std::string& norm, auto compose_relation) {
+    name.clear();
+    FeatureIdBuilder feature(tracing ? &name : nullptr);
+    feature.Add(prefix).Add("T|");
+    compose_relation(feature);
+    feature.Add('|').Add(norm);
+    EmitFeature(feature, name, trace, map, out);
+  };
+  auto consider = [&](NodeId nearby, auto compose_relation) {
     if (nearby == kInvalidNode || nearby == node) return;
     if (!doc.node(nearby).HasText()) return;
     const std::string& norm = normalized(nearby);
     if (frequent_strings_.count(norm) == 0) return;
-    AddFeature(prefix, StrCat("T|", relation, "|", norm), map, out);
+    emit_text(norm, compose_relation);
   };
 
   // The node's own text, when it is itself a frequent site string, is a
@@ -133,7 +180,7 @@ void FeatureExtractor::AddText(const DomDocument& doc, NodeId node,
   if (doc.node(node).HasText()) {
     const std::string& norm = normalized(node);
     if (frequent_strings_.count(norm) > 0) {
-      AddFeature(prefix, StrCat("T|self|", norm), map, out);
+      emit_text(norm, [](FeatureIdBuilder& b) { b.Add("self"); });
     }
   }
 
@@ -143,31 +190,41 @@ void FeatureExtractor::AddText(const DomDocument& doc, NodeId node,
   for (int level = 0;
        level <= config_.text_feature_levels && cur != kInvalidNode;
        ++level) {
-    if (level > 0) consider(cur, StrCat("l", level));
-    for (NodeId sibling : SiblingWindow(doc, cur, config_.sibling_window)) {
-      int offset =
-          doc.node(sibling).child_position - doc.node(cur).child_position;
-      consider(sibling, StrCat("l", level, "s", offset));
-      // Labels often live one level down inside a sibling wrapper
-      // (e.g. <div><h4>Director:</h4>...</div>), so peek at its children.
-      for (NodeId child : doc.node(sibling).children) {
-        consider(child, StrCat("l", level, "s", offset, "c"));
-      }
+    if (level > 0) {
+      consider(cur, [&](FeatureIdBuilder& b) { b.Add('l').AddInt(level); });
     }
+    ForEachSiblingInWindow(
+        doc, cur, config_.sibling_window, [&](NodeId sibling) {
+          int offset =
+              doc.node(sibling).child_position - doc.node(cur).child_position;
+          consider(sibling, [&](FeatureIdBuilder& b) {
+            b.Add('l').AddInt(level).Add('s').AddInt(offset);
+          });
+          // Labels often live one level down inside a sibling wrapper
+          // (e.g. <div><h4>Director:</h4>...</div>), so peek at its
+          // children.
+          for (NodeId child : doc.children(sibling)) {
+            consider(child, [&](FeatureIdBuilder& b) {
+              b.Add('l').AddInt(level).Add('s').AddInt(offset).Add('c');
+            });
+          }
+        });
     cur = doc.node(cur).parent;
   }
 }
 
 SparseVector FeatureExtractor::Extract(const DomDocument& doc, NodeId node,
-                                       FeatureMap* map,
+                                       HashedFeatureMap* map,
                                        std::string_view name_prefix,
-                                       NormalizedTextCache* text_cache) const {
+                                       NormalizedTextCache* text_cache,
+                                       FeatureNameTrace* trace) const {
   SparseVector out;
+  out.Reserve(64);
   if (config_.structural_features) {
-    AddStructural(doc, node, name_prefix, map, &out);
+    AddStructural(doc, node, name_prefix, map, &out, trace);
   }
   if (config_.text_features) {
-    AddText(doc, node, name_prefix, map, &out, text_cache);
+    AddText(doc, node, name_prefix, map, &out, text_cache, trace);
   }
   out.Finalize();
   return out;

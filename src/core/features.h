@@ -2,12 +2,14 @@
 #define CERES_CORE_FEATURES_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "core/doc_cache.h"
 #include "dom/dom_tree.h"
-#include "ml/feature_map.h"
+#include "ml/feature_id.h"
+#include "ml/hashed_feature_map.h"
 #include "ml/sparse_vector.h"
 #include "util/deadline.h"
 #include "util/parallel.h"
@@ -50,6 +52,12 @@ struct FeatureConfig {
 /// attributes. Node-text features pair a frequent website string found in a
 /// nearby node with the tree path to that node.
 ///
+/// Features are identified by 64-bit ids — the Fnv1a64 hash of the legacy
+/// string name (see ml/feature_id.h) — hashed incrementally from the tuple
+/// components, so the hot path never materializes a name string. Pass a
+/// FeatureNameTrace to additionally record the id → name table (debug
+/// dumps, golden tests).
+///
 /// The extractor carries site-level state (the frequent-string lexicon), so
 /// construct one per website from its training pages.
 class FeatureExtractor {
@@ -64,16 +72,19 @@ class FeatureExtractor {
   FeatureExtractor(std::unordered_set<std::string> frequent_strings,
                    FeatureConfig config);
 
-  /// Featurizes `node` of `doc`. New feature names are interned into `map`
+  /// Featurizes `node` of `doc`. New feature ids are interned into `map`
   /// unless it is frozen (then unknown features are dropped). The returned
-  /// vector is finalized. `name_prefix` is prepended to every feature name;
+  /// vector is finalized. `name_prefix` is folded into every feature id;
   /// the pair-based baseline uses it to keep subject-node and object-node
   /// features distinct. `text_cache`, when given, must be a cache over
   /// `doc`; the nearby-node text features then reuse its normalizations
   /// instead of re-normalizing the same label nodes for every field.
-  SparseVector Extract(const DomDocument& doc, NodeId node, FeatureMap* map,
-                       std::string_view name_prefix = {},
-                       NormalizedTextCache* text_cache = nullptr) const;
+  /// `trace`, when given, records the legacy string name of every emitted
+  /// feature id.
+  SparseVector Extract(const DomDocument& doc, NodeId node,
+                       HashedFeatureMap* map, std::string_view name_prefix = {},
+                       NormalizedTextCache* text_cache = nullptr,
+                       FeatureNameTrace* trace = nullptr) const;
 
   const std::unordered_set<std::string>& frequent_strings() const {
     return frequent_strings_;
@@ -82,11 +93,11 @@ class FeatureExtractor {
 
  private:
   void AddStructural(const DomDocument& doc, NodeId node,
-                     std::string_view prefix, FeatureMap* map,
-                     SparseVector* out) const;
+                     std::string_view prefix, HashedFeatureMap* map,
+                     SparseVector* out, FeatureNameTrace* trace) const;
   void AddText(const DomDocument& doc, NodeId node, std::string_view prefix,
-               FeatureMap* map, SparseVector* out,
-               NormalizedTextCache* text_cache) const;
+               HashedFeatureMap* map, SparseVector* out,
+               NormalizedTextCache* text_cache, FeatureNameTrace* trace) const;
 
   FeatureConfig config_;
   std::unordered_set<std::string> frequent_strings_;

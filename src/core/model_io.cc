@@ -43,6 +43,28 @@ bool ParseDouble(const std::string& field, double* value) {
   return end == field.c_str() + field.size() && !field.empty();
 }
 
+// Current on-disk format. Version 2 replaced the #features name dictionary
+// with #featureids (16-hex-digit 64-bit feature ids). Version-1 files are
+// still loadable: ids are defined as Fnv1a64 of the legacy feature name, so
+// hashing each stored name on read reconstructs the exact dictionary.
+constexpr int64_t kModelFormatVersion = 2;
+
+std::string HexId(uint64_t id) {
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[id & 0xF];
+    id >>= 4;
+  }
+  return std::string(buf, sizeof(buf));
+}
+
+bool ParseHexId(const std::string& field, uint64_t* id) {
+  if (field.empty() || field.size() > 16) return false;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), *id, 16);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
 }  // namespace
 
 Status SaveModel(const TrainedModel& model, const Ontology& ontology,
@@ -55,6 +77,7 @@ Status SaveModel(const TrainedModel& model, const Ontology& ontology,
   }
   const int32_t classes = model.model.num_classes();
   const int32_t features = model.model.num_features();
+  *out << "#format\n" << kModelFormatVersion << '\n';
   *out << "#model\n" << classes << '\t' << features << '\n';
   *out << "#featureconfig\n"
        << model.feature_config.sibling_window << '\t'
@@ -79,15 +102,9 @@ Status SaveModel(const TrainedModel& model, const Ontology& ontology,
   for (int32_t cls = 0; cls < classes; ++cls) {
     *out << cls << '\t' << ClassName(model.classes, ontology, cls) << '\n';
   }
-  *out << "#features\n";
+  *out << "#featureids\n";
   for (int32_t f = 0; f < features; ++f) {
-    const std::string& name = model.features.Name(f);
-    if (name.find('\t') != std::string::npos ||
-        name.find('\n') != std::string::npos) {
-      return Status::InvalidArgument(
-          StrCat("feature name contains tab/newline: ", name));
-    }
-    *out << f << '\t' << name << '\n';
+    *out << f << '\t' << HexId(model.features.IdAt(f)) << '\n';
   }
   *out << "#weights\n";
   out->precision(17);
@@ -116,11 +133,13 @@ Status SaveModelToFile(const TrainedModel& model, const Ontology& ontology,
 Result<TrainedModel> LoadModel(std::istream* in, const Ontology& ontology) {
   enum class Section {
     kNone,
+    kFormat,
     kModel,
     kFeatureConfig,
     kLexicon,
     kClasses,
-    kFeatures,
+    kFeatures,     // v1: string feature names, hashed on read
+    kFeatureIds,   // v2: 64-bit feature ids in hex
     kWeights,
     kEnd
   };
@@ -140,11 +159,13 @@ Result<TrainedModel> LoadModel(std::istream* in, const Ontology& ontology) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '#') {
-      if (line == "#model") section = Section::kModel;
+      if (line == "#format") section = Section::kFormat;
+      else if (line == "#model") section = Section::kModel;
       else if (line == "#featureconfig") section = Section::kFeatureConfig;
       else if (line == "#lexicon") section = Section::kLexicon;
       else if (line == "#classes") section = Section::kClasses;
       else if (line == "#features") section = Section::kFeatures;
+      else if (line == "#featureids") section = Section::kFeatureIds;
       else if (line == "#weights") {
         section = Section::kWeights;
         saw_weights_section = true;
@@ -161,6 +182,21 @@ Result<TrainedModel> LoadModel(std::istream* in, const Ontology& ontology) {
         return MalformedLine(line_number, line, "data before any section");
       case Section::kEnd:
         return MalformedLine(line_number, line, "data after #end marker");
+      case Section::kFormat: {
+        // Version-1 files have no #format section; anything between 1 and
+        // the current version is accepted (the feature dictionary encoding
+        // is inferred from which dictionary section the file carries).
+        int64_t version = -1;
+        if (fields.size() != 1 || !ParseInt(fields[0], &version)) {
+          return MalformedLine(line_number, line, "bad format version");
+        }
+        if (version < 1 || version > kModelFormatVersion) {
+          return Status::InvalidArgument(
+              StrCat("unsupported model format version ", version,
+                     " (this build reads up to ", kModelFormatVersion, ")"));
+        }
+        break;
+      }
       case Section::kModel: {
         if (fields.size() != 2 || !ParseInt(fields[0], &num_classes) ||
             !ParseInt(fields[1], &num_features) || num_classes < 2 ||
@@ -215,12 +251,28 @@ Result<TrainedModel> LoadModel(std::istream* in, const Ontology& ontology) {
         break;
       }
       case Section::kFeatures: {
+        // v1 compatibility: feature ids are Fnv1a64 of the stored name, so
+        // hashing each name reconstructs the hashed dictionary exactly.
         int64_t index = -1;
         if (fields.size() != 2 || !ParseInt(fields[0], &index) || index < 0 ||
             index >= num_features) {
           return MalformedLine(line_number, line, "bad feature line");
         }
-        int32_t assigned = model.features.GetOrAdd(fields[1]);
+        int32_t assigned = model.features.GetOrAdd(Fnv1a64(fields[1]));
+        if (assigned != static_cast<int32_t>(index)) {
+          return MalformedLine(line_number, line,
+                               "feature indices must be dense and in order");
+        }
+        break;
+      }
+      case Section::kFeatureIds: {
+        int64_t index = -1;
+        uint64_t id = 0;
+        if (fields.size() != 2 || !ParseInt(fields[0], &index) || index < 0 ||
+            index >= num_features || !ParseHexId(fields[1], &id)) {
+          return MalformedLine(line_number, line, "bad feature id line");
+        }
+        int32_t assigned = model.features.GetOrAdd(id);
         if (assigned != static_cast<int32_t>(index)) {
           return MalformedLine(line_number, line,
                                "feature indices must be dense and in order");

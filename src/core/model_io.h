@@ -16,17 +16,25 @@ namespace ceres {
 /// learned once (annotation + training are the expensive phases) can be
 /// re-applied to newly crawled pages of the same site without a seed KB.
 ///
-/// Format (TSV sections, like kb_io):
+/// Format (TSV sections, like kb_io), version 2:
 ///
+///   #format
+///   2
 ///   #model
 ///   <num classes> \t <num features>
 ///   #classes
 ///   <class index> \t <OTHER|NAME|predicate name>
-///   #features
-///   <feature index> \t <feature name>
+///   #featureids
+///   <feature index> \t <16-hex-digit 64-bit feature id>
 ///   #weights
 ///   <class index> \t <feature index | "bias"> \t <value>   (non-zeros only)
 ///   #end
+///
+/// Version 1 files carried no #format section and a `#features` dictionary
+/// of string feature names instead of `#featureids`. They still load: a
+/// feature id is defined as Fnv1a64 of the legacy name, so hashing each
+/// stored name on read reconstructs the identical dictionary (same dense
+/// indices, same weight layout).
 ///
 /// The trailing `#end` marker is mandatory on load: a file cut off
 /// mid-transfer loses it (and usually a whole section), so truncation is

@@ -328,7 +328,7 @@ Result<PipelineResult> RunPipeline(const std::vector<DomDocument>& pages,
 
     // 4. Training on the cluster's annotated pages. Lexicon mining may fan
     // out; featurization inside TrainExtractor stays serial because the
-    // FeatureMap interning order defines the feature ids.
+    // HashedFeatureMap interning order defines the dense feature indices.
     obs::TraceSpan train_span(cluster_span, "train");
     ++count(PipelineStage::kTraining).attempted;
     FeatureConfig feature_config = config.features;

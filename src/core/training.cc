@@ -96,7 +96,7 @@ Result<TrainedModel> TrainExtractor(
     CERES_RETURN_IF_ERROR(config.deadline.Check("building training examples"));
     const DomDocument& doc = *pages[static_cast<size_t>(page)];
     const std::vector<const Annotation*>& page_annotations = by_page[page];
-    // Featurization itself must stay serial (FeatureMap interning order
+    // Featurization itself must stay serial (HashedFeatureMap interning order
     // defines the feature ids), but the normalized-label lookups it makes
     // are memoized per page.
     NormalizedTextCache text_cache(doc);

@@ -45,7 +45,7 @@ struct TrainingConfig {
 /// everything needed to re-apply the model to freshly crawled pages.
 struct TrainedModel {
   LogisticRegression model;
-  FeatureMap features;
+  HashedFeatureMap features;
   ClassMap classes;
   FeatureConfig feature_config;
   std::unordered_set<std::string> frequent_strings;

@@ -1,33 +1,84 @@
 #include "dom/dom_tree.h"
 
+#include "util/string_pool.h"
+
 namespace ceres {
 
 DomDocument::DomDocument() {
   DomNode root;
-  root.tag = "html";
+  root.tag = util::StringPool::Global().Intern("html");
   root.parent = kInvalidNode;
   nodes_.push_back(std::move(root));
 }
 
-NodeId DomDocument::AddChild(NodeId parent, std::string tag) {
+NodeId DomDocument::AddChild(NodeId parent, std::string_view tag) {
   CERES_CHECK(parent >= 0 && parent < size());
   NodeId id = size();
   DomNode node;
-  node.tag = std::move(tag);
+  node.tag = util::StringPool::Global().Intern(tag);
   node.parent = parent;
-  node.child_position = static_cast<int>(nodes_[parent].children.size());
+  node.child_position = nodes_[parent].child_count;
   int same_tag = 0;
-  for (NodeId sibling : nodes_[parent].children) {
-    if (nodes_[sibling].tag == node.tag) ++same_tag;
+  for (NodeId sibling = nodes_[parent].first_child; sibling != kInvalidNode;
+       sibling = nodes_[sibling].next_sibling) {
+    // Tags are pooled: equal content implies equal data() pointer.
+    if (nodes_[sibling].tag.data() == node.tag.data()) ++same_tag;
   }
   node.sibling_index = same_tag + 1;
-  nodes_[parent].children.push_back(id);
-  nodes_.push_back(std::move(node));
+  node.prev_sibling = nodes_[parent].last_child;
+  if (nodes_[parent].last_child != kInvalidNode) {
+    nodes_[nodes_[parent].last_child].next_sibling = id;
+  } else {
+    nodes_[parent].first_child = id;
+  }
+  nodes_[parent].last_child = id;
+  ++nodes_[parent].child_count;
+  nodes_.push_back(node);
   return id;
 }
 
+void DomDocument::AddAttribute(NodeId id, std::string_view name,
+                               std::string_view value) {
+  CERES_CHECK(id >= 0 && id < size());
+  DomNode& node = nodes_[id];
+  if (node.attr_count == 0) {
+    node.attr_begin = static_cast<uint32_t>(attrs_.size());
+  }
+  // A node's attributes form one contiguous range of the flat array, so
+  // they must be appended while the node is still the most recent one to
+  // receive attributes.
+  CERES_CHECK(node.attr_begin + node.attr_count == attrs_.size());
+  attrs_.push_back(DomAttribute{util::StringPool::Global().Intern(name),
+                                arena_.Append(value)});
+  ++node.attr_count;
+}
+
+void DomDocument::SetText(NodeId id, std::string_view text) {
+  CERES_CHECK(id >= 0 && id < size());
+  nodes_[id].text = arena_.Append(text);
+}
+
+void DomDocument::AppendTextSegment(NodeId id, std::string_view segment) {
+  CERES_CHECK(id >= 0 && id < size());
+  DomNode& node = nodes_[id];
+  node.text = arena_.ExtendTail(node.text, " ", segment);
+}
+
+void DomDocument::ReserveFor(size_t source_bytes) {
+  // Synthetic and real pages land around 40-90 source bytes per element
+  // and one attribute for every other element; reserving on those ratios
+  // turns per-append doubling into one up-front allocation each.
+  nodes_.reserve(source_bytes / 48 + 16);
+  attrs_.reserve(source_bytes / 96 + 8);
+}
+
 std::vector<NodeId> DomDocument::TextFields() const {
+  size_t count = 0;
+  for (NodeId id = 0; id < size(); ++id) {
+    if (nodes_[id].HasText()) ++count;
+  }
   std::vector<NodeId> out;
+  out.reserve(count);
   for (NodeId id = 0; id < size(); ++id) {
     if (nodes_[id].HasText()) out.push_back(id);
   }

@@ -1,10 +1,15 @@
 #ifndef CERES_DOM_DOM_TREE_H_
 #define CERES_DOM_DOM_TREE_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace ceres {
@@ -13,10 +18,12 @@ namespace ceres {
 using NodeId = int;
 inline constexpr NodeId kInvalidNode = -1;
 
-/// One HTML attribute. Attribute names are stored lower-cased.
+/// One HTML attribute. `name` is lower-cased and interned in the process
+/// StringPool (equal names share storage, so pooled names compare by
+/// pointer); `value` is a span into the owning document's text arena.
 struct DomAttribute {
-  std::string name;
-  std::string value;
+  std::string_view name;
+  std::string_view value;
 };
 
 /// An element node of a parsed page.
@@ -25,37 +32,46 @@ struct DomAttribute {
 /// element (`text`), following the paper's observation that entity names
 /// correspond to the full text of a DOM node: a "text field" is an element
 /// whose `text` is non-empty.
+///
+/// A node owns no string storage: `tag` is interned in the process
+/// StringPool and `text` lives in the document's arena, so the node itself
+/// is a fixed-size record. Attributes live in the document's flat attribute
+/// array (`DomDocument::attributes(id)`), addressed by [attr_begin,
+/// attr_begin + attr_count).
 struct DomNode {
-  /// Lower-cased tag name, e.g. "div".
-  std::string tag;
-  /// Attributes in document order.
-  std::vector<DomAttribute> attributes;
+  /// Lower-cased tag name, e.g. "div". Interned: pooled tags with equal
+  /// content share a data() pointer.
+  std::string_view tag;
   /// Direct character data of this element (children's text not included),
-  /// whitespace-trimmed.
-  std::string text;
+  /// whitespace-trimmed, stored in the document arena.
+  std::string_view text;
 
   NodeId parent = kInvalidNode;
-  std::vector<NodeId> children;
+  /// Intrusive child list: no per-node heap storage. Iterate with
+  /// DomDocument::children(id) or follow the links directly.
+  NodeId first_child = kInvalidNode;
+  NodeId last_child = kInvalidNode;
+  NodeId prev_sibling = kInvalidNode;
+  NodeId next_sibling = kInvalidNode;
+  int child_count = 0;
   /// 1-based position among same-tag siblings; the XPath step index.
   int sibling_index = 1;
   /// 0-based position among all siblings.
   int child_position = 0;
-
-  /// Value of the attribute with the given lower-case name, or "" if absent.
-  std::string_view Attribute(std::string_view name) const {
-    for (const DomAttribute& attr : attributes) {
-      if (attr.name == name) return attr.value;
-    }
-    return {};
-  }
+  /// Attribute range in the owning document's flat attribute array.
+  uint32_t attr_begin = 0;
+  uint32_t attr_count = 0;
 
   bool HasText() const { return !text.empty(); }
 };
 
-/// A parsed page: an arena of DomNodes rooted at node 0.
+/// A parsed page: a flat array of DomNodes rooted at node 0, plus one text
+/// arena owning all character data and a flat attribute array.
 ///
 /// Nodes are stored in document (preorder) order, so iterating ids 0..size-1
-/// visits the tree top-down. Documents are movable but not copyable.
+/// visits the tree top-down. Documents are movable but not copyable; moving
+/// a document moves arena chunk ownership, so node/attribute views stay
+/// valid across moves.
 class DomDocument {
  public:
   DomDocument();
@@ -75,15 +91,108 @@ class DomDocument {
     CERES_CHECK(id >= 0 && id < size());
     return nodes_[id];
   }
-  DomNode& mutable_node(NodeId id) {
-    CERES_CHECK(id >= 0 && id < size());
-    return nodes_[id];
-  }
+
+  /// Forward range over the child ids of a node, in document order.
+  /// Children are an intrusive linked list threaded through the flat node
+  /// array (DomNode::first_child / next_sibling), so iteration touches no
+  /// heap storage.
+  class ChildRange {
+   public:
+    class iterator {
+     public:
+      using value_type = NodeId;
+      using difference_type = std::ptrdiff_t;
+      using iterator_category = std::forward_iterator_tag;
+      using pointer = const NodeId*;
+      using reference = NodeId;
+
+      iterator() = default;
+      iterator(const DomDocument* doc, NodeId cur) : doc_(doc), cur_(cur) {}
+      NodeId operator*() const { return cur_; }
+      iterator& operator++() {
+        cur_ = doc_->node(cur_).next_sibling;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator out = *this;
+        ++*this;
+        return out;
+      }
+      bool operator==(const iterator& other) const {
+        return cur_ == other.cur_;
+      }
+      bool operator!=(const iterator& other) const {
+        return cur_ != other.cur_;
+      }
+
+     private:
+      const DomDocument* doc_ = nullptr;
+      NodeId cur_ = kInvalidNode;
+    };
+
+    ChildRange(const DomDocument* doc, NodeId parent)
+        : doc_(doc), parent_(parent) {}
+    iterator begin() const {
+      return iterator(doc_, doc_->node(parent_).first_child);
+    }
+    iterator end() const { return iterator(doc_, kInvalidNode); }
+    size_t size() const {
+      return static_cast<size_t>(doc_->node(parent_).child_count);
+    }
+    bool empty() const { return size() == 0; }
+
+   private:
+    const DomDocument* doc_;
+    NodeId parent_;
+  };
+
+  ChildRange children(NodeId id) const { return ChildRange(this, id); }
 
   /// Appends a child element under `parent` (kInvalidNode only for the
   /// root, which exists already) and returns its id. Maintains sibling
-  /// indices.
-  NodeId AddChild(NodeId parent, std::string tag);
+  /// indices. The tag is interned; it need not outlive the call.
+  NodeId AddChild(NodeId parent, std::string_view tag);
+
+  /// Appends an attribute to `id`. `name` must already be lower-case; it is
+  /// interned. `value` is copied into the document arena. A node's
+  /// attributes must be added consecutively — before any other node's —
+  /// because they occupy one contiguous range of the flat array (checked).
+  void AddAttribute(NodeId id, std::string_view name, std::string_view value);
+
+  /// Pre-sizes the node and attribute arrays for a document parsed from
+  /// `source_bytes` bytes of HTML. Optional; the parser calls it so
+  /// steady-state parsing does one up-front allocation per array instead
+  /// of doubling from empty.
+  void ReserveFor(size_t source_bytes);
+
+  /// Replaces the direct text of `id` with a copy of `text` in the arena.
+  void SetText(NodeId id, std::string_view text);
+
+  /// Appends one already-collapsed segment of character data to `id`,
+  /// joined to existing text with a single space (the parser accumulates
+  /// text interleaved with child elements: `<p>a<b/>b</p>`).
+  void AppendTextSegment(NodeId id, std::string_view segment);
+
+  /// Attributes of `id` in document order.
+  std::span<const DomAttribute> attributes(NodeId id) const {
+    const DomNode& n = node(id);
+    return {attrs_.data() + n.attr_begin, n.attr_count};
+  }
+
+  /// Value of the attribute of `id` with the given lower-case name, or ""
+  /// if absent. Names are pooled, so when `name` is itself a pooled view
+  /// (see util::StringPool) each comparison is a pointer compare; a plain
+  /// literal falls back to a byte compare. Never allocates.
+  std::string_view Attribute(NodeId id, std::string_view name) const {
+    for (const DomAttribute& attr : attributes(id)) {
+      if (attr.name.data() == name.data()
+              ? attr.name.size() == name.size()
+              : attr.name == name) {
+        return attr.value;
+      }
+    }
+    return {};
+  }
 
   /// Ids of all elements with non-empty direct text, in document order.
   std::vector<NodeId> TextFields() const;
@@ -94,9 +203,18 @@ class DomDocument {
   /// Depth of the node (root has depth 0).
   int Depth(NodeId id) const;
 
+  /// Bytes of character data held by the document arena (text + attribute
+  /// values). Registry byte accounting reads this.
+  size_t arena_bytes() const { return arena_.bytes_reserved(); }
+
+  /// Total attributes across all nodes.
+  size_t attribute_count() const { return attrs_.size(); }
+
  private:
   std::string url_;
   std::vector<DomNode> nodes_;
+  std::vector<DomAttribute> attrs_;
+  util::TextArena arena_;
 };
 
 }  // namespace ceres

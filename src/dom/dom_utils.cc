@@ -36,13 +36,19 @@ std::vector<NodeId> SiblingWindow(const DomDocument& doc, NodeId id,
                                   int width) {
   const DomNode& node = doc.node(id);
   if (node.parent == kInvalidNode) return {};
-  const std::vector<NodeId>& siblings = doc.node(node.parent).children;
-  const int pos = node.child_position;
-  const int lo = std::max(0, pos - width);
-  const int hi = std::min(static_cast<int>(siblings.size()) - 1, pos + width);
   std::vector<NodeId> out;
-  for (int i = lo; i <= hi; ++i) {
-    if (i != pos) out.push_back(siblings[i]);
+  // Up to `width` siblings on each side, in ascending child_position
+  // order, via the intrusive sibling links.
+  NodeId cur = node.prev_sibling;
+  for (int i = 0; i < width && cur != kInvalidNode; ++i) {
+    out.push_back(cur);
+    cur = doc.node(cur).prev_sibling;
+  }
+  std::reverse(out.begin(), out.end());
+  cur = node.next_sibling;
+  for (int i = 0; i < width && cur != kInvalidNode; ++i) {
+    out.push_back(cur);
+    cur = doc.node(cur).next_sibling;
   }
   return out;
 }
@@ -68,9 +74,10 @@ std::vector<NodeId> Subtree(const DomDocument& doc, NodeId id) {
     NodeId cur = pending.back();
     pending.pop_back();
     out.push_back(cur);
-    const std::vector<NodeId>& children = doc.node(cur).children;
-    for (auto it = children.rbegin(); it != children.rend(); ++it) {
-      pending.push_back(*it);
+    // Children pushed in reverse (via prev_sibling) so preorder pops.
+    for (NodeId child = doc.node(cur).last_child; child != kInvalidNode;
+         child = doc.node(child).prev_sibling) {
+      pending.push_back(child);
     }
   }
   return out;

@@ -20,6 +20,33 @@ std::vector<NodeId> AncestorChain(const DomDocument& doc, NodeId id);
 std::vector<NodeId> SiblingWindow(const DomDocument& doc, NodeId id,
                                   int width);
 
+/// Calls `fn(sibling)` for each node SiblingWindow would return, in the
+/// same left-to-right order, without materializing a vector. This is the
+/// hot-path form: the featurizer visits the window for every (node, level)
+/// pair of every text field.
+template <typename Fn>
+void ForEachSiblingInWindow(const DomDocument& doc, NodeId id, int width,
+                            Fn&& fn) {
+  const DomNode& node = doc.node(id);
+  if (node.parent == kInvalidNode) return;
+  // Step back up to `width` siblings, then walk forward to `id` so the
+  // left side comes out in ascending order.
+  NodeId start = id;
+  for (int i = 0; i < width; ++i) {
+    const NodeId prev = doc.node(start).prev_sibling;
+    if (prev == kInvalidNode) break;
+    start = prev;
+  }
+  for (NodeId cur = start; cur != id; cur = doc.node(cur).next_sibling) {
+    fn(cur);
+  }
+  NodeId cur = node.next_sibling;
+  for (int i = 0; i < width && cur != kInvalidNode; ++i) {
+    fn(cur);
+    cur = doc.node(cur).next_sibling;
+  }
+}
+
 /// The highest ancestor of `mention` whose subtree contains `mention` but
 /// none of `others` (Algorithm 2 line 5). Returns `mention` itself when even
 /// its parent's subtree contains another mention.

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -11,8 +12,8 @@ namespace ceres {
 
 namespace {
 
-const std::unordered_set<std::string>& VoidElements() {
-  static const auto* kSet = new std::unordered_set<std::string>{
+const std::unordered_set<std::string_view>& VoidElements() {
+  static const auto* kSet = new std::unordered_set<std::string_view>{
       "area", "base",  "br",    "col",  "embed", "hr",  "img", "input",
       "link", "meta",  "param", "source", "track", "wbr"};
   return *kSet;
@@ -21,27 +22,32 @@ const std::unordered_set<std::string>& VoidElements() {
 // Tags that implicitly close an open element of the same (or listed) kind.
 // Maps a start tag to the set of open tags it closes when found on top of
 // the stack.
-const std::unordered_map<std::string, std::unordered_set<std::string>>&
+const std::unordered_map<std::string_view,
+                         std::unordered_set<std::string_view>>&
 AutoCloseRules() {
-  static const auto* kRules =
-      new std::unordered_map<std::string, std::unordered_set<std::string>>{
-          {"li", {"li"}},
-          {"p", {"p"}},
-          {"dt", {"dt", "dd"}},
-          {"dd", {"dt", "dd"}},
-          {"td", {"td", "th"}},
-          {"th", {"td", "th"}},
-          {"tr", {"td", "th", "tr"}},
-          {"option", {"option"}},
-      };
+  static const auto* kRules = new std::unordered_map<
+      std::string_view, std::unordered_set<std::string_view>>{
+      {"li", {"li"}},
+      {"p", {"p"}},
+      {"dt", {"dt", "dd"}},
+      {"dd", {"dt", "dd"}},
+      {"td", {"td", "th"}},
+      {"th", {"td", "th"}},
+      {"tr", {"td", "th", "tr"}},
+      {"option", {"option"}},
+  };
   return *kRules;
 }
 
-std::string ToLower(std::string_view text) {
-  std::string out(text);
-  for (char& c : out) c = static_cast<char>(std::tolower(
-      static_cast<unsigned char>(c)));
-  return out;
+// Lower-cases `text` into `*scratch` and returns a view of it. The scratch
+// buffer is reused across calls, so one parse does O(1) lowering
+// allocations instead of one per tag/attribute.
+std::string_view ToLowerInto(std::string_view text, std::string* scratch) {
+  scratch->assign(text);
+  for (char& c : *scratch) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return *scratch;
 }
 
 // Appends a code point to `out` as UTF-8.
@@ -63,96 +69,24 @@ void AppendUtf8(uint32_t cp, std::string* out) {
   }
 }
 
-// Parses an attribute list between a tag name and '>' / '/>'.
-void ParseAttributes(std::string_view body, std::vector<DomAttribute>* out) {
-  size_t i = 0;
-  while (i < body.size()) {
-    while (i < body.size() &&
-           std::isspace(static_cast<unsigned char>(body[i]))) {
-      ++i;
-    }
-    if (i >= body.size() || body[i] == '/') break;
-    size_t name_start = i;
-    while (i < body.size() && body[i] != '=' && body[i] != '/' &&
-           !std::isspace(static_cast<unsigned char>(body[i]))) {
-      ++i;
-    }
-    std::string name = ToLower(body.substr(name_start, i - name_start));
-    if (name.empty()) {
-      ++i;
-      continue;
-    }
-    while (i < body.size() &&
-           std::isspace(static_cast<unsigned char>(body[i]))) {
-      ++i;
-    }
-    std::string value;
-    if (i < body.size() && body[i] == '=') {
-      ++i;
-      while (i < body.size() &&
-             std::isspace(static_cast<unsigned char>(body[i]))) {
-        ++i;
-      }
-      if (i < body.size() && (body[i] == '"' || body[i] == '\'')) {
-        char quote = body[i++];
-        size_t value_start = i;
-        while (i < body.size() && body[i] != quote) ++i;
-        value = DecodeEntities(body.substr(value_start, i - value_start));
-        if (i < body.size()) ++i;  // Closing quote.
-      } else {
-        size_t value_start = i;
-        while (i < body.size() && body[i] != '/' &&
-               !std::isspace(static_cast<unsigned char>(body[i]))) {
-          ++i;
-        }
-        value = DecodeEntities(body.substr(value_start, i - value_start));
-      }
-    }
-    out->push_back(DomAttribute{std::move(name), std::move(value)});
-  }
-}
-
-// Appends decoded, whitespace-collapsed character data to a node's text.
-void AppendText(DomNode* node, std::string_view raw) {
-  std::string decoded = DecodeEntities(raw);
-  std::string_view trimmed = StripWhitespace(decoded);
-  if (trimmed.empty()) return;
-  std::string collapsed;
-  collapsed.reserve(trimmed.size());
-  bool last_space = false;
-  for (char c : trimmed) {
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      if (!last_space) collapsed.push_back(' ');
-      last_space = true;
-    } else {
-      collapsed.push_back(c);
-      last_space = false;
-    }
-  }
-  if (!node->text.empty()) node->text.push_back(' ');
-  node->text += collapsed;
-}
-
-}  // namespace
-
-std::string DecodeEntities(std::string_view text) {
-  static const auto* kNamed = new std::unordered_map<std::string, std::string>{
-      {"amp", "&"},   {"lt", "<"},     {"gt", ">"},   {"quot", "\""},
-      {"apos", "'"},  {"nbsp", " "},   {"copy", "©"}, {"reg", "®"},
-      {"hellip", "…"}, {"mdash", "—"}, {"ndash", "–"}, {"rsquo", "’"},
-      {"lsquo", "‘"}, {"rdquo", "”"},  {"ldquo", "“"}, {"times", "×"},
-  };
-  std::string out;
-  out.reserve(text.size());
+// Appends the decoded form of `text` to `*out` (no clear).
+void DecodeEntitiesInto(std::string_view text, std::string* out) {
+  static const auto* kNamed =
+      new std::unordered_map<std::string_view, std::string_view>{
+          {"amp", "&"},   {"lt", "<"},     {"gt", ">"},   {"quot", "\""},
+          {"apos", "'"},  {"nbsp", " "},   {"copy", "©"}, {"reg", "®"},
+          {"hellip", "…"}, {"mdash", "—"}, {"ndash", "–"}, {"rsquo", "’"},
+          {"lsquo", "‘"}, {"rdquo", "”"},  {"ldquo", "“"}, {"times", "×"},
+      };
   size_t i = 0;
   while (i < text.size()) {
     if (text[i] != '&') {
-      out.push_back(text[i++]);
+      out->push_back(text[i++]);
       continue;
     }
     size_t semi = text.find(';', i + 1);
     if (semi == std::string_view::npos || semi - i > 10) {
-      out.push_back(text[i++]);
+      out->push_back(text[i++]);
       continue;
     }
     std::string_view entity = text.substr(i + 1, semi - i - 1);
@@ -169,28 +103,130 @@ std::string DecodeEntities(std::string_view text) {
         ok = ec == std::errc() && p == entity.data() + entity.size();
       }
       if (ok && cp > 0 && cp <= 0x10FFFF) {
-        AppendUtf8(cp, &out);
+        AppendUtf8(cp, out);
         i = semi + 1;
         continue;
       }
     } else {
-      auto it = kNamed->find(std::string(entity));
+      auto it = kNamed->find(entity);
       if (it != kNamed->end()) {
-        out += it->second;
+        out->append(it->second);
         i = semi + 1;
         continue;
       }
     }
-    out.push_back(text[i++]);
+    out->push_back(text[i++]);
   }
+}
+
+// Reusable working buffers for one ParseHtml call: every per-tag and
+// per-attribute transform (lowering, entity decoding, whitespace collapse)
+// lands in one of these and is then interned or arena-copied, so steady
+// state parsing does not allocate per token.
+struct ParseScratch {
+  std::string lower;    // lower-cased tag / attribute / close-tag names
+  std::string decoded;  // entity-decoded attribute values and text
+  std::string collapsed;  // whitespace-collapsed text segments
+};
+
+// Parses an attribute list between a tag name and '>' / '/>' directly into
+// the document's flat attribute array for node `id`.
+void ParseAttributes(std::string_view body, DomDocument* doc, NodeId id,
+                     ParseScratch* scratch) {
+  size_t i = 0;
+  while (i < body.size()) {
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    if (i >= body.size() || body[i] == '/') break;
+    size_t name_start = i;
+    while (i < body.size() && body[i] != '=' && body[i] != '/' &&
+           !std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    std::string_view name =
+        ToLowerInto(body.substr(name_start, i - name_start), &scratch->lower);
+    if (name.empty()) {
+      ++i;
+      continue;
+    }
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    scratch->decoded.clear();
+    if (i < body.size() && body[i] == '=') {
+      ++i;
+      while (i < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      if (i < body.size() && (body[i] == '"' || body[i] == '\'')) {
+        char quote = body[i++];
+        size_t value_start = i;
+        while (i < body.size() && body[i] != quote) ++i;
+        DecodeEntitiesInto(body.substr(value_start, i - value_start),
+                           &scratch->decoded);
+        if (i < body.size()) ++i;  // Closing quote.
+      } else {
+        size_t value_start = i;
+        while (i < body.size() && body[i] != '/' &&
+               !std::isspace(static_cast<unsigned char>(body[i]))) {
+          ++i;
+        }
+        DecodeEntitiesInto(body.substr(value_start, i - value_start),
+                           &scratch->decoded);
+      }
+    }
+    doc->AddAttribute(id, name, scratch->decoded);
+  }
+}
+
+// Decodes and whitespace-collapses raw character data, then appends it to
+// the node's text in the document arena.
+void AppendText(DomDocument* doc, NodeId id, std::string_view raw,
+                ParseScratch* scratch) {
+  scratch->decoded.clear();
+  DecodeEntitiesInto(raw, &scratch->decoded);
+  std::string_view trimmed = StripWhitespace(scratch->decoded);
+  if (trimmed.empty()) return;
+  std::string& collapsed = scratch->collapsed;
+  collapsed.clear();
+  bool last_space = false;
+  for (char c : trimmed) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!last_space) collapsed.push_back(' ');
+      last_space = true;
+    } else {
+      collapsed.push_back(c);
+      last_space = false;
+    }
+  }
+  doc->AppendTextSegment(id, collapsed);
+}
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  DecodeEntitiesInto(text, &out);
   return out;
 }
 
 Result<DomDocument> ParseHtml(std::string_view html,
                               const HtmlParseOptions& options) {
   DomDocument doc;
-  std::vector<NodeId> stack{doc.root()};
+  doc.ReserveFor(html.size());
+  std::vector<NodeId> stack;
+  stack.reserve(32);
+  stack.push_back(doc.root());
   bool saw_explicit_html = false;
+  ParseScratch scratch;
+  scratch.lower.reserve(64);
+  scratch.decoded.reserve(512);
+  scratch.collapsed.reserve(512);
 
   size_t i = 0;
   const size_t n = html.size();
@@ -198,7 +234,7 @@ Result<DomDocument> ParseHtml(std::string_view html,
     if (html[i] != '<') {
       size_t next = html.find('<', i);
       if (next == std::string_view::npos) next = n;
-      AppendText(&doc.mutable_node(stack.back()), html.substr(i, next - i));
+      AppendText(&doc, stack.back(), html.substr(i, next - i), &scratch);
       i = next;
       continue;
     }
@@ -217,7 +253,7 @@ Result<DomDocument> ParseHtml(std::string_view html,
     size_t close = html.find('>', i);
     if (close == std::string_view::npos) {
       // Trailing junk; treat as text.
-      AppendText(&doc.mutable_node(stack.back()), html.substr(i));
+      AppendText(&doc, stack.back(), html.substr(i), &scratch);
       break;
     }
     std::string_view tag_body = html.substr(i + 1, close - i - 1);
@@ -226,7 +262,8 @@ Result<DomDocument> ParseHtml(std::string_view html,
 
     if (tag_body[0] == '/') {
       // End tag: pop to the matching open element, ignoring if absent.
-      std::string tag = ToLower(StripWhitespace(tag_body.substr(1)));
+      std::string_view tag =
+          ToLowerInto(StripWhitespace(tag_body.substr(1)), &scratch.lower);
       for (size_t depth = stack.size(); depth-- > 0;) {
         if (doc.node(stack[depth]).tag == tag) {
           if (depth == 0) break;  // Never pop the root.
@@ -243,16 +280,15 @@ Result<DomDocument> ParseHtml(std::string_view html,
            !std::isspace(static_cast<unsigned char>(tag_body[name_end]))) {
       ++name_end;
     }
-    std::string tag = ToLower(tag_body.substr(0, name_end));
+    std::string_view tag =
+        ToLowerInto(tag_body.substr(0, name_end), &scratch.lower);
     if (tag.empty()) continue;
     bool self_closing = !tag_body.empty() && tag_body.back() == '/';
-    std::vector<DomAttribute> attributes;
-    ParseAttributes(tag_body.substr(name_end), &attributes);
 
     if (tag == "html" && !saw_explicit_html) {
       // Merge into the implicit root rather than nesting a second <html>.
       saw_explicit_html = true;
-      doc.mutable_node(doc.root()).attributes = std::move(attributes);
+      ParseAttributes(tag_body.substr(name_end), &doc, doc.root(), &scratch);
       continue;
     }
 
@@ -270,12 +306,16 @@ Result<DomDocument> ParseHtml(std::string_view html,
           StrCat("page exceeds max_nodes=", options.max_nodes));
     }
     NodeId id = doc.AddChild(stack.back(), tag);
-    doc.mutable_node(id).attributes = std::move(attributes);
+    // Rebind to the pooled (stable) tag: ParseAttributes reuses the lowering
+    // scratch buffer `tag` currently points into.
+    tag = doc.node(id).tag;
+    ParseAttributes(tag_body.substr(name_end), &doc, id, &scratch);
 
     bool is_void = VoidElements().count(tag) > 0;
     if ((tag == "script" || tag == "style") && !self_closing) {
       // Raw-text element: consume to the matching close tag.
-      std::string close_tag = StrCat("</", tag);
+      const char* close_tag = tag == "script" ? "</script" : "</style";
+      const size_t close_len = tag.size() + 2;
       size_t end = i;
       while (true) {
         end = html.find('<', end);
@@ -283,14 +323,15 @@ Result<DomDocument> ParseHtml(std::string_view html,
           end = n;
           break;
         }
-        if (end + close_tag.size() <= n) {
-          std::string candidate = ToLower(html.substr(end, close_tag.size()));
+        if (end + close_len <= n) {
+          std::string_view candidate =
+              ToLowerInto(html.substr(end, close_len), &scratch.lower);
           if (candidate == close_tag) break;
         }
         ++end;
       }
       if (!options.skip_script_content) {
-        AppendText(&doc.mutable_node(id), html.substr(i, end - i));
+        AppendText(&doc, id, html.substr(i, end - i), &scratch);
       }
       size_t tag_end = html.find('>', end);
       i = tag_end == std::string_view::npos ? n : tag_end + 1;

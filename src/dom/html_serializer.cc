@@ -6,8 +6,8 @@ namespace ceres {
 
 namespace {
 
-bool IsVoidTag(const std::string& tag) {
-  static const auto* kSet = new std::unordered_set<std::string>{
+bool IsVoidTag(std::string_view tag) {
+  static const auto* kSet = new std::unordered_set<std::string_view>{
       "area", "base",  "br",    "col",  "embed", "hr",  "img", "input",
       "link", "meta",  "param", "source", "track", "wbr"};
   return kSet->count(tag) > 0;
@@ -17,7 +17,7 @@ void SerializeNode(const DomDocument& doc, NodeId id, std::string* out) {
   const DomNode& node = doc.node(id);
   out->push_back('<');
   out->append(node.tag);
-  for (const DomAttribute& attr : node.attributes) {
+  for (const DomAttribute& attr : doc.attributes(id)) {
     out->push_back(' ');
     out->append(attr.name);
     out->append("=\"");
@@ -25,11 +25,11 @@ void SerializeNode(const DomDocument& doc, NodeId id, std::string* out) {
     out->push_back('"');
   }
   out->push_back('>');
-  if (IsVoidTag(node.tag) && node.children.empty() && node.text.empty()) {
+  if (IsVoidTag(node.tag) && node.child_count == 0 && node.text.empty()) {
     return;
   }
   if (!node.text.empty()) out->append(EscapeHtml(node.text));
-  for (NodeId child : node.children) SerializeNode(doc, child, out);
+  for (NodeId child : doc.children(id)) SerializeNode(doc, child, out);
   out->append("</");
   out->append(node.tag);
   out->push_back('>');

@@ -2,10 +2,92 @@
 
 #include <algorithm>
 #include <charconv>
+#include <string>
 
+#include "util/string_pool.h"
 #include "util/string_util.h"
+#include "util/sync.h"
 
 namespace ceres {
+
+namespace {
+
+// Process-wide memo of rendered XPath steps. The step vocabulary of a
+// template site is tiny (tags x small sibling indices), while every page of
+// the site re-serializes the same root-to-node paths; caching the rendered
+// "tag[i]" fragments turns per-step std::to_string churn into a table probe.
+class StepRenderCache {
+ public:
+  static StepRenderCache& Global() {
+    static StepRenderCache* cache = new StepRenderCache();
+    return *cache;
+  }
+
+  std::string_view Render(const XPathStep& step) {
+    // Content-keyed (tag bytes + index): pooled and unpooled tags with the
+    // same content share an entry.
+    uint64_t key = Fnv1a64(step.tag);
+    key ^= static_cast<uint64_t>(step.index) + 0x9e3779b97f4a7c15ull;
+    key *= 0x100000001b3ull;
+    MutexLock lock(mu_);
+    size_t mask = slots_.size() - 1;
+    size_t i = key & mask;
+    while (slots_[i].rendered.data() != nullptr) {
+      if (slots_[i].key == key && slots_[i].index == step.index &&
+          slots_[i].tag == step.tag) {
+        return slots_[i].rendered;
+      }
+      i = (i + 1) & mask;
+    }
+    if ((used_ + 1) * 4 >= slots_.size() * 3) {
+      Grow();
+      mask = slots_.size() - 1;
+      i = key & mask;
+      while (slots_[i].rendered.data() != nullptr) i = (i + 1) & mask;
+    }
+    std::string text(step.tag);
+    text += '[';
+    text += std::to_string(step.index);
+    text += ']';
+    util::StringPool& pool = util::StringPool::Global();
+    slots_[i] = Slot{key, pool.Intern(step.tag), step.index,
+                     pool.Intern(text)};
+    ++used_;
+    return slots_[i].rendered;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    std::string_view tag;
+    int index = 0;
+    std::string_view rendered;  // null data() == free slot
+  };
+
+  StepRenderCache() { slots_.resize(1 << 8); }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const size_t mask = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.rendered.data() == nullptr) continue;
+      size_t i = slot.key & mask;
+      while (slots_[i].rendered.data() != nullptr) i = (i + 1) & mask;
+      slots_[i] = slot;
+    }
+  }
+
+  CheckedMutex mu_{"xpath_step_render"};
+  std::vector<Slot> slots_;
+  size_t used_ = 0;
+};
+
+}  // namespace
+
+std::string_view RenderedXPathStep(const XPathStep& step) {
+  return StepRenderCache::Global().Render(step);
+}
 
 XPath XPath::FromNode(const DomDocument& doc, NodeId id) {
   std::vector<XPathStep> reversed;
@@ -36,13 +118,13 @@ Result<XPath> XPath::Parse(std::string_view text) {
     XPathStep step;
     size_t bracket = part.find('[');
     if (bracket == std::string_view::npos) {
-      step.tag = std::string(part);
+      step.tag = util::StringPool::Global().Intern(part);
       step.index = 1;
     } else {
       if (part.back() != ']' || bracket + 2 > part.size()) {
         return Status::InvalidArgument(StrCat("malformed step: ", part));
       }
-      step.tag = std::string(part.substr(0, bracket));
+      step.tag = util::StringPool::Global().Intern(part.substr(0, bracket));
       std::string_view digits = part.substr(bracket + 1,
                                             part.size() - bracket - 2);
       int value = 0;
@@ -70,11 +152,12 @@ std::string XPath::ToString() const {
   std::string out;
   for (size_t i = 0; i < steps_.size(); ++i) {
     out += '/';
-    out += steps_[i].tag;
-    if (!(i == 0 && steps_[i].index == 1)) {
-      out += '[';
-      out += std::to_string(steps_[i].index);
-      out += ']';
+    if (i == 0 && steps_[i].index == 1) {
+      // Index 1 on the leading "html" step is omitted for readability,
+      // matching common absolute-XPath style.
+      out += steps_[i].tag;
+    } else {
+      out += RenderedXPathStep(steps_[i]);
     }
   }
   return out;
@@ -88,7 +171,7 @@ NodeId XPath::Resolve(const DomDocument& doc) const {
   for (size_t depth = 1; depth < steps_.size(); ++depth) {
     const XPathStep& step = steps_[depth];
     NodeId next = kInvalidNode;
-    for (NodeId child : doc.node(cur).children) {
+    for (NodeId child : doc.children(cur)) {
       const DomNode& child_node = doc.node(child);
       if (child_node.tag == step.tag &&
           child_node.sibling_index == step.index) {

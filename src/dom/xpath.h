@@ -12,14 +12,26 @@ namespace ceres {
 
 /// One step of an absolute XPath: a tag plus a 1-based index among same-tag
 /// siblings, e.g. "div[3]".
+///
+/// The tag is an interned view (process StringPool): FromNode copies the
+/// node's pooled tag and Parse interns, so steps are two words and equal
+/// tags usually compare by pointer.
 struct XPathStep {
-  std::string tag;
+  std::string_view tag;
   int index = 1;
 
   friend bool operator==(const XPathStep& a, const XPathStep& b) {
-    return a.index == b.index && a.tag == b.tag;
+    return a.index == b.index &&
+           (a.tag.data() == b.tag.data() ? a.tag.size() == b.tag.size()
+                                         : a.tag == b.tag);
   }
 };
+
+/// Pooled rendered form of one step, e.g. "div[3]": rendered once per
+/// distinct (tag, index) process-wide, interned, and memoized, so path
+/// serialization composes cached step strings instead of re-rendering each
+/// one. Thread-safe.
+std::string_view RenderedXPathStep(const XPathStep& step);
 
 /// An absolute XPath: the unique root-to-node address of a DOM node
 /// (§2.1), e.g. "/html/body[1]/div[2]/span[1]".

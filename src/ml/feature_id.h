@@ -1,0 +1,113 @@
+#ifndef CERES_ML_FEATURE_ID_H_
+#define CERES_ML_FEATURE_ID_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ceres {
+
+/// Incremental 64-bit feature-id builder.
+///
+/// A feature id is defined as the pinned Fnv1a64 hash of the feature's
+/// legacy string name — the exact byte sequence the string-named featurizer
+/// used to materialize (e.g. "S|l=0|s=-2|tag=span", "T|l1s2c|director").
+/// This builder feeds those bytes into the hash incrementally, so the hot
+/// path never allocates the name; when a name sink is attached (debug /
+/// trace / golden tests) the same Add calls also append the bytes to the
+/// sink, which makes hash-path and name-path agreement true by construction.
+///
+/// Because the definition is hash-of-name, old string-named model files
+/// convert losslessly: hashing each stored name yields the id the current
+/// featurizer computes.
+///
+/// Copy freely: copying captures the prefix state (structural features
+/// reuse a per-(level,offset) stem across the tag and each tracked
+/// attribute).
+class FeatureIdBuilder {
+ public:
+  FeatureIdBuilder() = default;
+  /// When `name_sink` is non-null every appended byte is mirrored into it
+  /// (the sink is NOT cleared; pair with Reset/your own clearing).
+  explicit FeatureIdBuilder(std::string* name_sink) : name_(name_sink) {}
+
+  FeatureIdBuilder& Add(std::string_view s) {
+    for (char c : s) AddByte(c);
+    return *this;
+  }
+
+  FeatureIdBuilder& Add(char c) {
+    AddByte(c);
+    return *this;
+  }
+
+  /// Appends the decimal rendering of `v` ('-' prefix when negative),
+  /// byte-identical to what operator<< / std::to_string produce.
+  FeatureIdBuilder& AddInt(int64_t v) {
+    char buf[24];
+    char* p = buf + sizeof(buf);
+    const bool negative = v < 0;
+    // Negate digit-by-digit to stay defined at INT64_MIN.
+    uint64_t u = negative ? 0 - static_cast<uint64_t>(v)
+                          : static_cast<uint64_t>(v);
+    do {
+      *--p = static_cast<char>('0' + (u % 10));
+      u /= 10;
+    } while (u != 0);
+    if (negative) *--p = '-';
+    return Add(std::string_view(p, static_cast<size_t>(buf + sizeof(buf) - p)));
+  }
+
+  /// A copy of this builder's hash state writing further bytes to `sink`
+  /// (or nowhere when null). Used to fork a shared stem: the caller must
+  /// seed `sink` with the stem's bytes itself when it wants the full name.
+  FeatureIdBuilder WithSink(std::string* sink) const {
+    FeatureIdBuilder forked = *this;
+    forked.name_ = sink;
+    return forked;
+  }
+
+  /// The feature id accumulated so far: Fnv1a64 of all appended bytes.
+  uint64_t id() const { return hash_; }
+
+ private:
+  void AddByte(char c) {
+    hash_ ^= static_cast<uint8_t>(c);
+    hash_ *= 0x100000001b3ull;
+    if (name_ != nullptr) name_->push_back(c);
+  }
+
+  uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  std::string* name_ = nullptr;
+};
+
+/// Lazily-built id → legacy-name side table. The featurizer fills it only
+/// when a trace is attached (golden tests, debug dumps); production
+/// featurization passes nullptr and never materializes names.
+class FeatureNameTrace {
+ public:
+  /// Records the name for `id` on first sight.
+  void Record(uint64_t id, const std::string& name) {
+    names_.emplace(id, name);
+  }
+
+  /// The recorded name, or "" when the id was never traced.
+  const std::string& NameOf(uint64_t id) const {
+    static const std::string* kEmpty = new std::string();
+    auto it = names_.find(id);
+    return it == names_.end() ? *kEmpty : it->second;
+  }
+
+  size_t size() const { return names_.size(); }
+  const std::unordered_map<uint64_t, std::string>& names() const {
+    return names_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::string> names_;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_ML_FEATURE_ID_H_

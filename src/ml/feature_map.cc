@@ -5,7 +5,7 @@
 namespace ceres {
 
 int32_t FeatureMap::GetOrAdd(std::string_view name) {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   if (frozen_) return -1;
   int32_t id = size();
@@ -15,7 +15,7 @@ int32_t FeatureMap::GetOrAdd(std::string_view name) {
 }
 
 int32_t FeatureMap::Get(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   return it == index_.end() ? -1 : it->second;
 }
 

@@ -2,6 +2,7 @@
 #define CERES_ML_FEATURE_MAP_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -14,6 +15,11 @@ namespace ceres {
 /// During training, GetOrAdd() grows the vocabulary; before applying a model
 /// to unseen pages the map is frozen so unknown features map to -1 and are
 /// dropped (the standard train/apply asymmetry of a linear extractor).
+///
+/// Superseded on the hot path by HashedFeatureMap (ml/hashed_feature_map.h);
+/// kept as the compatibility dictionary for version-1 string-named model
+/// files. Lookups are heterogeneous: a string_view probes the index without
+/// materializing a temporary std::string.
 class FeatureMap {
  public:
   FeatureMap() = default;
@@ -33,7 +39,17 @@ class FeatureMap {
   int32_t size() const { return static_cast<int32_t>(names_.size()); }
 
  private:
-  std::unordered_map<std::string, int32_t> index_;
+  // Transparent hashing so find(string_view) probes without allocating.
+  struct TransparentStringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, int32_t, TransparentStringHash,
+                     std::equal_to<>>
+      index_;
   std::vector<std::string> names_;
   bool frozen_ = false;
 };

@@ -1,0 +1,56 @@
+#include "ml/hashed_feature_map.h"
+
+#include "util/logging.h"
+
+namespace ceres {
+
+namespace {
+constexpr size_t kInitialSlots = 1 << 10;
+}  // namespace
+
+HashedFeatureMap::HashedFeatureMap() : table_(kInitialSlots, -1) {}
+
+size_t HashedFeatureMap::SlotFor(uint64_t id) const {
+  const size_t mask = table_.size() - 1;
+  size_t i = static_cast<size_t>(id) & mask;
+  while (table_[i] != -1 && ids_[static_cast<size_t>(table_[i])] != id) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+int32_t HashedFeatureMap::GetOrAdd(uint64_t id) {
+  size_t slot = SlotFor(id);
+  if (table_[slot] != -1) return table_[slot];
+  if (frozen_) return -1;
+  if ((ids_.size() + 1) * 4 >= table_.size() * 3) {
+    Grow();
+    slot = SlotFor(id);
+  }
+  const int32_t index = static_cast<int32_t>(ids_.size());
+  ids_.push_back(id);
+  table_[slot] = index;
+  return index;
+}
+
+int32_t HashedFeatureMap::Get(uint64_t id) const {
+  const size_t slot = SlotFor(id);
+  return table_[slot];
+}
+
+uint64_t HashedFeatureMap::IdAt(int32_t index) const {
+  CERES_CHECK(index >= 0 && index < size());
+  return ids_[static_cast<size_t>(index)];
+}
+
+void HashedFeatureMap::Grow() {
+  table_.assign(table_.size() * 2, -1);
+  for (size_t dense = 0; dense < ids_.size(); ++dense) {
+    const size_t mask = table_.size() - 1;
+    size_t i = static_cast<size_t>(ids_[dense]) & mask;
+    while (table_[i] != -1) i = (i + 1) & mask;
+    table_[i] = static_cast<int32_t>(dense);
+  }
+}
+
+}  // namespace ceres

@@ -17,6 +17,10 @@ class SparseVector {
  public:
   SparseVector() = default;
 
+  /// Pre-sizes the entry array (typical featurizer output is a few dozen
+  /// entries; one up-front allocation beats doubling from empty).
+  void Reserve(size_t n) { entries_.reserve(n); }
+
   void Add(int32_t index, double value) {
     CERES_CHECK(!finalized_);
     entries_.emplace_back(index, value);

@@ -26,10 +26,8 @@ size_t EstimateModelBytes(const TrainedModel& model) {
   const size_t features = static_cast<size_t>(model.model.num_features());
   // Dense weight matrix incl. bias column.
   size_t bytes = classes * (features + 1) * sizeof(double);
-  // Feature dictionary: names stored twice (vector + index map).
-  for (int32_t f = 0; f < model.features.size(); ++f) {
-    bytes += 2 * (model.features.Name(f).size() + kPerStringOverhead);
-  }
+  // Feature dictionary: flat id array plus open-addressing probe table.
+  bytes += model.features.MemoryBytes();
   for (const std::string& entry : model.frequent_strings) {
     bytes += entry.size() + kPerStringOverhead;
   }

@@ -23,7 +23,7 @@ class PageBuilder {
             const std::string& cls = "") {
     NodeId id = doc_.AddChild(parent, tag);
     if (!cls.empty()) {
-      doc_.mutable_node(id).attributes.push_back(DomAttribute{"class", cls});
+      doc_.AddAttribute(id, "class", cls);
     }
     return id;
   }
@@ -31,7 +31,7 @@ class PageBuilder {
   NodeId TextEl(NodeId parent, const std::string& tag, const std::string& cls,
                 const std::string& text) {
     NodeId id = El(parent, tag, cls);
-    doc_.mutable_node(id).text = text;
+    doc_.SetText(id, text);
     return id;
   }
 

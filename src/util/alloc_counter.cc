@@ -1,0 +1,69 @@
+#include "util/alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Counting replacements for the global allocation functions. Relaxed atomics:
+// the counters are read at bench phase boundaries, never used for
+// synchronization. Deliberately no operator delete tracking — the benches
+// gate on allocation *churn*, and counting frees would double the hook cost.
+//
+// Under a sanitizer build (CERES_ALLOC_COUNT_DISABLED, set by CMake when
+// CERES_SANITIZE is non-empty) the replacement is compiled out entirely so
+// ASan/TSan keep their own allocator interposition; the counters then stay
+// at zero and callers must treat a zero delta as "counting unavailable".
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+
+#ifndef CERES_ALLOC_COUNT_DISABLED
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; operator new must not.
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+#endif
+}  // namespace
+
+#ifndef CERES_ALLOC_COUNT_DISABLED
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+#endif  // CERES_ALLOC_COUNT_DISABLED
+
+namespace ceres {
+namespace util {
+
+uint64_t AllocationCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+uint64_t AllocationBytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace util
+}  // namespace ceres

@@ -1,0 +1,29 @@
+#ifndef CERES_UTIL_ALLOC_COUNTER_H_
+#define CERES_UTIL_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace ceres {
+namespace util {
+
+/// Heap-allocation counting for benchmarks and regression tests.
+///
+/// Implemented by the `ceres_alloc_count` library, which replaces the global
+/// `operator new` family with counting wrappers. Link that library ONLY into
+/// binaries that gate on allocation counts (bench/pipeline_throughput, the
+/// no-alloc micro-regression tests): replacing global new in every binary
+/// would interfere with the sanitizer tiers' own allocator interposition.
+/// Calling these functions from a binary that does not link
+/// `ceres_alloc_count` is a link error — by design.
+
+/// Number of successful global operator new / new[] calls since process
+/// start, across all threads. Monotonic; never reset.
+uint64_t AllocationCount();
+
+/// Total bytes requested from global operator new since process start.
+uint64_t AllocationBytes();
+
+}  // namespace util
+}  // namespace ceres
+
+#endif  // CERES_UTIL_ALLOC_COUNTER_H_

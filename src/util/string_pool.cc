@@ -1,0 +1,83 @@
+#include "util/string_pool.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ceres {
+namespace util {
+
+namespace {
+constexpr size_t kInitialSlots = 1 << 10;  // power of two
+constexpr size_t kMinChunkBytes = 64 << 10;
+}  // namespace
+
+StringPool::StringPool() { slots_.resize(kInitialSlots); }
+
+StringPool& StringPool::Global() {
+  static StringPool* pool = new StringPool();
+  return *pool;
+}
+
+std::string_view StringPool::Intern(std::string_view s) {
+  const uint64_t hash = Fnv1a64(s);
+  MutexLock lock(mu_);
+  size_t mask = slots_.size() - 1;
+  size_t i = hash & mask;
+  while (slots_[i].view.data() != nullptr) {
+    if (slots_[i].hash == hash && slots_[i].view == s) return slots_[i].view;
+    i = (i + 1) & mask;
+  }
+  if ((used_ + 1) * 4 >= slots_.size() * 3) {
+    GrowLocked();
+    mask = slots_.size() - 1;
+    i = hash & mask;
+    while (slots_[i].view.data() != nullptr) i = (i + 1) & mask;
+  }
+  std::string_view stored = Store(s);
+  slots_[i].hash = hash;
+  slots_[i].view = stored;
+  ++used_;
+  return stored;
+}
+
+size_t StringPool::size() const {
+  MutexLock lock(mu_);
+  return used_;
+}
+
+size_t StringPool::payload_bytes() const {
+  MutexLock lock(mu_);
+  return payload_bytes_;
+}
+
+std::string_view StringPool::Store(std::string_view s) {
+  if (chunks_.empty() || chunk_used_ + s.size() > chunk_capacity_) {
+    chunk_capacity_ = s.size() > kMinChunkBytes ? s.size() : kMinChunkBytes;
+    chunks_.push_back(std::make_unique<char[]>(chunk_capacity_));
+    chunk_used_ = 0;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, s.data(), s.size());
+  chunk_used_ += s.size();
+  payload_bytes_ += s.size();
+  // An interned empty string still needs a non-null data() so the slot is
+  // distinguishable from a free one.
+  return std::string_view(dst, s.size());
+}
+
+void StringPool::GrowLocked() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const size_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.view.data() == nullptr) continue;
+    size_t i = slot.hash & mask;
+    while (slots_[i].view.data() != nullptr) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+}
+
+}  // namespace util
+}  // namespace ceres

@@ -1,0 +1,74 @@
+#ifndef CERES_UTIL_STRING_POOL_H_
+#define CERES_UTIL_STRING_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace ceres {
+namespace util {
+
+/// Process-wide append-only string interning pool.
+///
+/// Intern() returns a string_view that aliases pool-owned storage and stays
+/// valid for the life of the process: chunks are never freed or reallocated,
+/// so pooled views are stable and two Intern() calls with equal bytes return
+/// views over the *same* storage. That pointer identity is what makes pooled
+/// names cheap to compare on the hot path — `a.data() == b.data()` replaces a
+/// byte compare for interned tag/attribute names.
+///
+/// Thread-safe: concurrent parses intern tag and attribute names through
+/// Global(). The critical section is one probe of a small open-addressing
+/// table, so a single mutex suffices — tag/attribute vocabulary is tiny and
+/// repeat interns hit the first probe. The index is FNV-keyed (pinned
+/// Fnv1a64, not std::hash) so behaviour is identical across runs and
+/// processes.
+class StringPool {
+ public:
+  StringPool();
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// The process-wide pool used for DOM tag/attribute names and XPath steps.
+  static StringPool& Global();
+
+  /// Returns a stable view of pooled storage holding the bytes of `s`,
+  /// inserting them on first sight.
+  std::string_view Intern(std::string_view s);
+
+  /// Number of distinct strings interned.
+  size_t size() const;
+
+  /// Total pooled bytes (payload only, not index overhead).
+  size_t payload_bytes() const;
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    std::string_view view;  // empty data() means the slot is free
+  };
+
+  // Copies `s` into chunk storage; caller holds the exclusive lock.
+  std::string_view Store(std::string_view s);
+  void GrowLocked();
+
+  mutable CheckedMutex mu_{"string_pool"};
+  // Open-addressing table over pooled views; capacity is a power of two.
+  std::vector<Slot> slots_;
+  size_t used_ = 0;
+  // Bump-allocated chunks. Chunks are never resized once allocated, so the
+  // views handed out remain stable for the pool's lifetime.
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_capacity_ = 0;
+  size_t chunk_used_ = 0;
+  size_t payload_bytes_ = 0;
+};
+
+}  // namespace util
+}  // namespace ceres
+
+#endif  // CERES_UTIL_STRING_POOL_H_

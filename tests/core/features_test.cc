@@ -10,12 +10,14 @@ namespace {
 using testing::FilmPageHtml;
 using testing::ParseOrDie;
 
-// Names of all features in a vector.
+// Names of all features in a vector, resolved through the id -> name trace
+// the extractor fills when one is attached.
 std::vector<std::string> FeatureNames(const SparseVector& v,
-                                      const FeatureMap& map) {
+                                      const HashedFeatureMap& map,
+                                      const FeatureNameTrace& trace) {
   std::vector<std::string> names;
   for (const auto& [index, value] : v.entries()) {
-    names.push_back(map.Name(index));
+    names.push_back(trace.NameOf(map.IdAt(index)));
   }
   return names;
 }
@@ -54,10 +56,11 @@ class FeaturesTest : public ::testing::Test {
 
 TEST_F(FeaturesTest, StructuralFeaturesIncludeSelfAndAncestors) {
   FeatureExtractor extractor(ptrs_, FeatureConfig{});
-  FeatureMap map;
+  HashedFeatureMap map;
+  FeatureNameTrace trace;
   NodeId director = FindText(docs_[0], "Director 0");
-  SparseVector v = extractor.Extract(docs_[0], director, &map);
-  std::vector<std::string> names = FeatureNames(v, map);
+  SparseVector v = extractor.Extract(docs_[0], director, &map, {}, nullptr, &trace);
+  std::vector<std::string> names = FeatureNames(v, map, trace);
   EXPECT_TRUE(AnyContains(names, "S|l=0|s=0|tag=span"));
   EXPECT_TRUE(AnyContains(names, "S|l=0|s=0|class=val"));
   EXPECT_TRUE(AnyContains(names, "S|l=1|s=0|class=row"));   // Parent div.
@@ -74,21 +77,23 @@ TEST_F(FeaturesTest, FrequentStringsMined) {
 
 TEST_F(FeaturesTest, TextFeatureFiresOnNearbyLabel) {
   FeatureExtractor extractor(ptrs_, FeatureConfig{});
-  FeatureMap map;
+  HashedFeatureMap map;
+  FeatureNameTrace trace;
   NodeId director = FindText(docs_[0], "Director 0");
-  SparseVector v = extractor.Extract(docs_[0], director, &map);
-  EXPECT_TRUE(AnyContains(FeatureNames(v, map), "T|l0s-1|director"));
+  SparseVector v = extractor.Extract(docs_[0], director, &map, {}, nullptr, &trace);
+  EXPECT_TRUE(AnyContains(FeatureNames(v, map, trace), "T|l0s-1|director"));
 }
 
 TEST_F(FeaturesTest, DirectorAndWriterValuesGetDifferentFeatures) {
   FeatureExtractor extractor(ptrs_, FeatureConfig{});
-  FeatureMap map;
+  HashedFeatureMap map;
+  FeatureNameTrace trace;
   NodeId director = FindText(docs_[0], "Director 0");
   NodeId writer = FindText(docs_[0], "Writer 0");
   std::vector<std::string> d =
-      FeatureNames(extractor.Extract(docs_[0], director, &map), map);
+      FeatureNames(extractor.Extract(docs_[0], director, &map, {}, nullptr, &trace), map, trace);
   std::vector<std::string> w =
-      FeatureNames(extractor.Extract(docs_[0], writer, &map), map);
+      FeatureNames(extractor.Extract(docs_[0], writer, &map, {}, nullptr, &trace), map, trace);
   EXPECT_NE(d, w);  // The label text features distinguish them.
   EXPECT_TRUE(AnyContains(w, "T|l0s-1|writer"));
   EXPECT_FALSE(AnyContains(w, "T|l0s-1|director"));
@@ -98,10 +103,11 @@ TEST_F(FeaturesTest, StructuralOnlyAblation) {
   FeatureConfig config;
   config.text_features = false;
   FeatureExtractor extractor(ptrs_, config);
-  FeatureMap map;
+  HashedFeatureMap map;
+  FeatureNameTrace trace;
   NodeId director = FindText(docs_[0], "Director 0");
   std::vector<std::string> names =
-      FeatureNames(extractor.Extract(docs_[0], director, &map), map);
+      FeatureNames(extractor.Extract(docs_[0], director, &map, {}, nullptr, &trace), map, trace);
   for (const std::string& name : names) {
     EXPECT_EQ(name.substr(0, 2), "S|");
   }
@@ -112,10 +118,11 @@ TEST_F(FeaturesTest, TextOnlyAblation) {
   FeatureConfig config;
   config.structural_features = false;
   FeatureExtractor extractor(ptrs_, config);
-  FeatureMap map;
+  HashedFeatureMap map;
+  FeatureNameTrace trace;
   NodeId director = FindText(docs_[0], "Director 0");
   std::vector<std::string> names =
-      FeatureNames(extractor.Extract(docs_[0], director, &map), map);
+      FeatureNames(extractor.Extract(docs_[0], director, &map, {}, nullptr, &trace), map, trace);
   for (const std::string& name : names) {
     EXPECT_EQ(name.substr(0, 2), "T|");
   }
@@ -123,14 +130,15 @@ TEST_F(FeaturesTest, TextOnlyAblation) {
 
 TEST_F(FeaturesTest, FrozenMapDropsUnseenFeatures) {
   FeatureExtractor extractor(ptrs_, FeatureConfig{});
-  FeatureMap map;
+  HashedFeatureMap map;
+  FeatureNameTrace trace;
   NodeId director = FindText(docs_[0], "Director 0");
-  extractor.Extract(docs_[0], director, &map);
+  extractor.Extract(docs_[0], director, &map, {}, nullptr, &trace);
   int32_t size_before = map.size();
   map.Freeze();
   // A node from a different page region yields only known features.
   NodeId h1 = FindText(docs_[1], "Film 1");
-  SparseVector v = extractor.Extract(docs_[1], h1, &map);
+  SparseVector v = extractor.Extract(docs_[1], h1, &map, {}, nullptr, &trace);
   EXPECT_EQ(map.size(), size_before);
   for (const auto& [index, value] : v.entries()) {
     EXPECT_LT(index, size_before);
@@ -139,10 +147,11 @@ TEST_F(FeaturesTest, FrozenMapDropsUnseenFeatures) {
 
 TEST_F(FeaturesTest, NamePrefixKeepsVectorsDisjoint) {
   FeatureExtractor extractor(ptrs_, FeatureConfig{});
-  FeatureMap map;
+  HashedFeatureMap map;
+  FeatureNameTrace trace;
   NodeId director = FindText(docs_[0], "Director 0");
-  SparseVector a = extractor.Extract(docs_[0], director, &map, "A|");
-  SparseVector b = extractor.Extract(docs_[0], director, &map, "B|");
+  SparseVector a = extractor.Extract(docs_[0], director, &map, "A|", nullptr, &trace);
+  SparseVector b = extractor.Extract(docs_[0], director, &map, "B|", nullptr, &trace);
   for (const auto& [index_a, va] : a.entries()) {
     for (const auto& [index_b, vb] : b.entries()) {
       EXPECT_NE(index_a, index_b);
@@ -152,12 +161,13 @@ TEST_F(FeaturesTest, NamePrefixKeepsVectorsDisjoint) {
 
 TEST_F(FeaturesTest, SameTemplatePositionSameFeaturesAcrossPages) {
   FeatureExtractor extractor(ptrs_, FeatureConfig{});
-  FeatureMap map;
+  HashedFeatureMap map;
+  FeatureNameTrace trace;
   NodeId d0 = FindText(docs_[0], "Director 0");
   NodeId d1 = FindText(docs_[1], "Director 1");
-  SparseVector v0 = extractor.Extract(docs_[0], d0, &map);
-  SparseVector v1 = extractor.Extract(docs_[1], d1, &map);
-  EXPECT_EQ(FeatureNames(v0, map), FeatureNames(v1, map));
+  SparseVector v0 = extractor.Extract(docs_[0], d0, &map, {}, nullptr, &trace);
+  SparseVector v1 = extractor.Extract(docs_[1], d1, &map, {}, nullptr, &trace);
+  EXPECT_EQ(FeatureNames(v0, map, trace), FeatureNames(v1, map, trace));
 }
 
 }  // namespace

@@ -145,7 +145,7 @@ TEST_F(ModelIoTest, TruncatedFileIsRejectedNotSilentlyEmpty) {
   // A transfer cut off at any section boundary must fail loudly. Before the
   // #end trailer existed, cutting just above #weights produced a "valid"
   // model whose every weight was zero.
-  for (const char* marker : {"#classes", "#features", "#weights", "#end"}) {
+  for (const char* marker : {"#classes", "#featureids", "#weights", "#end"}) {
     size_t pos = full.find(marker);
     ASSERT_NE(pos, std::string::npos) << marker;
     Status status = load(full.substr(0, pos));

@@ -132,8 +132,7 @@ TEST(RelationAnnotatorTest, GlobalClusteringResolvesGenreTie) {
                         .node(a.node)
                         .parent;
     EXPECT_EQ(harness.docs[static_cast<size_t>(a.page)]
-                  .node(parent)
-                  .Attribute("class"),
+                  .Attribute(parent, "class"),
               "genres");
   }
 }
@@ -211,8 +210,7 @@ TEST(RelationAnnotatorTest, SuspiciousValueGuardUsesClustering) {
     NodeId parent =
         harness.docs[static_cast<size_t>(a.page)].node(a.node).parent;
     EXPECT_EQ(harness.docs[static_cast<size_t>(a.page)]
-                  .node(parent)
-                  .Attribute("class"),
+                  .Attribute(parent, "class"),
               "genres")
         << "suspicious value annotated outside the dominant cluster";
   }

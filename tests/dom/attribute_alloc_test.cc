@@ -1,0 +1,80 @@
+// Micro-regression: attribute lookup on the parse->feature hot path must
+// not allocate. DomDocument::Attribute compares pooled string_views (pointer
+// fast path, content fallback), so probing any number of attributes performs
+// zero heap allocations per call. This binary links the counting allocator
+// (util/alloc_counter.h); under sanitizers the counter is compiled out and
+// the test skips itself.
+
+#include "dom/dom_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dom/html_parser.h"
+#include "util/alloc_counter.h"
+#include "util/string_pool.h"
+
+namespace ceres {
+namespace {
+
+TEST(AttributeAllocTest, AttributeLookupDoesNotAllocate) {
+  Result<DomDocument> parsed = ParseHtml(
+      "<body><div class=\"row\" id=\"r1\" itemprop=\"director\">"
+      "<span class=\"val\" data-x=\"1\">Spike Lee</span></div></body>");
+  ASSERT_TRUE(parsed.ok());
+  const DomDocument& doc = *parsed;
+
+  // Pooled probe names: same interned pointers the parser stored.
+  const std::string_view cls = util::StringPool::Global().Intern("class");
+  const std::string_view itemprop =
+      util::StringPool::Global().Intern("itemprop");
+  // Unpooled probe name in a heap buffer: exercises the content-compare
+  // fallback path.
+  const std::string heap_name = std::string("item") + "prop";
+
+  if (util::AllocationCount() == 0) {
+    GTEST_SKIP() << "allocation counting unavailable (sanitizer build)";
+  }
+
+  size_t hits = 0;
+  const uint64_t before = util::AllocationCount();
+  for (int round = 0; round < 1000; ++round) {
+    for (NodeId id = 0; id < doc.size(); ++id) {
+      if (!doc.Attribute(id, cls).empty()) ++hits;
+      if (!doc.Attribute(id, itemprop).empty()) ++hits;
+      if (!doc.Attribute(id, heap_name).empty()) ++hits;
+      if (!doc.Attribute(id, "missing").empty()) ++hits;
+    }
+  }
+  const uint64_t after = util::AllocationCount();
+  EXPECT_EQ(after - before, 0u) << "Attribute() allocated on the hot path";
+  // class on div+span, itemprop on div via both probe names.
+  EXPECT_EQ(hits, 1000u * 4u);
+}
+
+TEST(AttributeAllocTest, PooledTagComparisonDoesNotAllocate) {
+  Result<DomDocument> parsed = ParseHtml(
+      "<body><div>a</div><div>b</div><span>c</span></body>");
+  ASSERT_TRUE(parsed.ok());
+  const DomDocument& doc = *parsed;
+  const std::string_view div = util::StringPool::Global().Intern("div");
+
+  if (util::AllocationCount() == 0) {
+    GTEST_SKIP() << "allocation counting unavailable (sanitizer build)";
+  }
+
+  size_t divs = 0;
+  const uint64_t before = util::AllocationCount();
+  for (int round = 0; round < 1000; ++round) {
+    for (NodeId id = 0; id < doc.size(); ++id) {
+      if (doc.node(id).tag == div) ++divs;
+    }
+  }
+  const uint64_t after = util::AllocationCount();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(divs, 2000u);
+}
+
+}  // namespace
+}  // namespace ceres

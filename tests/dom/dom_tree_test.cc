@@ -25,15 +25,17 @@ TEST(DomTreeTest, AddChildMaintainsIndices) {
   EXPECT_EQ(doc.node(div1).child_position, 0);
   EXPECT_EQ(doc.node(span).child_position, 1);
   EXPECT_EQ(doc.node(div2).child_position, 2);
-  ASSERT_EQ(doc.node(body).children.size(), 3u);
-  EXPECT_EQ(doc.node(body).children[2], div2);
+  ASSERT_EQ(doc.children(body).size(), 3u);
+  const std::vector<NodeId> kids(doc.children(body).begin(),
+                                 doc.children(body).end());
+  EXPECT_EQ(kids[2], div2);
 }
 
 TEST(DomTreeTest, TextFieldsReturnsOnlyNodesWithText) {
   DomDocument doc;
   NodeId body = doc.AddChild(doc.root(), "body");
   NodeId with_text = doc.AddChild(body, "p");
-  doc.mutable_node(with_text).text = "hello";
+  doc.SetText(with_text, "hello");
   doc.AddChild(body, "p");  // Empty.
   std::vector<NodeId> fields = doc.TextFields();
   ASSERT_EQ(fields.size(), 1u);
@@ -43,11 +45,35 @@ TEST(DomTreeTest, TextFieldsReturnsOnlyNodesWithText) {
 TEST(DomTreeTest, AttributeLookup) {
   DomDocument doc;
   NodeId div = doc.AddChild(doc.root(), "div");
-  doc.mutable_node(div).attributes.push_back(DomAttribute{"class", "x"});
-  doc.mutable_node(div).attributes.push_back(DomAttribute{"id", "y"});
-  EXPECT_EQ(doc.node(div).Attribute("class"), "x");
-  EXPECT_EQ(doc.node(div).Attribute("id"), "y");
-  EXPECT_EQ(doc.node(div).Attribute("missing"), "");
+  doc.AddAttribute(div, "class", "x");
+  doc.AddAttribute(div, "id", "y");
+  EXPECT_EQ(doc.Attribute(div, "class"), "x");
+  EXPECT_EQ(doc.Attribute(div, "id"), "y");
+  EXPECT_EQ(doc.Attribute(div, "missing"), "");
+  ASSERT_EQ(doc.attributes(div).size(), 2u);
+  EXPECT_EQ(doc.attributes(div)[0].name, "class");
+  EXPECT_EQ(doc.attributes(div)[1].value, "y");
+}
+
+TEST(DomTreeTest, TextSegmentsExtendInPlace) {
+  DomDocument doc;
+  NodeId p = doc.AddChild(doc.root(), "p");
+  doc.AppendTextSegment(p, "hello");
+  doc.AppendTextSegment(p, "world");
+  EXPECT_EQ(doc.node(p).text, "hello world");
+}
+
+TEST(DomTreeTest, ArenaViewsSurviveDocumentMove) {
+  DomDocument doc;
+  NodeId p = doc.AddChild(doc.root(), "p");
+  doc.SetText(p, "stable text");
+  doc.AddAttribute(p, "class", "val");
+  std::string_view text_before = doc.node(p).text;
+  std::string_view value_before = doc.Attribute(p, "class");
+  DomDocument moved = std::move(doc);
+  EXPECT_EQ(moved.node(p).text.data(), text_before.data());
+  EXPECT_EQ(moved.Attribute(p, "class").data(), value_before.data());
+  EXPECT_EQ(moved.node(p).text, "stable text");
 }
 
 TEST(DomTreeTest, DepthAndAncestry) {

@@ -23,7 +23,7 @@ class DomUtilsTest : public ::testing::Test {
 
   NodeId ById(const std::string& id) const {
     for (NodeId n = 0; n < doc_.size(); ++n) {
-      if (doc_.node(n).Attribute("id") == id) return n;
+      if (doc_.Attribute(n, "id") == id) return n;
     }
     return kInvalidNode;
   }

@@ -24,15 +24,15 @@ void ExpectWellFormed(const DomDocument& doc) {
       ASSERT_GE(node.parent, 0);
       ASSERT_LT(node.parent, doc.size());
       const DomNode& parent = doc.node(node.parent);
-      ASSERT_LT(static_cast<size_t>(node.child_position),
-                parent.children.size());
-      EXPECT_EQ(parent.children[static_cast<size_t>(node.child_position)],
-                id);
+      ASSERT_LT(node.child_position, parent.child_count);
+      const std::vector<NodeId> siblings(doc.children(node.parent).begin(),
+                                         doc.children(node.parent).end());
+      EXPECT_EQ(siblings[static_cast<size_t>(node.child_position)], id);
     }
     // sibling_index counts same-tag predecessors, 1-based.
     if (node.parent != kInvalidNode) {
       int same_tag = 0;
-      for (NodeId sibling : doc.node(node.parent).children) {
+      for (NodeId sibling : doc.children(node.parent)) {
         if (sibling == id) break;
         if (doc.node(sibling).tag == node.tag) ++same_tag;
       }

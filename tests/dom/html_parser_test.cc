@@ -27,11 +27,11 @@ TEST(HtmlParserTest, AttributesParsed) {
   Result<DomDocument> doc = ParseHtml(
       "<body><div class=\"main big\" id=x data-k='v'>t</div></body>");
   ASSERT_TRUE(doc.ok());
-  const DomNode& div = doc->node(FindTag(*doc, "div"));
-  EXPECT_EQ(div.Attribute("class"), "main big");
-  EXPECT_EQ(div.Attribute("id"), "x");
-  EXPECT_EQ(div.Attribute("data-k"), "v");
-  EXPECT_EQ(div.Attribute("missing"), "");
+  NodeId div = FindTag(*doc, "div");
+  EXPECT_EQ(doc->Attribute(div, "class"), "main big");
+  EXPECT_EQ(doc->Attribute(div, "id"), "x");
+  EXPECT_EQ(doc->Attribute(div, "data-k"), "v");
+  EXPECT_EQ(doc->Attribute(div, "missing"), "");
 }
 
 TEST(HtmlParserTest, SiblingIndicesCountSameTagOnly) {
@@ -39,7 +39,8 @@ TEST(HtmlParserTest, SiblingIndicesCountSameTagOnly) {
       ParseHtml("<body><p>a</p><div>b</div><p>c</p></body>");
   ASSERT_TRUE(doc.ok());
   NodeId body = FindTag(*doc, "body");
-  const auto& children = doc->node(body).children;
+  const std::vector<NodeId> children(doc->children(body).begin(),
+                                     doc->children(body).end());
   ASSERT_EQ(children.size(), 3u);
   EXPECT_EQ(doc->node(children[0]).sibling_index, 1);  // p[1]
   EXPECT_EQ(doc->node(children[1]).sibling_index, 1);  // div[1]
@@ -51,7 +52,7 @@ TEST(HtmlParserTest, UnclosedListItemsAutoClose) {
       ParseHtml("<body><ul><li>one<li>two<li>three</ul></body>");
   ASSERT_TRUE(doc.ok());
   NodeId ul = FindTag(*doc, "ul");
-  EXPECT_EQ(doc->node(ul).children.size(), 3u);
+  EXPECT_EQ(doc->children(ul).size(), 3u);
 }
 
 TEST(HtmlParserTest, TableCellsAutoClose) {
@@ -59,8 +60,8 @@ TEST(HtmlParserTest, TableCellsAutoClose) {
       "<body><table><tr><td>a<td>b<tr><td>c</table></body>");
   ASSERT_TRUE(doc.ok());
   NodeId table = FindTag(*doc, "table");
-  ASSERT_EQ(doc->node(table).children.size(), 2u);  // Two rows.
-  EXPECT_EQ(doc->node(doc->node(table).children[0]).children.size(), 2u);
+  ASSERT_EQ(doc->children(table).size(), 2u);  // Two rows.
+  EXPECT_EQ(doc->children(doc->node(table).first_child).size(), 2u);
 }
 
 TEST(HtmlParserTest, VoidElementsTakeNoChildren) {
@@ -68,9 +69,9 @@ TEST(HtmlParserTest, VoidElementsTakeNoChildren) {
       ParseHtml("<body><br><img src=\"x.png\"><span>after</span></body>");
   ASSERT_TRUE(doc.ok());
   NodeId br = FindTag(*doc, "br");
-  EXPECT_TRUE(doc->node(br).children.empty());
+  EXPECT_TRUE(doc->children(br).empty());
   NodeId body = FindTag(*doc, "body");
-  EXPECT_EQ(doc->node(body).children.size(), 3u);
+  EXPECT_EQ(doc->children(body).size(), 3u);
 }
 
 TEST(HtmlParserTest, StrayCloseTagIgnored) {
@@ -132,7 +133,7 @@ TEST(HtmlParserTest, ExplicitHtmlTagMergesIntoRoot) {
   Result<DomDocument> doc =
       ParseHtml("<html lang=\"en\"><body>x</body></html>");
   ASSERT_TRUE(doc.ok());
-  EXPECT_EQ(doc->node(doc->root()).Attribute("lang"), "en");
+  EXPECT_EQ(doc->Attribute(doc->root(), "lang"), "en");
   // Only one html element.
   int html_count = 0;
   for (NodeId id = 0; id < doc->size(); ++id) {

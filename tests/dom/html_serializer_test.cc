@@ -19,8 +19,8 @@ TEST(SerializeHtmlTest, EmitsDoctypeAndNesting) {
   DomDocument doc;
   NodeId body = doc.AddChild(doc.root(), "body");
   NodeId div = doc.AddChild(body, "div");
-  doc.mutable_node(div).attributes.push_back(DomAttribute{"class", "x"});
-  doc.mutable_node(div).text = "Hello";
+  doc.AddAttribute(div, "class", "x");
+  doc.SetText(div, "Hello");
   std::string html = SerializeHtml(doc);
   EXPECT_EQ(html.find("<!DOCTYPE html>"), 0u);
   EXPECT_NE(html.find("<div class=\"x\">Hello</div>"), std::string::npos);
@@ -32,8 +32,7 @@ TEST(SerializeHtmlTest, VoidElementsHaveNoCloseTag) {
   NodeId body = doc.AddChild(doc.root(), "body");
   doc.AddChild(body, "br");
   NodeId img = doc.AddChild(body, "img");
-  doc.mutable_node(img).attributes.push_back(
-      DomAttribute{"src", "a&b.png"});
+  doc.AddAttribute(img, "src", "a&b.png");
   std::string html = SerializeHtml(doc);
   EXPECT_NE(html.find("<br>"), std::string::npos);
   EXPECT_EQ(html.find("</br>"), std::string::npos);
@@ -44,13 +43,12 @@ TEST(SerializeHtmlTest, VoidElementsHaveNoCloseTag) {
 TEST(SerializeHtmlTest, AttributeValueWithQuotesRoundTrips) {
   DomDocument doc;
   NodeId div = doc.AddChild(doc.root(), "div");
-  doc.mutable_node(div).attributes.push_back(
-      DomAttribute{"title", "say \"hi\" <now>"});
+  doc.AddAttribute(div, "title", "say \"hi\" <now>");
   Result<DomDocument> reparsed = ParseHtml(SerializeHtml(doc));
   ASSERT_TRUE(reparsed.ok());
   bool found = false;
   for (NodeId id = 0; id < reparsed->size(); ++id) {
-    if (reparsed->node(id).Attribute("title") == "say \"hi\" <now>") {
+    if (reparsed->Attribute(id, "title") == "say \"hi\" <now>") {
       found = true;
     }
   }

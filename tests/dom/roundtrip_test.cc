@@ -23,14 +23,21 @@ void ExpectSubtreeEqual(const DomDocument& a, NodeId ia, const DomDocument& b,
   EXPECT_EQ(na.tag, nb.tag);
   EXPECT_EQ(na.text, nb.text);
   EXPECT_EQ(na.sibling_index, nb.sibling_index);
-  ASSERT_EQ(na.attributes.size(), nb.attributes.size());
-  for (size_t k = 0; k < na.attributes.size(); ++k) {
-    EXPECT_EQ(na.attributes[k].name, nb.attributes[k].name);
-    EXPECT_EQ(na.attributes[k].value, nb.attributes[k].value);
+  const auto attrs_a = a.attributes(ia);
+  const auto attrs_b = b.attributes(ib);
+  ASSERT_EQ(attrs_a.size(), attrs_b.size());
+  for (size_t k = 0; k < attrs_a.size(); ++k) {
+    EXPECT_EQ(attrs_a[k].name, attrs_b[k].name);
+    EXPECT_EQ(attrs_a[k].value, attrs_b[k].value);
   }
-  ASSERT_EQ(na.children.size(), nb.children.size());
-  for (size_t k = 0; k < na.children.size(); ++k) {
-    ExpectSubtreeEqual(a, na.children[k], b, nb.children[k]);
+  ASSERT_EQ(na.child_count, nb.child_count);
+  const std::vector<NodeId> kids_a(a.children(ia).begin(),
+                                   a.children(ia).end());
+  const std::vector<NodeId> kids_b(b.children(ib).begin(),
+                                   b.children(ib).end());
+  ASSERT_EQ(kids_a.size(), kids_b.size());
+  for (size_t k = 0; k < kids_a.size(); ++k) {
+    ExpectSubtreeEqual(a, kids_a[k], b, kids_b[k]);
   }
 }
 
@@ -65,11 +72,10 @@ DomDocument RandomDocument(Rng* rng) {
       std::string text = rng->Pick(kTexts);
       Result<DomDocument> tmp =
           ParseHtml("<body><i>" + EscapeHtml(text) + "</i></body>");
-      doc.mutable_node(id).text = tmp->node(tmp->size() - 1).text;
+      doc.SetText(id, tmp->node(tmp->size() - 1).text);
     }
     if (rng->Bernoulli(0.4)) {
-      doc.mutable_node(id).attributes.push_back(
-          DomAttribute{"class", "c" + std::to_string(rng->Uniform(0, 5))});
+      doc.AddAttribute(id, "class", "c" + std::to_string(rng->Uniform(0, 5)));
     }
     if (rng->Bernoulli(0.6)) open.push_back(id);
   }
@@ -91,9 +97,8 @@ TEST(RoundTripTest, EscapingSurvives) {
   DomDocument doc;
   NodeId body = doc.AddChild(doc.root(), "body");
   NodeId div = doc.AddChild(body, "div");
-  doc.mutable_node(div).text = "a < b & \"c\" > d";
-  doc.mutable_node(div).attributes.push_back(
-      DomAttribute{"title", "x<y&\"z\""});
+  doc.SetText(div, "a < b & \"c\" > d");
+  doc.AddAttribute(div, "title", "x<y&\"z\"");
   Result<DomDocument> reparsed = ParseHtml(SerializeHtml(doc));
   ASSERT_TRUE(reparsed.ok());
   ExpectStructurallyEqual(doc, *reparsed);

@@ -48,7 +48,7 @@ class MetricsTest : public ::testing::Test {
   Extraction Make(NodeId node, PredicateId predicate, double confidence,
                   const std::string& subject = "Do the Right Thing") {
     return Extraction{0, node, predicate, subject,
-                      pages_[0].node(node).text, confidence};
+                      std::string(pages_[0].node(node).text), confidence};
   }
 
   TinyMovieKb kb_;

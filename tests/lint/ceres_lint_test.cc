@@ -51,6 +51,7 @@ TEST(CeresLintTest, EachKnownBadSnippetFiresExactlyOnce) {
       {"raw_process.cc", "src/serve/raw_process.cc", "raw-process"},
       {"raw_socket.cc", "src/serve/raw_socket.cc", "raw-socket"},
       {"hot_alloc.cc", "src/dom/hot_alloc.cc", "hot-alloc"},
+      {"temp_string_lookup.cc", "src/ml/temp_string_lookup.cc", "hot-alloc"},
       {"blocking_in_loop.cc", "src/net/blocking_in_loop.cc",
        "blocking-in-loop"},
       {"stale_suppression.cc", "src/eval/stale_suppression.cc",
@@ -88,6 +89,7 @@ TEST(CeresLintTest, WholeCorpusTotalsAcrossFiles) {
       {"src/eval/raw_process.cc", ReadCorpus("raw_process.cc")},
       {"src/eval/raw_socket.cc", ReadCorpus("raw_socket.cc")},
       {"src/dom/hot_alloc.cc", ReadCorpus("hot_alloc.cc")},
+      {"src/ml/temp_string_lookup.cc", ReadCorpus("temp_string_lookup.cc")},
       {"src/net/blocking_in_loop.cc", ReadCorpus("blocking_in_loop.cc")},
       {"src/eval/stale_suppression.cc", ReadCorpus("stale_suppression.cc")},
       // The cycle pair reports its one cycle; layer_violation.cc is inert
@@ -98,7 +100,7 @@ TEST(CeresLintTest, WholeCorpusTotalsAcrossFiles) {
       {"src/dom/layer_violation.cc", ReadCorpus("layer_violation.cc")},
       {"src/serve/clean.cc", ReadCorpus("clean.cc")},
   };
-  EXPECT_EQ(Lint(files).size(), 13u);
+  EXPECT_EQ(Lint(files).size(), 14u);
 }
 
 TEST(CeresLintTest, ScopeGatesRules) {
@@ -143,6 +145,14 @@ TEST(CeresLintTest, ScopeGatesRules) {
   // The hot-alloc and event-loop scopes gate the new rules the same way.
   EXPECT_TRUE(LintAs("hot_alloc.cc", "src/serve/hot_alloc.cc").empty());
   EXPECT_TRUE(LintAs("hot_alloc.cc", "tests/dom/hot_alloc_test.cc").empty());
+  // src/ml/ is part of the hot-alloc scope; src/kb/ is not, and tests
+  // never are.
+  ASSERT_EQ(LintAs("hot_alloc.cc", "src/ml/hot_alloc.cc").size(), 1u);
+  EXPECT_TRUE(
+      LintAs("temp_string_lookup.cc", "src/kb/temp_string_lookup.cc").empty());
+  EXPECT_TRUE(
+      LintAs("temp_string_lookup.cc", "tests/ml/temp_string_lookup_test.cc")
+          .empty());
   EXPECT_TRUE(
       LintAs("blocking_in_loop.cc", "src/dist/blocking_in_loop.cc").empty());
   // http_client.* is carved out of the event-loop scope: the client is
@@ -457,6 +467,40 @@ TEST(CeresLintTest, HotAllocIgnoresColdScopesAndColdCalls) {
   EXPECT_TRUE(
       Lint({SourceFile{"src/serve/busy.cc", loop_content}}).empty());
   ASSERT_EQ(Lint({SourceFile{"src/core/busy.cc", loop_content}}).size(), 1u);
+}
+
+TEST(CeresLintTest, HotAllocCatchesTemporaryStringLookups) {
+  // The temporary-string probe fires outside loops too: the defining
+  // instance (a dictionary's GetOrAdd) is a flat helper that hot loops
+  // call. Each probe method is covered; probing with an existing string
+  // or through a transparent hasher is silent.
+  const std::string content =
+      "namespace ceres {\n"
+      "int Probe(const Index& index, std::string_view name) {\n"
+      "  if (index.map.count(std::string(name)) == 0) return -1;\n"
+      "  auto it = index.map.find(std::string(name));\n"
+      "  return index.map.at(std::string(name));\n"
+      "}\n"
+      "void Drop(Index& index, std::string_view name) {\n"
+      "  index.map.erase(std::string(name));\n"
+      "}\n"
+      "int Fine(const Index& index, const std::string& name) {\n"
+      "  auto it = index.map.find(name);\n"
+      "  return it == index.map.end() ? -1 : it->second;\n"
+      "}\n"
+      "}  // namespace ceres\n";
+  const std::vector<Diagnostic> diagnostics =
+      Lint({SourceFile{"src/ml/probe.cc", content}});
+  ASSERT_EQ(diagnostics.size(), 4u);
+  for (const Diagnostic& diagnostic : diagnostics) {
+    EXPECT_EQ(diagnostic.rule, "hot-alloc");
+    EXPECT_NE(diagnostic.message.find("transparent hasher"),
+              std::string::npos);
+  }
+  EXPECT_EQ(diagnostics[0].line, 3);
+  EXPECT_EQ(diagnostics[1].line, 4);
+  EXPECT_EQ(diagnostics[2].line, 5);
+  EXPECT_EQ(diagnostics[3].line, 8);
 }
 
 // --- blocking-in-loop ------------------------------------------------------

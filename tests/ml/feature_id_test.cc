@@ -1,0 +1,67 @@
+#include "ml/feature_id.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/string_util.h"
+
+namespace ceres {
+namespace {
+
+TEST(FeatureIdBuilderTest, MatchesFnv1a64OfTheComposedName) {
+  FeatureIdBuilder b;
+  b.Add("S|l=").AddInt(2).Add("|s=").AddInt(-3).Add('|').Add("tag=span");
+  EXPECT_EQ(b.id(), Fnv1a64("S|l=2|s=-3|tag=span"));
+}
+
+TEST(FeatureIdBuilderTest, AddIntFormatsLikeDecimalStreams) {
+  for (int64_t v : {0ll, 1ll, -1ll, 42ll, -42ll, 1234567890123ll,
+                    -1234567890123ll}) {
+    FeatureIdBuilder b;
+    b.AddInt(v);
+    EXPECT_EQ(b.id(), Fnv1a64(std::to_string(v))) << v;
+  }
+}
+
+TEST(FeatureIdBuilderTest, NameSinkMirrorsEveryByte) {
+  std::string name;
+  FeatureIdBuilder b(&name);
+  b.Add("T|").Add('l').AddInt(2).Add('s').AddInt(-1).Add('c').Add('|').Add(
+      "director");
+  EXPECT_EQ(name, "T|l2s-1c|director");
+  EXPECT_EQ(b.id(), Fnv1a64(name));
+}
+
+TEST(FeatureIdBuilderTest, WithSinkForksHashState) {
+  std::string stem_name;
+  FeatureIdBuilder stem(&stem_name);
+  stem.Add("S|l=0|s=0|");
+
+  std::string name_a = stem_name;
+  FeatureIdBuilder a = stem.WithSink(&name_a);
+  a.Add("tag=div");
+  EXPECT_EQ(name_a, "S|l=0|s=0|tag=div");
+  EXPECT_EQ(a.id(), Fnv1a64(name_a));
+
+  // The fork did not disturb the stem: a second fork produces the sibling
+  // feature from the same prefix.
+  std::string name_b = stem_name;
+  FeatureIdBuilder b = stem.WithSink(&name_b);
+  b.Add("class=x");
+  EXPECT_EQ(name_b, "S|l=0|s=0|class=x");
+  EXPECT_EQ(b.id(), Fnv1a64(name_b));
+  EXPECT_EQ(stem_name, "S|l=0|s=0|");
+}
+
+TEST(FeatureNameTraceTest, RecordsFirstNameAndLooksUp) {
+  FeatureNameTrace trace;
+  trace.Record(7, "first");
+  trace.Record(7, "second");  // First occurrence wins.
+  EXPECT_EQ(trace.NameOf(7), "first");
+  EXPECT_EQ(trace.NameOf(8), "");
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ceres

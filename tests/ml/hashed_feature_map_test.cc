@@ -1,0 +1,98 @@
+#include "ml/hashed_feature_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace ceres {
+namespace {
+
+TEST(HashedFeatureMapTest, AssignsDenseIndicesInFirstOccurrenceOrder) {
+  HashedFeatureMap map;
+  EXPECT_EQ(map.GetOrAdd(0xdeadbeefull), 0);
+  EXPECT_EQ(map.GetOrAdd(0xcafef00dull), 1);
+  EXPECT_EQ(map.GetOrAdd(0xdeadbeefull), 0);  // Re-add returns existing.
+  EXPECT_EQ(map.GetOrAdd(0x12345678ull), 2);
+  EXPECT_EQ(map.size(), 3);
+  EXPECT_EQ(map.IdAt(0), 0xdeadbeefull);
+  EXPECT_EQ(map.IdAt(1), 0xcafef00dull);
+  EXPECT_EQ(map.IdAt(2), 0x12345678ull);
+}
+
+TEST(HashedFeatureMapTest, GetNeverInserts) {
+  HashedFeatureMap map;
+  EXPECT_EQ(map.Get(42), -1);
+  EXPECT_EQ(map.size(), 0);
+  map.GetOrAdd(42);
+  EXPECT_EQ(map.Get(42), 0);
+}
+
+TEST(HashedFeatureMapTest, FrozenMapDropsUnseenIds) {
+  HashedFeatureMap map;
+  map.GetOrAdd(1);
+  map.GetOrAdd(2);
+  map.Freeze();
+  EXPECT_TRUE(map.frozen());
+  EXPECT_EQ(map.GetOrAdd(3), -1);
+  EXPECT_EQ(map.GetOrAdd(1), 0);  // Known ids still resolve.
+  EXPECT_EQ(map.size(), 2);
+}
+
+TEST(HashedFeatureMapTest, CollidingIdsStayDistinct) {
+  // Ids congruent modulo any power-of-two table size the map will ever
+  // reach: identical low 40 bits, distinct high bits. Every one lands on
+  // the same initial probe slot, exercising linear probing end to end.
+  HashedFeatureMap map;
+  constexpr uint64_t kStride = 1ull << 40;
+  constexpr int kColliders = 64;
+  for (int i = 0; i < kColliders; ++i) {
+    EXPECT_EQ(map.GetOrAdd(0x123ull + kStride * static_cast<uint64_t>(i)), i);
+  }
+  for (int i = 0; i < kColliders; ++i) {
+    const uint64_t id = 0x123ull + kStride * static_cast<uint64_t>(i);
+    EXPECT_EQ(map.Get(id), i);
+    EXPECT_EQ(map.IdAt(i), id);
+  }
+  // A colliding id never inserted resolves to absent, not to a neighbour.
+  EXPECT_EQ(map.Get(0x123ull + kStride * kColliders), -1);
+}
+
+TEST(HashedFeatureMapTest, CollidersSurviveTableGrowth) {
+  HashedFeatureMap map;
+  constexpr uint64_t kStride = 1ull << 40;
+  // Interleave a colliding family with enough distinct ids to force the
+  // probe table through several growths, then re-verify the family.
+  for (int i = 0; i < 50; ++i) {
+    map.GetOrAdd(0x77ull + kStride * static_cast<uint64_t>(i));
+  }
+  for (uint64_t filler = 0; filler < 3000; ++filler) {
+    map.GetOrAdd(0x1000000ull + filler);
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(map.Get(0x77ull + kStride * static_cast<uint64_t>(i)), i);
+  }
+  EXPECT_EQ(map.size(), 3050);
+}
+
+TEST(HashedFeatureMapTest, CopyIsIndependent) {
+  HashedFeatureMap map;
+  map.GetOrAdd(7);
+  HashedFeatureMap copy = map;
+  copy.GetOrAdd(8);
+  EXPECT_EQ(map.size(), 1);
+  EXPECT_EQ(copy.size(), 2);
+  EXPECT_EQ(copy.Get(7), 0);
+}
+
+TEST(HashedFeatureMapTest, ZeroIdIsAValidFeature) {
+  // Id 0 must not be confused with an empty slot.
+  HashedFeatureMap map;
+  EXPECT_EQ(map.GetOrAdd(0), 0);
+  EXPECT_EQ(map.Get(0), 0);
+  EXPECT_EQ(map.GetOrAdd(0), 0);
+  EXPECT_EQ(map.size(), 1);
+}
+
+}  // namespace
+}  // namespace ceres

@@ -65,7 +65,7 @@ TEST(QuirksTest, DailyChartsEmbedReleaseDateWithGroundTruth) {
       // The labelled date sits in a td of the (mimicking) chart table.
       EXPECT_EQ(parsed->node(node).tag, "td");
       NodeId table = parsed->node(parsed->node(node).parent).parent;
-      EXPECT_EQ(parsed->node(table).Attribute("class"), "qq-tbl");
+      EXPECT_EQ(parsed->Attribute(table, "class"), "qq-tbl");
       break;
     }
   }

@@ -122,7 +122,7 @@ TEST(SiteGeneratorTest, TrapSectionsCarryNoGroundTruth) {
     }
     // No truth node sits inside a rec card or the genre nav.
     for (NodeId id = 0; id < parsed->size(); ++id) {
-      std::string_view cls = parsed->node(id).Attribute("class");
+      std::string_view cls = parsed->Attribute(id, "class");
       if (cls == "tt-card" || cls == "tt-gnav") {
         for (NodeId inner = id; inner < parsed->size(); ++inner) {
           if (!parsed->IsAncestorOrSelf(id, inner)) continue;
@@ -197,7 +197,7 @@ TEST(SiteGeneratorTest, TitleYearSuffixApplied) {
     ASSERT_NE(title, kInvalidNode);
     // Rendered title ends with "(YYYY)" but the recorded topic name is
     // the canonical name without the year.
-    const std::string& rendered = parsed->node(title).text;
+    const std::string_view rendered = parsed->node(title).text;
     EXPECT_EQ(rendered.back(), ')');
     EXPECT_EQ(rendered.find(page.topic_name), 0u);
   }

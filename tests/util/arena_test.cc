@@ -1,0 +1,71 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ceres::util {
+namespace {
+
+TEST(TextArenaTest, AppendCopiesAndStaysStable) {
+  TextArena arena;
+  std::string source = "hello arena";
+  std::string_view v = arena.Append(source);
+  EXPECT_EQ(v, "hello arena");
+  EXPECT_NE(v.data(), source.data());
+  source[0] = 'X';
+  EXPECT_EQ(v, "hello arena");
+}
+
+TEST(TextArenaTest, ViewsSurviveManyAppends) {
+  TextArena arena;
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 3000; ++i) {
+    views.push_back(arena.Append("arena-entry-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_EQ(views[static_cast<size_t>(i)],
+              "arena-entry-" + std::to_string(i));
+  }
+  EXPECT_GT(arena.bytes_used(), 0u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(TextArenaTest, ExtendTailGrowsInPlaceWhenLast) {
+  TextArena arena;
+  std::string_view head = arena.Append("hello");
+  std::string_view joined = arena.ExtendTail(head, " ", "world");
+  EXPECT_EQ(joined, "hello world");
+  // The head was the last allocation, so it extends in place.
+  EXPECT_EQ(joined.data(), head.data());
+}
+
+TEST(TextArenaTest, ExtendTailCopiesWhenNotLast) {
+  TextArena arena;
+  std::string_view head = arena.Append("hello");
+  arena.Append("interloper");
+  std::string_view joined = arena.ExtendTail(head, " ", "world");
+  EXPECT_EQ(joined, "hello world");
+  EXPECT_NE(joined.data(), head.data());
+}
+
+TEST(TextArenaTest, ExtendTailFromEmptyHead) {
+  TextArena arena;
+  std::string_view joined = arena.ExtendTail(std::string_view(), " ", "solo");
+  // An empty head means "first segment": no separator is prepended.
+  EXPECT_EQ(joined, "solo");
+}
+
+TEST(TextArenaTest, MovePreservesViews) {
+  TextArena arena;
+  std::string_view v = arena.Append("movable content");
+  TextArena moved = std::move(arena);
+  EXPECT_EQ(v, "movable content");
+  std::string_view after = moved.Append("more");
+  EXPECT_EQ(after, "more");
+}
+
+}  // namespace
+}  // namespace ceres::util

@@ -1,0 +1,80 @@
+#include "util/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ceres::util {
+namespace {
+
+TEST(StringPoolTest, InternReturnsStableEqualContent) {
+  StringPool& pool = StringPool::Global();
+  std::string original = "string-pool-test-alpha";
+  std::string_view a = pool.Intern(original);
+  EXPECT_EQ(a, original);
+  original[0] = 'X';  // The pooled view must not alias the input buffer.
+  EXPECT_EQ(a, "string-pool-test-alpha");
+}
+
+TEST(StringPoolTest, SameContentSamePointer) {
+  StringPool& pool = StringPool::Global();
+  std::string first = "string-pool-test-beta";
+  std::string second = "string-pool-test-";
+  second += "beta";  // Same content, different buffer.
+  std::string_view a = pool.Intern(first);
+  std::string_view b = pool.Intern(second);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(StringPoolTest, EmptyStringHasNonNullData) {
+  std::string_view v = StringPool::Global().Intern("");
+  EXPECT_NE(v.data(), nullptr);
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(StringPoolTest, ManyDistinctStringsSurviveGrowth) {
+  StringPool& pool = StringPool::Global();
+  // Enough entries to force several table growths and chunk spills.
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 5000; ++i) {
+    views.push_back(pool.Intern("string-pool-growth-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(views[static_cast<size_t>(i)],
+              "string-pool-growth-" + std::to_string(i));
+    // Re-interning returns the same pointer even after growth.
+    std::string_view again =
+        pool.Intern("string-pool-growth-" + std::to_string(i));
+    EXPECT_EQ(again.data(), views[static_cast<size_t>(i)].data());
+  }
+}
+
+TEST(StringPoolTest, ConcurrentInterningConverges) {
+  StringPool& pool = StringPool::Global();
+  constexpr int kThreads = 4;
+  constexpr int kStrings = 400;
+  std::vector<std::vector<std::string_view>> results(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, &results, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        results[static_cast<size_t>(t)].push_back(
+            pool.Intern("string-pool-mt-" + std::to_string(i)));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int i = 0; i < kStrings; ++i) {
+    const char* data = results[0][static_cast<size_t>(i)].data();
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(results[static_cast<size_t>(t)][static_cast<size_t>(i)].data(),
+                data);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ceres::util

@@ -1,0 +1,28 @@
+// Corpus: a temporary std::string built only to probe a string-keyed map
+// (the test lints this content under a src/ml/ path). Exactly one
+// hot-alloc violation — the find(std::string(name)) probe; the transparent
+// heterogeneous lookup and the probe with an existing string are compliant
+// shapes the rule must not confuse with the temporary. Never compiled —
+// linted by tests/lint/ceres_lint_test.cc.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ceres {
+
+struct Dictionary {
+  std::unordered_map<std::string, int> index;
+
+  int Lookup(std::string_view name) const {
+    auto it = index.find(std::string(name));  // BAD: allocates per probe
+    return it == index.end() ? -1 : it->second;
+  }
+
+  int LookupOwned(const std::string& name) const {
+    auto it = index.find(name);  // existing string, no temporary
+    return it == index.end() ? -1 : it->second;
+  }
+};
+
+}  // namespace ceres

@@ -357,12 +357,14 @@ bool IsRawTimingScope(const std::string& path) {
 /// The parse→feature hot path the hot-alloc rule polices: every loop in
 /// these modules runs per page, per node, or per token, so allocation
 /// churn there multiplies by the corpus size. This is the scope the
-/// ROADMAP [perf] arena/interning pass targets.
+/// ROADMAP [perf] arena/interning pass targets. src/ml/ joined the scope
+/// with the hashed-feature-id work: the feature dictionary sits on the
+/// same per-node loops as the featurizer.
 bool IsHotAllocScope(const std::string& path) {
   if (IsTestFile(path)) return false;
   return PathContains(path, "src/dom/") || PathContains(path, "src/text/") ||
          PathContains(path, "src/cluster/") ||
-         PathContains(path, "src/core/");
+         PathContains(path, "src/core/") || PathContains(path, "src/ml/");
 }
 
 /// The HTTP event-loop scope the blocking-in-loop rule polices: all of
@@ -834,7 +836,31 @@ void CheckHotAlloc(const SourceFile& source, const TokenizedFile& file,
       }
     }
 
-    // (b) String concatenation via binary `+` inside a loop body: a
+    // (b) A temporary std::string materialized just to probe a container:
+    // `m.find(std::string(view))` and friends. Fires loop or no loop —
+    // these probes live in helpers (GetOrAdd, TypeByName) that hot loops
+    // call, so the allocation multiplies even when the call site looks
+    // flat. The fix is heterogeneous lookup, not hoisting.
+    if (tokens[i].text == "." && i + 6 < n && IsIdent(tokens[i + 1]) &&
+        !tokens[i + 1].is_literal) {
+      static const std::unordered_set<std::string> kProbeCalls = {
+          "find", "count", "at", "contains", "erase"};
+      if (kProbeCalls.count(tokens[i + 1].text) > 0 &&
+          tokens[i + 2].text == "(" && tokens[i + 3].text == "std" &&
+          tokens[i + 4].text == "::" && tokens[i + 5].text == "string" &&
+          tokens[i + 6].text == "(") {
+        out->push_back(Diagnostic{
+            source.path, tokens[i + 1].line, "hot-alloc",
+            "temporary std::string constructed to " + tokens[i + 1].text +
+                "() into a container on the hot path; give the container a "
+                "transparent hasher + std::equal_to<> (heterogeneous "
+                "lookup) so string_view probes do not allocate"});
+        i += 6;
+        continue;
+      }
+    }
+
+    // (c) String concatenation via binary `+` inside a loop body: a
     // string-literal operand is proof of string concat...
     if (in_loop[i] && tokens[i].text == "+") {
       const bool literal_operand =
@@ -875,7 +901,7 @@ void CheckHotAlloc(const SourceFile& source, const TokenizedFile& file,
       }
     }
 
-    // (c) A function definition taking std::string by value when some
+    // (d) A function definition taking std::string by value when some
     // hot-path loop calls a function of that name. The sink idiom
     // (body std::moves the parameter) is exempt: the copy is the point.
     if (IsIdent(tokens[i]) && i + 1 < n && tokens[i + 1].text == "(" &&
