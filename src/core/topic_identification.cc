@@ -51,9 +51,8 @@ CandidateScores ScoreEntitiesForPage(
   CandidateScores scores;
   for (EntityId entity : mentions.page_set) {
     if (!IsTopicCandidate(kb, entity, common_strings, eligibility)) continue;
-    const std::unordered_set<EntityId>& entity_set =
-        kb.ObjectsOfSubject(entity);
-    double score = JaccardSimilarity(mentions.page_set, entity_set);
+    double score =
+        JaccardSimilarity(mentions.page_set, kb.ObjectsOfSubject(entity));
     if (score > 0) scores[entity] = score;
   }
   return scores;

@@ -14,8 +14,8 @@ namespace ceres {
 
 namespace {
 
-bool HasTab(const std::string& text) {
-  return text.find('\t') != std::string::npos;
+bool HasTab(std::string_view text) {
+  return text.find('\t') != std::string_view::npos;
 }
 
 Status MalformedLine(int line_number, const std::string& line,
@@ -60,7 +60,7 @@ Status SaveKb(const KnowledgeBase& kb, std::ostream* out) {
     }
     *out << id << '\t' << ontology.entity_type(entity.type).name << '\t'
          << entity.name;
-    for (const std::string& alias : entity.aliases) {
+    for (std::string_view alias : entity.aliases) {
       if (HasTab(alias)) {
         return Status::InvalidArgument(
             StrCat("alias contains a tab: ", alias));

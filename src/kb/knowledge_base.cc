@@ -1,25 +1,28 @@
 #include "kb/knowledge_base.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "text/normalize.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace ceres {
 
 EntityId KnowledgeBase::AddEntity(TypeId type, std::string_view name) {
   CERES_CHECK(!frozen_);
   CERES_CHECK(type >= 0 && type < ontology_.num_types());
-  EntityId id = static_cast<EntityId>(entities_.size());
-  entities_.push_back(Entity{id, type, std::string(name), {}});
+  EntityId id = static_cast<EntityId>(build_entities_.size());
+  build_entities_.push_back(BuildEntity{type, std::string(name), {}});
   return id;
 }
 
 void KnowledgeBase::AddAlias(EntityId id, std::string_view alias) {
   CERES_CHECK(!frozen_);
   CERES_CHECK(id >= 0 && id < num_entities());
-  entities_[static_cast<size_t>(id)].aliases.emplace_back(alias);
+  build_entities_[static_cast<size_t>(id)].aliases.emplace_back(alias);
 }
 
 void KnowledgeBase::AddTriple(EntityId subject, PredicateId predicate,
@@ -28,71 +31,347 @@ void KnowledgeBase::AddTriple(EntityId subject, PredicateId predicate,
   CERES_CHECK(subject >= 0 && subject < num_entities());
   CERES_CHECK(object >= 0 && object < num_entities());
   CERES_CHECK(predicate >= 0 && predicate < ontology_.num_predicates());
-  triples_.push_back(Triple{subject, predicate, object});
+  build_triples_.push_back(Triple{subject, predicate, object});
 }
 
 void KnowledgeBase::Freeze() {
   CERES_CHECK(!frozen_);
+  const size_t num_entities = build_entities_.size();
+
   // Deduplicate triples.
-  std::sort(triples_.begin(), triples_.end(),
+  std::sort(build_triples_.begin(), build_triples_.end(),
             [](const Triple& a, const Triple& b) {
               if (a.subject != b.subject) return a.subject < b.subject;
               if (a.predicate != b.predicate) return a.predicate < b.predicate;
               return a.object < b.object;
             });
-  triples_.erase(std::unique(triples_.begin(), triples_.end()),
-                 triples_.end());
+  build_triples_.erase(
+      std::unique(build_triples_.begin(), build_triples_.end()),
+      build_triples_.end());
 
-  for (const Entity& entity : entities_) {
-    name_index_.Add(entity.name, entity.id);
+  // The normalized name index, replicating FuzzyMatcher::Add semantics
+  // exactly (empty keys skipped, per-key ids deduplicated in registration
+  // order) so the mapped binary-search path and the heap hash path return
+  // identical match lists. A std::map because the image's key section
+  // must be sorted by key bytes.
+  std::map<std::string, std::vector<EntityId>> name_map;
+  auto add_name = [&name_map](std::string_view surface, EntityId id) {
+    std::string key = NormalizeText(surface);
+    if (key.empty()) return;
+    std::vector<EntityId>& ids = name_map[std::move(key)];
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+      ids.push_back(id);
+    }
+  };
+  for (size_t i = 0; i < num_entities; ++i) {
+    const BuildEntity& entity = build_entities_[i];
+    const EntityId id = static_cast<EntityId>(i);
+    add_name(entity.name, id);
+    for (const std::string& alias : entity.aliases) add_name(alias, id);
+  }
+
+  // CSR subject index over the (now sorted) triple array: a counting pass
+  // then a prefix sum, so TriplesWithSubject is an O(1) span handout. The
+  // object CSR reuses the sort: each subject's slice is contiguous, its
+  // objects only need a per-subject sort + unique.
+  std::vector<uint64_t> subject_offsets(num_entities + 1, 0);
+  std::map<std::string, int64_t> object_string_counts;
+  std::string key;
+  for (const Triple& triple : build_triples_) {
+    ++subject_offsets[static_cast<size_t>(triple.subject) + 1];
+    NormalizeTextInto(
+        build_entities_[static_cast<size_t>(triple.object)].name, &key);
+    if (!key.empty()) ++object_string_counts[key];
+  }
+  for (size_t s = 1; s < subject_offsets.size(); ++s) {
+    subject_offsets[s] += subject_offsets[s - 1];
+  }
+  std::vector<uint64_t> object_offsets(num_entities + 1, 0);
+  std::vector<EntityId> objects;
+  objects.reserve(build_triples_.size());
+  std::vector<EntityId> scratch;
+  for (size_t s = 0; s < num_entities; ++s) {
+    scratch.clear();
+    for (size_t t = subject_offsets[s]; t < subject_offsets[s + 1]; ++t) {
+      scratch.push_back(build_triples_[t].object);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                  scratch.end());
+    objects.insert(objects.end(), scratch.begin(), scratch.end());
+    object_offsets[s + 1] = objects.size();
+  }
+
+  // Serialize everything into the flat image; from here on the image is
+  // the single source of truth and the build storage is dropped.
+  KbImageBuilder builder;
+  for (const EntityTypeDecl& type : ontology_.entity_types()) {
+    KbTypeRecord record;
+    record.name = builder.AddString(type.name);
+    record.is_literal = type.is_literal ? 1 : 0;
+    builder.Append(kKbSectionTypes, record);
+  }
+  for (const PredicateDecl& predicate : ontology_.predicates()) {
+    KbPredicateRecord record;
+    record.name = builder.AddString(predicate.name);
+    record.subject_type = predicate.subject_type;
+    record.object_type = predicate.object_type;
+    record.multi_valued = predicate.multi_valued ? 1 : 0;
+    builder.Append(kKbSectionPredicates, record);
+  }
+  uint64_t alias_cursor = 0;
+  for (size_t i = 0; i < num_entities; ++i) {
+    const BuildEntity& entity = build_entities_[i];
+    KbEntityRecord record;
+    record.name = builder.AddString(entity.name);
+    record.alias_begin = alias_cursor;
     for (const std::string& alias : entity.aliases) {
-      name_index_.Add(alias, entity.id);
+      builder.Append(kKbSectionAliasRefs, builder.AddString(alias));
+      ++alias_cursor;
+    }
+    record.alias_end = alias_cursor;
+    record.type = entity.type;
+    builder.Append(kKbSectionEntities, record);
+  }
+  for (const Triple& triple : build_triples_) {
+    builder.Append(kKbSectionTriples, triple);
+  }
+  for (uint64_t offset : subject_offsets) {
+    builder.Append(kKbSectionSubjectOffsets, offset);
+  }
+  for (uint64_t offset : object_offsets) {
+    builder.Append(kKbSectionObjectOffsets, offset);
+  }
+  for (EntityId object : objects) {
+    builder.Append(kKbSectionObjects, object);
+  }
+  uint64_t ids_cursor = 0;
+  for (const auto& [name_key, ids] : name_map) {
+    KbNameKey record;
+    record.key = builder.AddString(name_key);
+    record.ids_begin = ids_cursor;
+    record.ids_end = ids_cursor + ids.size();
+    builder.Append(kKbSectionNameKeys, record);
+    for (EntityId id : ids) builder.Append(kKbSectionNameIds, id);
+    ids_cursor = record.ids_end;
+  }
+  for (const auto& [count_key, count] : object_string_counts) {
+    KbObjectStringCount record;
+    record.key = builder.AddString(count_key);
+    record.count = count;
+    builder.Append(kKbSectionObjectStringCounts, record);
+  }
+
+  Result<KbImage> image = KbImage::FromBuffer(builder.Serialize());
+  CERES_CHECK_MSG(image.ok(), "freshly serialized KB image must validate");
+  image_ = std::move(image).value();
+  AttachImage();
+
+  // The hash accelerator for the mention-matching hot path, over the
+  // image's interned strings (no second copy of the name data beyond the
+  // matcher's own keys).
+  for (size_t i = 0; i < entities_.size(); ++i) {
+    const KbEntityRecord& record = entities_[i];
+    const EntityId id = static_cast<EntityId>(i);
+    name_index_.Add(image_.View(record.name), id);
+    for (uint64_t a = record.alias_begin; a < record.alias_end; ++a) {
+      name_index_.Add(image_.View(alias_refs_[a]), id);
     }
   }
-  // CSR subject index over the (now sorted) triple array: a counting pass
-  // then a prefix sum, so TriplesWithSubject is an O(1) span handout.
-  subject_offsets_.assign(entities_.size() + 1, 0);
-  std::string key;
-  for (const Triple& triple : triples_) {
-    ++subject_offsets_[static_cast<size_t>(triple.subject) + 1];
-    objects_by_subject_[triple.subject].insert(triple.object);
-    NormalizeTextInto(entities_[static_cast<size_t>(triple.object)].name,
-                      &key);
-    if (!key.empty()) ++object_string_triple_count_[key];
-  }
-  for (size_t s = 1; s < subject_offsets_.size(); ++s) {
-    subject_offsets_[s] += subject_offsets_[s - 1];
-  }
+  has_name_index_ = true;
+
+  build_entities_.clear();
+  std::vector<Triple>().swap(build_triples_);
   frozen_ = true;
 }
 
-const Entity& KnowledgeBase::entity(EntityId id) const {
+void KnowledgeBase::AttachImage() {
+  entities_ = image_.Section<KbEntityRecord>(kKbSectionEntities);
+  alias_refs_ = image_.Section<KbStringRef>(kKbSectionAliasRefs);
+  triples_ = image_.Section<Triple>(kKbSectionTriples);
+  subject_offsets_ = image_.Section<uint64_t>(kKbSectionSubjectOffsets);
+  object_offsets_ = image_.Section<uint64_t>(kKbSectionObjectOffsets);
+  objects_ = image_.Section<EntityId>(kKbSectionObjects);
+  name_keys_ = image_.Section<KbNameKey>(kKbSectionNameKeys);
+  name_ids_ = image_.Section<EntityId>(kKbSectionNameIds);
+  object_string_counts_ =
+      image_.Section<KbObjectStringCount>(kKbSectionObjectStringCounts);
+  strings_ =
+      image_.data() + image_.header().sections[kKbSectionStrings].offset;
+}
+
+Status KnowledgeBase::ValidateImageStructure(const KbImage& image) {
+  const KbImageHeader& header = image.header();
+  auto record_count = [&header](KbImageSectionId id,
+                                size_t record_bytes) -> int64_t {
+    if (header.sections[id].bytes % record_bytes != 0) return -1;
+    return static_cast<int64_t>(header.sections[id].bytes / record_bytes);
+  };
+  const int64_t types = record_count(kKbSectionTypes, sizeof(KbTypeRecord));
+  const int64_t predicates =
+      record_count(kKbSectionPredicates, sizeof(KbPredicateRecord));
+  const int64_t entities =
+      record_count(kKbSectionEntities, sizeof(KbEntityRecord));
+  const int64_t alias_refs =
+      record_count(kKbSectionAliasRefs, sizeof(KbStringRef));
+  const int64_t triples = record_count(kKbSectionTriples, sizeof(Triple));
+  const int64_t subject_offsets =
+      record_count(kKbSectionSubjectOffsets, sizeof(uint64_t));
+  const int64_t object_offsets =
+      record_count(kKbSectionObjectOffsets, sizeof(uint64_t));
+  const int64_t objects = record_count(kKbSectionObjects, sizeof(EntityId));
+  const int64_t name_keys =
+      record_count(kKbSectionNameKeys, sizeof(KbNameKey));
+  const int64_t name_ids = record_count(kKbSectionNameIds, sizeof(EntityId));
+  const int64_t counts =
+      record_count(kKbSectionObjectStringCounts, sizeof(KbObjectStringCount));
+  if (types < 0 || predicates < 0 || entities < 0 || alias_refs < 0 ||
+      triples < 0 || subject_offsets < 0 || object_offsets < 0 ||
+      objects < 0 || name_keys < 0 || name_ids < 0 || counts < 0) {
+    return Status::DataLoss(
+        "section byte count is not a record-size multiple");
+  }
+  if (subject_offsets != entities + 1 || object_offsets != entities + 1) {
+    return Status::DataLoss(
+        StrCat("offset table sizes (", subject_offsets, ", ",
+               object_offsets, ") do not match ", entities, " entities"));
+  }
+  const auto subject_span =
+      image.Section<uint64_t>(kKbSectionSubjectOffsets);
+  const auto object_span = image.Section<uint64_t>(kKbSectionObjectOffsets);
+  if (subject_span.back() != static_cast<uint64_t>(triples)) {
+    return Status::DataLoss(
+        StrCat("subject offsets end at ", subject_span.back(), " but ",
+               triples, " triples are stored"));
+  }
+  if (object_span.back() != static_cast<uint64_t>(objects)) {
+    return Status::DataLoss(
+        StrCat("object offsets end at ", object_span.back(), " but ",
+               objects, " objects are stored"));
+  }
+  return Status::Ok();
+}
+
+Result<KnowledgeBase> KnowledgeBase::OpenImage(const std::string& path,
+                                               OpenOptions options) {
+  CERES_ASSIGN_OR_RETURN(KbImage image,
+                         KbImage::Map(path, options.verify_checksum));
+  CERES_RETURN_IF_ERROR(PrependContext(ValidateImageStructure(image),
+                                       StrCat("kb image ", path)));
+  if (options.verify_checksum) {
+    CERES_RETURN_IF_ERROR(
+        PrependContext(image.VerifyRefs(), StrCat("kb image ", path)));
+  }
+  // Materialize the (small) ontology from the image records; record order
+  // is id order on both sides, so ids round-trip unchanged.
+  Ontology ontology;
+  for (const KbTypeRecord& type : image.Section<KbTypeRecord>(kKbSectionTypes)) {
+    ontology.AddEntityType(image.View(type.name), type.is_literal != 0);
+  }
+  for (const KbPredicateRecord& predicate :
+       image.Section<KbPredicateRecord>(kKbSectionPredicates)) {
+    ontology.AddPredicate(image.View(predicate.name),
+                          predicate.subject_type, predicate.object_type,
+                          predicate.multi_valued != 0);
+  }
+  KnowledgeBase kb(std::move(ontology));
+  kb.image_ = std::move(image);
+  kb.AttachImage();
+  kb.frozen_ = true;
+  kb.mapped_ = true;
+  return kb;
+}
+
+Status KnowledgeBase::SaveImage(const std::string& path) const {
+  CERES_CHECK(frozen_);
+  return WriteKbImageFile(image_bytes(), path);
+}
+
+Entity KnowledgeBase::entity(EntityId id) const {
   CERES_CHECK(id >= 0 && id < num_entities());
-  return entities_[static_cast<size_t>(id)];
+  if (!frozen_) {
+    const BuildEntity& build = build_entities_[static_cast<size_t>(id)];
+    return Entity{id, build.type, build.name, KbAliasRange(&build.aliases)};
+  }
+  const KbEntityRecord& record = entities_[static_cast<size_t>(id)];
+  return Entity{
+      id, record.type, image_.View(record.name),
+      KbAliasRange(alias_refs_.data() + record.alias_begin,
+                   static_cast<size_t>(record.alias_end - record.alias_begin),
+                   strings_)};
 }
 
 int64_t KnowledgeBase::CountEntitiesOfType(TypeId type) const {
   int64_t count = 0;
-  for (const Entity& entity : entities_) {
-    if (entity.type == type) ++count;
+  if (frozen_) {
+    for (const KbEntityRecord& record : entities_) {
+      if (record.type == type) ++count;
+    }
+  } else {
+    for (const BuildEntity& entity : build_entities_) {
+      if (entity.type == type) ++count;
+    }
   }
   return count;
 }
 
 int64_t KnowledgeBase::CountPredicatesForSubjectType(TypeId type) const {
   std::unordered_set<PredicateId> seen;
-  for (const Triple& triple : triples_) {
-    if (entities_[static_cast<size_t>(triple.subject)].type == type) {
-      seen.insert(triple.predicate);
-    }
+  for (const Triple& triple : triples()) {
+    const TypeId subject_type =
+        frozen_ ? entities_[static_cast<size_t>(triple.subject)].type
+                : build_entities_[static_cast<size_t>(triple.subject)].type;
+    if (subject_type == type) seen.insert(triple.predicate);
   }
   return static_cast<int64_t>(seen.size());
+}
+
+std::span<const EntityId> KnowledgeBase::LookupNameKey(
+    std::string_view normalized) const {
+  auto it = std::lower_bound(
+      name_keys_.begin(), name_keys_.end(), normalized,
+      [this](const KbNameKey& key, std::string_view probe) {
+        return image_.View(key.key) < probe;
+      });
+  if (it == name_keys_.end() || image_.View(it->key) != normalized) {
+    return {};
+  }
+  return name_ids_.subspan(it->ids_begin, it->ids_end - it->ids_begin);
 }
 
 std::span<const EntityId> KnowledgeBase::MatchMentionsView(
     std::string_view text) const {
   CERES_CHECK(frozen_);
-  std::span<const EntityId> hit = name_index_.MatchView(text);
+  std::span<const EntityId> hit;
+  if (has_name_index_) {
+    hit = name_index_.MatchView(text);
+  } else {
+    // Mapped KB: binary search the image's sorted key section with the
+    // same normalize -> lookup -> year-strip-retry ladder as FuzzyMatcher
+    // (identical match lists; O(log keys) instead of O(1), the price of
+    // an O(1) open).
+    thread_local std::string scratch;
+    NormalizeTextInto(text, &scratch);
+    if (!scratch.empty()) {
+      hit = LookupNameKey(scratch);
+      if (hit.empty()) {
+        std::string_view stripped = StripTrailingYearView(scratch);
+        if (stripped.size() != scratch.size() && !stripped.empty()) {
+          hit = LookupNameKey(stripped);
+        }
+      }
+      if (obs::Enabled()) {
+        static obs::Counter* const lookups =
+            obs::MetricsRegistry::Default().GetCounter(
+                "ceres_fuzzy_lookups_total");
+        static obs::Counter* const hits =
+            obs::MetricsRegistry::Default().GetCounter(
+                "ceres_fuzzy_hits_total");
+        lookups->Increment();
+        if (!hit.empty()) hits->Increment();
+      }
+    }
+  }
   // Same one-branch guard as FuzzyMatcher::MatchView: KB mention lookups
   // are the entity-matching hot path, so the disabled cost is one relaxed
   // load.
@@ -121,14 +400,16 @@ std::span<const Triple> KnowledgeBase::TriplesWithSubject(
   if (subject < 0 || subject >= num_entities()) return {};
   const size_t begin = subject_offsets_[static_cast<size_t>(subject)];
   const size_t end = subject_offsets_[static_cast<size_t>(subject) + 1];
-  return std::span<const Triple>(triples_.data() + begin, end - begin);
+  return triples_.subspan(begin, end - begin);
 }
 
-const std::unordered_set<EntityId>& KnowledgeBase::ObjectsOfSubject(
+std::span<const EntityId> KnowledgeBase::ObjectsOfSubject(
     EntityId subject) const {
   CERES_CHECK(frozen_);
-  auto it = objects_by_subject_.find(subject);
-  return it == objects_by_subject_.end() ? empty_set_ : it->second;
+  if (subject < 0 || subject >= num_entities()) return {};
+  const size_t begin = object_offsets_[static_cast<size_t>(subject)];
+  const size_t end = object_offsets_[static_cast<size_t>(subject) + 1];
+  return objects_.subspan(begin, end - begin);
 }
 
 std::vector<PredicateId> KnowledgeBase::PredicatesBetween(
@@ -163,8 +444,10 @@ std::unordered_set<std::string> KnowledgeBase::CommonObjectStrings(
   const double threshold =
       std::max(fraction * static_cast<double>(triples_.size()),
                static_cast<double>(min_count));
-  for (const auto& [key, count] : object_string_triple_count_) {
-    if (static_cast<double>(count) >= threshold) out.insert(key);
+  for (const KbObjectStringCount& record : object_string_counts_) {
+    if (static_cast<double>(record.count) >= threshold) {
+      out.insert(std::string(image_.View(record.key)));
+    }
   }
   return out;
 }

@@ -77,9 +77,11 @@ void ExtractionService::Stop() {
   }
   work_ready_.notify_all();
   for (PendingRequest& orphan : orphans) {
-    orphan.promise.set_value(ShedResult(
+    ServeResult result = ShedResult(
         Status::Cancelled("service stopped with request still queued"),
-        ShedCause::kShutdown));
+        ShedCause::kShutdown);
+    if (orphan.on_complete) orphan.on_complete(result);
+    orphan.promise.set_value(std::move(result));
   }
   if (!orphans.empty()) {
     MutexLock lock(stats_mu_);
@@ -90,7 +92,8 @@ void ExtractionService::Stop() {
   if (pool.joinable()) pool.join();
 }
 
-std::future<ServeResult> ExtractionService::Submit(ServeRequest request) {
+std::future<ServeResult> ExtractionService::Submit(
+    ServeRequest request, CompletionHook on_complete) {
   std::promise<ServeResult> shed_promise;
   std::future<ServeResult> shed_future = shed_promise.get_future();
   {
@@ -109,7 +112,9 @@ std::future<ServeResult> ExtractionService::Submit(ServeRequest request) {
       ++stats_.shed[static_cast<int>(cause)];
     }
     RecordShedMetric(cause, 1);
-    shed_promise.set_value(ShedResult(std::move(status), cause));
+    ServeResult result = ShedResult(std::move(status), cause);
+    if (on_complete) on_complete(result);
+    shed_promise.set_value(std::move(result));
     return std::move(shed_future);
   };
 
@@ -134,6 +139,7 @@ std::future<ServeResult> ExtractionService::Submit(ServeRequest request) {
 
   PendingRequest pending;
   pending.request = std::move(request);
+  pending.on_complete = std::move(on_complete);
   pending.enqueued = obs::MonotonicNow();
   std::future<ServeResult> future = pending.promise.get_future();
   SiteQueue& queue = queues_[pending.request.site];
@@ -210,13 +216,14 @@ void ExtractionService::ProcessBatch(const std::string& site,
   };
   // Promises are fulfilled only at the very end, AFTER the stats update: a
   // caller woken by future.get() must never observe counters that do not
-  // yet include its own request.
-  std::vector<std::promise<ServeResult>> promises;
+  // yet include its own request. The whole PendingRequest rides along so
+  // its completion hook can run just before set_value.
+  std::vector<PendingRequest> resolved;
   std::vector<ServeResult> outcomes;
-  promises.reserve(batch.size());
+  resolved.reserve(batch.size());
   outcomes.reserve(batch.size());
-  auto resolve = [&](std::promise<ServeResult> promise, ServeResult result) {
-    promises.push_back(std::move(promise));
+  auto resolve = [&](PendingRequest pending, ServeResult result) {
+    resolved.push_back(std::move(pending));
     outcomes.push_back(std::move(result));
   };
 
@@ -256,7 +263,7 @@ void ExtractionService::ProcessBatch(const std::string& site,
       ServeResult result = ShedResult(pending.request.deadline.Check("queue"),
                                       ShedCause::kTimedOutInQueue);
       result.diagnostics.queue_wait = wait;
-      resolve(std::move(pending.promise), std::move(result));
+      resolve(std::move(pending), std::move(result));
       ++timed_out;
       continue;
     }
@@ -280,7 +287,7 @@ void ExtractionService::ProcessBatch(const std::string& site,
             ShedResult(model_or.status(), ShedCause::kModelLoadFailed);
         result.diagnostics.queue_wait = request.queue_wait;
         result.diagnostics.batch_size = static_cast<int>(live.size());
-        resolve(std::move(request.pending.promise), std::move(result));
+        resolve(std::move(request.pending), std::move(result));
       }
       live.clear();
     } else {
@@ -307,7 +314,7 @@ void ExtractionService::ProcessBatch(const std::string& site,
           result.diagnostics.parse_time = request.parse_time;
           result.diagnostics.model_version = model->version;
           result.diagnostics.model_cache_hit = cache_hit;
-          resolve(std::move(request.pending.promise), std::move(result));
+          resolve(std::move(request.pending), std::move(result));
           ++parse_failed;
           continue;
         }
@@ -366,7 +373,7 @@ void ExtractionService::ProcessBatch(const std::string& site,
           result.diagnostics.batch_size = static_cast<int>(parsed.size());
           result.diagnostics.model_cache_hit = cache_hit;
           result.diagnostics.model_version = model->version;
-          resolve(std::move(parsed[i].pending.promise), std::move(result));
+          resolve(std::move(parsed[i].pending), std::move(result));
         }
       }
     }
@@ -394,8 +401,9 @@ void ExtractionService::ProcessBatch(const std::string& site,
     registry.GetCounter("ceres_serve_extractions_total")
         ->Increment(total_extractions);
   }
-  for (size_t i = 0; i < promises.size(); ++i) {
-    promises[i].set_value(std::move(outcomes[i]));
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    if (resolved[i].on_complete) resolved[i].on_complete(outcomes[i]);
+    resolved[i].promise.set_value(std::move(outcomes[i]));
   }
 }
 

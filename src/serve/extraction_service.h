@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <string>
 #include <thread>
@@ -94,9 +95,19 @@ class ExtractionService {
   /// call twice.
   void Stop();
 
+  /// Runs on the thread that resolves the request (a worker for executed
+  /// batches, the submitter for admission sheds, Stop for orphans),
+  /// strictly before the future becomes ready — a caller woken by
+  /// future.get() observes the hook's side effects. Must not call back
+  /// into this service.
+  using CompletionHook = std::function<void(const ServeResult&)>;
+
   /// Admission-controlled enqueue. The returned future is always valid;
-  /// shed requests resolve immediately with the typed reason.
-  std::future<ServeResult> Submit(ServeRequest request);
+  /// shed requests resolve immediately with the typed reason. The future
+  /// is plain promise-backed state: safe to poll with wait_for and safe
+  /// to hold past the service's lifetime.
+  std::future<ServeResult> Submit(ServeRequest request,
+                                  CompletionHook on_complete = nullptr);
 
   ServiceStats stats() const;
   const ExtractionServiceConfig& config() const { return config_; }
@@ -105,6 +116,7 @@ class ExtractionService {
   struct PendingRequest {
     ServeRequest request;
     std::promise<ServeResult> promise;
+    CompletionHook on_complete;
     obs::TimePoint enqueued;
   };
 

@@ -86,6 +86,7 @@ int HttpStatusForCode(StatusCode code) {
     case StatusCode::kCancelled:
       return 499;
     case StatusCode::kInternal:
+    case StatusCode::kDataLoss:
       return 500;
   }
   return 500;
@@ -289,17 +290,42 @@ void ExtractionFrontend::HandleExtract(
   const auto url = params.find("url");
   if (url != params.end()) serve_request.url = url->second;
 
+  // Admission check before Submit: a shed request must never reach the
+  // shard service (the extraction would run to completion with its result
+  // abandoned, and submitted/completed stats would diverge from the HTTP
+  // responses). A reserved slot keeps a concurrent burst from overshooting
+  // the bound between this check and the push below.
+  {
+    bool shed = false;
+    {
+      MutexLock lock(mu_);
+      if (stopping_ ||
+          pending_.size() + reserved_ >= config_.max_pending_completions) {
+        shed = true;
+      } else {
+        ++reserved_;
+      }
+    }
+    if (shed) {
+      // Send outside mu_: the responder write can block on the socket.
+      responder.Send(TextResponse(503, "completion queue full\n"));
+      return;
+    }
+  }
   PendingCompletion completion{
       service_->Submit(std::move(serve_request)), std::move(responder),
       site->second};
-  MutexLock lock(mu_);
-  if (stopping_ || pending_.size() >= config_.max_pending_completions) {
-    completion.responder.Send(
-        TextResponse(503, "completion queue full\n"));
-    return;
+  {
+    MutexLock lock(mu_);
+    --reserved_;
+    if (!stopping_) {
+      pending_.push_back(std::move(completion));
+      work_ready_.notify_one();
+      return;
+    }
   }
-  pending_.push_back(std::move(completion));
-  work_ready_.notify_one();
+  // Stop() raced the submit; answer rather than drop the responder.
+  completion.responder.Send(TextResponse(503, "shutting down\n"));
 }
 
 void ExtractionFrontend::PumpLoop() {
@@ -315,8 +341,8 @@ void ExtractionFrontend::PumpLoop() {
       pending_.pop_front();
       ++inflight_;
     }
-    // Blocking get: extraction wait plus (on a miss) the near-dup cache
-    // insert riding the deferred continuation.
+    // Blocking get: the near-dup cache insert already ran on the shard
+    // worker by the time the future is ready.
     ServeResult result = completion.future.get();
     const int http_status = HttpStatusForCode(result.status.code());
     completion.responder.Send(JsonResponse(

@@ -107,6 +107,10 @@ class ExtractionFrontend {
   CondVar work_ready_;
   CondVar queue_idle_;
   std::deque<PendingCompletion> pending_ CERES_GUARDED_BY(mu_);
+  /// Slots claimed by requests admitted but not yet submitted to the
+  /// service; counted against max_pending_completions so a burst cannot
+  /// overshoot the bound between the admission check and the push.
+  size_t reserved_ CERES_GUARDED_BY(mu_) = 0;
   /// Completions a pump thread is currently resolving; drain waits for
   /// pending_ and this to both reach zero.
   int inflight_ CERES_GUARDED_BY(mu_) = 0;

@@ -26,7 +26,9 @@ uint64_t NearDupCache::Fingerprint(std::string_view html) const {
 size_t NearDupCache::EntryBytes(const std::string& site,
                                 const CachedExtraction& result) {
   // Fixed overhead per entry: list node, site-index slot, bookkeeping.
-  size_t bytes = 128 + site.size();
+  // The diagnostics payload is cached (and replayed on hits) too, so it
+  // counts against the byte budget like everything else.
+  size_t bytes = 128 + site.size() + sizeof(result.diagnostics);
   for (const Extraction& triple : result.triples) {
     bytes += sizeof(Extraction) + triple.subject.size() +
              triple.object.size();
@@ -65,11 +67,18 @@ void NearDupCache::Insert(const std::string& site, uint64_t fingerprint,
     for (EntryList::iterator entry : site_it->second) {
       if (entry->fingerprint == fingerprint) {
         // Refresh in place: latest extraction of this exact page wins.
+        // Accounting-wise this is an insertion that evicts the payload it
+        // replaces, keeping the identity
+        //   insertions == entries + evictions + invalidations
+        // intact (a plain refresh without the pair would leave an entry
+        // no insertion ever claimed to produce).
         bytes_ -= entry->bytes;
         entry->bytes = EntryBytes(site, result);
         entry->result = std::move(result);
         bytes_ += entry->bytes;
         lru_.splice(lru_.begin(), lru_, entry);
+        ++stats_.insertions;
+        ++stats_.evictions;
         EvictOverBudgetLocked();
         return;
       }

@@ -28,7 +28,11 @@ struct PageCacheConfig {
   SimhashConfig simhash;
 };
 
-/// Monotonic counters plus the current resident set.
+/// Monotonic counters plus the current resident set. The counters keep
+/// the identity `insertions == entries + evictions + invalidations`: an
+/// exact-fingerprint refresh counts as one insertion plus one eviction
+/// (of the payload it replaced), and Clear counts its drops as
+/// invalidations.
 struct PageCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;

@@ -62,23 +62,23 @@ std::future<ServeResult> ShardedExtractionService::Submit(
     promise.set_value(std::move(result));
     return promise.get_future();
   }
-  std::future<ServeResult> inner =
-      shards_[ShardOf(site)]->service->Submit(std::move(request));
-  // Deferred continuation: the caller's .get() performs the underlying
-  // wait and then populates the cache — no extra thread, and the cache
-  // insert happens exactly once per consumed result.
-  return std::async(
-      std::launch::deferred,
-      [this, site, fingerprint,
-       inner = std::move(inner)]() mutable -> ServeResult {
-        ServeResult result = inner.get();
+  // The cache insert rides the shard's completion hook, which runs on the
+  // resolving thread strictly before the future becomes ready — exactly
+  // once per result, and never lazily. The returned future is the shard's
+  // own promise-backed future: wait_for/wait_until work (a deferred
+  // std::async future reports future_status::deferred forever), and the
+  // hook's `this` capture lives only inside the shard service, which this
+  // object owns and stops before the cache is destroyed — an unconsumed
+  // future outliving *this cannot dangle.
+  return shards_[ShardOf(site)]->service->Submit(
+      std::move(request),
+      [this, site, fingerprint](const ServeResult& result) {
         if (result.status.ok() && !result.diagnostics.near_dup_hit) {
           CachedExtraction entry;
           entry.triples = result.triples;
           entry.diagnostics = result.diagnostics;
           cache_.Insert(site, fingerprint, std::move(entry));
         }
-        return result;
       });
 }
 

@@ -52,10 +52,10 @@ struct ShardedServiceStats {
 /// page and a near-duplicate hit resolves immediately with the cached
 /// triples (`diagnostics.near_dup_hit`), skipping parse and inference.
 /// Misses are forwarded to the owning shard; the completed result is
-/// inserted into the cache on the caller's `.get()` (deferred
-/// continuation — no extra threads). Publishing or invalidating a site's
-/// model drops the site's cached extractions in the same call, so a
-/// hot-swap is never served stale results.
+/// inserted into the cache by the shard's completion hook, on the worker
+/// thread that resolved it, before the future becomes ready. Publishing
+/// or invalidating a site's model drops the site's cached extractions in
+/// the same call, so a hot-swap is never served stale results.
 class ShardedExtractionService {
  public:
   ShardedExtractionService(Ontology ontology, ShardedServiceConfig config);
@@ -75,8 +75,9 @@ class ShardedExtractionService {
   size_t ShardOf(std::string_view site) const;
 
   /// Cache-fronted submit. The returned future resolves immediately for a
-  /// near-duplicate hit; otherwise it is the shard's future wrapped with
-  /// a cache-insert continuation (runs on the caller's .get()).
+  /// near-duplicate hit; otherwise it is the shard's own promise-backed
+  /// future (poll-safe: wait_for eventually reports ready) with a
+  /// cache-insert completion hook that runs before it becomes ready.
   std::future<ServeResult> Submit(ServeRequest request);
 
   /// Publishes `model` as the next version for `site` on its owning

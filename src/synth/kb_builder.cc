@@ -21,7 +21,7 @@ class EntityCopier {
     const Entity& entity = world_.kb.entity(world_id);
     EntityId seed_id = seed_->AddEntity(entity.type, entity.name);
     if (include_aliases_) {
-      for (const std::string& alias : entity.aliases) {
+      for (std::string_view alias : entity.aliases) {
         seed_->AddAlias(seed_id, alias);
       }
     }

@@ -186,7 +186,7 @@ std::string PhoneString(Rng* rng) {
                 rng->Uniform(100, 199));
 }
 
-std::string WebsiteString(Rng* rng, const std::string& base) {
+std::string WebsiteString(Rng* rng, std::string_view base) {
   (void)rng;
   return StrCat("www.", Slugify(base), ".edu");
 }
@@ -313,7 +313,7 @@ std::string UiLabel(const std::string& key, Locale locale) {
   return it == kEnglish->end() ? key : it->second;
 }
 
-std::string Slugify(const std::string& text) {
+std::string Slugify(std::string_view text) {
   std::string out;
   for (char c : text) {
     if (std::isalnum(static_cast<unsigned char>(c))) {

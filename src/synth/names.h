@@ -2,6 +2,7 @@
 #define CERES_SYNTH_NAMES_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/random.h"
@@ -51,7 +52,7 @@ std::string WeightString(Rng* rng);
 
 /// Phone "(415) 555-0137", website "www.ashford.edu", ISBN-13.
 std::string PhoneString(Rng* rng);
-std::string WebsiteString(Rng* rng, const std::string& base);
+std::string WebsiteString(Rng* rng, std::string_view base);
 std::string IsbnString(Rng* rng);
 
 /// The fixed genre vocabulary shared by all movie worlds.
@@ -69,7 +70,7 @@ const std::vector<std::string>& AmbiguousEpisodeTitles();
 std::string UiLabel(const std::string& key, Locale locale);
 
 /// Lower-case slug of a string for URLs and CSS classes.
-std::string Slugify(const std::string& text);
+std::string Slugify(std::string_view text);
 
 }  // namespace ceres::synth
 

@@ -29,7 +29,7 @@ class PageBuilder {
   }
 
   NodeId TextEl(NodeId parent, const std::string& tag, const std::string& cls,
-                const std::string& text) {
+                std::string_view text) {
     NodeId id = El(parent, tag, cls);
     doc_.SetText(id, text);
     return id;
@@ -81,9 +81,9 @@ void RenderSection(const World& world, const PredicateSection& section,
   const std::string label =
       UiLabel(tmpl.weak_labels ? "details" : section.label_key, tmpl.locale);
   auto record = [&](NodeId node, EntityId object) {
-    out->facts.push_back(GroundTruthFact{page->PathOf(node), predicate,
-                                         world.kb.entity(object).name,
-                                         object});
+    out->facts.push_back(
+        GroundTruthFact{page->PathOf(node), predicate,
+                        std::string(world.kb.entity(object).name), object});
   };
   switch (section.layout) {
     case SectionLayout::kRow: {
@@ -248,10 +248,9 @@ std::vector<GeneratedPage> GenerateSite(const World& world,
         NodeId value =
             page->TextEl(row, "td", prefix + "-valcell",
                          world.kb.entity(release_date).name);
-        out->facts.push_back(
-            GroundTruthFact{page->PathOf(value), film_date,
-                            world.kb.entity(release_date).name,
-                            release_date});
+        out->facts.push_back(GroundTruthFact{
+            page->PathOf(value), film_date,
+            std::string(world.kb.entity(release_date).name), release_date});
       } else {
         page->TextEl(row, "td", prefix + "-valcell",
                      DateString(rng, 2015, 2017));
@@ -269,7 +268,7 @@ std::vector<GeneratedPage> GenerateSite(const World& world,
 
     GeneratedPage out;
     out.topic = topic;
-    out.topic_name = topic_entity.name;
+    out.topic_name = std::string(topic_entity.name);
     out.url = StrCat("https://", spec.name, "/",
                      Slugify(topic_entity.name), "-", t);
 
@@ -281,7 +280,7 @@ std::vector<GeneratedPage> GenerateSite(const World& world,
     NodeId container = render_chrome_top(&page, body);
 
     // Title field.
-    std::string display_title = topic_entity.name;
+    std::string display_title(topic_entity.name);
     if (tmpl.title_year_suffix && film_year != kInvalidPredicate) {
       std::vector<EntityId> years = ObjectsOf(world, topic, film_year);
       if (!years.empty()) {
@@ -294,7 +293,8 @@ std::vector<GeneratedPage> GenerateSite(const World& world,
                                display_title);
     out.topic_xpath = page.PathOf(title);
     out.facts.push_back(GroundTruthFact{out.topic_xpath, kNamePredicate,
-                                        topic_entity.name, topic});
+                                        std::string(topic_entity.name),
+                                        topic});
 
     if (tmpl.search_box_values) {
       NodeId search = page.El(container, "div", prefix + "-srch");
@@ -369,9 +369,9 @@ std::vector<GeneratedPage> GenerateSite(const World& world,
             if (role == kInvalidPredicate) continue;
             std::vector<EntityId> objs = ObjectsOf(world, topic, role);
             if (std::find(objs.begin(), objs.end(), f) != objs.end()) {
-              out.facts.push_back(GroundTruthFact{page.PathOf(item), role,
-                                                  world.kb.entity(f).name,
-                                                  f});
+              out.facts.push_back(
+                  GroundTruthFact{page.PathOf(item), role,
+                                  std::string(world.kb.entity(f).name), f});
             }
           }
         }

@@ -54,10 +54,10 @@ std::vector<EntityId> SkewedPickDistinct(const std::vector<EntityId>& ids,
   return {chosen.begin(), chosen.end()};
 }
 
-std::string AliasOf(const std::string& name, Rng* rng) {
+std::string AliasOf(std::string_view name, Rng* rng) {
   // "Marcus Ellery" -> "M. Ellery" or "Marcus J. Ellery".
   size_t space = name.find(' ');
-  if (space == std::string::npos || space == 0) return name + " Jr.";
+  if (space == std::string_view::npos || space == 0) return StrCat(name, " Jr.");
   if (rng->Bernoulli(0.5)) {
     return StrCat(name.substr(0, 1), ". ", name.substr(space + 1));
   }

@@ -2,6 +2,7 @@
 #define CERES_TEXT_JACCARD_H_
 
 #include <cstddef>
+#include <span>
 #include <unordered_set>
 
 namespace ceres {
@@ -17,6 +18,21 @@ double JaccardSimilarity(const std::unordered_set<T>& a,
   size_t intersection = 0;
   for (const T& item : small) {
     if (large.count(item) > 0) ++intersection;
+  }
+  const size_t uni = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+/// Overload for a hash set against a duplicate-free sorted span (the shape
+/// of the frozen KB's ObjectsOfSubject views): |A ∩ B| is counted by
+/// probing `a` per span element, no temporary set.
+template <typename T>
+double JaccardSimilarity(const std::unordered_set<T>& a,
+                         std::span<const T> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const T& item : b) {
+    if (a.count(item) > 0) ++intersection;
   }
   const size_t uni = a.size() + b.size() - intersection;
   return static_cast<double>(intersection) / static_cast<double>(uni);

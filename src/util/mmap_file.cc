@@ -1,0 +1,85 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace ceres {
+
+MappedFile::~MappedFile() { Reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::Reset() {
+  if (data_ != nullptr) {
+    // const_cast: munmap takes void*; the mapping itself was PROT_READ.
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return Status::NotFound(StrCat("no such file: ", path));
+    }
+    return Status::Internal(
+        StrCat("open(", path, "): ", std::strerror(err)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(
+        StrCat("fstat(", path, "): ", std::strerror(err)));
+  }
+  MappedFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  file.mapped_ = true;
+  if (file.size_ > 0) {
+    void* addr =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal(
+          StrCat("mmap(", path, "): ", std::strerror(err)));
+    }
+    file.data_ = static_cast<const char*>(addr);
+  }
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past this point.
+  ::close(fd);
+  return file;
+}
+
+}  // namespace ceres

@@ -1,0 +1,48 @@
+#ifndef CERES_UTIL_MMAP_FILE_H_
+#define CERES_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace ceres {
+
+/// A read-only memory-mapped file (RAII, move-only).
+///
+/// Open() maps the whole file MAP_PRIVATE | PROT_READ in O(1) regardless of
+/// file size; pages fault in lazily on first touch and, across fork(),
+/// children share the parent's page-cache pages copy-on-write — the point
+/// of the out-of-core KB image. The mapping (and every pointer or
+/// string_view derived from data()) stays valid until the MappedFile is
+/// destroyed or moved-from.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Fails with kNotFound when the file does not
+  /// exist and kInternal on OS-level map errors. An empty file maps to a
+  /// valid zero-length view (data() == nullptr, size() == 0).
+  static Result<MappedFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return mapped_; }
+
+ private:
+  void Reset();
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace ceres
+
+#endif  // CERES_UTIL_MMAP_FILE_H_

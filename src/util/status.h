@@ -19,6 +19,10 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kCancelled,
+  /// Stored data is unreadable or failed integrity checks (truncated or
+  /// corrupt on-disk image, checksum mismatch). Unlike kInvalidArgument
+  /// this indicates the artifact itself is damaged, not the request.
+  kDataLoss,
 };
 
 /// A lightweight status object carrying an error code and message.
@@ -58,6 +62,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 namespace ceres {
 namespace {
 
@@ -67,9 +70,9 @@ TEST_F(KnowledgeBaseTest, TriplesWithSubject) {
 
 TEST_F(KnowledgeBaseTest, ObjectsOfSubject) {
   kb_.Freeze();
-  const auto& objects = kb_.ObjectsOfSubject(film_);
+  std::span<const EntityId> objects = kb_.ObjectsOfSubject(film_);
   EXPECT_EQ(objects.size(), 1u);
-  EXPECT_TRUE(objects.count(lee_) > 0);
+  EXPECT_TRUE(std::binary_search(objects.begin(), objects.end(), lee_));
   EXPECT_TRUE(kb_.ObjectsOfSubject(lee_).empty());
 }
 

@@ -276,7 +276,8 @@ TEST(HttpServerTest, ForcePollBackendServesIdentically) {
 
 class FrontendE2eTest : public ::testing::Test {
  protected:
-  void StartService(bool cache_enabled) {
+  void StartService(bool cache_enabled,
+                    size_t max_pending_completions = 2048) {
     root_ = ::testing::TempDir() + "/net_e2e_" +
             ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(root_);
@@ -289,7 +290,10 @@ class FrontendE2eTest : public ::testing::Test {
         site_.kb.kb.ontology(), config);
     ASSERT_TRUE(service_->Publish(kSite, *site_.model).ok());
     ASSERT_TRUE(service_->Start().ok());
-    frontend_ = std::make_unique<ExtractionFrontend>(service_.get());
+    FrontendConfig frontend_config;
+    frontend_config.max_pending_completions = max_pending_completions;
+    frontend_ = std::make_unique<ExtractionFrontend>(service_.get(),
+                                                     frontend_config);
     ASSERT_TRUE(frontend_->Start().ok());
   }
 
@@ -379,6 +383,49 @@ TEST_F(FrontendE2eTest, NearDupResendIsServedWithoutParseOrInference) {
     return body.substr(begin, end - begin);
   };
   EXPECT_EQ(triples_of(first.value().body), triples_of(second.value().body));
+}
+
+TEST_F(FrontendE2eTest, ShedRequestNeverReachesTheShardService) {
+  // A zero completion budget sheds every /extract with 503. The bound is
+  // checked before Submit: a shed request must never cost a shard a full
+  // parse + inference pass, and submitted/completed stats must agree with
+  // the HTTP responses (regression: the old path submitted first and
+  // abandoned the result).
+  StartService(/*cache_enabled=*/false, /*max_pending_completions=*/0);
+  net::HttpClient client(kHost, frontend_->port());
+  for (int i = 0; i < 3; ++i) {
+    auto response = client.Roundtrip(ExtractRequest(i));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, 503);
+  }
+  int64_t submitted = 0;
+  for (const ServiceStats& shard : service_->stats().per_shard) {
+    submitted += shard.submitted;
+  }
+  EXPECT_EQ(submitted, 0);
+}
+
+TEST_F(FrontendE2eTest, SubmittedFutureIsPollSafe) {
+  // The sharded tier must hand back a plain promise-backed future:
+  // wait_for has to eventually report ready (a std::launch::deferred
+  // wrapper reports future_status::deferred forever, so polling callers
+  // would spin without ever running the work).
+  StartService(/*cache_enabled=*/true);
+  std::future<ServeResult> future = service_->Submit(DirectRequest());
+  ASSERT_TRUE(future.valid());
+  std::future_status status = std::future_status::timeout;
+  for (int i = 0; i < 200 && status != std::future_status::ready; ++i) {
+    status = future.wait_for(std::chrono::milliseconds(50));
+    ASSERT_NE(status, std::future_status::deferred);
+  }
+  ASSERT_EQ(status, std::future_status::ready);
+  const ServeResult result = future.get();
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  // The completion hook populated the near-dup cache before the future
+  // became ready: an identical resend is a cache hit.
+  const ServeResult resend = service_->Submit(DirectRequest()).get();
+  ASSERT_TRUE(resend.status.ok());
+  EXPECT_TRUE(resend.diagnostics.near_dup_hit);
 }
 
 TEST_F(FrontendE2eTest, AdminInvalidateDropsCachedExtractions) {

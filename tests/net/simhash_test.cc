@@ -138,10 +138,11 @@ TEST(NearDupCacheTest, ExactFingerprintInsertRefreshesInPlace) {
 }
 
 TEST(NearDupCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
-  // Empty-result entries under one-character sites cost 129 bytes each
-  // (128 fixed + site); a 300-byte budget holds two.
+  // Empty-result entries under one-character sites cost 129 bytes plus
+  // the cached diagnostics record each; size the budget to hold exactly
+  // two of them.
   PageCacheConfig config;
-  config.max_bytes = 300;
+  config.max_bytes = 2 * (129 + sizeof(ServeDiagnostics)) + 1;
   NearDupCache cache(config);
   CachedExtraction out;
   cache.Insert("a", 1 << 10, {});
@@ -156,7 +157,32 @@ TEST(NearDupCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
   const PageCacheStats stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1);
   EXPECT_EQ(stats.entries, 2u);
-  EXPECT_LE(stats.bytes, 300u);
+  EXPECT_LE(stats.bytes, config.max_bytes);
+}
+
+TEST(NearDupCacheTest, StatsBalanceAndBytesReturnToZeroAfterInvalidation) {
+  NearDupCache cache;
+  // The byte estimate must charge the cached diagnostics record too, not
+  // just the triples: it is stored and replayed on hits like everything
+  // else in the entry.
+  cache.Insert("a.example", 1, {});
+  EXPECT_GE(cache.stats().bytes, 128 + sizeof(ServeDiagnostics));
+
+  // An exact-fingerprint refresh counts as insertion + eviction so the
+  // stats identity below holds; before the fix it was invisible in the
+  // counters entirely.
+  cache.Insert("a.example", 1, OneTripleResult("film", "director"));
+  cache.Insert("a.example", 2, OneTripleResult("film", "year"));
+  cache.Insert("b.example", 3, OneTripleResult("book", "author"));
+  EXPECT_EQ(cache.stats().insertions, 4);
+
+  cache.InvalidateSite("a.example");
+  cache.InvalidateSite("b.example");
+  const PageCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.insertions, static_cast<int64_t>(stats.entries) +
+                                  stats.evictions + stats.invalidations);
 }
 
 TEST(NearDupCacheTest, InvalidateSiteDropsExactlyThatSite) {

@@ -88,7 +88,7 @@ TEST(MovieWorldTest, EpisodesCarryAmbiguousTitles) {
   TypeId episode = *world.kb.ontology().TypeByName("tv_episode");
   int ambiguous = 0;
   for (EntityId e : world.OfType(episode)) {
-    const std::string& name = world.kb.entity(e).name;
+    const std::string_view name = world.kb.entity(e).name;
     for (const std::string& t : AmbiguousEpisodeTitles()) {
       if (name == t) {
         ++ambiguous;

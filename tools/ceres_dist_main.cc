@@ -2,11 +2,15 @@
 //
 // Two modes:
 //
-//   ceres_dist --worker --kb <path>
+//   ceres_dist --worker (--kb <path> | --kb-image <path>)
 //     Worker mode: speaks the wire.h frame protocol on stdin/stdout,
-//     running shards against the KB loaded from <path>. This is the argv
-//     the coordinator's fork+exec spawn mode targets; it is how a
-//     distributed run crosses machine or binary boundaries.
+//     running shards against the KB loaded from <path>. --kb parses the
+//     portable text format; --kb-image mmap's a frozen KB image
+//     read-only — O(1) startup regardless of KB size, and all workers on
+//     a machine share the image's page-cache pages instead of each
+//     holding a parsed heap copy. This is the argv the coordinator's
+//     fork+exec spawn mode targets; it is how a distributed run crosses
+//     machine or binary boundaries.
 //
 //   ceres_dist [--workers N] [--shards N] [--crash-rate F] [--hang-rate F]
 //              [--checkpoint-dir D] [--exec] [--scale F] [--smoke]
@@ -30,6 +34,7 @@
 #include "dist/coordinator.h"
 #include "dist/worker.h"
 #include "kb/kb_io.h"
+#include "kb/knowledge_base.h"
 #include "robustness/fault_injector.h"
 #include "synth/corpora.h"
 #include "util/string_util.h"
@@ -41,6 +46,7 @@ using namespace ceres;  // NOLINT(build/namespaces)
 struct Options {
   bool worker = false;
   std::string kb_path;
+  std::string kb_image_path;
   int workers = 3;
   int shards = 0;
   double crash_rate = 0.0;
@@ -54,7 +60,7 @@ struct Options {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: ceres_dist --worker --kb <path>\n"
+               "usage: ceres_dist --worker (--kb <path> | --kb-image <path>)\n"
                "       ceres_dist [--workers N] [--shards N]\n"
                "  [--crash-rate F] [--hang-rate F] [--checkpoint-dir D]\n"
                "  [--exec] [--scale F] [--smoke] [--seed N] [--verbose]\n");
@@ -73,6 +79,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->worker = true;
     } else if (arg == "--kb") {
       if (!next(&options->kb_path)) return false;
+    } else if (arg == "--kb-image") {
+      if (!next(&options->kb_image_path)) return false;
     } else if (arg == "--workers") {
       if (!next(&value)) return false;
       options->workers = std::atoi(value.c_str());
@@ -107,11 +115,16 @@ bool ParseArgs(int argc, char** argv, Options* options) {
 }
 
 int RunWorkerMode(const Options& options) {
-  if (options.kb_path.empty()) {
-    std::fprintf(stderr, "ceres_dist --worker requires --kb <path>\n");
+  if (options.kb_path.empty() == options.kb_image_path.empty()) {
+    std::fprintf(stderr,
+                 "ceres_dist --worker requires exactly one of --kb <path> "
+                 "or --kb-image <path>\n");
     return 2;
   }
-  Result<KnowledgeBase> kb = LoadKbFromFile(options.kb_path);
+  Result<KnowledgeBase> kb =
+      options.kb_image_path.empty()
+          ? LoadKbFromFile(options.kb_path)
+          : KnowledgeBase::OpenImage(options.kb_image_path);
   if (!kb.ok()) {
     std::fprintf(stderr, "ceres_dist --worker: %s\n",
                  kb.status().ToString().c_str());
@@ -184,13 +197,17 @@ int RunDriverMode(const Options& options, const char* self) {
 
   std::string kb_file;
   if (options.exec_workers) {
-    kb_file = StrCat("/tmp/ceres_dist_kb_", ::getpid(), ".kb");
-    Status saved = SaveKbToFile(corpus.seed_kb, kb_file);
+    // Exec'd workers get the frozen image, not the text KB: each worker
+    // opens it with one mmap (no per-worker parse) and the kernel shares
+    // the backing pages across all of them.
+    kb_file = StrCat("/tmp/ceres_dist_kb_", ::getpid(), ".kbi");
+    Status saved = corpus.seed_kb.SaveImage(kb_file);
     if (!saved.ok()) {
-      std::fprintf(stderr, "saving KB: %s\n", saved.ToString().c_str());
+      std::fprintf(stderr, "saving KB image: %s\n",
+                   saved.ToString().c_str());
       return 1;
     }
-    config.worker_command = {self, "--worker", "--kb", kb_file};
+    config.worker_command = {self, "--worker", "--kb-image", kb_file};
   }
 
   Result<dist::DistResult> distributed = dist::RunDistributedExtraction(

@@ -87,6 +87,11 @@ if [ "$mode" = "undefined" ]; then
   echo "== tier1: full test suite (UBSan)"
   (cd "$build_dir" && ctest --output-on-failure -j "$@")
 
+  # The mapped-image KB reinterprets mmap'd bytes as typed records; UBSan
+  # is the tier that would catch a misaligned section or aliasing slip.
+  echo "== tier1: kb label (UBSan)"
+  (cd "$build_dir" && ctest --output-on-failure -L kb "$@")
+
   echo "== tier1: pipeline throughput smoke (UBSan)"
   "$build_dir/bench/pipeline_throughput" --smoke
 
@@ -113,6 +118,12 @@ echo "== tier1: net label"
 echo "== tier1: dist label"
 (cd "$build_dir" && ctest --output-on-failure -L dist "$@")
 
+# Out-of-core KB slice: image round-trip, corruption typing (every
+# malformed image is a kDataLoss, never a crash), and heap-vs-mapped
+# parity including full-pipeline output.
+echo "== tier1: kb label"
+(cd "$build_dir" && ctest --output-on-failure -L kb "$@")
+
 # The scoring/fusion regression slice plus the observability instruments:
 # these carry the eval-correctness fixes and the metrics/trace layer, and
 # must never be filtered out of the gate.
@@ -134,6 +145,11 @@ echo "== tier1: serve throughput smoke (stage timings + fault burst)"
 # the merge stays byte-identical to the single-process reference.
 echo "== tier1: dist recovery smoke (crash retry + checkpointing)"
 "$build_dir/bench/dist_recovery" --smoke
+
+# Out-of-core KB smoke: image map vs text parse, query parity at bench
+# scale, and the forked-worker RSS probe.
+echo "== tier1: kb load smoke (image map vs parse)"
+"$build_dir/bench/kb_load" --smoke
 
 # Network serving smoke: loopback HTTP over the sharded service — warm
 # near-dup stream must hit the cache and beat the cold pass, drain must
